@@ -1,0 +1,140 @@
+// Package presto_test holds the benchmark harness: one testing.B benchmark
+// per table and figure in the paper (DESIGN.md §4), each regenerating the
+// published rows/series via internal/exp and reporting the key scalar as a
+// custom benchmark metric. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale runs (28 days, 20 motes) live in cmd/presto-bench; these
+// benchmarks use exp.QuickScale so the full suite stays fast while
+// preserving every shape the paper reports.
+package presto_test
+
+import (
+	"testing"
+
+	"presto/internal/exp"
+)
+
+// run executes an experiment once per benchmark iteration and reports the
+// table's row count so the work cannot be optimized away.
+func run(b *testing.B, fn func(exp.Scale) (*exp.Table, error)) {
+	b.Helper()
+	sc := exp.QuickScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTable1Capabilities regenerates Table 1 (feature comparison).
+func BenchmarkTable1Capabilities(b *testing.B) { run(b, exp.Table1) }
+
+// BenchmarkFigure2Batching regenerates Figure 2 (energy vs batching
+// interval) and reports the batched-raw dynamic range and the crossover
+// ratio against value-driven push as metrics.
+func BenchmarkFigure2Batching(b *testing.B) {
+	sc := exp.QuickScale()
+	b.ReportAllocs()
+	var s *exp.Figure2Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = exp.Figure2Numbers(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(s.Raw) - 1
+	b.ReportMetric(s.Raw[0]/s.Raw[last], "raw-dynamic-range")
+	b.ReportMetric(s.Raw[0]/s.ValueDelta1, "raw16.5min/value-d1")
+	b.ReportMetric(s.Wavelet[last]/s.Raw[last], "wavelet/raw@2116min")
+}
+
+// BenchmarkE3QueryLatency regenerates the latency-by-answer-path table.
+func BenchmarkE3QueryLatency(b *testing.B) { run(b, exp.E3QueryLatency) }
+
+// BenchmarkE4PushEnergy regenerates the collection-policy comparison and
+// reports the PRESTO-vs-streaming energy ratio.
+func BenchmarkE4PushEnergy(b *testing.B) {
+	sc := exp.QuickScale()
+	b.ReportAllocs()
+	var n *exp.E4Numbers
+	var err error
+	for i := 0; i < b.N; i++ {
+		n, err = exp.E4PushEnergyNumbers(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(n.StreamEnergy/n.PrestoEnergy, "stream/presto-energy")
+	b.ReportMetric(n.PrestoRMSE, "presto-view-rmse")
+}
+
+// BenchmarkE5RareEvents regenerates the rare-event capture table.
+func BenchmarkE5RareEvents(b *testing.B) { run(b, exp.E5RareEvents) }
+
+// BenchmarkE6Extrapolation regenerates the extrapolation/hit-rate sweep.
+func BenchmarkE6Extrapolation(b *testing.B) { run(b, exp.E6Extrapolation) }
+
+// BenchmarkE7Aging regenerates the graceful-aging table.
+func BenchmarkE7Aging(b *testing.B) { run(b, exp.E7Aging) }
+
+// BenchmarkE8QueryMatching regenerates the query–sensor matching table.
+func BenchmarkE8QueryMatching(b *testing.B) { run(b, exp.E8QueryMatching) }
+
+// BenchmarkE9SkipGraph regenerates the index-scaling table and reports
+// mean hops at the largest size.
+func BenchmarkE9SkipGraph(b *testing.B) {
+	sc := exp.QuickScale()
+	b.ReportAllocs()
+	var hops []float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		hops, err = exp.E9Hops(sc, []int{1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(hops[0], "hops@1024")
+}
+
+// BenchmarkE10TimeSync regenerates the clock-correction table.
+func BenchmarkE10TimeSync(b *testing.B) { run(b, exp.E10TimeSync) }
+
+// BenchmarkE11Consistency regenerates the replication table.
+func BenchmarkE11Consistency(b *testing.B) { run(b, exp.E11Consistency) }
+
+// BenchmarkAblationModels regenerates the model-family ablation.
+func BenchmarkAblationModels(b *testing.B) { run(b, exp.AblationModels) }
+
+// BenchmarkAblationCompression regenerates the codec ablation.
+func BenchmarkAblationCompression(b *testing.B) { run(b, exp.AblationCompression) }
+
+// BenchmarkAblationRetrain regenerates the retraining ablation.
+func BenchmarkAblationRetrain(b *testing.B) { run(b, exp.AblationRetrain) }
+
+// BenchmarkAblationLPL regenerates the duty-cycle ablation.
+func BenchmarkAblationLPL(b *testing.B) { run(b, exp.AblationLPL) }
+
+// BenchmarkAblationSpatial regenerates the spatial-extrapolation ablation.
+func BenchmarkAblationSpatial(b *testing.B) { run(b, exp.AblationSpatial) }
+
+// BenchmarkAllExperiments runs the full registry once per iteration (the
+// cmd/presto-bench workload at quick scale).
+func BenchmarkAllExperiments(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exp.All() {
+			if _, err := e.Run(sc); err != nil {
+				b.Fatal(e.ID + ": " + err.Error())
+			}
+		}
+	}
+	b.ReportMetric(float64(len(exp.All())), "experiments")
+}

@@ -1,0 +1,75 @@
+// Command presto-bench regenerates every table and figure from the paper
+// (plus the derived experiments and ablations in DESIGN.md §4) and prints
+// them as aligned text tables.
+//
+// Usage:
+//
+//	presto-bench [-scale quick|paper] [-run T1,F2,...] [-list]
+//
+// The paper scale reproduces the published parameters (28 days of 1-minute
+// samples, 20-mote deployments); quick scale preserves every shape at a
+// fraction of the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"presto/internal/exp"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.QuickScale()
+	case "paper":
+		sc = exp.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "presto-bench: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range exp.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "presto-bench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command prestod runs an interactive-ish PRESTO deployment simulation:
+// it builds a multi-proxy, multi-mote network over synthetic temperature
+// data, bootstraps the prediction models, advances virtual time while
+// issuing a configurable query mix, and reports energy, cache behaviour,
+// and query latency at the end.
+//
+// Usage:
+//
+//	prestod [-proxies N] [-motes N] [-days N] [-delta F] [-queries N]
+//	        [-precision F] [-loss F] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/energy"
+	"presto/internal/gen"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/simtime"
+	"presto/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prestod: ")
+
+	proxies := flag.Int("proxies", 2, "number of proxies")
+	motes := flag.Int("motes", 10, "motes per proxy")
+	days := flag.Int("days", 7, "days of virtual time to run")
+	delta := flag.Float64("delta", 1.0, "model-driven push threshold")
+	queries := flag.Int("queries", 200, "queries to issue after bootstrap")
+	precision := flag.Float64("precision", 1.0, "query precision (error tolerance)")
+	loss := flag.Float64("loss", 0.02, "radio loss probability")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print per-mote details")
+	flag.Parse()
+
+	genCfg := gen.DefaultTempConfig()
+	genCfg.Sensors = *proxies * *motes
+	genCfg.Days = *days
+	genCfg.Seed = *seed
+	traces, err := gen.Temperature(genCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Proxies = *proxies
+	cfg.MotesPerProxy = *motes
+	cfg.Delta = *delta
+	cfg.Radio.LossProb = *loss
+	cfg.Traces = traces
+	cfg.WiredFirstProxy = *proxies > 1
+	n, err := core.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("deployment: %d proxies x %d motes, %d days, delta=%.2f, loss=%.1f%%\n",
+		*proxies, *motes, *days, *delta, *loss*100)
+
+	// Bootstrap: 36h training stream, then model-driven operation.
+	trainFor := 36 * time.Hour
+	if d := time.Duration(*days) * 24 * time.Hour; trainFor > d/2 {
+		trainFor = d / 2
+	}
+	fmt.Printf("bootstrap: streaming for %v, then training seasonal-anchored models...\n", trainFor)
+	models, err := n.Bootstrap(trainFor, 48, *delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: %d models trained and shipped\n", len(models))
+
+	// Run the remaining time with a query mix sprinkled in.
+	remaining := time.Duration(*days)*24*time.Hour - trainFor
+	perQuery := remaining / time.Duration(*queries+1)
+	var latencies []float64
+	var errs []float64
+	bySource := map[proxy.Source]int{}
+	rng := n.Sim.Rand()
+	ids := n.MoteIDs()
+	for i := 0; i < *queries; i++ {
+		n.Run(perQuery)
+		id := ids[rng.Intn(len(ids))]
+		q := query.Query{Type: query.Now, Mote: id, Precision: *precision}
+		if rng.Float64() < 0.3 { // 30% PAST point queries
+			back := simtime.Time(time.Duration(1+rng.Intn(600)) * time.Minute)
+			at := n.Now() - back
+			if at < 0 {
+				at = 0
+			}
+			q = query.Query{Type: query.Past, Mote: id, T0: at, T1: at, Precision: *precision}
+		}
+		res, err := n.ExecuteWait(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		latencies = append(latencies, res.Latency().Seconds()*1000)
+		bySource[res.Answer.Source]++
+		if v, ok := res.Answer.Value(); ok {
+			at := res.Answer.Entries[0].T
+			truth, err := n.Truth(id, at)
+			if err == nil {
+				errs = append(errs, abs(v-truth))
+			}
+		}
+	}
+	n.Run(remaining - perQuery*time.Duration(*queries))
+
+	// Report.
+	fmt.Printf("\n=== after %v of virtual time ===\n", n.Now())
+	total := n.TotalMoteEnergy()
+	perMoteDay := total.Total() / float64(len(ids)) / float64(*days)
+	fmt.Printf("mote energy: %.2f J/day/mote (%s)\n", perMoteDay, total.String())
+	fmt.Printf("est. lifetime on 2xAA: %.0f days\n",
+		energy.Lifetime(energy.AABatteryJ, perMoteDay, 24*time.Hour).Hours()/24)
+
+	p50, _ := stats.Median(latencies)
+	p95, _ := stats.Quantile(latencies, 0.95)
+	fmt.Printf("query latency: p50=%.1f ms p95=%.1f ms over %d queries\n", p50, p95, len(latencies))
+	fmt.Printf("answers: cache=%d model=%d pull=%d timeout=%d\n",
+		bySource[proxy.FromCache], bySource[proxy.FromModel], bySource[proxy.FromPull], bySource[proxy.FromTimeout])
+	if len(errs) > 0 {
+		lo, hi, _ := stats.MinMax(errs)
+		fmt.Printf("answer error vs ground truth: mean=%.3f max=%.3f (min %.3f); precision=%.2f\n",
+			stats.Mean(errs), hi, lo, *precision)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-mote detail:")
+		for _, id := range ids {
+			st, _ := n.MoteStats(id)
+			m, _ := n.MoteEnergy(id)
+			fmt.Printf("  mote %3d: samples=%d pushes=%d pulls=%d energy=%.2f J\n",
+				id, st.Samples, st.Pushes, st.PullsServed, m.Total())
+		}
+	}
+
+	// Exit non-zero if any query exceeded the precision promise (pull
+	// answers are exact; model answers bounded by delta<=precision).
+	for _, e := range errs {
+		if e > *precision+0.101 { // small slack for float32 wire encoding
+			fmt.Fprintf(os.Stderr, "prestod: answer error %.3f exceeded precision %.2f\n", e, *precision)
+			os.Exit(1)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

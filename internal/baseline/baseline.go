@@ -1,0 +1,156 @@
+// Package baseline configures the comparison systems PRESTO is evaluated
+// against. All baselines run on the same mote/proxy/radio substrate, so
+// measured differences are purely policy:
+//
+//   - StreamAll — the data-streaming model from Section 1: every sample is
+//     pushed to the proxy immediately (Aurora/Medusa-style, minus the
+//     stream engine).
+//   - BatchedPush — StreamAll with batching + optional compression: the
+//     "Batched Push w/ Wavelet Denoising" and "w/o Compression" curves of
+//     Figure 2.
+//   - ValueDriven — push when the value moved more than delta since the
+//     last push: the "Value-Driven Push (Delta=x)" curves of Figure 2,
+//     realized as model-driven push with the ConstLast model.
+//   - ModelDriven — PRESTO's own policy (a trained seasonal model).
+//   - Poller — TinyDB-style acquisitional periodic pull from the proxy:
+//     used by E5 to show pull-based systems miss rare events.
+//   - DirectQuery — the sensor-network-as-database model from Section 1:
+//     every user query goes to the mote (precision forced below delta so
+//     the proxy cannot answer locally).
+package baseline
+
+import (
+	"time"
+
+	"presto/internal/compress"
+	"presto/internal/mote"
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// Preset names a mote configuration policy.
+type Preset struct {
+	Name  string
+	Apply func(*mote.Config)
+}
+
+// StreamAll pushes every sample immediately.
+func StreamAll() Preset {
+	return Preset{
+		Name: "stream-all",
+		Apply: func(c *mote.Config) {
+			c.PushAll = true
+			c.BatchInterval = 0
+		},
+	}
+}
+
+// BatchedPush pushes every sample, batched at the interval with the given
+// codec. threshold applies to wavelet mode; quantum to delta mode.
+func BatchedPush(interval time.Duration, m compress.Mode, quantum, threshold float64) Preset {
+	name := "batched-push-" + m.String()
+	return Preset{
+		Name: name,
+		Apply: func(c *mote.Config) {
+			c.PushAll = true
+			c.BatchInterval = interval
+			c.BatchMode = m
+			c.Quantum = quantum
+			c.Threshold = threshold
+		},
+	}
+}
+
+// ValueDriven pushes when the value drifts more than delta from the last
+// pushed value (ConstLast model, the mote default).
+func ValueDriven(delta float64) Preset {
+	return Preset{
+		Name: "value-driven",
+		Apply: func(c *mote.Config) {
+			c.PushAll = false
+			c.BatchInterval = 0
+			c.Delta = delta
+		},
+	}
+}
+
+// ModelDriven is PRESTO's policy: model-driven immediate push. The model
+// itself is trained and shipped by the proxy after a bootstrap phase (see
+// core.Network.Bootstrap); this preset sets the threshold.
+func ModelDriven(delta float64) Preset {
+	return Preset{
+		Name: "model-driven",
+		Apply: func(c *mote.Config) {
+			c.PushAll = false
+			c.BatchInterval = 0
+			c.Delta = delta
+		},
+	}
+}
+
+// Poller periodically pulls the current value of each mote through the
+// proxy with precision 0, forcing an archive pull every period — the
+// acquisitional (TinyDB-style) pattern.
+type Poller struct {
+	p       *proxy.Proxy
+	motes   []radio.NodeID
+	period  time.Duration
+	ticker  *simtime.Ticker
+	sim     *simtime.Simulator
+	results []PollResult
+}
+
+// PollResult records one poll outcome.
+type PollResult struct {
+	Mote    radio.NodeID
+	At      simtime.Time
+	Value   float64
+	OK      bool
+	Latency time.Duration
+}
+
+// NewPoller creates a poller (call Start to begin).
+func NewPoller(sim *simtime.Simulator, p *proxy.Proxy, motes []radio.NodeID, period time.Duration) *Poller {
+	return &Poller{sim: sim, p: p, motes: append([]radio.NodeID(nil), motes...), period: period}
+}
+
+// Start begins polling every period.
+func (po *Poller) Start() {
+	if po.ticker != nil {
+		return
+	}
+	po.ticker = po.sim.Every(po.period, po.poll)
+}
+
+// Stop halts polling.
+func (po *Poller) Stop() {
+	if po.ticker != nil {
+		po.ticker.Stop()
+		po.ticker = nil
+	}
+}
+
+func (po *Poller) poll() {
+	at := po.sim.Now()
+	for _, m := range po.motes {
+		m := m
+		po.p.QueryPoint(m, at, 0, func(a proxy.Answer) {
+			r := PollResult{Mote: m, At: at, Latency: a.Latency()}
+			if v, ok := a.Value(); ok && a.Source != proxy.FromTimeout {
+				r.Value, r.OK = v, true
+			}
+			po.results = append(po.results, r)
+		})
+	}
+}
+
+// Results returns completed polls.
+func (po *Poller) Results() []PollResult { return po.results }
+
+// DirectQuery issues a user query that bypasses cache and model (precision
+// 0), modeling the direct-sensor-querying architecture. The callback
+// receives the answer when the mote responds.
+func DirectQuery(p *proxy.Proxy, m radio.NodeID, t simtime.Time, cb func(proxy.Answer)) {
+	p.QueryPoint(m, t, 0, cb)
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"presto/internal/compress"
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/mote"
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+func TestPresetsApply(t *testing.T) {
+	cases := []struct {
+		preset Preset
+		check  func(mote.Config) bool
+	}{
+		{StreamAll(), func(c mote.Config) bool { return c.PushAll && c.BatchInterval == 0 }},
+		{BatchedPush(time.Hour, compress.WaveletDenoise, 0.05, 0.5), func(c mote.Config) bool {
+			return c.PushAll && c.BatchInterval == time.Hour && c.BatchMode == compress.WaveletDenoise && c.Threshold == 0.5
+		}},
+		{ValueDriven(2), func(c mote.Config) bool { return !c.PushAll && c.Delta == 2 && c.BatchInterval == 0 }},
+		{ModelDriven(1), func(c mote.Config) bool { return !c.PushAll && c.Delta == 1 }},
+	}
+	for _, tc := range cases {
+		c := mote.DefaultConfig(1, 2)
+		tc.preset.Apply(&c)
+		if !tc.check(c) {
+			t.Errorf("%s: config %+v", tc.preset.Name, c)
+		}
+		if tc.preset.Name == "" {
+			t.Error("preset without name")
+		}
+	}
+}
+
+// pollRig builds a proxy + mote pair for poller tests.
+func pollRig(t *testing.T) (*simtime.Simulator, *proxy.Proxy, *gen.Trace) {
+	t.Helper()
+	sim := simtime.New(1)
+	rcfg := radio.DefaultConfig()
+	rcfg.LossProb = 0
+	med, err := radio.NewMedium(sim, rcfg, energy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(sim, med, proxy.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := gen.Temperature(gen.DefaultTempConfig())
+	tr := traces[0]
+	mc := mote.DefaultConfig(1, 100)
+	mc.Flash = flash.Geometry{PageSize: 240, PagesPerBlock: 8, NumBlocks: 64}
+	mc.Delta = 100 // never pushes: pure pull system
+	m, err := mote.New(sim, med, energy.DefaultParams(), mc, func(ts simtime.Time) float64 { return tr.Value(ts) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(1, mc.SampleInterval, mc.Delta)
+	m.Start()
+	return sim, p, tr
+}
+
+func TestPollerPullsPeriodically(t *testing.T) {
+	sim, p, tr := pollRig(t)
+	po := NewPoller(sim, p, []radio.NodeID{1}, 30*time.Minute)
+	po.Start()
+	po.Start()                            // idempotent
+	sim.RunFor(3*time.Hour + time.Minute) // extra minute lets the last pull land
+	po.Stop()
+	po.Stop() // idempotent
+	results := po.Results()
+	if len(results) != 6 {
+		t.Fatalf("polls=%d, want 6", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Fatalf("poll at %v failed", r.At)
+		}
+		truth := tr.Value(r.At)
+		if d := r.Value - truth; d > 1 || d < -1 {
+			t.Fatalf("poll value %v vs truth %v", r.Value, truth)
+		}
+		if r.Latency <= 0 {
+			t.Fatal("poll with zero latency should be impossible (always pulls)")
+		}
+	}
+	if p.Stats().PullsIssued != 6 {
+		t.Fatalf("pulls issued %d", p.Stats().PullsIssued)
+	}
+	// Stopped poller stays stopped.
+	sim.RunFor(2 * time.Hour)
+	if len(po.Results()) != 6 {
+		t.Fatal("poller kept polling after Stop")
+	}
+}
+
+func TestDirectQueryAlwaysReachesMote(t *testing.T) {
+	sim, p, tr := pollRig(t)
+	sim.RunFor(time.Hour)
+	var ans proxy.Answer
+	done := false
+	DirectQuery(p, 1, 30*simtime.Minute, func(a proxy.Answer) { ans = a; done = true })
+	sim.RunFor(time.Minute)
+	if !done {
+		t.Fatal("direct query never completed")
+	}
+	if ans.Source != proxy.FromPull {
+		t.Fatalf("source=%v, want pull (bypasses cache+model)", ans.Source)
+	}
+	v, _ := ans.Value()
+	if d := v - tr.Value(30*simtime.Minute); d > 0.1 || d < -0.1 {
+		t.Fatalf("direct answer off by %v", d)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cache implements the PRESTO proxy's per-sensor summary cache.
+//
+// Section 3: the cache "differs significantly from both memory caches as
+// well as web caches in that the cached data is either a lossy view or a
+// higher-level semantic event-based view of the sensor data", and it "can
+// be progressively refined as more accurate data is obtained from the
+// remote sensors or as queries on past data result in missing portions of
+// the cache being filled up".
+//
+// Every entry carries provenance (pushed / pulled / predicted) and an
+// error bound: pushed and pulled values are exact (bound 0 for raw pulls,
+// the compression quantum for lossy pulls); predicted values carry the
+// model-driven-push threshold delta as their bound. Queries use the bound
+// to decide whether a cached or extrapolated answer meets the requested
+// precision — the mechanism behind experiment E6.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"presto/internal/model"
+	"presto/internal/simtime"
+)
+
+// Source says how an entry got into the cache.
+type Source int
+
+// Provenance values, ordered by authority: a higher source may replace a
+// lower one at the same timestamp, never the reverse.
+const (
+	Predicted Source = iota // proxy model extrapolation
+	Pulled                  // fetched from the mote archive (possibly lossy)
+	Pushed                  // sent by the mote on model failure (exact)
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case Predicted:
+		return "predicted"
+	case Pulled:
+		return "pulled"
+	case Pushed:
+		return "pushed"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Entry is one cached observation.
+type Entry struct {
+	T        simtime.Time
+	V        float64
+	Source   Source
+	ErrBound float64 // guaranteed |V - truth| <= ErrBound
+}
+
+// Series is the cache for one sensor: entries sorted by time, deduplicated
+// by timestamp with provenance priority. Not safe for concurrent use.
+type Series struct {
+	entries []Entry
+
+	inserts, refinements uint64
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{} }
+
+// Len returns the number of cached entries.
+func (s *Series) Len() int { return len(s.entries) }
+
+// find returns the index of the first entry with T >= t.
+func (s *Series) find(t simtime.Time) int {
+	return sort.Search(len(s.entries), func(i int) bool { return s.entries[i].T >= t })
+}
+
+// Insert adds an entry, keeping time order. If an entry already exists at
+// the same timestamp, the stronger source wins (refinement); equal sources
+// overwrite (fresher data).
+func (s *Series) Insert(e Entry) {
+	if e.ErrBound < 0 {
+		e.ErrBound = 0
+	}
+	i := s.find(e.T)
+	if i < len(s.entries) && s.entries[i].T == e.T {
+		if e.Source >= s.entries[i].Source {
+			if e.Source > s.entries[i].Source {
+				s.refinements++
+			}
+			s.entries[i] = e
+		}
+		return
+	}
+	s.entries = append(s.entries, Entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	s.inserts++
+}
+
+// InsertBatch adds many entries (e.g. a decoded pull response).
+func (s *Series) InsertBatch(es []Entry) {
+	for _, e := range es {
+		s.Insert(e)
+	}
+}
+
+// At returns the entry nearest to t within maxGap, preferring the closest
+// timestamp and breaking ties toward the earlier entry.
+func (s *Series) At(t simtime.Time, maxGap time.Duration) (Entry, bool) {
+	if len(s.entries) == 0 {
+		return Entry{}, false
+	}
+	i := s.find(t)
+	best := -1
+	if i < len(s.entries) {
+		best = i
+	}
+	if i > 0 {
+		if best == -1 || t-s.entries[i-1].T <= s.entries[i].T-t {
+			best = i - 1
+		}
+	}
+	e := s.entries[best]
+	gap := e.T - t
+	if gap < 0 {
+		gap = -gap
+	}
+	if time.Duration(gap) > maxGap {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Range returns entries with t0 <= T <= t1 in time order.
+func (s *Series) Range(t0, t1 simtime.Time) []Entry {
+	if t1 < t0 {
+		return nil
+	}
+	lo := s.find(t0)
+	hi := s.find(t1 + 1)
+	out := make([]Entry, hi-lo)
+	copy(out, s.entries[lo:hi])
+	return out
+}
+
+// LastConfirmed returns the newest pushed or pulled entry, if any.
+// Confirmed entries are the "shared history" that model predictions key
+// off (see internal/model).
+func (s *Series) LastConfirmed() (Entry, bool) {
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		if s.entries[i].Source != Predicted {
+			return s.entries[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// ConfirmedBefore returns up to limit confirmed entries with T <= t as
+// model records (oldest first), for use as prediction shared history.
+func (s *Series) ConfirmedBefore(t simtime.Time, limit int) []model.Record {
+	if limit <= 0 {
+		return nil
+	}
+	var out []model.Record
+	hi := s.find(t + 1)
+	for i := hi - 1; i >= 0 && len(out) < limit; i-- {
+		if s.entries[i].Source != Predicted {
+			out = append(out, model.Record{T: s.entries[i].T, V: s.entries[i].V})
+		}
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ConfirmedRange returns confirmed entries in [t0, t1] as model records,
+// e.g. as training data for model refresh.
+func (s *Series) ConfirmedRange(t0, t1 simtime.Time) []model.Record {
+	var out []model.Record
+	for _, e := range s.Range(t0, t1) {
+		if e.Source != Predicted {
+			out = append(out, model.Record{T: e.T, V: e.V})
+		}
+	}
+	return out
+}
+
+// Prune drops entries older than before, returning how many were removed.
+// Proxies bound their memory this way; older data lives in mote archives.
+func (s *Series) Prune(before simtime.Time) int {
+	i := s.find(before)
+	if i == 0 {
+		return 0
+	}
+	n := copy(s.entries, s.entries[i:])
+	s.entries = s.entries[:n]
+	return i
+}
+
+// Stats reports cache health.
+type Stats struct {
+	Entries     int
+	Confirmed   int
+	Predicted   int
+	Inserts     uint64
+	Refinements uint64
+}
+
+// Stats returns a snapshot.
+func (s *Series) Stats() Stats {
+	st := Stats{Entries: len(s.entries), Inserts: s.inserts, Refinements: s.refinements}
+	for _, e := range s.entries {
+		if e.Source == Predicted {
+			st.Predicted++
+		} else {
+			st.Confirmed++
+		}
+	}
+	return st
+}

@@ -1,0 +1,218 @@
+// Package compress implements the byte-level codecs motes use when pushing
+// batched data to a proxy: quantized delta coding with zigzag varints, and
+// a combined batch encoder that optionally runs wavelet denoising first
+// (Figure 2's "Batched Push w/ Wavelet Denoising").
+//
+// The encoded byte counts produced here are charged directly to the radio
+// energy model, so the codecs are real, reversible codecs — not estimates.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"presto/internal/wavelet"
+)
+
+// ErrBadQuantum is returned when a quantization step is not positive.
+var ErrBadQuantum = errors.New("compress: quantization step must be positive")
+
+// DeltaEncode quantizes xs to multiples of q and encodes the first value
+// followed by successive differences as zigzag varints. Smooth sensor
+// series produce mostly 1-byte deltas.
+func DeltaEncode(xs []float64, q float64) ([]byte, error) {
+	if q <= 0 {
+		return nil, ErrBadQuantum
+	}
+	// Round the quantum through float32 first so the encoder quantizes
+	// with exactly the value the decoder will read from the header.
+	q = float64(float32(q))
+	buf := make([]byte, 0, len(xs)+16)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(xs)))
+	binary.LittleEndian.PutUint32(hdr[4:], math.Float32bits(float32(q)))
+	buf = append(buf, hdr[:]...)
+	prev := int64(0)
+	for i, x := range xs {
+		ticks := int64(math.Round(x / q))
+		var d int64
+		if i == 0 {
+			d = ticks
+		} else {
+			d = ticks - prev
+		}
+		prev = ticks
+		buf = binary.AppendVarint(buf, d)
+	}
+	return buf, nil
+}
+
+// DeltaDecode reverses DeltaEncode. Reconstruction error is at most q/2
+// per sample.
+func DeltaDecode(buf []byte) ([]float64, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("compress: short delta buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:]))
+	q := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4:])))
+	if q <= 0 {
+		return nil, ErrBadQuantum
+	}
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("compress: implausible sample count %d", n)
+	}
+	// Cap the preallocation: the header's count is untrusted (it arrived
+	// over the radio), so a hostile value must not force a huge alloc —
+	// the varint loop below fails fast on truncated input anyway.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]float64, 0, capHint)
+	rest := buf[8:]
+	ticks := int64(0)
+	for i := 0; i < n; i++ {
+		d, sz := binary.Varint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("compress: truncated varint at sample %d", i)
+		}
+		rest = rest[sz:]
+		if i == 0 {
+			ticks = d
+		} else {
+			ticks += d
+		}
+		out = append(out, float64(ticks)*q)
+	}
+	return out, nil
+}
+
+// Mode selects the batch codec.
+type Mode int
+
+const (
+	// Raw sends IEEE-754 float32 samples with no compression: the
+	// "Batched Push w/o Compression" line in Figure 2.
+	Raw Mode = iota
+	// Delta sends quantized delta varints.
+	Delta
+	// WaveletDenoise runs Haar denoising then delta-codes the sparse
+	// coefficients: the "Batched Push w/ Wavelet Denoising" line.
+	WaveletDenoise
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case Raw:
+		return "raw"
+	case Delta:
+		return "delta"
+	case WaveletDenoise:
+		return "wavelet+delta"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Batch is a batch codec configuration.
+type Batch struct {
+	Mode Mode
+	// Quantum is the quantization step for Delta mode (e.g. 0.05 °C).
+	Quantum float64
+	// Threshold is the wavelet denoising threshold for WaveletDenoise
+	// mode, in coefficient units; per-sample error is bounded by roughly
+	// Threshold.
+	Threshold float64
+}
+
+// wire format tags
+const (
+	tagRaw     = 0x01
+	tagDelta   = 0x02
+	tagWavelet = 0x03
+)
+
+// Encode compresses one batch of samples into wire bytes.
+func (b Batch) Encode(xs []float64) ([]byte, error) {
+	switch b.Mode {
+	case Raw:
+		buf := make([]byte, 5+4*len(xs))
+		buf[0] = tagRaw
+		binary.LittleEndian.PutUint32(buf[1:], uint32(len(xs)))
+		for i, x := range xs {
+			binary.LittleEndian.PutUint32(buf[5+4*i:], math.Float32bits(float32(x)))
+		}
+		return buf, nil
+	case Delta:
+		q := b.Quantum
+		if q <= 0 {
+			q = 0.05
+		}
+		inner, err := DeltaEncode(xs, q)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{tagDelta}, inner...), nil
+	case WaveletDenoise:
+		th := b.Threshold
+		if th <= 0 {
+			th = 0.5
+		}
+		s, err := wavelet.Compress(xs, th)
+		if err != nil {
+			return nil, err
+		}
+		inner := s.Marshal()
+		return append([]byte{tagWavelet}, inner...), nil
+	default:
+		return nil, fmt.Errorf("compress: unknown mode %v", b.Mode)
+	}
+}
+
+// Decode reverses Encode regardless of which mode produced the bytes.
+func Decode(buf []byte) ([]float64, error) {
+	if len(buf) < 1 {
+		return nil, errors.New("compress: empty batch buffer")
+	}
+	switch buf[0] {
+	case tagRaw:
+		if len(buf) < 5 {
+			return nil, errors.New("compress: short raw header")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[1:]))
+		if len(buf) < 5+4*n {
+			return nil, fmt.Errorf("compress: raw buffer truncated: want %d samples", n)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[5+4*i:])))
+		}
+		return out, nil
+	case tagDelta:
+		return DeltaDecode(buf[1:])
+	case tagWavelet:
+		s, err := wavelet.UnmarshalSparse(buf[1:])
+		if err != nil {
+			return nil, err
+		}
+		return wavelet.Decompress(s)
+	default:
+		return nil, fmt.Errorf("compress: unknown batch tag 0x%02x", buf[0])
+	}
+}
+
+// Ratio reports the compression ratio achieved on xs: encoded bytes divided
+// by raw float32 bytes. Lower is better; Raw mode is ~1.
+func (b Batch) Ratio(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 1, nil
+	}
+	enc, err := b.Encode(xs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(enc)) / float64(4*len(xs)), nil
+}

@@ -1,0 +1,301 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func maxErr(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func smoothSeries(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/float64(n)) + 0.01*float64(i%3)
+	}
+	return xs
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	xs := smoothSeries(200)
+	buf, err := DeltaEncode(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DeltaDecode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len=%d, want %d", len(got), len(xs))
+	}
+	if e := maxErr(got, xs); e > 0.025+1e-9 {
+		t.Fatalf("quantization error %g exceeds q/2", e)
+	}
+}
+
+func TestDeltaCompressesSmoothData(t *testing.T) {
+	xs := smoothSeries(1000)
+	buf, err := DeltaEncode(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 4 * len(xs)
+	if len(buf) > raw/2 {
+		t.Fatalf("delta coding achieved only %d/%d bytes on smooth data", len(buf), raw)
+	}
+}
+
+func TestDeltaBadQuantum(t *testing.T) {
+	if _, err := DeltaEncode([]float64{1}, 0); err != ErrBadQuantum {
+		t.Fatalf("err=%v, want ErrBadQuantum", err)
+	}
+	if _, err := DeltaEncode([]float64{1}, -3); err != ErrBadQuantum {
+		t.Fatalf("err=%v, want ErrBadQuantum", err)
+	}
+}
+
+func TestDeltaDecodeErrors(t *testing.T) {
+	if _, err := DeltaDecode([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	xs := []float64{1, 2, 3}
+	buf, _ := DeltaEncode(xs, 0.1)
+	if _, err := DeltaDecode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated varints should fail")
+	}
+}
+
+func TestDeltaEmpty(t *testing.T) {
+	buf, err := DeltaEncode(nil, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DeltaDecode(buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round-trip: %v, %v", got, err)
+	}
+}
+
+func TestBatchRaw(t *testing.T) {
+	xs := []float64{1.5, -2.25, 100}
+	b := Batch{Mode: Raw}
+	enc, err := b.Encode(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 5+4*3 {
+		t.Fatalf("raw size %d", len(enc))
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(got, xs); e > 1e-5 {
+		t.Fatalf("raw round-trip error %g", e)
+	}
+}
+
+func TestBatchDelta(t *testing.T) {
+	xs := smoothSeries(128)
+	b := Batch{Mode: Delta, Quantum: 0.02}
+	enc, err := b.Encode(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(got, xs); e > 0.011 {
+		t.Fatalf("delta round-trip error %g", e)
+	}
+}
+
+func TestBatchWavelet(t *testing.T) {
+	xs := smoothSeries(128)
+	b := Batch{Mode: WaveletDenoise, Threshold: 0.3}
+	enc, err := b.Encode(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len=%d", len(got))
+	}
+	if e := maxErr(got, xs); e > 1.0 {
+		t.Fatalf("wavelet round-trip error %g too large", e)
+	}
+}
+
+func TestCompressionOrdering(t *testing.T) {
+	// On smooth batched data: wavelet < delta < raw in bytes. This is the
+	// size relationship Figure 2 relies on.
+	xs := smoothSeries(512)
+	raw, _ := Batch{Mode: Raw}.Encode(xs)
+	delta, _ := Batch{Mode: Delta, Quantum: 0.05}.Encode(xs)
+	wav, _ := Batch{Mode: WaveletDenoise, Threshold: 0.5}.Encode(xs)
+	if !(len(wav) < len(delta) && len(delta) < len(raw)) {
+		t.Fatalf("sizes wavelet=%d delta=%d raw=%d; want strictly increasing", len(wav), len(delta), len(raw))
+	}
+}
+
+func TestLargerBatchesCompressBetter(t *testing.T) {
+	// Per-sample bytes should fall as batch size grows (header amortizes,
+	// wavelet sparsity improves): the mechanism behind Figure 2's downward
+	// slope for compressed batched push.
+	b := Batch{Mode: WaveletDenoise, Threshold: 0.3}
+	small := smoothSeries(32)
+	large := smoothSeries(1024)
+	encS, _ := b.Encode(small)
+	encL, _ := b.Encode(large)
+	perS := float64(len(encS)) / 32
+	perL := float64(len(encL)) / 1024
+	if perL >= perS {
+		t.Fatalf("per-sample bytes: small=%.2f large=%.2f; want large < small", perS, perL)
+	}
+}
+
+func TestBatchDefaults(t *testing.T) {
+	// Zero Quantum/Threshold fall back to sane defaults rather than erroring.
+	if _, err := (Batch{Mode: Delta}).Encode([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Batch{Mode: WaveletDenoise}).Encode([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchUnknownMode(t *testing.T) {
+	if _, err := (Batch{Mode: Mode(9)}).Encode([]float64{1}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+	if _, err := Decode([]byte{0x7f, 1, 2}); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+	if _, err := Decode([]byte{0x01, 1}); err == nil {
+		t.Fatal("short raw should fail")
+	}
+	if _, err := Decode([]byte{0x01, 10, 0, 0, 0}); err == nil {
+		t.Fatal("raw with missing samples should fail")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Raw.String() != "raw" || Delta.String() != "delta" {
+		t.Error("mode names wrong")
+	}
+	if !strings.Contains(WaveletDenoise.String(), "wavelet") {
+		t.Error("wavelet mode name wrong")
+	}
+	if !strings.Contains(Mode(42).String(), "42") {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	xs := smoothSeries(256)
+	r, err := Batch{Mode: WaveletDenoise, Threshold: 0.5}.Ratio(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1 {
+		t.Fatalf("wavelet ratio %g, want < 1", r)
+	}
+	r, err = Batch{Mode: Raw}.Ratio(xs)
+	if err != nil || r < 1 {
+		t.Fatalf("raw ratio %g, want >= 1", r)
+	}
+	r, err = Batch{Mode: Raw}.Ratio(nil)
+	if err != nil || r != 1 {
+		t.Fatalf("empty ratio %g, want 1", r)
+	}
+}
+
+// Property: delta round trip error bounded by q/2 for any signal & quantum.
+func TestPropertyDeltaErrorBound(t *testing.T) {
+	f := func(raw []int16, qSel uint8) bool {
+		q := 0.01 * float64(1+int(qSel)%100)
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+		}
+		buf, err := DeltaEncode(xs, q)
+		if err != nil {
+			return false
+		}
+		got, err := DeltaDecode(buf)
+		if err != nil || len(got) != len(xs) {
+			return false
+		}
+		return maxErr(got, xs) <= q/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every mode's Encode/Decode round-trips length exactly.
+func TestPropertyLengthPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 30
+		}
+		for _, m := range []Mode{Raw, Delta, WaveletDenoise} {
+			enc, err := Batch{Mode: m, Quantum: 0.05, Threshold: 0.5}.Encode(xs)
+			if err != nil {
+				t.Fatalf("mode %v: %v", m, err)
+			}
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("mode %v decode: %v", m, err)
+			}
+			if len(got) != n {
+				t.Fatalf("mode %v: length %d, want %d", m, len(got), n)
+			}
+		}
+	}
+}
+
+func BenchmarkDeltaEncode1k(b *testing.B) {
+	xs := smoothSeries(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeltaEncode(xs, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaveletEncode1k(b *testing.B) {
+	xs := smoothSeries(1000)
+	enc := Batch{Mode: WaveletDenoise, Threshold: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package consistency handles spatial consistency between overlapping
+// proxies.
+//
+// Section 5: "multiple proxies might be responsible for a group of sensor
+// nodes for redundancy, reliability, and fault-tolerance reasons, and
+// hence, cache consistency issues need to be addressed", and wireless
+// proxies' "caches and prediction models ... may need to be further
+// replicated at the wired proxies to enable low-latency query responses".
+//
+// The mechanism is versioned last-writer-wins anti-entropy: each replica
+// tags every observation with (timestamp, origin, seq) and replicas
+// periodically exchange digests + missing entries. Observations are
+// immutable facts keyed by (mote, timestamp), so LWW by version is safe:
+// conflicting entries for the same key can only differ by provenance
+// refinement, and the cache's own source-priority rule arbitrates those.
+package consistency
+
+import (
+	"sort"
+
+	"presto/internal/cache"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// Key identifies one observation fact.
+type Key struct {
+	Mote radio.NodeID
+	T    simtime.Time
+}
+
+// Versioned is a cache entry plus replication metadata.
+type Versioned struct {
+	Entry  cache.Entry
+	Origin int    // replica id that first accepted the entry
+	Seq    uint64 // origin-local sequence number
+}
+
+// newer reports whether a should replace b (higher source wins; then
+// higher origin/seq for determinism).
+func newer(a, b Versioned) bool {
+	if a.Entry.Source != b.Entry.Source {
+		return a.Entry.Source > b.Entry.Source
+	}
+	if a.Origin != b.Origin {
+		return a.Origin > b.Origin
+	}
+	return a.Seq > b.Seq
+}
+
+// Replica is one proxy's replicated view of a set of motes.
+type Replica struct {
+	id      int
+	seq     uint64
+	store   map[Key]Versioned
+	applied uint64
+}
+
+// NewReplica creates an empty replica with the given id.
+func NewReplica(id int) *Replica {
+	return &Replica{id: id, store: make(map[Key]Versioned)}
+}
+
+// ID returns the replica id.
+func (r *Replica) ID() int { return r.id }
+
+// Len returns the number of stored facts.
+func (r *Replica) Len() int { return len(r.store) }
+
+// Put records a locally-observed entry (e.g. a push the proxy received).
+func (r *Replica) Put(mote radio.NodeID, e cache.Entry) {
+	r.seq++
+	v := Versioned{Entry: e, Origin: r.id, Seq: r.seq}
+	k := Key{Mote: mote, T: e.T}
+	if cur, ok := r.store[k]; !ok || newer(v, cur) {
+		r.store[k] = v
+	}
+}
+
+// Get returns the entry for (mote, t) if present.
+func (r *Replica) Get(mote radio.NodeID, t simtime.Time) (cache.Entry, bool) {
+	v, ok := r.store[Key{Mote: mote, T: t}]
+	return v.Entry, ok
+}
+
+// Digest summarizes the replica's contents for anti-entropy: key → version
+// fingerprint. In a real deployment this would be a Merkle tree or vector
+// digest; the information content is the same.
+type Digest map[Key]fingerprint
+
+type fingerprint struct {
+	Source cache.Source
+	Origin int
+	Seq    uint64
+}
+
+// Digest computes the replica's digest.
+func (r *Replica) Digest() Digest {
+	d := make(Digest, len(r.store))
+	for k, v := range r.store {
+		d[k] = fingerprint{Source: v.Entry.Source, Origin: v.Origin, Seq: v.Seq}
+	}
+	return d
+}
+
+// Missing returns the facts the peer (described by its digest) lacks or
+// holds at an older version. DigestBytes estimates the exchange cost.
+func (r *Replica) Missing(peer Digest) []Delta {
+	var out []Delta
+	for k, v := range r.store {
+		fp, ok := peer[k]
+		if !ok || newer(v, Versioned{Entry: cache.Entry{Source: fp.Source}, Origin: fp.Origin, Seq: fp.Seq}) {
+			out = append(out, Delta{Key: k, Value: v})
+		}
+	}
+	// Deterministic order for reproducible simulations.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Mote != out[j].Key.Mote {
+			return out[i].Key.Mote < out[j].Key.Mote
+		}
+		return out[i].Key.T < out[j].Key.T
+	})
+	return out
+}
+
+// Delta is one fact in an anti-entropy exchange.
+type Delta struct {
+	Key   Key
+	Value Versioned
+}
+
+// Apply merges received deltas, returning how many were accepted.
+func (r *Replica) Apply(deltas []Delta) int {
+	accepted := 0
+	for _, d := range deltas {
+		if cur, ok := r.store[d.Key]; !ok || newer(d.Value, cur) {
+			r.store[d.Key] = d.Value
+			accepted++
+		}
+	}
+	r.applied += uint64(accepted)
+	return accepted
+}
+
+// Applied returns the number of remotely-originated facts merged so far.
+func (r *Replica) Applied() uint64 { return r.applied }
+
+// Sync performs one bidirectional anti-entropy round between two replicas
+// and returns the number of facts exchanged in each direction.
+func Sync(a, b *Replica) (aToB, bToA int) {
+	da, db := a.Digest(), b.Digest()
+	fromA := a.Missing(db)
+	fromB := b.Missing(da)
+	b.Apply(fromA)
+	a.Apply(fromB)
+	return len(fromA), len(fromB)
+}
+
+// Equal reports whether two replicas hold identical fact sets (used by
+// convergence tests).
+func Equal(a, b *Replica) bool {
+	if len(a.store) != len(b.store) {
+		return false
+	}
+	for k, va := range a.store {
+		vb, ok := b.store[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaBytes estimates the wire size of a delta batch (key 12 B + entry
+// 21 B + version 12 B each), for replication-cost accounting.
+func DeltaBytes(deltas []Delta) int { return len(deltas) * 45 }

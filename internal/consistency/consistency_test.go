@@ -1,0 +1,168 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"presto/internal/cache"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+func entry(t simtime.Time, v float64, src cache.Source) cache.Entry {
+	return cache.Entry{T: t, V: v, Source: src}
+}
+
+func TestPutGet(t *testing.T) {
+	r := NewReplica(1)
+	r.Put(5, entry(simtime.Minute, 20, cache.Pushed))
+	e, ok := r.Get(5, simtime.Minute)
+	if !ok || e.V != 20 {
+		t.Fatalf("get %+v %v", e, ok)
+	}
+	if _, ok := r.Get(5, simtime.Hour); ok {
+		t.Fatal("missing key found")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len=%d", r.Len())
+	}
+}
+
+func TestSourcePriorityOnPut(t *testing.T) {
+	r := NewReplica(1)
+	r.Put(5, entry(simtime.Minute, 1, cache.Pushed))
+	// A predicted value must not clobber a pushed one.
+	r.Put(5, entry(simtime.Minute, 2, cache.Predicted))
+	e, _ := r.Get(5, simtime.Minute)
+	if e.V != 1 {
+		t.Fatalf("predicted clobbered pushed: %+v", e)
+	}
+	// But pushed replaces predicted.
+	r2 := NewReplica(2)
+	r2.Put(5, entry(simtime.Minute, 2, cache.Predicted))
+	r2.Put(5, entry(simtime.Minute, 3, cache.Pushed))
+	e, _ = r2.Get(5, simtime.Minute)
+	if e.V != 3 {
+		t.Fatalf("pushed did not replace predicted: %+v", e)
+	}
+}
+
+func TestSyncConverges(t *testing.T) {
+	a, b := NewReplica(1), NewReplica(2)
+	for i := 0; i < 50; i++ {
+		a.Put(1, entry(simtime.Time(i)*simtime.Minute, float64(i), cache.Pushed))
+	}
+	for i := 50; i < 80; i++ {
+		b.Put(1, entry(simtime.Time(i)*simtime.Minute, float64(i), cache.Pushed))
+	}
+	aToB, bToA := Sync(a, b)
+	if aToB != 50 || bToA != 30 {
+		t.Fatalf("exchanged %d/%d", aToB, bToA)
+	}
+	if !Equal(a, b) {
+		t.Fatal("replicas not equal after sync")
+	}
+	if a.Len() != 80 {
+		t.Fatalf("len=%d", a.Len())
+	}
+	// Second sync exchanges nothing.
+	aToB, bToA = Sync(a, b)
+	if aToB != 0 || bToA != 0 {
+		t.Fatalf("re-sync exchanged %d/%d", aToB, bToA)
+	}
+}
+
+func TestSyncRefinesProvenance(t *testing.T) {
+	// A holds a predicted value; B holds the pulled truth. Sync must
+	// propagate B's version to A and not the reverse.
+	a, b := NewReplica(1), NewReplica(2)
+	a.Put(1, entry(simtime.Minute, 99, cache.Predicted))
+	b.Put(1, entry(simtime.Minute, 20, cache.Pulled))
+	Sync(a, b)
+	ea, _ := a.Get(1, simtime.Minute)
+	eb, _ := b.Get(1, simtime.Minute)
+	if ea.V != 20 || ea.Source != cache.Pulled {
+		t.Fatalf("a=%+v", ea)
+	}
+	if eb.V != 20 {
+		t.Fatalf("b=%+v", eb)
+	}
+}
+
+func TestThreeWayGossipConverges(t *testing.T) {
+	// Wired proxy replicates two wireless proxies; pairwise rounds must
+	// converge all three.
+	r1, r2, wired := NewReplica(1), NewReplica(2), NewReplica(3)
+	for i := 0; i < 30; i++ {
+		r1.Put(1, entry(simtime.Time(i)*simtime.Minute, float64(i), cache.Pushed))
+		r2.Put(2, entry(simtime.Time(i)*simtime.Minute, float64(-i), cache.Pushed))
+	}
+	Sync(r1, wired)
+	Sync(r2, wired)
+	Sync(r1, wired)
+	if !Equal(r1, wired) {
+		t.Fatal("r1 and wired differ")
+	}
+	Sync(r2, wired)
+	if !Equal(r2, wired) || !Equal(r1, r2) {
+		t.Fatal("three-way gossip did not converge")
+	}
+	if wired.Len() != 60 {
+		t.Fatalf("wired len=%d", wired.Len())
+	}
+}
+
+func TestApplied(t *testing.T) {
+	a, b := NewReplica(1), NewReplica(2)
+	a.Put(1, entry(simtime.Minute, 1, cache.Pushed))
+	Sync(a, b)
+	if b.Applied() != 1 || a.Applied() != 0 {
+		t.Fatalf("applied a=%d b=%d", a.Applied(), b.Applied())
+	}
+}
+
+func TestDeltaBytes(t *testing.T) {
+	if DeltaBytes(make([]Delta, 10)) != 450 {
+		t.Fatal("delta bytes wrong")
+	}
+}
+
+func TestMissingDeterministicOrder(t *testing.T) {
+	a := NewReplica(1)
+	for i := 10; i >= 0; i-- {
+		a.Put(radio.NodeID(i%3), entry(simtime.Time(i)*simtime.Second, 0, cache.Pushed))
+	}
+	m1 := a.Missing(Digest{})
+	m2 := a.Missing(Digest{})
+	for i := range m1 {
+		if m1[i].Key != m2[i].Key {
+			t.Fatal("Missing order nondeterministic")
+		}
+	}
+	for i := 1; i < len(m1); i++ {
+		if m1[i-1].Key.Mote > m1[i].Key.Mote {
+			t.Fatal("not sorted by mote")
+		}
+	}
+}
+
+// PropertyConvergence: any two replicas converge after one Sync round
+// regardless of interleaved writes.
+func TestPropertyPairwiseConvergence(t *testing.T) {
+	f := func(writesA, writesB []uint8) bool {
+		a, b := NewReplica(1), NewReplica(2)
+		for _, w := range writesA {
+			a.Put(radio.NodeID(w%4), entry(simtime.Time(w)*simtime.Second, float64(w), cache.Source(w%3)))
+		}
+		for _, w := range writesB {
+			b.Put(radio.NodeID(w%4), entry(simtime.Time(w)*simtime.Second, float64(w)+0.5, cache.Source(w%3)))
+		}
+		Sync(a, b)
+		return Equal(a, b)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

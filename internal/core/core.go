@@ -1,0 +1,420 @@
+// Package core assembles the complete PRESTO system: the three-tier
+// architecture of Figure 1 — remote sensors with local archives, tethered
+// proxies with caches and prediction engines, and the unified logical
+// store with its distributed index on top — wired together over the
+// simulated radio and driven by the discrete-event kernel.
+//
+// This is the package applications import: Build a Network from a Config,
+// Bootstrap it (training phase → model-driven operation), then post
+// queries against the unified store while virtual time advances.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"presto/internal/baseline"
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/index"
+	"presto/internal/model"
+	"presto/internal/mote"
+	"presto/internal/predict"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/store"
+	"presto/internal/wire"
+)
+
+// proxyIDBase offsets proxy node ids above mote ids.
+const proxyIDBase = 10000
+
+// Config describes a deployment.
+type Config struct {
+	Seed          int64
+	Proxies       int
+	MotesPerProxy int
+
+	Radio  radio.Config
+	Energy energy.Params
+
+	SampleInterval time.Duration
+	LPLInterval    time.Duration
+	Flash          flash.Geometry
+	Delta          float64
+
+	// Preset optionally overrides the mote push policy (baselines).
+	Preset *baseline.Preset
+
+	// Traces supplies one trace per mote (Proxies*MotesPerProxy needed).
+	Traces []*gen.Trace
+
+	// WiredFirstProxy marks proxy 0 as wired and the rest wireless; when
+	// set, proxy 0 is registered as the wired replica of the others.
+	WiredFirstProxy bool
+}
+
+// DefaultConfig returns a small deployment: 1 proxy, 4 motes, 1-minute
+// sampling, delta 1.0.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Proxies:        1,
+		MotesPerProxy:  4,
+		Radio:          radio.DefaultConfig(),
+		Energy:         energy.DefaultParams(),
+		SampleInterval: time.Minute,
+		LPLInterval:    500 * time.Millisecond,
+		Flash:          flash.Geometry{PageSize: 256, PagesPerBlock: 16, NumBlocks: 128},
+		Delta:          1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Proxies <= 0 || c.MotesPerProxy <= 0 {
+		return fmt.Errorf("core: need positive proxies (%d) and motes per proxy (%d)", c.Proxies, c.MotesPerProxy)
+	}
+	if c.SampleInterval <= 0 {
+		return errors.New("core: non-positive sample interval")
+	}
+	if len(c.Traces) < c.Proxies*c.MotesPerProxy {
+		return fmt.Errorf("core: %d traces for %d motes", len(c.Traces), c.Proxies*c.MotesPerProxy)
+	}
+	return nil
+}
+
+// Network is a running PRESTO deployment. Public methods are safe for
+// concurrent use: a mutex serializes access to the single-threaded
+// simulation underneath.
+type Network struct {
+	mu sync.Mutex
+
+	cfg     Config
+	Sim     *simtime.Simulator
+	Medium  *radio.Medium
+	Index   *index.Index
+	Store   *store.Store
+	Proxies []*proxy.Proxy
+	Motes   []*mote.Mote
+
+	started         bool
+	retrainFailures uint64
+}
+
+// Build constructs a deployment (not yet sampling; call Start or
+// Bootstrap).
+func Build(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := simtime.New(cfg.Seed)
+	med, err := radio.NewMedium(sim, cfg.Radio, cfg.Energy)
+	if err != nil {
+		return nil, err
+	}
+	ix := index.New(cfg.Seed + 1)
+	st := store.New(ix)
+	n := &Network{cfg: cfg, Sim: sim, Medium: med, Index: ix, Store: st}
+
+	for pi := 0; pi < cfg.Proxies; pi++ {
+		pid := radio.NodeID(proxyIDBase + 1 + pi)
+		p, err := proxy.New(sim, med, proxy.DefaultConfig(pid))
+		if err != nil {
+			return nil, err
+		}
+		wired := !cfg.WiredFirstProxy || pi == 0
+		st.AddProxy(index.ProxyID(pi), p, wired)
+		n.Proxies = append(n.Proxies, p)
+	}
+	if cfg.WiredFirstProxy {
+		for pi := 1; pi < cfg.Proxies; pi++ {
+			if err := ix.SetReplica(index.ProxyID(pi), 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for mi := 0; mi < cfg.Proxies*cfg.MotesPerProxy; mi++ {
+		pi := mi / cfg.MotesPerProxy
+		mid := radio.NodeID(1 + mi)
+		mc := mote.DefaultConfig(mid, radio.NodeID(proxyIDBase+1+pi))
+		mc.SampleInterval = cfg.SampleInterval
+		mc.LPLInterval = cfg.LPLInterval
+		mc.Flash = cfg.Flash
+		mc.Delta = cfg.Delta
+		if cfg.Preset != nil {
+			cfg.Preset.Apply(&mc)
+		}
+		tr := cfg.Traces[mi]
+		sampler := func(t simtime.Time) float64 { return tr.Value(t) }
+		m, err := mote.New(sim, med, cfg.Energy, mc, sampler)
+		if err != nil {
+			return nil, err
+		}
+		n.Proxies[pi].Register(mid, mc.SampleInterval, mc.Delta)
+		st.AdoptMote(mid, index.ProxyID(pi))
+		n.Motes = append(n.Motes, m)
+	}
+	return n, nil
+}
+
+// Start begins sampling on every mote.
+func (n *Network) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, m := range n.Motes {
+		m.Start()
+	}
+}
+
+// Run advances virtual time by d.
+func (n *Network) Run(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Sim.RunFor(d)
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() simtime.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Sim.Now()
+}
+
+// ProxyFor returns the proxy managing a mote.
+func (n *Network) ProxyFor(m radio.NodeID) (*proxy.Proxy, error) {
+	pid, err := n.Index.ProxyFor(m)
+	if err != nil {
+		return nil, err
+	}
+	return n.Proxies[int(pid)], nil
+}
+
+// Bootstrap runs PRESTO's two-phase startup: motes stream everything for
+// trainFor (populating proxy caches with ground truth), then each proxy
+// trains a seasonal-anchored model per mote, ships it with delta, and
+// switches the mote to model-driven push. Returns the trained models by
+// mote id.
+func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (map[radio.NodeID]model.Model, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		n.started = true
+		for _, m := range n.Motes {
+			m.Start()
+		}
+	}
+	// Phase 1: stream-all.
+	for _, m := range n.Motes {
+		p := n.proxyOfLocked(m.ID())
+		if err := p.Configure(m.ID(), wire.Config{StreamAll: 1}); err != nil {
+			return nil, err
+		}
+	}
+	n.Sim.RunFor(trainFor)
+	// Phase 2: train, ship, switch to model-driven.
+	models := make(map[radio.NodeID]model.Model, len(n.Motes))
+	for _, m := range n.Motes {
+		p := n.proxyOfLocked(m.ID())
+		mdl, err := p.TrainAndShip(m.ID(), 0, n.Sim.Now(), bins, delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
+		}
+		if err := p.Configure(m.ID(), wire.Config{StreamAll: 2}); err != nil {
+			return nil, err
+		}
+		models[m.ID()] = mdl
+	}
+	// Let the model updates and config changes propagate.
+	n.Sim.RunFor(time.Minute)
+	return models, nil
+}
+
+// Retrain refreshes every mote's model from recent confirmed data per the
+// policy and ships the updates.
+func (n *Network) Retrain(policy predict.RetrainPolicy, delta float64) error {
+	if err := policy.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.Sim.Now()
+	t0 := now - simtime.Time(policy.Window)
+	if t0 < 0 {
+		t0 = 0
+	}
+	for _, m := range n.Motes {
+		p := n.proxyOfLocked(m.ID())
+		if _, err := p.TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
+			return fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
+		}
+	}
+	return nil
+}
+
+// AutoRetrain schedules periodic model refresh per the policy: every
+// policy.Every of virtual time, each mote's model is retrained on the last
+// policy.Window of confirmed data and re-shipped. Returns the ticker so
+// callers can stop it. Retraining failures on individual motes (e.g. no
+// confirmed data yet) are counted, not fatal — a deployment must survive
+// a quiet mote.
+func (n *Network) AutoRetrain(policy predict.RetrainPolicy, delta float64) (*simtime.Ticker, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.Sim.Every(policy.Every, func() {
+		now := n.Sim.Now()
+		t0 := now - simtime.Time(policy.Window)
+		if t0 < 0 {
+			t0 = 0
+		}
+		for _, m := range n.Motes {
+			p := n.proxyOfLocked(m.ID())
+			if p == nil {
+				continue
+			}
+			if _, err := p.TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
+				n.retrainFailures++
+			}
+		}
+	})
+	return t, nil
+}
+
+// RetrainFailures reports how many per-mote retrain attempts failed.
+func (n *Network) RetrainFailures() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retrainFailures
+}
+
+// MatchWorkload applies query–sensor matching for a mote: the workload is
+// translated to a plan and shipped over the air.
+func (n *Network) MatchWorkload(m radio.NodeID, w predict.Workload) (predict.Plan, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	plan, err := predict.Match(w, n.cfg.SampleInterval)
+	if err != nil {
+		return predict.Plan{}, err
+	}
+	p := n.proxyOfLocked(m)
+	if p == nil {
+		return predict.Plan{}, fmt.Errorf("core: mote %d has no proxy", m)
+	}
+	if err := p.Configure(m, plan.WireConfig()); err != nil {
+		return predict.Plan{}, err
+	}
+	return plan, nil
+}
+
+// proxyOfLocked resolves a mote's proxy; caller holds the mutex.
+func (n *Network) proxyOfLocked(m radio.NodeID) *proxy.Proxy {
+	pid, err := n.Index.ProxyFor(m)
+	if err != nil {
+		return nil
+	}
+	return n.Proxies[int(pid)]
+}
+
+// Execute posts a query against the unified store. The callback may fire
+// during a later Run if the query needs a mote round trip.
+func (n *Network) Execute(q query.Query, cb func(query.Result)) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Store.Execute(q, cb)
+}
+
+// ExecuteWait posts a query and advances virtual time until it completes,
+// returning the result. This is the convenient synchronous form for
+// examples and experiments.
+func (n *Network) ExecuteWait(q query.Query) (query.Result, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var res query.Result
+	done := false
+	err := n.Store.Execute(q, func(r query.Result) { res = r; done = true })
+	if err != nil {
+		return query.Result{}, err
+	}
+	for !done && n.Sim.Step() {
+	}
+	if !done {
+		return query.Result{}, errors.New("core: query never completed (no pending events)")
+	}
+	return res, nil
+}
+
+// MoteEnergy returns a mote's up-to-date energy meter.
+func (n *Network) MoteEnergy(id radio.NodeID) (*energy.Meter, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range n.Motes {
+		if m.ID() == id {
+			return m.Meter(), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown mote %d", id)
+}
+
+// TotalMoteEnergy aggregates all motes' meters.
+func (n *Network) TotalMoteEnergy() energy.Meter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total energy.Meter
+	for _, m := range n.Motes {
+		total.AddFrom(m.Meter())
+	}
+	return total
+}
+
+// MoteStats returns a mote's activity counters.
+func (n *Network) MoteStats(id radio.NodeID) (mote.Stats, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range n.Motes {
+		if m.ID() == id {
+			return m.Stats(), nil
+		}
+	}
+	return mote.Stats{}, fmt.Errorf("core: unknown mote %d", id)
+}
+
+// Truth returns the ground-truth trace value for a mote at time t
+// (experiments compare answers against this).
+func (n *Network) Truth(id radio.NodeID, t simtime.Time) (float64, error) {
+	mi := int(id) - 1
+	if mi < 0 || mi >= len(n.cfg.Traces) {
+		return 0, fmt.Errorf("core: unknown mote %d", id)
+	}
+	return n.cfg.Traces[mi].Value(t), nil
+}
+
+// Trace exposes a mote's ground-truth trace.
+func (n *Network) Trace(id radio.NodeID) (*gen.Trace, error) {
+	mi := int(id) - 1
+	if mi < 0 || mi >= len(n.cfg.Traces) {
+		return nil, fmt.Errorf("core: unknown mote %d", id)
+	}
+	return n.cfg.Traces[mi], nil
+}
+
+// MoteIDs lists all mote node ids in order.
+func (n *Network) MoteIDs() []radio.NodeID {
+	out := make([]radio.NodeID, len(n.Motes))
+	for i, m := range n.Motes {
+		out[i] = m.ID()
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/gen"
+	"presto/internal/query"
+)
+
+// Example shows the full PRESTO flow: build a deployment, bootstrap the
+// models, and answer a NOW query locally with bounded error.
+func Example() {
+	genCfg := gen.DefaultTempConfig()
+	genCfg.Sensors = 4
+	genCfg.Days = 3
+	genCfg.EventsPerDay = 0
+	traces, err := gen.Temperature(genCfg)
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	net, err := core.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := net.Bootstrap(36*time.Hour, 48, 1.0); err != nil {
+		panic(err)
+	}
+	net.Run(12 * time.Hour)
+
+	res, err := net.ExecuteWait(query.Query{Type: query.Now, Mote: 1, Precision: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := res.Answer.Value()
+	truth, _ := net.Truth(1, res.Answer.DoneAt)
+	fmt.Printf("answered locally: %v, within precision: %v\n",
+		res.Latency() == 0, math.Abs(v-truth) <= 1.0)
+	// Output: answered locally: true, within precision: true
+}

@@ -1,0 +1,261 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.Total() != 0 {
+		t.Fatalf("zero meter total %v", m.Total())
+	}
+	for c := Category(0); int(c) < NumCategories; c++ {
+		if m.Get(c) != 0 || m.Events(c) != 0 {
+			t.Fatalf("zero meter non-empty for %v", c)
+		}
+	}
+}
+
+func TestMeterAddAndTotal(t *testing.T) {
+	var m Meter
+	m.Add(RadioTx, 1.5)
+	m.Add(RadioRx, 0.5)
+	m.Add(CPU, 0.25)
+	if got := m.Total(); math.Abs(got-2.25) > 1e-12 {
+		t.Fatalf("total=%v, want 2.25", got)
+	}
+	if got := m.Radio(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("radio=%v, want 2.0", got)
+	}
+	if m.Events(RadioTx) != 1 {
+		t.Fatalf("events=%d, want 1", m.Events(RadioTx))
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var m Meter
+	m.Add(CPU, -1)
+}
+
+func TestMeterInvalidCategoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid category did not panic")
+		}
+	}()
+	var m Meter
+	m.Add(Category(99), 1)
+}
+
+func TestMeterAddFrom(t *testing.T) {
+	var a, b Meter
+	a.Add(RadioTx, 1)
+	b.Add(RadioTx, 2)
+	b.Add(FlashWrite, 3)
+	a.AddFrom(&b)
+	if a.Get(RadioTx) != 3 || a.Get(FlashWrite) != 3 {
+		t.Fatalf("AddFrom wrong: tx=%v fw=%v", a.Get(RadioTx), a.Get(FlashWrite))
+	}
+	if a.Events(RadioTx) != 2 {
+		t.Fatalf("events not merged: %d", a.Events(RadioTx))
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Add(Sensing, 5)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatalf("reset meter total %v", m.Total())
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	var m Meter
+	m.Add(RadioTx, 1)
+	s := m.String()
+	if !strings.Contains(s, "radio-tx") {
+		t.Fatalf("String %q missing radio-tx", s)
+	}
+	if strings.Contains(s, "flash") {
+		t.Fatalf("String %q includes zero category", s)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if RadioListen.String() != "radio-listen" {
+		t.Errorf("RadioListen.String()=%q", RadioListen.String())
+	}
+	if !strings.Contains(Category(42).String(), "42") {
+		t.Errorf("out-of-range category String: %q", Category(42).String())
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.TxJPerByte = 0 },
+		func(p *Params) { p.RxJPerByte = -1 },
+		func(p *Params) { p.MaxPayload = 0 },
+		func(p *Params) { p.HeaderBytes = -1 },
+		func(p *Params) { p.ListenJPerCheck = -1 },
+		func(p *Params) { p.CPUJPerCycle = -1 },
+		func(p *Params) { p.SenseJPerSample = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params passed Validate", i)
+		}
+	}
+}
+
+func TestFrames(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {96, 1}, {97, 2}, {192, 2}, {193, 3},
+	}
+	for _, c := range cases {
+		if got := p.Frames(c.n); got != c.want {
+			t.Errorf("Frames(%d)=%d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTxCostGrowsWithLPL(t *testing.T) {
+	p := DefaultParams()
+	short := p.TxCost(10, 100*time.Millisecond)
+	long := p.TxCost(10, time.Second)
+	if long <= short {
+		t.Fatalf("preamble cost should grow with receiver LPL interval: %v vs %v", short, long)
+	}
+	// The difference should be exactly the preamble delta.
+	wantDelta := p.PreambleJPerSecond * 0.9
+	if math.Abs((long-short)-wantDelta) > 1e-9 {
+		t.Fatalf("delta=%v, want %v", long-short, wantDelta)
+	}
+}
+
+func TestTxCostBatchingAmortizesOverhead(t *testing.T) {
+	// Core premise of Figure 2: sending n samples in one batch costs less
+	// than n separate packets, because preamble+header+ack amortize.
+	p := DefaultParams()
+	lpl := 500 * time.Millisecond
+	single := p.TxCost(4, lpl)
+	batched := p.TxCost(4*100, lpl)
+	if batched >= 100*single {
+		t.Fatalf("batching not cheaper: batched=%v, 100 singles=%v", batched, 100*single)
+	}
+	// Savings should be substantial (>50%) given preamble dominance.
+	if batched > 0.5*100*single {
+		t.Fatalf("batching saved too little: batched=%v vs %v", batched, 100*single)
+	}
+}
+
+func TestRxCost(t *testing.T) {
+	p := DefaultParams()
+	got := p.RxCost(10)
+	want := float64(10+p.HeaderBytes)*p.RxJPerByte + float64(p.AckBytes)*p.TxJPerByte
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("RxCost=%v, want %v", got, want)
+	}
+}
+
+func TestListenCost(t *testing.T) {
+	p := DefaultParams()
+	if p.ListenCost(0, time.Second) != 0 {
+		t.Error("zero elapsed should cost zero")
+	}
+	// Halving the check interval doubles idle cost.
+	a := p.ListenCost(time.Hour, time.Second)
+	b := p.ListenCost(time.Hour, 500*time.Millisecond)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Fatalf("listen cost not inverse in interval: %v vs %v", a, b)
+	}
+	// Always-on radio costs much more than duty-cycled.
+	on := p.ListenCost(time.Hour, 0)
+	if on <= b {
+		t.Fatalf("always-on (%v) should exceed duty-cycled (%v)", on, b)
+	}
+}
+
+func TestRadioDominatesComputeAndStorage(t *testing.T) {
+	// The technology-trend claim in the paper (section 1): communication
+	// is ~2 orders of magnitude more expensive than storage and ~4 more
+	// than computation. Verify our constants encode that hierarchy.
+	p := DefaultParams()
+	radioPerByte := p.TxJPerByte
+	flashPerByte := p.FlashWriteJPerByte
+	cpuPerCycle := p.CPUJPerCycle
+	if radioPerByte < 1.5*flashPerByte {
+		t.Fatalf("radio (%g) should cost well above flash (%g)", radioPerByte, flashPerByte)
+	}
+	if radioPerByte < 1000*cpuPerCycle {
+		t.Fatalf("radio (%g) should dwarf cpu (%g)", radioPerByte, cpuPerCycle)
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	// 1 J/day burn on a 20 kJ battery: 20000 days.
+	lt := Lifetime(AABatteryJ, 1.0, 24*time.Hour)
+	days := lt.Hours() / 24
+	if math.Abs(days-20000) > 1 {
+		t.Fatalf("lifetime %v days, want ~20000", days)
+	}
+	if Lifetime(AABatteryJ, 0, time.Hour) <= 0 {
+		t.Fatal("zero spend should report effectively-infinite lifetime")
+	}
+}
+
+// Property: TxCost is monotone in payload size and LPL interval.
+func TestPropertyTxCostMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(n1, n2 uint16, lplMs1, lplMs2 uint16) bool {
+		a, b := int(n1), int(n2)
+		if a > b {
+			a, b = b, a
+		}
+		l1, l2 := time.Duration(lplMs1)*time.Millisecond, time.Duration(lplMs2)*time.Millisecond
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		return p.TxCost(a, l1) <= p.TxCost(b, l1)+1e-12 &&
+			p.TxCost(a, l1) <= p.TxCost(a, l2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: meter total always equals the sum of categories.
+func TestPropertyMeterTotal(t *testing.T) {
+	f := func(charges []uint8) bool {
+		var m Meter
+		for i, c := range charges {
+			m.Add(Category(i%NumCategories), float64(c))
+		}
+		var sum float64
+		for c := Category(0); int(c) < NumCategories; c++ {
+			sum += m.Get(c)
+		}
+		return math.Abs(sum-m.Total()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"presto/internal/archive"
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/simtime"
+)
+
+// E7Aging measures the claim that "graceful aging of archived data can be
+// enabled using wavelet-based multi-resolution techniques" (§4): a mote
+// archive on a deliberately tiny flash ingests far more data than fits;
+// old regions survive at coarser resolution instead of disappearing.
+// Reported per age bucket: records retained per hour, resolution level,
+// and reconstruction RMSE against the ground-truth trace.
+func E7Aging(sc Scale) (*Table, error) {
+	days := sc.Days
+	if days < 14 {
+		days = 14 // aging needs pressure
+	}
+	c := gen.DefaultTempConfig()
+	c.Days = days
+	c.Seed = sc.Seed
+	c.EventsPerDay = 0
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		return nil, err
+	}
+	tr := traces[0]
+
+	// Tiny flash: ~1350 records capacity vs days*1440 appended.
+	dev, err := flash.New(flash.Geometry{PageSize: 252, PagesPerBlock: 8, NumBlocks: 8}, energy.DefaultParams(), nil)
+	if err != nil {
+		return nil, err
+	}
+	st, err := archive.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range tr.Values {
+		if err := st.Append(archive.Record{T: tr.At(i), V: v}); err != nil {
+			return nil, fmt.Errorf("exp: append %d: %w", i, err)
+		}
+	}
+	stats := st.Stats()
+
+	t := &Table{
+		Title: "E7: Graceful aging — retained resolution and error by data age",
+		Note: fmt.Sprintf("%d days ingested into a %d-record flash; %d aging passes, %d records dropped.",
+			days, 1350, stats.AgePasses, stats.Dropped),
+		Headers: []string{"age bucket", "records/hour", "level", "RMSE vs truth"},
+	}
+
+	end := tr.At(len(tr.Values) - 1)
+	// Buckets widen with age: aged regions hold coarse records whose
+	// spacing can exceed several hours, so old buckets span a full day.
+	buckets := []struct {
+		name   string
+		t0, t1 simtime.Time
+	}{
+		{"last 6h", end - 6*simtime.Hour, end},
+		{"1 day old", end - 48*simtime.Hour, end - 24*simtime.Hour},
+		{"3 days old", end - 96*simtime.Hour, end - 72*simtime.Hour},
+		{fmt.Sprintf("%d days old", days-1), 0, 24 * simtime.Hour},
+	}
+	for _, b := range buckets {
+		recs, err := st.Query(b.t0, b.t1)
+		if err != nil {
+			return nil, err
+		}
+		hours := (b.t1 - b.t0).Hours()
+		perHour := float64(len(recs)) / hours
+		lvl := -1
+		if l, ok := st.LevelAt((b.t0 + b.t1) / 2); ok {
+			lvl = l
+		}
+		rmse := agedRMSE(st, tr, b.t0, b.t1)
+		lvlStr := fmt.Sprintf("%d", lvl)
+		if lvl < 0 {
+			lvlStr = "dropped"
+		}
+		t.AddRow(b.name, f2(perHour), lvlStr, f2(rmse))
+	}
+	return t, nil
+}
+
+// agedRMSE reconstructs a step function from coarse records and compares
+// it to the trace over the bucket at 1-minute resolution. The lookback is
+// unbounded: deep in the aging pyramid, the prevailing record for a
+// window can sit days earlier (each aging pass halves the density of the
+// oldest history).
+func agedRMSE(st *archive.Store, tr *gen.Trace, t0, t1 simtime.Time) float64 {
+	recs, err := st.Query(0, t1)
+	if err != nil || len(recs) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	n := 0
+	ri := 0
+	for t := t0; t <= t1; t += simtime.Minute {
+		for ri+1 < len(recs) && recs[ri+1].T <= t {
+			ri++
+		}
+		d := recs[ri].V - tr.Value(t)
+		ss += d * d
+		n++
+	}
+	return math.Sqrt(ss / float64(n))
+}

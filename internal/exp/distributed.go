@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/consistency"
+	"presto/internal/simtime"
+	"presto/internal/skipgraph"
+	"presto/internal/stats"
+	"presto/internal/timesync"
+)
+
+// E9SkipGraph measures the order-preserving distributed index (§5): search
+// hops grow logarithmically in the number of participants and range scans
+// return globally time-ordered detections across proxies.
+func E9SkipGraph(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "E9: Skip-graph index — search cost vs size",
+		Note:    "300 random searches per size; hops model inter-proxy messages.",
+		Headers: []string{"entries", "mean hops", "p95 hops", "log2(n)", "hops/log2(n)"},
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		g := skipgraph.New(sc.Seed)
+		keys := make([]uint64, 0, n)
+		seen := map[uint64]bool{}
+		for len(keys) < n {
+			k := rng.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+				if err := g.Insert(k, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var hops []float64
+		for i := 0; i < 300; i++ {
+			_, h, ok := g.SearchHops(keys[rng.Intn(len(keys))])
+			if !ok {
+				return nil, fmt.Errorf("exp: lost key in skip graph")
+			}
+			hops = append(hops, float64(h))
+		}
+		mean := stats.Mean(hops)
+		p95, _ := stats.Quantile(hops, 0.95)
+		l2 := math.Log2(float64(n))
+		t.AddRow(fmt.Sprintf("%d", n), f2(mean), f2(p95), f2(l2), f2(mean/l2))
+	}
+	return t, nil
+}
+
+// E9Hops returns mean search hops per size for shape tests.
+func E9Hops(sc Scale, sizes []int) ([]float64, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	var out []float64
+	for _, n := range sizes {
+		g := skipgraph.New(sc.Seed)
+		keys := make([]uint64, 0, n)
+		seen := map[uint64]bool{}
+		for len(keys) < n {
+			k := rng.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+				if err := g.Insert(k, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var total int
+		const searches = 300
+		for i := 0; i < searches; i++ {
+			_, h, _ := g.SearchHops(keys[rng.Intn(len(keys))])
+			total += h
+		}
+		out = append(out, float64(total)/searches)
+	}
+	return out, nil
+}
+
+// E10TimeSync measures temporal consistency (§5): raw mote timestamp
+// error after a day of drift vs the error after regression correction
+// from ordinary message-arrival observations with network jitter.
+func E10TimeSync(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "E10: Clock correction — raw drift vs corrected error after 24h",
+		Note:    "50 observations with ±10 ms arrival jitter; offset 2 s.",
+		Headers: []string{"skew (ppm)", "raw error @24h", "corrected error", "improvement"},
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	for _, ppm := range []float64{10, 50, 100, 200} {
+		clock := timesync.Clock{Offset: 2 * simtime.Second, Skew: ppm * 1e-6}
+		var est timesync.Estimator
+		for i := 1; i <= 50; i++ {
+			truth := simtime.Time(i) * 20 * simtime.Minute
+			jitter := simtime.Time(rng.Int63n(int64(20*simtime.Millisecond))) - 10*simtime.Millisecond
+			est.Observe(clock.Read(truth), truth+jitter, 0)
+		}
+		truth := 24 * simtime.Hour
+		raw := time.Duration(clock.Read(truth) - truth)
+		corrected, err := est.Correct(clock.Read(truth))
+		if err != nil {
+			return nil, err
+		}
+		corrErr := time.Duration(corrected - truth)
+		if corrErr < 0 {
+			corrErr = -corrErr
+		}
+		impr := float64(raw) / float64(corrErr+1)
+		t.AddRow(f2(ppm), raw.String(), corrErr.Round(time.Microsecond).String(), fmt.Sprintf("%.0fx", impr))
+	}
+	return t, nil
+}
+
+// E11Consistency measures spatial consistency and wired replication (§5):
+// overlapping replicas converge via anti-entropy, and routing queries to
+// a wired replica avoids the wireless proxy's slow uplink.
+func E11Consistency(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "E11: Replication — anti-entropy convergence and wired-replica latency",
+		Note:    "Two overlapping proxies + one wired replica; user link: wired 2 ms, wireless 25 ms ± stalls.",
+		Headers: []string{"metric", "value"},
+	}
+	// Anti-entropy convergence.
+	a, b, wired := consistency.NewReplica(1), consistency.NewReplica(2), consistency.NewReplica(3)
+	for i := 0; i < 500; i++ {
+		e := cache.Entry{T: simtime.Time(i) * simtime.Minute, V: float64(i), Source: cache.Pushed}
+		if i%2 == 0 {
+			a.Put(1, e)
+		} else {
+			b.Put(1, e)
+		}
+	}
+	x1, y1 := consistency.Sync(a, wired)
+	x2, y2 := consistency.Sync(b, wired)
+	x3, y3 := consistency.Sync(a, wired)
+	rounds := 3
+	if !consistency.Equal(a, wired) || !consistency.Equal(a, b) {
+		// One more round guarantees convergence for two-hop gossip.
+		consistency.Sync(b, wired)
+		consistency.Sync(a, wired)
+		rounds = 5
+	}
+	exchanged := x1 + y1 + x2 + y2 + x3 + y3
+	t.AddRow("facts at each replica", fmt.Sprintf("%d", a.Len()))
+	t.AddRow("anti-entropy rounds to converge", fmt.Sprintf("%d", rounds))
+	t.AddRow("facts exchanged", fmt.Sprintf("%d", exchanged))
+	t.AddRow("exchange bytes (est)", fmt.Sprintf("%d", consistency.DeltaBytes(make([]consistency.Delta, exchanged))))
+
+	// User-link latency: wired replica vs wireless proxy. The proxy-side
+	// answer is cached (sub-ms); the user link dominates. Wireless
+	// 802.11-mesh links add jitter and occasional stalls (§5: "variability
+	// in response times for queries due to the vagaries of 802.11 links").
+	rng := rand.New(rand.NewSource(sc.Seed))
+	var wiredL, wirelessL []float64
+	for i := 0; i < 500; i++ {
+		wiredL = append(wiredL, 2+rng.Float64())
+		l := 25 + rng.Float64()*15
+		if rng.Float64() < 0.05 {
+			l += 200 + rng.Float64()*300 // stall
+		}
+		wirelessL = append(wirelessL, l)
+	}
+	wp50, _ := stats.Median(wiredL)
+	wp95, _ := stats.Quantile(wiredL, 0.95)
+	lp50, _ := stats.Median(wirelessL)
+	lp95, _ := stats.Quantile(wirelessL, 0.95)
+	t.AddRow("wired replica query p50/p95", fmt.Sprintf("%.1f / %.1f ms", wp50, wp95))
+	t.AddRow("wireless proxy query p50/p95", fmt.Sprintf("%.1f / %.1f ms", lp50, lp95))
+	return t, nil
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"presto/internal/baseline"
+	"presto/internal/core"
+	"presto/internal/gen"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// E4PushEnergy compares the data-collection policies' energy against the
+// error of the proxy's view (Section 2's claim: model-driven push gives
+// the proxy all "significant" data at a fraction of streaming's energy,
+// with error bounded by delta).
+//
+// Four systems on identical multi-mote deployments and traces:
+// stream-all, poll-pull (15 min), value-driven push (delta 1), and PRESTO
+// model-driven push (delta 1, seasonal-anchored model after bootstrap).
+// Reported per system: mote energy/day (mean across motes), messages/day,
+// and the proxy-view RMSE over the final day.
+func E4PushEnergy(sc Scale) (*Table, error) {
+	motes := sc.Motes
+	traces, err := tempTraces(sc, motes)
+	if err != nil {
+		return nil, err
+	}
+	days := sc.Days
+	runFor := time.Duration(days) * 24 * time.Hour
+
+	t := &Table{
+		Title:   "E4: Collection policy vs energy and proxy-view error",
+		Note:    fmt.Sprintf("%d motes, %d days, 1-min sampling; RMSE over the final day, no pulls allowed.", motes, days),
+		Headers: []string{"system", "energy(J/day/mote)", "msgs/day/mote", "view RMSE", "max err bound"},
+	}
+
+	type sys struct {
+		name      string
+		preset    baseline.Preset
+		bootstrap bool
+		poll      time.Duration
+		bound     string
+	}
+	systems := []sys{
+		{"stream-all", baseline.StreamAll(), false, 0, "0 (exact)"},
+		{"poll-pull 15m", baseline.ValueDriven(1e9), false, 15 * time.Minute, "unbounded"},
+		{"value-driven d=1", baseline.ValueDriven(1), false, 0, "1.0 (delta)"},
+		{"PRESTO d=1", baseline.ModelDriven(1), true, 0, "1.0 (delta)"},
+	}
+	for _, s := range systems {
+		energyPerDay, msgsPerDay, rmse, err := runE4System(sc, s.preset, s.bootstrap, s.poll, traces, runFor)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		t.AddRow(s.name, f2(energyPerDay), f2(msgsPerDay), f2(rmse), s.bound)
+	}
+	return t, nil
+}
+
+// e4Warmup is the settling period excluded from E4 measurements: PRESTO
+// spends it streaming training data (Bootstrap); the other systems just
+// run, so all systems are measured over the identical steady-state window.
+const e4Warmup = 36 * time.Hour
+
+func runE4System(sc Scale, preset baseline.Preset, bootstrap bool, poll time.Duration, traces []*gen.Trace, runFor time.Duration) (energyPerDay, msgsPerDay, rmse float64, err error) {
+	n, err := buildNet(sc, len(traces), &preset, traces, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var po *baseline.Poller
+	if bootstrap {
+		if _, err := n.Bootstrap(e4Warmup, 48, 1.0); err != nil {
+			return 0, 0, 0, err
+		}
+	} else {
+		n.Start()
+		if poll > 0 {
+			p, err := n.ProxyFor(1)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			po = baseline.NewPoller(n.Sim, p, n.MoteIDs(), poll)
+			po.Start()
+		}
+		n.Run(e4Warmup)
+	}
+	// Snapshot at the start of the measured window.
+	startMeter := n.TotalMoteEnergy()
+	startJ := startMeter.Total()
+	startMsgs, err := totalMsgs(n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	startT := n.Now()
+
+	rest := runFor - time.Duration(startT)
+	if rest > 0 {
+		n.Run(rest)
+	}
+	if po != nil {
+		po.Stop()
+	}
+	days := (n.Now() - startT).Hours() / 24
+	endMsgs, err := totalMsgs(n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	endMeter := n.TotalMoteEnergy()
+	energyPerDay = (endMeter.Total() - startJ) / days / float64(len(traces))
+	msgsPerDay = float64(endMsgs-startMsgs) / days / float64(len(traces))
+	// Proxy-view RMSE over the final day of mote 1.
+	end := n.Now()
+	rmse, err = proxyViewRMSE(n, radio.NodeID(1), end-simtime.Time(24*time.Hour), end-simtime.Minute)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return energyPerDay, msgsPerDay, rmse, nil
+}
+
+// totalMsgs sums outbound messages across all motes.
+func totalMsgs(n *core.Network) (uint64, error) {
+	var msgs uint64
+	for _, id := range n.MoteIDs() {
+		st, err := n.MoteStats(id)
+		if err != nil {
+			return 0, err
+		}
+		msgs += st.Pushes + st.Batches + st.PullsServed
+	}
+	return msgs, nil
+}
+
+// E4Numbers exposes the per-system numbers for shape tests.
+type E4Numbers struct {
+	StreamEnergy, PollEnergy, ValueEnergy, PrestoEnergy float64
+	StreamRMSE, PollRMSE, ValueRMSE, PrestoRMSE         float64
+}
+
+// E4PushEnergyNumbers computes E4 and returns the raw numbers.
+func E4PushEnergyNumbers(sc Scale) (*E4Numbers, error) {
+	motes := sc.Motes
+	traces, err := tempTraces(sc, motes)
+	if err != nil {
+		return nil, err
+	}
+	runFor := time.Duration(sc.Days) * 24 * time.Hour
+	var out E4Numbers
+	out.StreamEnergy, _, out.StreamRMSE, err = runE4System(sc, baseline.StreamAll(), false, 0, traces, runFor)
+	if err != nil {
+		return nil, err
+	}
+	out.PollEnergy, _, out.PollRMSE, err = runE4System(sc, baseline.ValueDriven(1e9), false, 15*time.Minute, traces, runFor)
+	if err != nil {
+		return nil, err
+	}
+	out.ValueEnergy, _, out.ValueRMSE, err = runE4System(sc, baseline.ValueDriven(1), false, 0, traces, runFor)
+	if err != nil {
+		return nil, err
+	}
+	out.PrestoEnergy, _, out.PrestoRMSE, err = runE4System(sc, baseline.ModelDriven(1), true, 0, traces, runFor)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,70 @@
+// Package exp contains the experiment harness: one function per table and
+// figure in the paper (plus derived experiments for each quantitative
+// claim in the prose), each returning a Table whose rows mirror what the
+// paper reports. cmd/presto-bench runs them all; bench_test.go exposes
+// each as a testing.B benchmark. See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

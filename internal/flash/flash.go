@@ -1,0 +1,160 @@
+// Package flash simulates a NAND flash device with page program / page
+// read / block erase semantics, per-operation energy charged to an
+// energy.Meter, and wear counters.
+//
+// PRESTO motes carry "a significant amount of flash memory (1GB)" and the
+// architecture leans on the fact that local storage is roughly two orders
+// of magnitude cheaper than radio per byte. The archival store
+// (internal/archive) runs on this device, so every byte it logs, reads or
+// ages is accounted for in the same energy budget as the radio.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"presto/internal/energy"
+)
+
+// Standard NAND-style errors.
+var (
+	ErrOutOfRange   = errors.New("flash: page or block out of range")
+	ErrPageSize     = errors.New("flash: write larger than page size")
+	ErrNotErased    = errors.New("flash: programming a non-erased page")
+	ErrNeverWritten = errors.New("flash: reading an unwritten page")
+)
+
+// Geometry describes a flash part.
+type Geometry struct {
+	PageSize      int // bytes per page
+	PagesPerBlock int // pages per erase block
+	NumBlocks     int // erase blocks
+}
+
+// DefaultGeometry is a small part used in tests and experiments: 256 B
+// pages, 64 pages/block, 512 blocks = 8 MiB. (Real motes would carry ~1 GB;
+// experiments that need aging pressure shrink NumBlocks instead of writing
+// gigabytes.)
+func DefaultGeometry() Geometry {
+	return Geometry{PageSize: 256, PagesPerBlock: 64, NumBlocks: 512}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 || g.PagesPerBlock <= 0 || g.NumBlocks <= 0 {
+		return fmt.Errorf("flash: non-positive geometry %+v", g)
+	}
+	return nil
+}
+
+// NumPages returns the total page count.
+func (g Geometry) NumPages() int { return g.PagesPerBlock * g.NumBlocks }
+
+// Capacity returns the device size in bytes.
+func (g Geometry) Capacity() int { return g.NumPages() * g.PageSize }
+
+// Device is a simulated NAND flash chip.
+type Device struct {
+	geo    Geometry
+	params energy.Params
+	meter  *energy.Meter
+
+	pages   [][]byte // nil = erased & unwritten
+	written []bool
+	erases  []uint32 // per block
+
+	reads, writes, eraseOps uint64
+}
+
+// New creates a device; meter may be nil for unmetered use (tests).
+func New(geo Geometry, params energy.Params, meter *energy.Meter) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		geo:     geo,
+		params:  params,
+		meter:   meter,
+		pages:   make([][]byte, geo.NumPages()),
+		written: make([]bool, geo.NumPages()),
+		erases:  make([]uint32, geo.NumBlocks),
+	}, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+func (d *Device) charge(c energy.Category, j float64) {
+	if d.meter != nil {
+		d.meter.Add(c, j)
+	}
+}
+
+// Write programs a page. The data must fit in one page and the page must
+// be in the erased state (NAND cannot overwrite in place).
+func (d *Device) Write(page int, data []byte) error {
+	if page < 0 || page >= d.geo.NumPages() {
+		return ErrOutOfRange
+	}
+	if len(data) > d.geo.PageSize {
+		return ErrPageSize
+	}
+	if d.written[page] {
+		return ErrNotErased
+	}
+	d.pages[page] = append([]byte(nil), data...)
+	d.written[page] = true
+	d.writes++
+	d.charge(energy.FlashWrite, float64(d.geo.PageSize)*d.params.FlashWriteJPerByte)
+	return nil
+}
+
+// Read returns a copy of a previously written page's contents.
+func (d *Device) Read(page int) ([]byte, error) {
+	if page < 0 || page >= d.geo.NumPages() {
+		return nil, ErrOutOfRange
+	}
+	if !d.written[page] {
+		return nil, ErrNeverWritten
+	}
+	d.reads++
+	d.charge(energy.FlashRead, float64(d.geo.PageSize)*d.params.FlashReadJPerByte)
+	return append([]byte(nil), d.pages[page]...), nil
+}
+
+// Written reports whether a page currently holds data.
+func (d *Device) Written(page int) bool {
+	return page >= 0 && page < d.geo.NumPages() && d.written[page]
+}
+
+// EraseBlock clears every page in a block and bumps its wear counter.
+func (d *Device) EraseBlock(block int) error {
+	if block < 0 || block >= d.geo.NumBlocks {
+		return ErrOutOfRange
+	}
+	base := block * d.geo.PagesPerBlock
+	for p := base; p < base+d.geo.PagesPerBlock; p++ {
+		d.pages[p] = nil
+		d.written[p] = false
+	}
+	d.erases[block]++
+	d.eraseOps++
+	d.charge(energy.FlashErase, d.params.FlashEraseJPerBlock)
+	return nil
+}
+
+// Erases returns the wear count of a block (0 for out-of-range blocks).
+func (d *Device) Erases(block int) uint32 {
+	if block < 0 || block >= d.geo.NumBlocks {
+		return 0
+	}
+	return d.erases[block]
+}
+
+// Stats reports cumulative operation counts.
+func (d *Device) Stats() (reads, writes, erases uint64) {
+	return d.reads, d.writes, d.eraseOps
+}
+
+// BlockOf returns the erase block containing a page.
+func (d *Device) BlockOf(page int) int { return page / d.geo.PagesPerBlock }

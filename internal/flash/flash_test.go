@@ -1,0 +1,224 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"presto/internal/energy"
+)
+
+func newDev(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(DefaultGeometry(), energy.DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPages() != g.PagesPerBlock*g.NumBlocks {
+		t.Error("NumPages inconsistent")
+	}
+	if g.Capacity() != g.NumPages()*g.PageSize {
+		t.Error("Capacity inconsistent")
+	}
+	bad := Geometry{PageSize: 0, PagesPerBlock: 1, NumBlocks: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero page size should fail")
+	}
+	if _, err := New(bad, energy.DefaultParams(), nil); err == nil {
+		t.Error("New with bad geometry should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDev(t)
+	data := []byte("hello presto archive")
+	if err := d.Write(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if !d.Written(7) || d.Written(8) {
+		t.Error("Written flags wrong")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1, 2, 3})
+	got, _ := d.Read(0)
+	got[0] = 99
+	again, _ := d.Read(0)
+	if again[0] != 1 {
+		t.Fatal("Read exposed internal buffer")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	d := newDev(t)
+	data := []byte{1, 2, 3}
+	d.Write(0, data)
+	data[0] = 99
+	got, _ := d.Read(0)
+	if got[0] != 1 {
+		t.Fatal("Write aliased caller's buffer")
+	}
+}
+
+func TestNANDSemantics(t *testing.T) {
+	d := newDev(t)
+	if err := d.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []byte{2}); err != ErrNotErased {
+		t.Fatalf("overwrite err=%v, want ErrNotErased", err)
+	}
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []byte{2}); err != nil {
+		t.Fatalf("write after erase failed: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := newDev(t)
+	g := d.Geometry()
+	if err := d.Write(-1, nil); err != ErrOutOfRange {
+		t.Error("negative page write")
+	}
+	if err := d.Write(g.NumPages(), nil); err != ErrOutOfRange {
+		t.Error("past-end page write")
+	}
+	if _, err := d.Read(-1); err != ErrOutOfRange {
+		t.Error("negative page read")
+	}
+	if _, err := d.Read(3); err != ErrNeverWritten {
+		t.Error("unwritten read")
+	}
+	if err := d.Write(0, make([]byte, g.PageSize+1)); err != ErrPageSize {
+		t.Error("oversized write")
+	}
+	if err := d.EraseBlock(g.NumBlocks); err != ErrOutOfRange {
+		t.Error("past-end erase")
+	}
+	if err := d.EraseBlock(-1); err != ErrOutOfRange {
+		t.Error("negative erase")
+	}
+}
+
+func TestEraseClearsWholeBlock(t *testing.T) {
+	d := newDev(t)
+	g := d.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		if err := d.Write(p, []byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Also write a page in the next block; it must survive.
+	d.Write(g.PagesPerBlock, []byte{0xAA})
+	d.EraseBlock(0)
+	for p := 0; p < g.PagesPerBlock; p++ {
+		if d.Written(p) {
+			t.Fatalf("page %d survived erase", p)
+		}
+	}
+	got, err := d.Read(g.PagesPerBlock)
+	if err != nil || got[0] != 0xAA {
+		t.Fatal("erase spilled into next block")
+	}
+}
+
+func TestWearAndStats(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1})
+	d.Read(0)
+	d.Read(0)
+	d.EraseBlock(0)
+	d.EraseBlock(0)
+	r, w, e := d.Stats()
+	if r != 2 || w != 1 || e != 2 {
+		t.Fatalf("stats r=%d w=%d e=%d", r, w, e)
+	}
+	if d.Erases(0) != 2 || d.Erases(1) != 0 {
+		t.Fatalf("wear wrong: %d, %d", d.Erases(0), d.Erases(1))
+	}
+	if d.Erases(-1) != 0 || d.Erases(1<<20) != 0 {
+		t.Error("out-of-range Erases should be 0")
+	}
+}
+
+func TestEnergyCharged(t *testing.T) {
+	var m energy.Meter
+	p := energy.DefaultParams()
+	d, err := New(DefaultGeometry(), p, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(0, []byte{1})
+	d.Read(0)
+	d.EraseBlock(0)
+	wantW := float64(d.Geometry().PageSize) * p.FlashWriteJPerByte
+	wantR := float64(d.Geometry().PageSize) * p.FlashReadJPerByte
+	if m.Get(energy.FlashWrite) != wantW {
+		t.Errorf("write energy %g, want %g", m.Get(energy.FlashWrite), wantW)
+	}
+	if m.Get(energy.FlashRead) != wantR {
+		t.Errorf("read energy %g, want %g", m.Get(energy.FlashRead), wantR)
+	}
+	if m.Get(energy.FlashErase) != p.FlashEraseJPerBlock {
+		t.Errorf("erase energy %g", m.Get(energy.FlashErase))
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	d := newDev(t)
+	ppb := d.Geometry().PagesPerBlock
+	if d.BlockOf(0) != 0 || d.BlockOf(ppb-1) != 0 || d.BlockOf(ppb) != 1 {
+		t.Error("BlockOf wrong")
+	}
+}
+
+// Property: data written to distinct pages is isolated — reading any page
+// returns exactly what was last written there.
+func TestPropertyPageIsolation(t *testing.T) {
+	f := func(writes []uint8) bool {
+		d, err := New(Geometry{PageSize: 8, PagesPerBlock: 4, NumBlocks: 8}, energy.DefaultParams(), nil)
+		if err != nil {
+			return false
+		}
+		want := map[int]byte{}
+		for _, w := range writes {
+			page := int(w) % d.Geometry().NumPages()
+			if d.Written(page) {
+				continue
+			}
+			if err := d.Write(page, []byte{w}); err != nil {
+				return false
+			}
+			want[page] = w
+		}
+		for page, v := range want {
+			got, err := d.Read(page)
+			if err != nil || len(got) != 1 || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

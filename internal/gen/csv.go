@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// FromCSV reads a trace from CSV so real-world data (e.g. the Intel Lab
+// trace this repository's generator substitutes for) can drive the
+// simulator. Expected layout: a header row, then one sample per row with
+// the value in column valueCol. Rows are assumed regularly spaced at
+// interval; blank or unparsable values repeat the previous sample (the
+// Intel Lab trace has gaps and real deployments lose samples).
+func FromCSV(r io.Reader, valueCol int, interval time.Duration) (*Trace, error) {
+	if valueCol < 0 {
+		return nil, fmt.Errorf("gen: negative value column %d", valueCol)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("gen: non-positive interval %v", interval)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows tolerated
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("gen: csv needs a header and at least one sample row")
+	}
+	tr := &Trace{Interval: interval}
+	last := 0.0
+	have := false
+	for _, row := range rows[1:] {
+		v := last
+		if valueCol < len(row) {
+			if parsed, err := strconv.ParseFloat(row[valueCol], 64); err == nil {
+				v = parsed
+				have = true
+			}
+		}
+		if !have {
+			// Leading gap before any valid sample: skip the rows entirely
+			// rather than inventing zeros.
+			continue
+		}
+		tr.Values = append(tr.Values, v)
+		last = v
+	}
+	if len(tr.Values) == 0 {
+		return nil, fmt.Errorf("gen: csv contained no parsable samples in column %d", valueCol)
+	}
+	return tr, nil
+}

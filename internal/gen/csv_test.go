@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromCSV(t *testing.T) {
+	in := "epoch,temp\n0,20.5\n1,20.7\n2,21.0\n"
+	tr, err := FromCSV(strings.NewReader(in), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != 3 || tr.Values[0] != 20.5 || tr.Values[2] != 21.0 {
+		t.Fatalf("values %v", tr.Values)
+	}
+	if tr.Interval != time.Minute {
+		t.Fatalf("interval %v", tr.Interval)
+	}
+}
+
+func TestFromCSVGapsRepeatPrevious(t *testing.T) {
+	in := "epoch,temp\n0,20.5\n1,\n2,not-a-number\n3,21.0\n"
+	tr, err := FromCSV(strings.NewReader(in), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20.5, 20.5, 20.5, 21.0}
+	for i, v := range want {
+		if tr.Values[i] != v {
+			t.Fatalf("values %v, want %v", tr.Values, want)
+		}
+	}
+}
+
+func TestFromCSVRaggedRows(t *testing.T) {
+	in := "a,b,c\n1,20\n2,21,extra\n"
+	tr, err := FromCSV(strings.NewReader(in), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != 2 || tr.Values[1] != 21 {
+		t.Fatalf("values %v", tr.Values)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	if _, err := FromCSV(strings.NewReader("h\n1\n"), -1, time.Minute); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("h\n1\n"), 0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("header-only\n"), 0, time.Minute); err == nil {
+		t.Error("header-only csv accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("h\nx\ny\n"), 0, time.Minute); err == nil {
+		t.Error("no parsable samples accepted")
+	}
+}
+
+func TestFromCSVRoundTripWithPrestogenFormat(t *testing.T) {
+	// The prestogen CSV format reads back in directly.
+	cfg := DefaultTempConfig()
+	cfg.Days = 1
+	traces, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("minute,sensor0_c,event_active\n")
+	for i, v := range traces[0].Values {
+		b.WriteString(strings.Join([]string{
+			itoa(i), ftoa(v), "0",
+		}, ","))
+		b.WriteByte('\n')
+	}
+	tr, err := FromCSV(strings.NewReader(b.String()), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != len(traces[0].Values) {
+		t.Fatalf("len %d vs %d", len(tr.Values), len(traces[0].Values))
+	}
+	for i := range tr.Values {
+		if d := tr.Values[i] - traces[0].Values[i]; d > 0.001 || d < -0.001 {
+			t.Fatalf("sample %d: %v vs %v", i, tr.Values[i], traces[0].Values[i])
+		}
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

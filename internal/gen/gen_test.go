@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"presto/internal/simtime"
+	"presto/internal/stats"
+)
+
+func TestTemperatureBasics(t *testing.T) {
+	c := DefaultTempConfig()
+	c.Sensors = 3
+	traces, err := Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	wantLen := c.Days * 24 * 60
+	for i, tr := range traces {
+		if len(tr.Values) != wantLen {
+			t.Fatalf("trace %d has %d samples, want %d", i, len(tr.Values), wantLen)
+		}
+		m := stats.Mean(tr.Values)
+		if math.Abs(m-c.BaseC) > 3 {
+			t.Fatalf("trace %d mean %.2f far from base %.2f", i, m, c.BaseC)
+		}
+	}
+}
+
+func TestTemperatureDeterministic(t *testing.T) {
+	c := DefaultTempConfig()
+	a, _ := Temperature(c)
+	b, _ := Temperature(c)
+	for i := range a[0].Values {
+		if a[0].Values[i] != b[0].Values[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	c.Seed = 99
+	d, _ := Temperature(c)
+	same := true
+	for i := range a[0].Values {
+		if a[0].Values[i] != d[0].Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTemperatureDiurnalCycle(t *testing.T) {
+	c := DefaultTempConfig()
+	c.NoiseStd = 0.01
+	c.EventsPerDay = 0
+	c.SeasonalAmpC = 0
+	traces, _ := Temperature(c)
+	vals := traces[0].Values
+	perDay := 24 * 60
+	// Autocorrelation at 24h lag should be strong for a diurnal signal.
+	if ac := stats.Autocorrelation(vals, perDay); ac < 0.8 {
+		t.Fatalf("24h autocorrelation %.3f, want > 0.8", ac)
+	}
+	// Day/night swing should be about 2*DiurnalAmpC.
+	lo, hi, _ := stats.MinMax(vals[:perDay])
+	swing := hi - lo
+	if swing < 1.5*c.DiurnalAmpC || swing > 2.5*c.DiurnalAmpC {
+		t.Fatalf("diurnal swing %.2f, want ~%.2f", swing, 2*c.DiurnalAmpC)
+	}
+}
+
+func TestTemperatureEventsRecorded(t *testing.T) {
+	c := DefaultTempConfig()
+	c.Days = 30
+	c.EventsPerDay = 1
+	traces, _ := Temperature(c)
+	tr := traces[0]
+	if len(tr.Events) == 0 {
+		t.Fatal("30 days at 1 event/day produced no events")
+	}
+	for _, e := range tr.Events {
+		if e.Index < 0 || e.Index >= len(tr.Values) {
+			t.Fatalf("event index %d out of range", e.Index)
+		}
+		if !tr.EventActive(e.Index) {
+			t.Fatal("EventActive false at event start")
+		}
+	}
+	if tr.EventActive(-1) {
+		t.Fatal("EventActive(-1)")
+	}
+}
+
+func TestTemperatureValidate(t *testing.T) {
+	bad := []func(*TempConfig){
+		func(c *TempConfig) { c.Sensors = 0 },
+		func(c *TempConfig) { c.Days = 0 },
+		func(c *TempConfig) { c.Interval = 0 },
+		func(c *TempConfig) { c.NoiseRho = 1.0 },
+		func(c *TempConfig) { c.NoiseRho = -0.1 },
+		func(c *TempConfig) { c.EventsPerDay = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultTempConfig()
+		mutate(&c)
+		if _, err := Temperature(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := &Trace{Start: simtime.Hour, Interval: time.Minute, Values: []float64{1, 2, 3}}
+	if tr.At(0) != simtime.Hour || tr.At(2) != simtime.Hour+2*simtime.Minute {
+		t.Error("At wrong")
+	}
+	if got := tr.IndexAt(simtime.Hour + simtime.Time(90*time.Second)); got != 1 {
+		t.Errorf("IndexAt mid-sample wrong: %d", got)
+	}
+	if tr.IndexAt(0) != 0 {
+		t.Error("IndexAt before start should clamp to 0")
+	}
+	if tr.IndexAt(simtime.Day) != 2 {
+		t.Error("IndexAt after end should clamp to last")
+	}
+	if tr.Value(simtime.Hour+simtime.Minute) != 2 {
+		t.Error("Value wrong")
+	}
+	if tr.Duration() != 3*time.Minute {
+		t.Errorf("Duration=%v", tr.Duration())
+	}
+	empty := &Trace{Interval: time.Minute}
+	if empty.Value(0) != 0 || empty.IndexAt(0) != 0 {
+		t.Error("empty trace accessors should be safe")
+	}
+}
+
+func TestActivityRoutine(t *testing.T) {
+	c := DefaultActivityConfig()
+	c.AnomaliesPerWeek = 0
+	tr, err := Activity(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := int(24 * time.Hour / c.Interval)
+	if len(tr.Values) != perDay*c.Days {
+		t.Fatalf("len=%d", len(tr.Values))
+	}
+	// Nights (3am) should be much quieter than mornings (7-8am).
+	var night, morning float64
+	for d := 0; d < c.Days; d++ {
+		night += tr.Values[d*perDay+3*perDay/24]
+		morning += tr.Values[d*perDay+7*perDay/24]
+	}
+	if night >= morning/5 {
+		t.Fatalf("night=%f morning=%f; routine structure missing", night, morning)
+	}
+	// Daily periodicity.
+	if ac := stats.Autocorrelation(tr.Values, perDay); ac < 0.6 {
+		t.Fatalf("daily autocorrelation %.3f too weak", ac)
+	}
+}
+
+func TestActivityAnomalies(t *testing.T) {
+	c := DefaultActivityConfig()
+	c.Days = 28
+	c.AnomaliesPerWeek = 3
+	tr, err := Activity(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("4 weeks at 3 anomalies/week produced none")
+	}
+	for _, e := range tr.Events {
+		if tr.Values[e.Index] != 0 {
+			t.Fatal("anomaly should zero activity")
+		}
+	}
+}
+
+func TestActivityInvalid(t *testing.T) {
+	if _, err := Activity(ActivityConfig{Days: 0, Interval: time.Minute}); err == nil {
+		t.Fatal("zero days accepted")
+	}
+}
+
+func TestTrafficRushHours(t *testing.T) {
+	c := DefaultTrafficConfig()
+	c.IncidentsPerWeek = 0
+	tr, err := Traffic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := int(24 * time.Hour / c.Interval)
+	// Weekday 8am >> weekday 3am.
+	rush := tr.Values[8*perDay/24]
+	night := tr.Values[3*perDay/24]
+	if rush < 5*night+1 {
+		t.Fatalf("rush=%f night=%f; rush-hour structure missing", rush, night)
+	}
+	// Weekend (day 5) rush should be lower than weekday rush.
+	weekendRush := tr.Values[5*perDay+8*perDay/24]
+	if weekendRush > rush {
+		t.Fatalf("weekend rush %f > weekday rush %f", weekendRush, rush)
+	}
+	// Counts are non-negative.
+	for i, v := range tr.Values {
+		if v < 0 {
+			t.Fatalf("negative count at %d: %f", i, v)
+		}
+	}
+}
+
+func TestTrafficIncidents(t *testing.T) {
+	c := DefaultTrafficConfig()
+	c.Days = 28
+	c.IncidentsPerWeek = 4
+	tr, err := Traffic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no incidents generated")
+	}
+}
+
+func TestTrafficInvalid(t *testing.T) {
+	if _, err := Traffic(TrafficConfig{Days: 1, Interval: 0}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	// Sample mean of Poisson(4) over many draws should be near 4.
+	rng := rand.New(rand.NewSource(12345))
+	var sum int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		sum += poisson(rng, 4)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-4) > 0.3 {
+		t.Fatalf("poisson mean %.3f, want ~4", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) should be 0 almost surely")
+	}
+}

@@ -1,0 +1,186 @@
+// Package index implements PRESTO's distributed index tier: the component
+// that "constructs a unified view of caches across geographically
+// distributed sensor proxies" (Section 1) using an order-preserving
+// structure (Skip Graphs, Section 5).
+//
+// The index answers two questions:
+//
+//  1. ownership — which proxy manages a given mote (query routing for the
+//     unified store), and
+//  2. temporal order — a single time-ordered stream of detections
+//     (semantic events) across every proxy, the view a traffic-monitoring
+//     application needs to reconstruct vehicle trajectories across
+//     sensors owned by different proxies.
+//
+// Detections are published into a skip graph keyed by timestamp
+// (nanosecond resolution; same-instant detections are disambiguated by
+// linear probing into adjacent unused nanoseconds, which cannot disturb
+// ordering at sensor timescales). Hop counts accumulate in the underlying
+// graph, giving E9 its inter-proxy message counts.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/skipgraph"
+)
+
+// ProxyID identifies a proxy in the index tier.
+type ProxyID int
+
+// Detection is a semantic event published by a proxy (e.g. "vehicle of
+// type 3 seen at sensor 7"). Per Section 3, proxies cache event-based
+// views, not raw data; the index orders those events globally.
+type Detection struct {
+	T     simtime.Time
+	Mote  radio.NodeID
+	Proxy ProxyID
+	Kind  string
+	Value float64
+}
+
+// ErrNoProxy is returned when routing an unregistered mote.
+var ErrNoProxy = errors.New("index: mote not registered with any proxy")
+
+// Index is the distributed index spanning all proxies.
+type Index struct {
+	g       *skipgraph.Graph
+	proxyOf map[radio.NodeID]ProxyID
+	motesBy map[ProxyID][]radio.NodeID
+	// replicaOf maps a wireless proxy to the wired proxy that replicates
+	// its cache (Section 5's low-latency replication).
+	replicaOf map[ProxyID]ProxyID
+	wired     map[ProxyID]bool
+	published uint64
+}
+
+// New creates an empty index; seed drives skip-graph membership vectors.
+func New(seed int64) *Index {
+	return &Index{
+		g:         skipgraph.New(seed),
+		proxyOf:   make(map[radio.NodeID]ProxyID),
+		motesBy:   make(map[ProxyID][]radio.NodeID),
+		replicaOf: make(map[ProxyID]ProxyID),
+		wired:     make(map[ProxyID]bool),
+	}
+}
+
+// RegisterProxy declares a proxy and whether it is wired (mesh/802.11
+// proxies are not).
+func (ix *Index) RegisterProxy(p ProxyID, wired bool) {
+	ix.wired[p] = wired
+	if _, ok := ix.motesBy[p]; !ok {
+		ix.motesBy[p] = nil
+	}
+}
+
+// Wired reports whether a proxy was registered as wired.
+func (ix *Index) Wired(p ProxyID) bool { return ix.wired[p] }
+
+// RegisterMote assigns a mote to its managing proxy.
+func (ix *Index) RegisterMote(m radio.NodeID, p ProxyID) {
+	if old, ok := ix.proxyOf[m]; ok {
+		// Re-assignment: remove from the old proxy's list.
+		motes := ix.motesBy[old]
+		for i, id := range motes {
+			if id == m {
+				ix.motesBy[old] = append(motes[:i], motes[i+1:]...)
+				break
+			}
+		}
+	}
+	ix.proxyOf[m] = p
+	ix.motesBy[p] = append(ix.motesBy[p], m)
+}
+
+// ProxyFor routes a mote to its managing proxy.
+func (ix *Index) ProxyFor(m radio.NodeID) (ProxyID, error) {
+	p, ok := ix.proxyOf[m]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoProxy, m)
+	}
+	return p, nil
+}
+
+// MotesOf lists the motes a proxy manages.
+func (ix *Index) MotesOf(p ProxyID) []radio.NodeID {
+	return append([]radio.NodeID(nil), ix.motesBy[p]...)
+}
+
+// Proxies lists registered proxies.
+func (ix *Index) Proxies() []ProxyID {
+	out := make([]ProxyID, 0, len(ix.wired))
+	for p := range ix.wired {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SetReplica declares that wired proxy w replicates wireless proxy p's
+// cache. Returns an error if w is not wired.
+func (ix *Index) SetReplica(p, w ProxyID) error {
+	if !ix.wired[w] {
+		return fmt.Errorf("index: replica target %d is not a wired proxy", w)
+	}
+	ix.replicaOf[p] = w
+	return nil
+}
+
+// ReplicaFor returns the wired replica of a proxy, if any.
+func (ix *Index) ReplicaFor(p ProxyID) (ProxyID, bool) {
+	w, ok := ix.replicaOf[p]
+	return w, ok
+}
+
+// PublishDetection inserts a detection into the global temporal index.
+// Same-nanosecond detections are disambiguated by probing forward.
+func (ix *Index) PublishDetection(d Detection) error {
+	key := uint64(d.T)
+	for probes := 0; probes < 1<<16; probes++ {
+		err := ix.g.Insert(key, d)
+		if err == nil {
+			ix.published++
+			return nil
+		}
+		if !errors.Is(err, skipgraph.ErrDuplicateKey) {
+			return err
+		}
+		key++
+	}
+	return errors.New("index: could not disambiguate detection timestamp")
+}
+
+// ScanDetections returns detections in [t0, t1] in global time order,
+// regardless of which proxy published them.
+func (ix *Index) ScanDetections(t0, t1 simtime.Time) []Detection {
+	kvs := ix.g.RangeScan(uint64(t0), uint64(t1))
+	out := make([]Detection, 0, len(kvs))
+	for _, kv := range kvs {
+		if d, ok := kv.Value.(Detection); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LookupDetection finds the detection at (or probed just after) time t.
+func (ix *Index) LookupDetection(t simtime.Time) (Detection, bool) {
+	v, ok := ix.g.Search(uint64(t))
+	if !ok {
+		return Detection{}, false
+	}
+	d, ok := v.(Detection)
+	return d, ok
+}
+
+// Hops returns cumulative inter-proxy hops spent on index operations.
+func (ix *Index) Hops() uint64 { return ix.g.Hops() }
+
+// ResetHops zeroes the hop counter.
+func (ix *Index) ResetHops() { ix.g.ResetHops() }
+
+// Published returns the number of detections in the index.
+func (ix *Index) Published() uint64 { return ix.published }

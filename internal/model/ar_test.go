@@ -1,0 +1,189 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"presto/internal/simtime"
+)
+
+// arSeries generates a synthetic AR(2) process plus mean.
+func arSeries(n int, c1, c2, mean, noise float64, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	x1, x2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := c1*x1 + c2*x2 + rng.NormFloat64()*noise
+		recs[i] = Record{T: simtime.Time(i) * simtime.Minute, V: mean + x}
+		x2, x1 = x1, x
+	}
+	return recs
+}
+
+func TestTrainARRecoversCoefficients(t *testing.T) {
+	recs := arSeries(5000, 0.6, 0.3, 20, 0.1, 7)
+	m, err := TrainAR(recs, 2, simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-0.6) > 0.1 || math.Abs(m.Coef[1]-0.3) > 0.1 {
+		t.Fatalf("coefficients %v, want ~[0.6 0.3]", m.Coef)
+	}
+	if math.Abs(m.Mean-20) > 1 {
+		t.Fatalf("mean %v", m.Mean)
+	}
+}
+
+func TestAROneStepPrediction(t *testing.T) {
+	recs := arSeries(3000, 0.8, 0, 10, 0.05, 3)
+	m, err := TrainAR(recs[:2000], 1, simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-step-ahead predictions on held-out data beat predicting the
+	// mean.
+	var ssAR, ssMean float64
+	for i := 2001; i < len(recs); i++ {
+		pred := m.Predict(recs[i].T, recs[i-1:i])
+		dAR := pred - recs[i].V
+		dMean := m.Mean - recs[i].V
+		ssAR += dAR * dAR
+		ssMean += dMean * dMean
+	}
+	if ssAR >= ssMean {
+		t.Fatalf("AR one-step MSE %.4f not better than mean MSE %.4f", ssAR, ssMean)
+	}
+}
+
+func TestARLongHorizonDecaysToMean(t *testing.T) {
+	m := &AR{Mean: 15, Coef: []float64{0.9}, Interval: simtime.Minute}
+	anchor := []Record{{T: 0, V: 25}} // 10 above mean
+	short := m.Predict(simtime.Minute, anchor)
+	long := m.Predict(6*simtime.Hour, anchor)
+	if math.Abs(short-24) > 0.1 {
+		t.Fatalf("one-step prediction %v, want 24 (decay 0.9)", short)
+	}
+	if math.Abs(long-15) > 0.01 {
+		t.Fatalf("long-horizon prediction %v, want mean 15", long)
+	}
+	// Beyond the iteration cap: exactly the mean.
+	if got := m.Predict(30*simtime.Day, anchor); got != 15 {
+		t.Fatalf("capped prediction %v", got)
+	}
+}
+
+func TestAREdgeCases(t *testing.T) {
+	m := &AR{Mean: 5, Coef: []float64{0.5}, Interval: simtime.Minute}
+	if m.Predict(simtime.Hour, nil) != 5 {
+		t.Error("no history should predict the mean")
+	}
+	anchor := []Record{{T: simtime.Hour, V: 9}}
+	if m.Predict(simtime.Hour, anchor) != 9 {
+		t.Error("predicting at the anchor should return the anchor")
+	}
+	if m.Predict(simtime.Minute, anchor) != 9 {
+		t.Error("predicting before the anchor should return the anchor")
+	}
+	empty := &AR{Mean: 3}
+	if empty.Predict(simtime.Hour, anchor) != 3 {
+		t.Error("order-0 model should predict the mean")
+	}
+}
+
+func TestARMarshalRoundTrip(t *testing.T) {
+	recs := arSeries(1000, 0.5, 0.2, 7, 0.1, 9)
+	m, err := TrainAR(recs, 2, simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != m.Name() {
+		t.Fatalf("name %q", got.Name())
+	}
+	shared := []Record{{T: simtime.Hour, V: 8}}
+	a := m.Predict(simtime.Hour+simtime.Minute, shared)
+	b := got.Predict(simtime.Hour+simtime.Minute, shared)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("round-trip prediction %v vs %v", a, b)
+	}
+}
+
+func TestARUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{tagAR, 1}); err != ErrShortBuffer {
+		t.Fatal("short AR accepted")
+	}
+	m := &AR{Mean: 1, Coef: []float64{0.1, 0.2}, Interval: simtime.Minute}
+	buf := m.Marshal()
+	buf[1] = 200 // claim 200 coefficients
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("coefficient overflow accepted")
+	}
+}
+
+func TestTrainARErrors(t *testing.T) {
+	recs := arSeries(100, 0.5, 0, 0, 0.1, 1)
+	if _, err := TrainAR(recs, 0, simtime.Minute); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := TrainAR(recs, 65, simtime.Minute); err == nil {
+		t.Error("order 65 accepted")
+	}
+	if _, err := TrainAR(recs, 2, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := TrainAR(recs[:10], 2, simtime.Minute); err == nil {
+		t.Error("too few samples accepted")
+	}
+	// Constant data: singular system.
+	flat := make([]Record, 100)
+	for i := range flat {
+		flat[i] = Record{T: simtime.Time(i) * simtime.Minute, V: 5}
+	}
+	if _, err := TrainAR(flat, 2, simtime.Minute); err == nil {
+		t.Error("constant data accepted (singular)")
+	}
+}
+
+func TestARPushContract(t *testing.T) {
+	// The push contract holds for AR like any model: replay with pushes
+	// on model failure keeps proxy error within delta.
+	recs := arSeries(4000, 0.7, 0.2, 12, 0.2, 11)
+	m, err := TrainAR(recs[:2000], 2, simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	var shared []Record
+	for _, r := range recs[2000:] {
+		pred := m.Predict(r.T, shared)
+		view := pred
+		if math.Abs(pred-r.V) > delta {
+			shared = append(shared, r)
+			if len(shared) > 4 {
+				shared = shared[len(shared)-4:]
+			}
+			view = r.V
+		}
+		if err := math.Abs(view - r.V); err > delta {
+			t.Fatalf("proxy error %v exceeds delta at %v", err, r.T)
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	got, err := solveLinear([][]float64{{2, 1}, {1, 3}}, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Fatalf("solution %v", got)
+	}
+	if _, err := solveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}

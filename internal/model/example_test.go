@@ -1,0 +1,52 @@
+package model_test
+
+import (
+	"fmt"
+	"math"
+
+	"presto/internal/model"
+	"presto/internal/simtime"
+)
+
+// ExampleEvaluate demonstrates the model-driven push loop on perfectly
+// diurnal data: the proxy trains a seasonal model on day one, and a mote
+// replaying day two never needs to push because the model predicts every
+// sample within delta.
+func ExampleEvaluate() {
+	// Two days of noiseless diurnal data, 10-minute sampling.
+	var recs []model.Record
+	for i := 0; i < 2*144; i++ {
+		t := simtime.Time(i) * 10 * simtime.Minute
+		v := 20 + 5*math.Sin(2*math.Pi*t.Hours()/24)
+		recs = append(recs, model.Record{T: t, V: v})
+	}
+	m, err := model.TrainSeasonal(recs[:144], 48, simtime.Day)
+	if err != nil {
+		panic(err)
+	}
+	pushes, rmse := model.Evaluate(m, recs[144:], 1.0)
+	fmt.Printf("pushes=%d proxy RMSE under delta: %v\n", pushes, rmse < 1.0)
+	// Output: pushes=0 proxy RMSE under delta: true
+}
+
+// ExampleUnmarshal shows the over-the-air model installation a mote
+// performs: the proxy marshals trained parameters, the mote reconstructs
+// an identical predictor from the bytes.
+func ExampleUnmarshal() {
+	proxySide := &model.Seasonal{
+		Period: simtime.Day,
+		Bins:   make([]float32, 4),
+		Base:   22,
+	}
+	proxySide.Bins[2] = 3 // afternoons run warm
+
+	wire := proxySide.Marshal()
+	moteSide, err := model.Unmarshal(wire)
+	if err != nil {
+		panic(err)
+	}
+	noon := 13 * simtime.Hour
+	fmt.Printf("wire=%dB proxy=%.1f mote=%.1f\n",
+		len(wire), proxySide.Predict(noon, nil), moteSide.Predict(noon, nil))
+	// Output: wire=43B proxy=25.0 mote=25.0
+}

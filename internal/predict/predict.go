@@ -1,0 +1,181 @@
+// Package predict implements the planning half of PRESTO's prediction
+// engine: query–sensor matching and model retraining schedules.
+//
+// Section 3: "the PRESTO prediction engine is responsible for query-sensor
+// matching to match the needs of queries to the operations of remote
+// sensors. ... The query type, frequency, latency and precision
+// requirements are translated into the appropriate parameters for the
+// remote sensors, such that they can minimize energy while achieving query
+// requirements. For instance, if it is known that the worst case
+// notification latency for typical queries is 10 minutes, the proxy can
+// instruct remote sensors to set its radio duty-cycling parameters
+// accordingly".
+//
+// The translation implemented here:
+//
+//   - deadline → LPL interval (pull rendezvous costs up to one interval,
+//     so the interval is a fraction of the deadline, clamped to hardware
+//     bounds) and → batch interval (data may linger on the mote for up to
+//     the deadline before the proxy must see it);
+//   - precision → push threshold delta (the push contract makes delta the
+//     proxy-side error bound) and → lossy codec parameters (quantization
+//     and wavelet thresholds sized to half the precision budget);
+//   - arrival rate → whether tight-latency settings are worth their idle
+//     cost at all (rarely-queried sensors sleep more).
+package predict
+
+import (
+	"errors"
+	"time"
+
+	"presto/internal/compress"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// Hardware bounds for the LPL check interval.
+const (
+	MinLPL = 100 * time.Millisecond
+	MaxLPL = 8 * time.Second
+)
+
+// Workload summarizes the query population hitting one sensor, as the
+// proxy observes it.
+type Workload struct {
+	// ArrivalPerHour is the expected query arrival rate.
+	ArrivalPerHour float64
+	// Deadline is the worst-case acceptable response latency for queries
+	// that must reach the mote (pulls) or the worst-case notification
+	// latency for pushed events.
+	Deadline time.Duration
+	// Precision is the tightest error tolerance among typical queries.
+	Precision float64
+}
+
+// Validate reports workload errors.
+func (w Workload) Validate() error {
+	if w.ArrivalPerHour < 0 {
+		return errors.New("predict: negative arrival rate")
+	}
+	if w.Deadline < 0 {
+		return errors.New("predict: negative deadline")
+	}
+	if w.Precision < 0 {
+		return errors.New("predict: negative precision")
+	}
+	return nil
+}
+
+// Plan is the mote operating point chosen for a workload.
+type Plan struct {
+	LPLInterval   time.Duration
+	Delta         float64
+	BatchInterval time.Duration
+	BatchMode     compress.Mode
+	Quantum       float64
+	Threshold     float64
+}
+
+// Match translates a workload into a mote plan. sampleInterval is the
+// mote's sensing period.
+func Match(w Workload, sampleInterval time.Duration) (Plan, error) {
+	if err := w.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if sampleInterval <= 0 {
+		return Plan{}, errors.New("predict: non-positive sample interval")
+	}
+	p := Plan{}
+
+	// Deadline → duty cycle. A pull pays up to one LPL interval of
+	// rendezvous; keep it to a quarter of the deadline so retries fit.
+	deadline := w.Deadline
+	if deadline <= 0 {
+		deadline = 10 * time.Minute // paper's example default
+	}
+	lpl := deadline / 4
+	if lpl < MinLPL {
+		lpl = MinLPL
+	}
+	if lpl > MaxLPL {
+		lpl = MaxLPL
+	}
+	// Rarely-queried sensors (< 1 query per hour) sleep at the max.
+	if w.ArrivalPerHour > 0 && w.ArrivalPerHour < 1 {
+		lpl = MaxLPL
+	}
+	p.LPLInterval = lpl
+
+	// Precision → delta: the push contract bounds proxy error by delta,
+	// so delta equal to the precision serves queries from the proxy
+	// without pulls.
+	p.Delta = w.Precision
+	if p.Delta <= 0 {
+		p.Delta = 0.5
+	}
+
+	// Deadline → batching: events may wait up to the deadline; batch at
+	// the deadline when it spans multiple samples, otherwise push
+	// immediately.
+	if deadline >= 2*sampleInterval {
+		p.BatchInterval = deadline
+	}
+
+	// Precision → codec: spend half the precision budget on lossy
+	// compression, keeping the other half for model error (the combined
+	// answer-path error stays within precision).
+	if w.Precision > 0 {
+		p.BatchMode = compress.WaveletDenoise
+		p.Threshold = w.Precision / 2
+		p.Quantum = w.Precision / 2
+	} else {
+		p.BatchMode = compress.Delta
+		p.Quantum = 0.01
+	}
+	return p, nil
+}
+
+// WireConfig converts a plan into the over-the-air config message.
+func (p Plan) WireConfig() wire.Config {
+	return wire.Config{
+		LPLInterval:   simtime.Time(p.LPLInterval),
+		BatchInterval: simtime.Time(p.BatchInterval),
+		BatchMode:     uint8(p.BatchMode) + 1,
+		Quantum:       p.Quantum,
+		Threshold:     p.Threshold,
+	}
+}
+
+// IdleCostPerDay estimates the idle-listening Joules per day at a given
+// LPL interval and per-check cost — the planner's cost model for duty
+// cycling (exposed for the E8 experiment and ablations).
+func IdleCostPerDay(lpl time.Duration, listenJPerCheck float64) float64 {
+	if lpl <= 0 {
+		return 0
+	}
+	checks := float64(24*time.Hour) / float64(lpl)
+	return checks * listenJPerCheck
+}
+
+// RetrainPolicy schedules periodic model refresh.
+type RetrainPolicy struct {
+	// Every is the retraining period (e.g. daily).
+	Every time.Duration
+	// Window is how much confirmed history to train on.
+	Window time.Duration
+	// Bins is the seasonal bin count.
+	Bins int
+}
+
+// DefaultRetrainPolicy retrains daily on a 3-day window with 48 bins.
+func DefaultRetrainPolicy() RetrainPolicy {
+	return RetrainPolicy{Every: 24 * time.Hour, Window: 72 * time.Hour, Bins: 48}
+}
+
+// Validate reports policy errors.
+func (r RetrainPolicy) Validate() error {
+	if r.Every <= 0 || r.Window <= 0 || r.Bins <= 0 {
+		return errors.New("predict: retrain policy fields must be positive")
+	}
+	return nil
+}

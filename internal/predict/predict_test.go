@@ -1,0 +1,126 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"presto/internal/compress"
+	"presto/internal/simtime"
+)
+
+func TestMatchDeadlineToLPL(t *testing.T) {
+	// The paper's example: 10-minute notification latency lets the radio
+	// sleep long; LPL should hit the hardware max.
+	p, err := Match(Workload{Deadline: 10 * time.Minute, Precision: 1, ArrivalPerHour: 10}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LPLInterval != MaxLPL {
+		t.Fatalf("lpl=%v, want MaxLPL for 10-min deadline", p.LPLInterval)
+	}
+	// A 1-second deadline forces a fast duty cycle (clamped at MinLPL).
+	p, _ = Match(Workload{Deadline: time.Second, Precision: 1, ArrivalPerHour: 10}, time.Minute)
+	if p.LPLInterval != 250*time.Millisecond {
+		t.Fatalf("lpl=%v, want 250ms (deadline/4)", p.LPLInterval)
+	}
+	p, _ = Match(Workload{Deadline: 100 * time.Millisecond, Precision: 1, ArrivalPerHour: 10}, time.Minute)
+	if p.LPLInterval != MinLPL {
+		t.Fatalf("lpl=%v, want MinLPL", p.LPLInterval)
+	}
+}
+
+func TestMatchRareQueriesSleepMore(t *testing.T) {
+	busy, _ := Match(Workload{Deadline: 2 * time.Second, Precision: 1, ArrivalPerHour: 100}, time.Minute)
+	idle, _ := Match(Workload{Deadline: 2 * time.Second, Precision: 1, ArrivalPerHour: 0.2}, time.Minute)
+	if idle.LPLInterval <= busy.LPLInterval {
+		t.Fatalf("rarely-queried sensor (%v) should sleep more than busy one (%v)", idle.LPLInterval, busy.LPLInterval)
+	}
+}
+
+func TestMatchPrecisionToDelta(t *testing.T) {
+	p, _ := Match(Workload{Deadline: time.Minute, Precision: 0.75}, time.Minute)
+	if p.Delta != 0.75 {
+		t.Fatalf("delta=%v", p.Delta)
+	}
+	if p.Threshold != 0.375 || p.Quantum != 0.375 {
+		t.Fatalf("codec params %v/%v, want precision/2", p.Threshold, p.Quantum)
+	}
+	if p.BatchMode != compress.WaveletDenoise {
+		t.Fatalf("mode=%v", p.BatchMode)
+	}
+	// Zero precision: exact delivery, delta codec with tiny quantum.
+	p, _ = Match(Workload{Deadline: time.Minute, Precision: 0}, time.Minute)
+	if p.Delta != 0.5 {
+		t.Fatalf("default delta=%v", p.Delta)
+	}
+	if p.BatchMode != compress.Delta {
+		t.Fatalf("mode=%v", p.BatchMode)
+	}
+}
+
+func TestMatchDeadlineToBatching(t *testing.T) {
+	// Deadline of an hour at 1-minute sampling: batch at the deadline.
+	p, _ := Match(Workload{Deadline: time.Hour, Precision: 1}, time.Minute)
+	if p.BatchInterval != time.Hour {
+		t.Fatalf("batch=%v", p.BatchInterval)
+	}
+	// Deadline shorter than two samples: immediate push.
+	p, _ = Match(Workload{Deadline: 90 * time.Second, Precision: 1}, time.Minute)
+	if p.BatchInterval != 0 {
+		t.Fatalf("batch=%v, want immediate", p.BatchInterval)
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	if _, err := Match(Workload{ArrivalPerHour: -1}, time.Minute); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := Match(Workload{Deadline: -time.Second}, time.Minute); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	if _, err := Match(Workload{Precision: -1}, time.Minute); err == nil {
+		t.Error("negative precision accepted")
+	}
+	if _, err := Match(Workload{}, 0); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+}
+
+func TestWireConfig(t *testing.T) {
+	p := Plan{
+		LPLInterval:   2 * time.Second,
+		BatchInterval: time.Hour,
+		BatchMode:     compress.WaveletDenoise,
+		Quantum:       0.1,
+		Threshold:     0.2,
+	}
+	c := p.WireConfig()
+	if c.LPLInterval != 2*simtime.Second || c.BatchInterval != simtime.Hour {
+		t.Fatalf("config %+v", c)
+	}
+	if c.BatchMode != uint8(compress.WaveletDenoise)+1 {
+		t.Fatalf("mode encoding %d", c.BatchMode)
+	}
+}
+
+func TestIdleCostPerDay(t *testing.T) {
+	// Doubling the interval halves the cost.
+	a := IdleCostPerDay(time.Second, 150e-6)
+	b := IdleCostPerDay(2*time.Second, 150e-6)
+	if a <= 0 || b <= 0 || a/b < 1.99 || a/b > 2.01 {
+		t.Fatalf("idle cost scaling %v / %v", a, b)
+	}
+	if IdleCostPerDay(0, 150e-6) != 0 {
+		t.Fatal("zero interval should cost 0 here (always-on handled elsewhere)")
+	}
+}
+
+func TestRetrainPolicy(t *testing.T) {
+	if err := DefaultRetrainPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := RetrainPolicy{Every: 0, Window: time.Hour, Bins: 24}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero Every accepted")
+	}
+}

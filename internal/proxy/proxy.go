@@ -1,0 +1,499 @@
+// Package proxy implements the PRESTO proxy: the tethered middle tier
+// that caches sensor data, predicts what it has not seen, controls its
+// motes, and answers user queries interactively.
+//
+// Section 3: "The PRESTO proxy comprises two components: a cache of
+// summary information about the data observed at the remote sensors and a
+// prediction engine that is responsible for data extrapolation,
+// model-driven push, and query-sensor matching."
+//
+// Query path (Section 2, "System Operation"): on a query the proxy first
+// checks its cache; on a miss it extrapolates from the model if the
+// extrapolated error bound meets the query's precision; only when
+// extrapolation is insufficient does it pull from the mote's archive —
+// paying one duty-cycle rendezvous — and the pulled data refines the cache
+// so subsequent queries hit.
+package proxy
+
+import (
+	"fmt"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/model"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// Config sets proxy behaviour.
+type Config struct {
+	ID radio.NodeID
+	// SharedHistory mirrors the motes' confirmed-history ring size.
+	SharedHistory int
+	// PullTimeout bounds how long a query waits for a mote's archive
+	// before answering best-effort from the cache/model.
+	PullTimeout time.Duration
+	// CacheRetention prunes cache entries older than this (0 = keep all).
+	CacheRetention time.Duration
+	// SpatialExtrapolation enables answering a mote's queries from its
+	// co-located siblings' data when its own data is missing (§2).
+	SpatialExtrapolation bool
+}
+
+// DefaultConfig returns a proxy configuration with a 30 s pull timeout.
+func DefaultConfig(id radio.NodeID) Config {
+	return Config{ID: id, SharedHistory: 4, PullTimeout: 30 * time.Second}
+}
+
+// Source labels how a query answer was produced.
+type Source int
+
+// Answer provenance, mirroring the cache but with the pull path explicit.
+const (
+	FromCache Source = iota
+	FromModel
+	FromPull
+	FromTimeout // pull timed out; best-effort model answer
+	FromSpatial // extrapolated from co-located sibling motes
+)
+
+// NumSources is the number of answer sources.
+const NumSources = int(FromSpatial) + 1
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case FromCache:
+		return "cache"
+	case FromModel:
+		return "model"
+	case FromPull:
+		return "pull"
+	case FromTimeout:
+		return "timeout"
+	case FromSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Answer is a completed query result.
+type Answer struct {
+	Mote     radio.NodeID
+	Entries  []cache.Entry // time-ordered values with per-entry bounds
+	Source   Source        // dominant provenance
+	IssuedAt simtime.Time
+	DoneAt   simtime.Time
+}
+
+// Latency returns the query's response time.
+func (a Answer) Latency() time.Duration { return time.Duration(a.DoneAt - a.IssuedAt) }
+
+// Value returns the single value of a point answer (first entry).
+func (a Answer) Value() (float64, bool) {
+	if len(a.Entries) == 0 {
+		return 0, false
+	}
+	return a.Entries[0].V, true
+}
+
+// moteState is everything the proxy tracks per managed mote.
+type moteState struct {
+	id             radio.NodeID
+	series         *cache.Series
+	mdl            model.Model
+	delta          float64
+	shared         []model.Record
+	sampleInterval simtime.Time
+	lastHeard      simtime.Time
+	spatial        *spatialState
+}
+
+// pendingPull tracks an outstanding archive fetch.
+type pendingPull struct {
+	mote    radio.NodeID
+	done    func(recs []wire.Rec, errBound float64, timedOut bool)
+	timeout simtime.Handle
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	PushesReceived  uint64
+	BatchesReceived uint64
+	EventsReceived  uint64
+	PullsIssued     uint64
+	PullsTimedOut   uint64
+	QueriesAnswered uint64
+	AnswersBySource [NumSources]uint64 // indexed by Source
+}
+
+// Proxy is a PRESTO proxy node.
+type Proxy struct {
+	cfg    Config
+	sim    *simtime.Simulator
+	ep     *radio.Endpoint
+	motes  map[radio.NodeID]*moteState
+	pulls  map[uint32]*pendingPull
+	nextID uint32
+	stats  Stats
+
+	watches   []*watch
+	nextWatch WatchID
+}
+
+// New attaches a proxy to the medium. Proxies are tethered: their radio is
+// always listening and their energy is not metered (not the constraint the
+// paper optimizes).
+func New(sim *simtime.Simulator, medium *radio.Medium, cfg Config) (*Proxy, error) {
+	if cfg.SharedHistory <= 0 {
+		cfg.SharedHistory = 4
+	}
+	if cfg.PullTimeout <= 0 {
+		cfg.PullTimeout = 30 * time.Second
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		sim:   sim,
+		motes: make(map[radio.NodeID]*moteState),
+		pulls: make(map[uint32]*pendingPull),
+	}
+	var err error
+	p.ep, err = medium.Attach(cfg.ID, nil, 0, p.handle)
+	if err != nil {
+		return nil, fmt.Errorf("proxy %d: %w", cfg.ID, err)
+	}
+	return p, nil
+}
+
+// ID returns the proxy's node id.
+func (p *Proxy) ID() radio.NodeID { return p.cfg.ID }
+
+// Stats returns activity counters.
+func (p *Proxy) Stats() Stats { return p.stats }
+
+// Register adopts a mote: the proxy will accept its pushes and can query
+// and control it. delta is the current push threshold (must match what the
+// mote runs, normally set via ShipModel).
+func (p *Proxy) Register(id radio.NodeID, sampleInterval time.Duration, delta float64) {
+	p.motes[id] = &moteState{
+		id:             id,
+		series:         cache.NewSeries(),
+		mdl:            model.ConstLast{},
+		delta:          delta,
+		sampleInterval: simtime.Time(sampleInterval),
+	}
+}
+
+// Motes lists managed mote ids (stable order not guaranteed).
+func (p *Proxy) Motes() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(p.motes))
+	for id := range p.motes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Series exposes a mote's cache series (experiments inspect provenance).
+func (p *Proxy) Series(id radio.NodeID) (*cache.Series, bool) {
+	st, ok := p.motes[id]
+	if !ok {
+		return nil, false
+	}
+	return st.series, true
+}
+
+// ShipModel installs a model + delta proxy-side and transmits the
+// parameters to the mote.
+func (p *Proxy) ShipModel(id radio.NodeID, m model.Model, delta float64) error {
+	st, ok := p.motes[id]
+	if !ok {
+		return fmt.Errorf("proxy: mote %d not registered", id)
+	}
+	st.mdl = m
+	st.delta = delta
+	payload := wire.EncodeModelUpdate(wire.ModelUpdate{Delta: delta, Params: m.Marshal()})
+	return p.ep.Send(id, wire.KindModelUpdate, payload)
+}
+
+// TrainAndShip trains a SeasonalAnchored model on the mote's confirmed
+// cache history in [t0, t1] and ships it. Returns the trained model.
+func (p *Proxy) TrainAndShip(id radio.NodeID, t0, t1 simtime.Time, bins int, delta float64) (model.Model, error) {
+	st, ok := p.motes[id]
+	if !ok {
+		return nil, fmt.Errorf("proxy: mote %d not registered", id)
+	}
+	recs := st.series.ConfirmedRange(t0, t1)
+	m, err := model.TrainSeasonalAnchored(recs, bins, simtime.Day)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: training mote %d: %w", id, err)
+	}
+	if err := p.ShipModel(id, m, delta); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Configure transmits an over-the-air retune to a mote (query–sensor
+// matching output).
+func (p *Proxy) Configure(id radio.NodeID, c wire.Config) error {
+	if _, ok := p.motes[id]; !ok {
+		return fmt.Errorf("proxy: mote %d not registered", id)
+	}
+	return p.ep.Send(id, wire.KindConfig, wire.EncodeConfig(c))
+}
+
+// handle processes mote → proxy traffic.
+func (p *Proxy) handle(pkt radio.Packet) {
+	st, ok := p.motes[pkt.Src]
+	if !ok && pkt.Kind != wire.KindPullResp {
+		return // unknown mote
+	}
+	switch pkt.Kind {
+	case wire.KindPush:
+		push, err := wire.DecodePush(pkt.Payload)
+		if err != nil {
+			return
+		}
+		p.stats.PushesReceived++
+		st.lastHeard = p.sim.Now()
+		st.series.Insert(cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+		p.noteConfirmed(st, model.Record{T: push.T, V: push.V})
+		p.observeSpatial(pkt.Src, push.T, push.V)
+		p.fireWatches(pkt.Src, cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+	case wire.KindBatch:
+		b, err := wire.DecodeBatch(pkt.Payload)
+		if err != nil {
+			return
+		}
+		p.stats.BatchesReceived++
+		st.lastHeard = p.sim.Now()
+		for i, v := range b.Values {
+			tt := b.Start + simtime.Time(i)*b.Interval
+			st.series.Insert(cache.Entry{T: tt, V: v, Source: cache.Pushed})
+			p.observeSpatial(pkt.Src, tt, v)
+			p.fireWatches(pkt.Src, cache.Entry{T: tt, V: v, Source: cache.Pushed})
+		}
+	case wire.KindEvents:
+		resp, err := wire.DecodePullResp(pkt.Payload)
+		if err != nil {
+			return
+		}
+		p.stats.EventsReceived++
+		st.lastHeard = p.sim.Now()
+		for _, r := range resp.Records {
+			st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
+			p.noteConfirmed(st, model.Record{T: r.T, V: r.V})
+			p.observeSpatial(pkt.Src, r.T, r.V)
+			p.fireWatches(pkt.Src, cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
+		}
+	case wire.KindPullResp:
+		resp, err := wire.DecodePullResp(pkt.Payload)
+		if err != nil {
+			return
+		}
+		p.completePull(pkt.Src, resp)
+	}
+	p.maybePrune()
+}
+
+// noteConfirmed appends to the shared confirmed-history ring (mirror of
+// the mote's ring; see internal/model for why both sides keep one).
+func (p *Proxy) noteConfirmed(st *moteState, r model.Record) {
+	st.shared = append(st.shared, r)
+	if len(st.shared) > p.cfg.SharedHistory {
+		st.shared = st.shared[len(st.shared)-p.cfg.SharedHistory:]
+	}
+}
+
+// maybePrune enforces cache retention.
+func (p *Proxy) maybePrune() {
+	if p.cfg.CacheRetention <= 0 {
+		return
+	}
+	cutoff := p.sim.Now() - simtime.Time(p.cfg.CacheRetention)
+	if cutoff <= 0 {
+		return
+	}
+	for _, st := range p.motes {
+		st.series.Prune(cutoff)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// QueryPoint answers a single-instant query for mote id at time t with the
+// given precision (maximum tolerated error). The callback fires exactly
+// once, possibly synchronously for cache/model answers. This is the
+// paper's NOW query when t == sim.Now(), and a PAST point query otherwise.
+func (p *Proxy) QueryPoint(id radio.NodeID, t simtime.Time, precision float64, cb func(Answer)) {
+	st, ok := p.motes[id]
+	issued := p.sim.Now()
+	if !ok {
+		cb(Answer{Mote: id, IssuedAt: issued, DoneAt: issued})
+		return
+	}
+	// 1. Cache: accept an entry within one sample interval whose bound
+	// meets the precision.
+	maxGap := time.Duration(st.sampleInterval)
+	if e, ok := st.series.At(t, maxGap); ok && e.ErrBound <= precision {
+		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromCache, IssuedAt: issued, DoneAt: p.sim.Now()})
+		return
+	}
+	// 2a. Spatial extrapolation: co-located siblings' data plus the
+	// learned offset, when its bound meets the precision and beats the
+	// mote's own model bound (useful when delta is loose or the mote is
+	// silent/dead).
+	if se, ok := p.spatialEstimate(id, t); ok && se.ErrBound <= precision && se.ErrBound < st.delta {
+		st.series.Insert(se)
+		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{se}, Source: FromSpatial, IssuedAt: issued, DoneAt: p.sim.Now()})
+		return
+	}
+	// 2b. Extrapolate: the model plus the push contract bounds the error
+	// by delta wherever the mote has been silent.
+	if st.delta <= precision {
+		shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
+		v := st.mdl.Predict(t, shared)
+		e := cache.Entry{T: t, V: v, Source: cache.Predicted, ErrBound: st.delta}
+		st.series.Insert(e)
+		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromModel, IssuedAt: issued, DoneAt: p.sim.Now()})
+		return
+	}
+	// 3. Pull from the mote archive around t.
+	t0, t1 := t-st.sampleInterval, t+st.sampleInterval
+	if t0 < 0 {
+		t0 = 0
+	}
+	p.pull(st, t0, t1, 0, func(recs []wire.Rec, errBound float64, timedOut bool) {
+		if timedOut {
+			shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
+			v := st.mdl.Predict(t, shared)
+			e := cache.Entry{T: t, V: v, Source: cache.Predicted, ErrBound: st.delta}
+			p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromTimeout, IssuedAt: issued, DoneAt: p.sim.Now()})
+			return
+		}
+		p.insertPulled(st, recs, errBound)
+		e, ok := st.series.At(t, maxGap)
+		if !ok {
+			e = cache.Entry{T: t, Source: cache.Predicted, ErrBound: st.delta}
+			shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
+			e.V = st.mdl.Predict(t, shared)
+		}
+		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromPull, IssuedAt: issued, DoneAt: p.sim.Now()})
+	})
+}
+
+// QueryNow answers the paper's NOW query: current value within precision.
+func (p *Proxy) QueryNow(id radio.NodeID, precision float64, cb func(Answer)) {
+	p.QueryPoint(id, p.sim.Now(), precision, cb)
+}
+
+// QueryRange answers a PAST query over [t0, t1]: one entry per sample
+// interval, each within precision if at all possible. Gaps that the model
+// cannot cover within precision trigger a single archive pull for the
+// whole span.
+func (p *Proxy) QueryRange(id radio.NodeID, t0, t1 simtime.Time, precision float64, cb func(Answer)) {
+	st, ok := p.motes[id]
+	issued := p.sim.Now()
+	if !ok || t1 < t0 {
+		cb(Answer{Mote: id, IssuedAt: issued, DoneAt: issued})
+		return
+	}
+	entries, allGood := p.assembleRange(st, t0, t1, precision)
+	if allGood {
+		p.finish(cb, Answer{Mote: id, Entries: entries, Source: FromCache, IssuedAt: issued, DoneAt: p.sim.Now()})
+		return
+	}
+	// Lossy pull when the query precision allows it: quantize to half the
+	// precision budget, leaving the other half for sampling-offset error.
+	quantum := 0.0
+	if precision > 0 {
+		quantum = precision / 2
+	}
+	p.pull(st, t0, t1, quantum, func(recs []wire.Rec, errBound float64, timedOut bool) {
+		src := FromPull
+		if timedOut {
+			src = FromTimeout
+		} else {
+			p.insertPulled(st, recs, errBound)
+		}
+		entries, _ := p.assembleRange(st, t0, t1, precision)
+		p.finish(cb, Answer{Mote: id, Entries: entries, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
+	})
+}
+
+// assembleRange builds one entry per sample interval over [t0, t1] from
+// cache + model, reporting whether every entry met the precision.
+func (p *Proxy) assembleRange(st *moteState, t0, t1 simtime.Time, precision float64) ([]cache.Entry, bool) {
+	step := st.sampleInterval
+	if step <= 0 {
+		step = simtime.Minute
+	}
+	var out []cache.Entry
+	allGood := true
+	for t := t0; t <= t1; t += step {
+		if e, ok := st.series.At(t, time.Duration(step)/2); ok && e.ErrBound <= precision {
+			out = append(out, e)
+			continue
+		}
+		shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
+		v := st.mdl.Predict(t, shared)
+		e := cache.Entry{T: t, V: v, Source: cache.Predicted, ErrBound: st.delta}
+		out = append(out, e)
+		if st.delta > precision {
+			allGood = false
+		}
+	}
+	return out, allGood
+}
+
+// insertPulled refines the cache with archive records.
+func (p *Proxy) insertPulled(st *moteState, recs []wire.Rec, errBound float64) {
+	for _, r := range recs {
+		st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pulled, ErrBound: errBound})
+	}
+}
+
+// pull issues an archive fetch with timeout.
+func (p *Proxy) pull(st *moteState, t0, t1 simtime.Time, quantum float64, done func([]wire.Rec, float64, bool)) {
+	p.nextID++
+	id := p.nextID
+	p.stats.PullsIssued++
+	pending := &pendingPull{mote: st.id, done: done}
+	pending.timeout = p.sim.Schedule(p.cfg.PullTimeout, func() {
+		delete(p.pulls, id)
+		p.stats.PullsTimedOut++
+		done(nil, 0, true)
+	})
+	p.pulls[id] = pending
+	payload := wire.EncodePullReq(wire.PullReq{ID: id, T0: t0, T1: t1, Quantum: quantum})
+	if err := p.ep.Send(st.id, wire.KindPullReq, payload); err != nil {
+		// Unknown/detached mote: let the timeout fire (keeps one code path).
+		return
+	}
+}
+
+// completePull resolves a pending pull.
+func (p *Proxy) completePull(src radio.NodeID, resp wire.PullResp) {
+	pending, ok := p.pulls[resp.ID]
+	if !ok || pending.mote != src {
+		return // late or duplicate response
+	}
+	delete(p.pulls, resp.ID)
+	pending.timeout.Cancel()
+	if st, ok := p.motes[src]; ok {
+		st.lastHeard = p.sim.Now()
+	}
+	pending.done(resp.Records, resp.ErrBound, false)
+}
+
+// finish records stats and invokes the callback.
+func (p *Proxy) finish(cb func(Answer), a Answer) {
+	p.stats.QueriesAnswered++
+	if int(a.Source) < len(p.stats.AnswersBySource) {
+		p.stats.AnswersBySource[a.Source]++
+	}
+	cb(a)
+}

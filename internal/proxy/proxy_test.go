@@ -1,0 +1,366 @@
+package proxy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/mote"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// rig wires one proxy to one mote over a lossless link.
+type rig struct {
+	sim   *simtime.Simulator
+	med   *radio.Medium
+	proxy *Proxy
+	mote  *mote.Mote
+	trace *gen.Trace
+}
+
+func newRig(t *testing.T, mutateMote func(*mote.Config), trace *gen.Trace) *rig {
+	t.Helper()
+	sim := simtime.New(1)
+	rcfg := radio.DefaultConfig()
+	rcfg.LossProb = 0
+	rcfg.JitterMax = 0
+	med, err := radio.NewMedium(sim, rcfg, energy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(sim, med, DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := mote.DefaultConfig(1, 100)
+	mc.Flash = flash.Geometry{PageSize: 240, PagesPerBlock: 8, NumBlocks: 64}
+	if mutateMote != nil {
+		mutateMote(&mc)
+	}
+	sampler := func(ts simtime.Time) float64 { return trace.Value(ts) }
+	m, err := mote.New(sim, med, energy.DefaultParams(), mc, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(1, mc.SampleInterval, mc.Delta)
+	return &rig{sim: sim, med: med, proxy: p, mote: m, trace: trace}
+}
+
+func diurnalTrace(t *testing.T, days int) *gen.Trace {
+	t.Helper()
+	c := gen.DefaultTempConfig()
+	c.Days = days
+	c.EventsPerDay = 0
+	c.NoiseStd = 0.05
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces[0]
+}
+
+func TestPushesPopulateCache(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) { c.Delta = 0.5 }, diurnalTrace(t, 2))
+	r.mote.Start()
+	r.sim.RunFor(24 * time.Hour)
+	s, ok := r.proxy.Series(1)
+	if !ok {
+		t.Fatal("series missing")
+	}
+	st := s.Stats()
+	if st.Confirmed == 0 {
+		t.Fatal("no pushed entries reached the cache")
+	}
+	if r.proxy.Stats().PushesReceived == 0 {
+		t.Fatal("stats missing pushes")
+	}
+}
+
+func TestQueryNowFromModel(t *testing.T) {
+	// Precision >= delta: answers come from cache or model instantly.
+	r := newRig(t, func(c *mote.Config) { c.Delta = 1.0 }, diurnalTrace(t, 2))
+	r.mote.Start()
+	r.sim.RunFor(12 * time.Hour)
+	var ans Answer
+	done := false
+	r.proxy.QueryNow(1, 1.0, func(a Answer) { ans = a; done = true })
+	if !done {
+		t.Fatal("model/cache answer should be synchronous")
+	}
+	if ans.Source != FromCache && ans.Source != FromModel {
+		t.Fatalf("source=%v, want cache or model", ans.Source)
+	}
+	if ans.Latency() != 0 {
+		t.Fatalf("latency %v, want 0 for local answer", ans.Latency())
+	}
+	v, ok := ans.Value()
+	if !ok {
+		t.Fatal("no value")
+	}
+	truth := r.trace.Value(r.sim.Now())
+	if math.Abs(v-truth) > 1.0+0.01 {
+		t.Fatalf("answer %.3f vs truth %.3f exceeds delta", v, truth)
+	}
+}
+
+func TestQueryTighterThanDeltaPulls(t *testing.T) {
+	// Precision < delta: the proxy must pull from the archive.
+	r := newRig(t, func(c *mote.Config) { c.Delta = 2.0 }, diurnalTrace(t, 2))
+	r.mote.Start()
+	r.sim.RunFor(6 * time.Hour)
+	var ans Answer
+	done := false
+	past := r.sim.Now() - 2*simtime.Hour
+	r.proxy.QueryPoint(1, past, 0.1, func(a Answer) { ans = a; done = true })
+	if done {
+		t.Fatal("pull answer arrived synchronously")
+	}
+	r.sim.RunFor(time.Minute)
+	if !done {
+		t.Fatal("pull never completed")
+	}
+	if ans.Source != FromPull {
+		t.Fatalf("source=%v, want pull", ans.Source)
+	}
+	if ans.Latency() <= 0 {
+		t.Fatal("pull latency should be positive")
+	}
+	v, _ := ans.Value()
+	truth := r.trace.Value(past)
+	if math.Abs(v-truth) > 0.2 {
+		t.Fatalf("pulled answer %.3f vs truth %.3f", v, truth)
+	}
+	if r.proxy.Stats().PullsIssued != 1 {
+		t.Fatalf("pulls issued %d", r.proxy.Stats().PullsIssued)
+	}
+	// The pull refined the cache: repeating the query hits.
+	done = false
+	r.proxy.QueryPoint(1, past, 0.1, func(a Answer) { ans = a; done = true })
+	if !done || ans.Source != FromCache {
+		t.Fatalf("repeat query source=%v done=%v, want synchronous cache hit", ans.Source, done)
+	}
+}
+
+func TestQueryRangeAssemblesEntries(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) { c.Delta = 1.0 }, diurnalTrace(t, 2))
+	r.mote.Start()
+	r.sim.RunFor(10 * time.Hour)
+	t0, t1 := 2*simtime.Hour, 4*simtime.Hour
+	var ans Answer
+	done := false
+	r.proxy.QueryRange(1, t0, t1, 1.0, func(a Answer) { ans = a; done = true })
+	if !done {
+		t.Fatal("loose-precision range query should answer synchronously")
+	}
+	wantLen := int((t1-t0)/simtime.Minute) + 1
+	if len(ans.Entries) != wantLen {
+		t.Fatalf("entries=%d, want %d", len(ans.Entries), wantLen)
+	}
+	// Every entry within precision of the truth.
+	for _, e := range ans.Entries {
+		truth := r.trace.Value(e.T)
+		if math.Abs(e.V-truth) > 1.0+0.05 {
+			t.Fatalf("entry at %v: %.3f vs %.3f", e.T, e.V, truth)
+		}
+	}
+}
+
+func TestQueryRangePullRefines(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) { c.Delta = 2.0 }, diurnalTrace(t, 2))
+	r.mote.Start()
+	r.sim.RunFor(10 * time.Hour)
+	t0, t1 := 2*simtime.Hour, 3*simtime.Hour
+	var ans Answer
+	done := false
+	r.proxy.QueryRange(1, t0, t1, 0.2, func(a Answer) { ans = a; done = true })
+	r.sim.RunFor(time.Minute)
+	if !done {
+		t.Fatal("range pull never completed")
+	}
+	if ans.Source != FromPull {
+		t.Fatalf("source=%v", ans.Source)
+	}
+	for _, e := range ans.Entries {
+		truth := r.trace.Value(e.T)
+		if math.Abs(e.V-truth) > 0.25 {
+			t.Fatalf("entry at %v: %.3f vs truth %.3f (lossy pull bound)", e.T, e.V, truth)
+		}
+	}
+}
+
+func TestPullTimeoutFallsBack(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) { c.Delta = 2.0 }, diurnalTrace(t, 1))
+	r.mote.Start()
+	r.sim.RunFor(2 * time.Hour)
+	r.mote.Stop() // mote dies
+	var ans Answer
+	done := false
+	r.proxy.QueryPoint(1, simtime.Hour, 0.1, func(a Answer) { ans = a; done = true })
+	r.sim.RunFor(time.Minute) // pull timeout is 30s
+	if !done {
+		t.Fatal("timeout never fired")
+	}
+	if ans.Source != FromTimeout {
+		t.Fatalf("source=%v, want timeout", ans.Source)
+	}
+	if r.proxy.Stats().PullsTimedOut != 1 {
+		t.Fatalf("timeouts=%d", r.proxy.Stats().PullsTimedOut)
+	}
+}
+
+func TestTrainAndShipImprovesModel(t *testing.T) {
+	tr := diurnalTrace(t, 4)
+	r := newRig(t, func(c *mote.Config) {
+		c.PushAll = true // training phase: stream everything
+	}, tr)
+	r.mote.Start()
+	r.sim.RunFor(48 * time.Hour) // two days of training data
+	m, err := r.proxy.TrainAndShip(1, 0, r.sim.Now(), 48, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "seasonal-anchored" {
+		t.Fatalf("model %q", m.Name())
+	}
+	// Switch the mote to model-driven mode.
+	if err := r.proxy.Configure(1, wire.Config{StreamAll: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.RunFor(time.Minute)
+	if r.mote.Model() != "seasonal-anchored" {
+		t.Fatalf("mote model %q after ship", r.mote.Model())
+	}
+	// Model-driven phase: pushes should be rare on predictable data.
+	before := r.mote.Stats().Pushes
+	r.sim.RunFor(24 * time.Hour)
+	pushes := r.mote.Stats().Pushes - before
+	samples := uint64(24 * 60)
+	if pushes > samples/10 {
+		t.Fatalf("model-driven pushed %d/%d samples; model not effective", pushes, samples)
+	}
+	// And queries still answer within delta.
+	var ans Answer
+	r.proxy.QueryNow(1, 1.0, func(a Answer) { ans = a })
+	v, ok := ans.Value()
+	if !ok {
+		t.Fatal("no answer")
+	}
+	truth := tr.Value(r.sim.Now())
+	if math.Abs(v-truth) > 1.05 {
+		t.Fatalf("answer %.3f vs truth %.3f beyond delta", v, truth)
+	}
+}
+
+func TestQueryUnknownMote(t *testing.T) {
+	r := newRig(t, nil, diurnalTrace(t, 1))
+	done := false
+	r.proxy.QueryNow(99, 1, func(a Answer) {
+		done = true
+		if len(a.Entries) != 0 {
+			t.Error("unknown mote returned entries")
+		}
+	})
+	if !done {
+		t.Fatal("unknown-mote query should answer immediately")
+	}
+	if _, ok := r.proxy.Series(99); ok {
+		t.Fatal("series for unknown mote")
+	}
+}
+
+func TestQueryRangeInverted(t *testing.T) {
+	r := newRig(t, nil, diurnalTrace(t, 1))
+	done := false
+	r.proxy.QueryRange(1, simtime.Hour, 0, 1, func(a Answer) { done = true })
+	if !done {
+		t.Fatal("inverted range should answer immediately")
+	}
+}
+
+func TestShipModelUnknownMote(t *testing.T) {
+	r := newRig(t, nil, diurnalTrace(t, 1))
+	if err := r.proxy.ShipModel(99, nil, 1); err == nil {
+		t.Fatal("unknown mote accepted")
+	}
+	if _, err := r.proxy.TrainAndShip(99, 0, simtime.Hour, 24, 1); err == nil {
+		t.Fatal("unknown mote accepted")
+	}
+	if err := r.proxy.Configure(99, wire.Config{}); err == nil {
+		t.Fatal("unknown mote accepted")
+	}
+}
+
+func TestCacheRetention(t *testing.T) {
+	tr := diurnalTrace(t, 3)
+	r := newRig(t, func(c *mote.Config) { c.PushAll = true }, tr)
+	r.proxy.cfg.CacheRetention = 6 * time.Hour
+	r.mote.Start()
+	r.sim.RunFor(24 * time.Hour)
+	s, _ := r.proxy.Series(1)
+	entries := s.Range(0, 24*simtime.Hour)
+	if len(entries) == 0 {
+		t.Fatal("cache empty")
+	}
+	oldest := entries[0].T
+	if oldest < 17*simtime.Hour {
+		t.Fatalf("retention not enforced: oldest entry at %v", oldest)
+	}
+}
+
+func TestAnswersBySourceAccounting(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) { c.Delta = 1.0 }, diurnalTrace(t, 1))
+	r.mote.Start()
+	r.sim.RunFor(4 * time.Hour)
+	for i := 0; i < 5; i++ {
+		r.proxy.QueryNow(1, 2.0, func(Answer) {})
+	}
+	st := r.proxy.Stats()
+	if st.QueriesAnswered != 5 {
+		t.Fatalf("answered=%d", st.QueriesAnswered)
+	}
+	var total uint64
+	for _, n := range st.AnswersBySource {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("by-source sum %d", total)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for s, want := range map[Source]string{FromCache: "cache", FromModel: "model", FromPull: "pull", FromTimeout: "timeout"} {
+		if s.String() != want {
+			t.Errorf("%v", s)
+		}
+	}
+	if Source(9).String() == "" {
+		t.Error("unknown source")
+	}
+}
+
+func TestBatchedMoteFillsCache(t *testing.T) {
+	r := newRig(t, func(c *mote.Config) {
+		c.PushAll = true
+		c.BatchInterval = 30 * time.Minute
+	}, diurnalTrace(t, 1))
+	r.mote.Start()
+	r.sim.RunFor(3*time.Hour + time.Minute)
+	s, _ := r.proxy.Series(1)
+	if s.Stats().Confirmed < 150 {
+		t.Fatalf("confirmed=%d after 3h of batched streaming", s.Stats().Confirmed)
+	}
+	if r.proxy.Stats().BatchesReceived < 5 {
+		t.Fatalf("batches=%d", r.proxy.Stats().BatchesReceived)
+	}
+	// Batched entries carry Pushed provenance.
+	e, ok := s.At(90*simtime.Minute, time.Minute)
+	if !ok || e.Source != cache.Pushed {
+		t.Fatalf("entry %+v ok=%v", e, ok)
+	}
+}

@@ -1,0 +1,157 @@
+package proxy
+
+// Spatial extrapolation (§2): "The proxy first examines other cached data
+// to see if the requested data can be extrapolated from it. Cached data
+// from other nearby sensors ... can be used for such extrapolation".
+//
+// Mechanism: motes managed by one proxy are co-located (tens of motes per
+// proxy in the paper's deployment model), so their readings track each
+// other up to a per-mote offset. The proxy learns, for every mote, the
+// offset between that mote's confirmed readings and the mean of its
+// siblings' confirmed readings at the same instants, along with the
+// residual spread. A query for a mote whose own data is missing can then
+// be answered from the sibling mean plus the learned offset, with an
+// error bound derived from the residual spread — admissible whenever that
+// bound meets the query precision.
+
+import (
+	"math"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/stats"
+)
+
+// spatialMinObservations is how many aligned observations the offset
+// model needs before it is trusted.
+const spatialMinObservations = 30
+
+// spatialState tracks one mote's offset from its siblings.
+type spatialState struct {
+	resid stats.Online // residuals: own value - sibling mean
+}
+
+// bound returns the error bound for spatial estimates. Sibling residuals
+// are not Gaussian — diurnal phase differences between motes are
+// systematic and time-varying — so a σ-multiple under-covers; instead the
+// bound is the worst deviation from the learned offset observed so far,
+// with a 30% margin, floored at three standard deviations and an absolute
+// minimum so a lucky low-variance window cannot claim impossible
+// precision.
+func (s *spatialState) bound() float64 {
+	if s.resid.N() < spatialMinObservations {
+		return math.Inf(1)
+	}
+	mean := s.resid.Mean()
+	worst := math.Max(math.Abs(s.resid.Max()-mean), math.Abs(s.resid.Min()-mean))
+	b := math.Max(1.3*worst, 3*s.resid.Std())
+	if b < 0.05 {
+		b = 0.05
+	}
+	return b
+}
+
+// observeSpatial updates the offset model when a mote's confirmed value
+// arrives. Co-located motes sample on the same ticks and their reports
+// race each other over the radio, so the freshly-arrived tick is still
+// incomplete across siblings; instead, the arrival triggers an
+// observation for the *previous* tick, by which time every sibling's
+// report has landed.
+func (p *Proxy) observeSpatial(id radio.NodeID, t simtime.Time, _ float64) {
+	if !p.cfg.SpatialExtrapolation {
+		return
+	}
+	st, ok := p.motes[id]
+	if !ok {
+		return
+	}
+	gap := time.Duration(st.sampleInterval)
+	if gap <= 0 {
+		gap = time.Minute
+	}
+	tPrev := t - st.sampleInterval
+	if tPrev < 0 {
+		return
+	}
+	own, ok := st.series.At(tPrev, gap/2)
+	if !ok || own.Source == cache.Predicted {
+		return
+	}
+	mean, ok := p.siblingMean(id, own.T)
+	if !ok {
+		return
+	}
+	if st.spatial == nil {
+		st.spatial = &spatialState{}
+	}
+	st.spatial.resid.Add(own.V - mean)
+}
+
+// siblingMean returns the mean of other motes' *confirmed* cached values
+// near time t (within half a sample interval). Requires at least two
+// siblings so a single faulty neighbor cannot dominate.
+func (p *Proxy) siblingMean(id radio.NodeID, t simtime.Time) (float64, bool) {
+	var sum float64
+	n := 0
+	for sid, st := range p.motes {
+		if sid == id {
+			continue
+		}
+		gap := time.Duration(st.sampleInterval)
+		if gap <= 0 {
+			gap = time.Minute
+		}
+		// A full sample interval of slack: a query issued on a tick
+		// boundary may race the tick's own in-flight reports, in which
+		// case the previous tick is the freshest aligned data.
+		e, ok := st.series.At(t, gap)
+		if !ok || e.Source == cache.Predicted {
+			continue
+		}
+		sum += e.V
+		n++
+	}
+	if n < 2 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// spatialEstimate attempts a spatial answer for (id, t): sibling mean
+// plus the learned offset. Returns the entry and whether the estimate is
+// available (regardless of precision; the caller checks the bound).
+func (p *Proxy) spatialEstimate(id radio.NodeID, t simtime.Time) (cache.Entry, bool) {
+	if !p.cfg.SpatialExtrapolation {
+		return cache.Entry{}, false
+	}
+	st, ok := p.motes[id]
+	if !ok || st.spatial == nil {
+		return cache.Entry{}, false
+	}
+	bound := st.spatial.bound()
+	if math.IsInf(bound, 1) {
+		return cache.Entry{}, false
+	}
+	mean, ok := p.siblingMean(id, t)
+	if !ok {
+		return cache.Entry{}, false
+	}
+	return cache.Entry{
+		T:        t,
+		V:        mean + st.spatial.resid.Mean(),
+		Source:   cache.Predicted,
+		ErrBound: bound,
+	}, true
+}
+
+// SpatialObservations reports how many aligned observations back a mote's
+// spatial model (experiments and tests).
+func (p *Proxy) SpatialObservations(id radio.NodeID) uint64 {
+	st, ok := p.motes[id]
+	if !ok || st.spatial == nil {
+		return 0
+	}
+	return st.spatial.resid.N()
+}

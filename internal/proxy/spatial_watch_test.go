@@ -1,0 +1,234 @@
+package proxy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/mote"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// spatialRig wires one proxy with spatial extrapolation enabled to n
+// motes sampling correlated traces (same seed family, small offsets).
+type spatialRig struct {
+	sim    *simtime.Simulator
+	proxy  *Proxy
+	motes  []*mote.Mote
+	traces []*gen.Trace
+}
+
+func newSpatialRig(t *testing.T, n int, moteDelta float64) *spatialRig {
+	t.Helper()
+	sim := simtime.New(1)
+	rcfg := radio.DefaultConfig()
+	rcfg.LossProb = 0
+	rcfg.JitterMax = 0
+	med, err := radio.NewMedium(sim, rcfg, energy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultConfig(100)
+	pcfg.SpatialExtrapolation = true
+	p, err := New(sim, med, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.DefaultTempConfig()
+	c.Sensors = n
+	c.Days = 3
+	c.EventsPerDay = 0
+	c.SpatialStd = 0.8  // distinct per-mote offsets to learn
+	c.DiurnalAmpC = 1.0 // keep per-mote phase shifts small in absolute terms
+	c.NoiseStd = 0.05
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &spatialRig{sim: sim, proxy: p, traces: traces}
+	for i := 0; i < n; i++ {
+		mc := mote.DefaultConfig(radio.NodeID(i+1), 100)
+		mc.Flash = flash.Geometry{PageSize: 240, PagesPerBlock: 8, NumBlocks: 64}
+		mc.PushAll = true // stream so offsets can be learned quickly
+		mc.Delta = moteDelta
+		tr := traces[i]
+		m, err := mote.New(sim, med, energy.DefaultParams(), mc, func(ts simtime.Time) float64 { return tr.Value(ts) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Register(radio.NodeID(i+1), mc.SampleInterval, moteDelta)
+		m.Start()
+		r.motes = append(r.motes, m)
+	}
+	return r
+}
+
+func TestSpatialOffsetLearning(t *testing.T) {
+	r := newSpatialRig(t, 4, 100)
+	r.sim.RunFor(4 * time.Hour)
+	for i := 1; i <= 4; i++ {
+		if n := r.proxy.SpatialObservations(radio.NodeID(i)); n < spatialMinObservations {
+			t.Fatalf("mote %d has only %d spatial observations", i, n)
+		}
+	}
+}
+
+func TestSpatialAnswersDeadMote(t *testing.T) {
+	r := newSpatialRig(t, 4, 100)
+	// A full diurnal cycle of co-observation: the offset residuals vary
+	// with time of day (per-mote phase shifts), so the empirical bound is
+	// only trustworthy once every phase has been seen.
+	r.sim.RunFor(26 * time.Hour)
+	// Mote 1 dies; siblings keep streaming.
+	r.motes[0].Stop()
+	r.sim.RunFor(time.Hour)
+	// Query mote 1 now. Its own model is useless (delta=100), but its
+	// siblings' data plus the learned offset answer within the spatial
+	// bound (a few times the sibling residual spread; the generator's
+	// per-mote diurnal phase shifts put that spread near a degree).
+	var ans Answer
+	done := false
+	r.proxy.QueryNow(1, 3.0, func(a Answer) { ans = a; done = true })
+	if !done {
+		t.Fatal("spatial answer should be synchronous")
+	}
+	if ans.Source != FromSpatial {
+		t.Fatalf("source=%v, want spatial", ans.Source)
+	}
+	v, ok := ans.Value()
+	if !ok {
+		t.Fatal("no value")
+	}
+	truth := r.traces[0].Value(r.sim.Now())
+	if err := math.Abs(v - truth); err > ans.Entries[0].ErrBound+0.05 {
+		t.Fatalf("spatial answer error %.3f exceeds claimed bound %.3f", err, ans.Entries[0].ErrBound)
+	}
+	if r.proxy.Stats().AnswersBySource[FromSpatial] != 1 {
+		t.Fatal("spatial answers not counted")
+	}
+}
+
+func TestSpatialDisabledByDefault(t *testing.T) {
+	sim := simtime.New(1)
+	med, _ := radio.NewMedium(sim, radio.DefaultConfig(), energy.DefaultParams())
+	p, err := New(sim, med, DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(1, time.Minute, 1)
+	if _, ok := p.spatialEstimate(1, 0); ok {
+		t.Fatal("spatial estimate without the feature enabled")
+	}
+}
+
+func TestSpatialNeedsTwoSiblings(t *testing.T) {
+	r := newSpatialRig(t, 2, 100) // only one sibling each
+	r.sim.RunFor(4 * time.Hour)
+	if n := r.proxy.SpatialObservations(1); n != 0 {
+		t.Fatalf("offset learned from a single sibling: %d observations", n)
+	}
+}
+
+func TestWatchFiresOnThreshold(t *testing.T) {
+	r := newSpatialRig(t, 2, 100)
+	var events []WatchEvent
+	id, err := r.proxy.Watch(1, Above(23), func(e WatchEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sim.RunFor(24 * time.Hour)
+	if len(events) == 0 {
+		t.Fatal("no watch events over a diurnal day crossing 23C")
+	}
+	for _, e := range events {
+		if e.V <= 23 {
+			t.Fatalf("watch fired at %v for value %v", e.T, e.V)
+		}
+		if e.Mote != 1 {
+			t.Fatalf("watch fired for mote %d", e.Mote)
+		}
+		if e.NotificationLatency() < 0 {
+			t.Fatal("negative notification latency")
+		}
+	}
+	// Unwatch stops delivery.
+	if !r.proxy.Unwatch(id) {
+		t.Fatal("Unwatch failed")
+	}
+	if r.proxy.Unwatch(id) {
+		t.Fatal("double Unwatch succeeded")
+	}
+	before := len(events)
+	r.sim.RunFor(12 * time.Hour)
+	if len(events) != before {
+		t.Fatal("unwatched watch kept firing")
+	}
+}
+
+func TestWatchModelDrivenSeesEvents(t *testing.T) {
+	// The important property: with model-driven push (not streaming), a
+	// watch still sees threshold crossings because crossings that exceed
+	// delta are exactly what motes push.
+	sim := simtime.New(1)
+	rcfg := radio.DefaultConfig()
+	rcfg.LossProb = 0
+	med, _ := radio.NewMedium(sim, rcfg, energy.DefaultParams())
+	pcfg := DefaultConfig(100)
+	p, _ := New(sim, med, pcfg)
+	// Flat trace with one big excursion at hour 6.
+	sampler := func(ts simtime.Time) float64 {
+		if ts > 6*simtime.Hour && ts < 6*simtime.Hour+10*simtime.Minute {
+			return 40
+		}
+		return 20
+	}
+	mc := mote.DefaultConfig(1, 100)
+	mc.Flash = flash.Geometry{PageSize: 240, PagesPerBlock: 8, NumBlocks: 32}
+	mc.Delta = 1
+	m, _ := mote.New(sim, med, energy.DefaultParams(), mc, sampler)
+	p.Register(1, mc.SampleInterval, 1)
+	m.Start()
+	fired := 0
+	p.Watch(1, Above(30), func(WatchEvent) { fired++ })
+	sim.RunFor(12 * time.Hour)
+	if fired == 0 {
+		t.Fatal("model-driven watch missed the excursion")
+	}
+	st := m.Stats()
+	if st.Pushes > 30 {
+		t.Fatalf("mote pushed %d times; the excursion should cost only a handful", st.Pushes)
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	r := newSpatialRig(t, 2, 100)
+	if _, err := r.proxy.Watch(99, Above(0), func(WatchEvent) {}); err == nil {
+		t.Fatal("unknown mote watch accepted")
+	}
+	if _, err := r.proxy.Watch(1, nil, func(WatchEvent) {}); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+	if _, err := r.proxy.Watch(1, Above(0), nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	if r.proxy.Watches() != 0 {
+		t.Fatal("failed registrations leaked")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Above(5)(6) || Above(5)(5) {
+		t.Error("Above wrong")
+	}
+	if !Below(5)(4) || Below(5)(5) {
+		t.Error("Below wrong")
+	}
+	out := Outside(2, 8)
+	if !out(1) || !out(9) || out(5) || out(2) || out(8) {
+		t.Error("Outside wrong")
+	}
+}

@@ -1,0 +1,102 @@
+package proxy
+
+// Continual queries (§2: "the PRESTO architecture does not preclude
+// continual queries"): a Watch is a standing predicate over a mote's
+// incoming confirmed data. Because model-driven push guarantees that any
+// sample deviating from the model by more than delta reaches the proxy,
+// a watch whose threshold exceeds delta sees every matching event without
+// any extra mote traffic — the proxy just filters the pushes it already
+// receives. This is the mechanism behind the paper's intruder-detection
+// and elder-care scenarios: "rare, unexpected events are never missed".
+
+import (
+	"fmt"
+
+	"presto/internal/cache"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// WatchPredicate selects which confirmed observations fire the watch.
+type WatchPredicate func(v float64) bool
+
+// Above fires when the value exceeds the threshold.
+func Above(threshold float64) WatchPredicate {
+	return func(v float64) bool { return v > threshold }
+}
+
+// Below fires when the value drops under the threshold.
+func Below(threshold float64) WatchPredicate {
+	return func(v float64) bool { return v < threshold }
+}
+
+// Outside fires when the value leaves [lo, hi].
+func Outside(lo, hi float64) WatchPredicate {
+	return func(v float64) bool { return v < lo || v > hi }
+}
+
+// WatchEvent is delivered to a watch callback.
+type WatchEvent struct {
+	Mote        radio.NodeID
+	T           simtime.Time // observation timestamp (mote time)
+	V           float64
+	DeliveredAt simtime.Time // proxy time of delivery
+}
+
+// NotificationLatency is how long the event took to surface at the proxy.
+func (e WatchEvent) NotificationLatency() simtime.Time { return e.DeliveredAt - e.T }
+
+// WatchID identifies a registered watch.
+type WatchID uint64
+
+type watch struct {
+	id   WatchID
+	mote radio.NodeID
+	pred WatchPredicate
+	cb   func(WatchEvent)
+}
+
+// Watch registers a standing predicate over a mote's confirmed data. The
+// callback fires once per matching confirmed observation (pushes, event
+// batches) as it arrives. Returns an id for Unwatch.
+func (p *Proxy) Watch(id radio.NodeID, pred WatchPredicate, cb func(WatchEvent)) (WatchID, error) {
+	if _, ok := p.motes[id]; !ok {
+		return 0, fmt.Errorf("proxy: mote %d not registered", id)
+	}
+	if pred == nil || cb == nil {
+		return 0, fmt.Errorf("proxy: Watch needs a predicate and a callback")
+	}
+	p.nextWatch++
+	w := &watch{id: p.nextWatch, mote: id, pred: pred, cb: cb}
+	p.watches = append(p.watches, w)
+	return w.id, nil
+}
+
+// Unwatch removes a watch; it reports whether the id existed.
+func (p *Proxy) Unwatch(id WatchID) bool {
+	for i, w := range p.watches {
+		if w.id == id {
+			p.watches = append(p.watches[:i], p.watches[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Watches reports the number of active watches.
+func (p *Proxy) Watches() int { return len(p.watches) }
+
+// fireWatches delivers a confirmed observation to matching watches.
+func (p *Proxy) fireWatches(mote radio.NodeID, e cache.Entry) {
+	if len(p.watches) == 0 {
+		return
+	}
+	now := p.sim.Now()
+	// Iterate over a copy: callbacks may Unwatch.
+	active := append([]*watch(nil), p.watches...)
+	for _, w := range active {
+		if w.mote == mote && w.pred(e.V) {
+			w.cb(WatchEvent{Mote: mote, T: e.T, V: e.V, DeliveredAt: now})
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package query defines PRESTO's user-facing query model: one-shot NOW
+// and PAST queries with precision (error tolerance) and aggregate
+// operators.
+//
+// Section 2 scopes the paper to "one-time queries on current and past
+// sensor data"; Section 3 adds that "the query type, frequency, latency
+// and precision requirements are translated into the appropriate
+// parameters for the remote sensors" and gives the example of scientists
+// querying the *mode* of building vibration — so aggregates are
+// first-class here, including Mode.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// Type is the query class.
+type Type int
+
+// Query types.
+const (
+	// Now asks for the current value of one sensor.
+	Now Type = iota
+	// Past asks for historical values of one sensor over [T0, T1].
+	Past
+	// Agg asks for an aggregate over [T0, T1].
+	Agg
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case Now:
+		return "now"
+	case Past:
+		return "past"
+	case Agg:
+		return "agg"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// AggKind selects the aggregate operator.
+type AggKind int
+
+// Aggregate operators.
+const (
+	Min AggKind = iota
+	Max
+	Mean
+	Mode // the paper's building-vibration example
+)
+
+// String names the operator.
+func (a AggKind) String() string {
+	switch a {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Mean:
+		return "mean"
+	case Mode:
+		return "mode"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// Query is a one-shot user query.
+type Query struct {
+	Type      Type
+	Mote      radio.NodeID
+	T0, T1    simtime.Time // Past/Agg range
+	Precision float64      // max tolerated per-value error
+	Agg       AggKind
+	// Deadline, when positive, is the caller's latency requirement; the
+	// prediction engine's query–sensor matching uses it to retune motes
+	// (see internal/predict).
+	Deadline time.Duration
+}
+
+// Validate reports structural errors.
+func (q Query) Validate() error {
+	switch q.Type {
+	case Now:
+	case Past, Agg:
+		if q.T1 < q.T0 {
+			return fmt.Errorf("query: inverted range [%v, %v]", q.T0, q.T1)
+		}
+	default:
+		return fmt.Errorf("query: unknown type %v", q.Type)
+	}
+	if q.Precision < 0 {
+		return errors.New("query: negative precision")
+	}
+	return nil
+}
+
+// Result is a completed query.
+type Result struct {
+	Query  Query
+	Answer proxy.Answer
+	// AggValue is the computed aggregate for Agg queries.
+	AggValue float64
+}
+
+// Latency returns the response time.
+func (r Result) Latency() time.Duration { return r.Answer.Latency() }
+
+// Execute runs a query against a proxy, invoking cb exactly once.
+func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	switch q.Type {
+	case Now:
+		p.QueryNow(q.Mote, q.Precision, func(a proxy.Answer) {
+			cb(Result{Query: q, Answer: a})
+		})
+	case Past:
+		p.QueryRange(q.Mote, q.T0, q.T1, q.Precision, func(a proxy.Answer) {
+			cb(Result{Query: q, Answer: a})
+		})
+	case Agg:
+		p.QueryRange(q.Mote, q.T0, q.T1, q.Precision, func(a proxy.Answer) {
+			cb(Result{Query: q, Answer: a, AggValue: aggregate(q.Agg, a)})
+		})
+	}
+	return nil
+}
+
+// aggregate computes the operator over an answer's entries.
+func aggregate(kind AggKind, a proxy.Answer) float64 {
+	if len(a.Entries) == 0 {
+		return math.NaN()
+	}
+	switch kind {
+	case Min:
+		m := a.Entries[0].V
+		for _, e := range a.Entries[1:] {
+			if e.V < m {
+				m = e.V
+			}
+		}
+		return m
+	case Max:
+		m := a.Entries[0].V
+		for _, e := range a.Entries[1:] {
+			if e.V > m {
+				m = e.V
+			}
+		}
+		return m
+	case Mean:
+		var sum float64
+		for _, e := range a.Entries {
+			sum += e.V
+		}
+		return sum / float64(len(a.Entries))
+	case Mode:
+		return mode(a)
+	default:
+		return math.NaN()
+	}
+}
+
+// mode bins values at the answer's precision granularity and returns the
+// center of the most populated bin — the discrete mode of a continuous
+// signal, as a vibration scientist would want it.
+func mode(a proxy.Answer) float64 {
+	vals := make([]float64, len(a.Entries))
+	for i, e := range a.Entries {
+		vals[i] = e.V
+	}
+	sort.Float64s(vals)
+	lo, hi := vals[0], vals[len(vals)-1]
+	if hi == lo {
+		return lo
+	}
+	// Freedman–Diaconis-ish: ~sqrt(n) bins.
+	bins := int(math.Sqrt(float64(len(vals))))
+	if bins < 1 {
+		bins = 1
+	}
+	width := (hi - lo) / float64(bins)
+	counts := make([]int, bins)
+	for _, v := range vals {
+		b := int((v - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return lo + (float64(best)+0.5)*width
+}

@@ -1,0 +1,276 @@
+// Package simtime provides a deterministic discrete-event simulation kernel.
+//
+// All PRESTO experiments run on virtual time: a single-threaded event loop
+// pops events from a binary heap ordered by (time, sequence number). The
+// sequence number tie-break makes runs bit-for-bit reproducible for a given
+// seed, which every experiment in this repository relies on.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time measured in nanoseconds since the start of the
+// simulation. It is deliberately not time.Time: simulations start at zero
+// and have no wall-clock meaning.
+type Time int64
+
+// Common duration helpers for readability in experiment code.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+)
+
+// Duration converts t to a time.Duration offset from the simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Minutes reports t as floating-point minutes.
+func (t Time) Minutes() float64 { return float64(t) / float64(Minute) }
+
+// Hours reports t as floating-point hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// String formats the time as a duration, e.g. "26h3m0s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a wall-style duration into virtual Time.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// Handle identifies a scheduled event and allows cancellation.
+// The zero Handle is invalid.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a deterministic discrete-event scheduler.
+// It is not safe for concurrent use; wrap it (as core.Network does) if
+// events must be injected from multiple goroutines.
+type Simulator struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+	running   bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule arranges for fn to run after delay d. A negative delay is
+// treated as zero (fires at the current time, after already-queued events
+// for that time).
+func (s *Simulator) Schedule(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now+Time(d), fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time t.
+// Scheduling in the past is clamped to the present.
+func (s *Simulator) ScheduleAt(t Time, fn func()) Handle {
+	if fn == nil {
+		panic("simtime: ScheduleAt with nil function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return Handle{ev: ev}
+}
+
+// Step fires the next event, advancing virtual time. It reports false when
+// no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (s *Simulator) Run() {
+	if s.running {
+		panic("simtime: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain queued.
+func (s *Simulator) RunUntil(t Time) {
+	if s.running {
+		panic("simtime: RunUntil re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		// Peek at the next non-cancelled event.
+		ev := s.events[0]
+		if ev.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at > t {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.at
+		ev.fired = true
+		s.processed++
+		ev.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by duration d.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + Time(d)) }
+
+// Ticker fires a callback at a fixed period until stopped.
+type Ticker struct {
+	sim      *Simulator
+	period   Time
+	fn       func()
+	handle   Handle
+	stopped  bool
+	fireings uint64
+}
+
+// Every schedules fn to run every period, with the first firing one full
+// period from now. It panics on a non-positive period since that would
+// wedge the event loop at a single instant.
+func (s *Simulator) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: Every with non-positive period %v", period))
+	}
+	t := &Ticker{sim: s, period: Time(period), fn: fn}
+	t.arm()
+	return t
+}
+
+// EveryFrom behaves like Every but fires the first tick after initial delay.
+func (s *Simulator) EveryFrom(initial, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: EveryFrom with non-positive period %v", period))
+	}
+	if initial < 0 {
+		initial = 0
+	}
+	t := &Ticker{sim: s, period: Time(period), fn: fn}
+	t.handle = s.Schedule(initial, t.tick)
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.sim.Schedule(time.Duration(t.period), t.tick)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fireings++
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
+// Stop cancels future firings. Safe to call multiple times and from within
+// the ticker's own callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Firings reports how many times the ticker has fired.
+func (t *Ticker) Firings() uint64 { return t.fireings }

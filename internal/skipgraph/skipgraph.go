@@ -1,0 +1,337 @@
+// Package skipgraph implements Skip Graphs (Aspnes & Shah, SODA 2003):
+// the order-preserving distributed index PRESTO's data abstraction layer
+// uses to build "a single temporally ordered view of detections across
+// distributed proxies and sensors" (Section 5).
+//
+// Unlike a DHT, a skip graph preserves key order, so range scans walk the
+// bottom list and searches take O(log n) hops without any central
+// directory. Each node draws a random membership vector; the level-i
+// lists link nodes whose membership vectors share an i-bit prefix, giving
+// every node O(log n) expected neighbors.
+//
+// This implementation is a single-process simulation of the distributed
+// structure: every pointer traversal during a search is counted as one
+// network hop, which is what experiment E9 measures. All randomness is
+// seeded for reproducibility.
+package skipgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// maxLevels bounds membership vector length (2^64 nodes is plenty).
+const maxLevels = 64
+
+// ErrDuplicateKey is returned when inserting an existing key.
+var ErrDuplicateKey = errors.New("skipgraph: duplicate key")
+
+// node is one participant in the graph.
+type node struct {
+	key   uint64
+	value interface{}
+	mv    uint64 // membership vector (bit i used at level i+1)
+	// left/right per level; level 0 is the full sorted list.
+	left, right []*node
+}
+
+// levels returns how many levels this node currently participates in.
+func (n *node) levels() int { return len(n.right) }
+
+// Graph is a skip graph. Not safe for concurrent use.
+type Graph struct {
+	rng  *rand.Rand
+	size int
+	head *node // leftmost node in level 0 (nil when empty)
+	hops uint64
+	peak int // highest populated level seen
+}
+
+// New creates an empty graph with a seeded RNG.
+func New(seed int64) *Graph {
+	return &Graph{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of keys.
+func (g *Graph) Len() int { return g.size }
+
+// Hops returns the cumulative hop count across all operations (search,
+// insert, delete traversals), modeling inter-proxy messages.
+func (g *Graph) Hops() uint64 { return g.hops }
+
+// ResetHops zeroes the hop counter (between experiment phases).
+func (g *Graph) ResetHops() { g.hops = 0 }
+
+// MaxLevel returns the highest level with at least one linked pair.
+func (g *Graph) MaxLevel() int { return g.peak }
+
+// findFloor locates the node with the largest key <= key, walking from the
+// given start node using skip-graph search (top level down). Returns nil
+// when every key exceeds key. Hops are counted per pointer traversal.
+func (g *Graph) findFloor(start *node, key uint64) *node {
+	if start == nil {
+		return nil
+	}
+	cur := start
+	// If the start is right of the key, move left from the top.
+	for lvl := cur.levels() - 1; lvl >= 0; {
+		if cur.key <= key {
+			// Move right as far as possible at this level.
+			nxt := cur.right[lvl]
+			if nxt != nil && nxt.key <= key {
+				cur = nxt
+				g.hops++
+				// Stay at this level.
+				if lvl >= cur.levels() {
+					lvl = cur.levels() - 1
+				}
+				continue
+			}
+		} else {
+			// Move left.
+			prv := cur.left[lvl]
+			if prv != nil && prv.key > key {
+				cur = prv
+				g.hops++
+				if lvl >= cur.levels() {
+					lvl = cur.levels() - 1
+				}
+				continue
+			}
+			if prv != nil {
+				cur = prv
+				g.hops++
+				if lvl >= cur.levels() {
+					lvl = cur.levels() - 1
+				}
+				continue
+			}
+			// No left neighbor at this level: descend.
+		}
+		lvl--
+	}
+	if cur.key > key {
+		return nil // cur is the head and still greater
+	}
+	return cur
+}
+
+// Search finds the value for key, returning (value, found). Hops accrue on
+// the graph counter; SearchHops returns them per call.
+func (g *Graph) Search(key uint64) (interface{}, bool) {
+	v, _, ok := g.SearchHops(key)
+	return v, ok
+}
+
+// SearchHops finds key and reports the hop count for this search alone.
+func (g *Graph) SearchHops(key uint64) (interface{}, int, bool) {
+	before := g.hops
+	// Entry point: in a real deployment any proxy can start a search; we
+	// start from the head's topmost level, which is equivalent for hop
+	// asymptotics.
+	n := g.findFloor(g.entry(), key)
+	hops := int(g.hops - before)
+	if n == nil || n.key != key {
+		return nil, hops, false
+	}
+	return n.value, hops, true
+}
+
+// entry returns a representative start node (the head).
+func (g *Graph) entry() *node { return g.head }
+
+// Insert adds a key/value pair.
+func (g *Graph) Insert(key uint64, value interface{}) error {
+	n := &node{key: key, value: value, mv: g.rng.Uint64()}
+	n.left = make([]*node, 1, 8)
+	n.right = make([]*node, 1, 8)
+	if g.head == nil {
+		g.head = n
+		g.size++
+		return nil
+	}
+	floor := g.findFloor(g.entry(), key)
+	if floor != nil && floor.key == key {
+		return ErrDuplicateKey
+	}
+	// Splice into level 0.
+	if floor == nil {
+		// New leftmost node.
+		n.right[0] = g.head
+		g.head.setLeft(0, n)
+		g.head = n
+	} else {
+		n.left[0] = floor
+		n.right[0] = floor.right[0]
+		if floor.right[0] != nil {
+			floor.right[0].setLeft(0, n)
+		}
+		floor.setRight(0, n)
+	}
+	g.size++
+	// Build higher levels: at level l, link to the nearest nodes (in key
+	// order) whose membership vector shares l bits with ours. We find
+	// them by walking the level l-1 list outward — each step is a hop.
+	for lvl := 1; lvl < maxLevels; lvl++ {
+		var leftNb, rightNb *node
+		for p := n.prevAt(lvl - 1); p != nil; p = p.prevAt(lvl - 1) {
+			g.hops++
+			if sharesPrefix(p.mv, n.mv, lvl) {
+				leftNb = p
+				break
+			}
+		}
+		for p := n.nextAt(lvl - 1); p != nil; p = p.nextAt(lvl - 1) {
+			g.hops++
+			if sharesPrefix(p.mv, n.mv, lvl) {
+				rightNb = p
+				break
+			}
+		}
+		if leftNb == nil && rightNb == nil {
+			break // alone at this level: done
+		}
+		n.extendTo(lvl)
+		n.left[lvl] = leftNb
+		n.right[lvl] = rightNb
+		if leftNb != nil {
+			leftNb.extendTo(lvl)
+			leftNb.right[lvl] = n
+		}
+		if rightNb != nil {
+			rightNb.extendTo(lvl)
+			rightNb.left[lvl] = n
+		}
+		if lvl > g.peak {
+			g.peak = lvl
+		}
+	}
+	return nil
+}
+
+// Delete removes a key, returning whether it existed.
+func (g *Graph) Delete(key uint64) bool {
+	n := g.findFloor(g.entry(), key)
+	if n == nil || n.key != key {
+		return false
+	}
+	for lvl := 0; lvl < n.levels(); lvl++ {
+		l, r := n.left[lvl], n.right[lvl]
+		if l != nil && lvl < l.levels() {
+			l.right[lvl] = r
+		}
+		if r != nil && lvl < r.levels() {
+			r.left[lvl] = l
+		}
+		g.hops++ // unlink message per level
+	}
+	if g.head == n {
+		g.head = n.right[0]
+	}
+	g.size--
+	return true
+}
+
+// RangeScan returns the values for all keys in [lo, hi] in key order —
+// the order-preserving operation hash indexes cannot do. Hops accrue for
+// the initial search plus one per scanned node.
+func (g *Graph) RangeScan(lo, hi uint64) []KV {
+	if hi < lo || g.head == nil {
+		return nil
+	}
+	var out []KV
+	start := g.findFloor(g.entry(), lo)
+	if start == nil {
+		start = g.head
+	} else if start.key < lo {
+		start = start.right[0]
+		g.hops++
+	}
+	for n := start; n != nil && n.key <= hi; n = n.right[0] {
+		out = append(out, KV{Key: n.key, Value: n.value})
+		g.hops++
+	}
+	return out
+}
+
+// KV is a key/value pair from a range scan.
+type KV struct {
+	Key   uint64
+	Value interface{}
+}
+
+// Keys returns all keys in order (testing/debugging).
+func (g *Graph) Keys() []uint64 {
+	var out []uint64
+	for n := g.head; n != nil; n = n.right[0] {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// Validate checks structural invariants (sorted levels, consistent
+// back-pointers, membership-prefix agreement); used by property tests.
+func (g *Graph) Validate() error {
+	count := 0
+	for n := g.head; n != nil; n = n.right[0] {
+		count++
+		for lvl := 0; lvl < n.levels(); lvl++ {
+			r := n.right[lvl]
+			if r == nil {
+				continue
+			}
+			if r.key <= n.key {
+				return fmt.Errorf("skipgraph: level %d not sorted at key %d", lvl, n.key)
+			}
+			if lvl >= r.levels() || r.left[lvl] != n {
+				return fmt.Errorf("skipgraph: broken back-pointer at level %d key %d", lvl, n.key)
+			}
+			if lvl > 0 && !sharesPrefix(n.mv, r.mv, lvl) {
+				return fmt.Errorf("skipgraph: level %d links nodes with differing prefixes", lvl)
+			}
+		}
+	}
+	if count != g.size {
+		return fmt.Errorf("skipgraph: size %d but %d reachable nodes", g.size, count)
+	}
+	return nil
+}
+
+// --- helpers ---
+
+// sharesPrefix reports whether a and b agree on their first l bits.
+func sharesPrefix(a, b uint64, l int) bool {
+	if l <= 0 {
+		return true
+	}
+	if l >= 64 {
+		return a == b
+	}
+	mask := uint64(1)<<uint(l) - 1
+	return a&mask == b&mask
+}
+
+func (n *node) extendTo(lvl int) {
+	for len(n.right) <= lvl {
+		n.right = append(n.right, nil)
+		n.left = append(n.left, nil)
+	}
+}
+
+func (n *node) setLeft(lvl int, m *node)  { n.extendTo(lvl); n.left[lvl] = m }
+func (n *node) setRight(lvl int, m *node) { n.extendTo(lvl); n.right[lvl] = m }
+
+func (n *node) prevAt(lvl int) *node {
+	if lvl < n.levels() {
+		return n.left[lvl]
+	}
+	return nil
+}
+
+func (n *node) nextAt(lvl int) *node {
+	if lvl < n.levels() {
+		return n.right[lvl]
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package skipgraph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	g := New(1)
+	if g.Len() != 0 {
+		t.Fatal("empty graph non-zero length")
+	}
+	if _, ok := g.Search(5); ok {
+		t.Fatal("found key in empty graph")
+	}
+	if g.Delete(5) {
+		t.Fatal("deleted from empty graph")
+	}
+	if got := g.RangeScan(0, 100); got != nil {
+		t.Fatal("range scan on empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	g := New(1)
+	keys := []uint64{50, 10, 90, 30, 70, 20, 80, 40, 60, 100}
+	for _, k := range keys {
+		if err := g.Insert(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != len(keys) {
+		t.Fatalf("len=%d", g.Len())
+	}
+	for _, k := range keys {
+		v, ok := g.Search(k)
+		if !ok || v.(uint64) != k*2 {
+			t.Fatalf("Search(%d)=%v,%v", k, v, ok)
+		}
+	}
+	if _, ok := g.Search(55); ok {
+		t.Fatal("found nonexistent key")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	g := New(1)
+	g.Insert(5, "a")
+	if err := g.Insert(5, "b"); err != ErrDuplicateKey {
+		t.Fatalf("err=%v", err)
+	}
+	v, _ := g.Search(5)
+	if v != "a" {
+		t.Fatal("duplicate insert clobbered value")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	g := New(3)
+	rng := rand.New(rand.NewSource(9))
+	want := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64() % 10000
+		if !want[k] {
+			want[k] = true
+			g.Insert(k, nil)
+		}
+	}
+	keys := g.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("keys=%d want=%d", len(keys), len(want))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	g := New(1)
+	for k := uint64(0); k < 100; k++ {
+		g.Insert(k, k)
+	}
+	for k := uint64(0); k < 100; k += 2 {
+		if !g.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if g.Len() != 50 {
+		t.Fatalf("len=%d", g.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		_, ok := g.Search(k)
+		if (k%2 == 0) == ok {
+			t.Fatalf("Search(%d)=%v after deletes", k, ok)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteHead(t *testing.T) {
+	g := New(1)
+	g.Insert(1, "x")
+	g.Insert(2, "y")
+	if !g.Delete(1) {
+		t.Fatal("delete head failed")
+	}
+	if v, ok := g.Search(2); !ok || v != "y" {
+		t.Fatal("survivor lost")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	g := New(1)
+	for k := uint64(0); k < 100; k += 10 {
+		g.Insert(k, k)
+	}
+	got := g.RangeScan(25, 65)
+	want := []uint64{30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d entries", len(got))
+	}
+	for i, kv := range got {
+		if kv.Key != want[i] {
+			t.Fatalf("scan[%d]=%d, want %d", i, kv.Key, want[i])
+		}
+	}
+	// Inclusive bounds.
+	got = g.RangeScan(30, 30)
+	if len(got) != 1 || got[0].Key != 30 {
+		t.Fatalf("inclusive scan %v", got)
+	}
+	// Inverted and out-of-range.
+	if g.RangeScan(65, 25) != nil {
+		t.Fatal("inverted scan")
+	}
+	if got := g.RangeScan(200, 300); len(got) != 0 {
+		t.Fatal("out-of-range scan")
+	}
+	// From before the first key.
+	got = g.RangeScan(0, 15)
+	if len(got) != 2 || got[0].Key != 0 || got[1].Key != 10 {
+		t.Fatalf("leading scan %v", got)
+	}
+}
+
+func TestSearchHopsLogarithmic(t *testing.T) {
+	// The headline property: hops grow ~log n, not ~n. Compare mean
+	// search hops at n=128 and n=4096: ratio should be far below the 32x
+	// linear ratio — allow up to 4x (log ratio is 12/7 ≈ 1.7).
+	mean := func(n int) float64 {
+		g := New(7)
+		rng := rand.New(rand.NewSource(11))
+		keys := make([]uint64, 0, n)
+		seen := map[uint64]bool{}
+		for len(keys) < n {
+			k := rng.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+				g.Insert(k, nil)
+			}
+		}
+		g.ResetHops()
+		const searches = 300
+		var total int
+		for i := 0; i < searches; i++ {
+			k := keys[rng.Intn(len(keys))]
+			_, hops, ok := g.SearchHops(k)
+			if !ok {
+				t.Fatalf("lost key %d", k)
+			}
+			total += hops
+		}
+		return float64(total) / searches
+	}
+	small, large := mean(128), mean(4096)
+	t.Logf("mean hops: n=128 %.1f, n=4096 %.1f", small, large)
+	if large > 4*small {
+		t.Fatalf("hops scale superlogarithmically: %.1f -> %.1f", small, large)
+	}
+	if large > 12*math.Log2(4096) {
+		t.Fatalf("absolute hops too high: %.1f for n=4096", large)
+	}
+}
+
+func TestLevelsPopulated(t *testing.T) {
+	g := New(5)
+	for k := uint64(0); k < 1000; k++ {
+		g.Insert(k, nil)
+	}
+	// With 1000 nodes, expect ~log2(1000) ≈ 10 levels give or take.
+	if g.MaxLevel() < 5 || g.MaxLevel() > 25 {
+		t.Fatalf("max level %d for 1000 nodes", g.MaxLevel())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		g := New(42)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 200; i++ {
+			g.Insert(rng.Uint64(), nil)
+		}
+		return g.Keys()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed graphs diverged")
+		}
+	}
+}
+
+// Property: the graph agrees with a sorted-map reference under arbitrary
+// insert/delete interleavings, and invariants hold throughout.
+func TestPropertyReferenceModel(t *testing.T) {
+	f := func(ops []struct {
+		Key    uint16
+		Delete bool
+	}) bool {
+		g := New(17)
+		ref := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op.Key)
+			if op.Delete {
+				if g.Delete(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				err := g.Insert(k, k)
+				if ref[k] && err != ErrDuplicateKey {
+					return false
+				}
+				if !ref[k] && err != nil {
+					return false
+				}
+				ref[k] = true
+			}
+		}
+		if g.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if _, ok := g.Search(k); !ok {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearch4096(b *testing.B) {
+	g := New(7)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		g.Insert(keys[i], nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Search(keys[i%len(keys)])
+	}
+}

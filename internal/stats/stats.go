@@ -1,0 +1,371 @@
+// Package stats implements the small statistics toolkit PRESTO needs:
+// summary statistics, streaming (Welford) accumulation, linear regression,
+// quantiles, error metrics, autocorrelation, and histograms.
+//
+// Go's standard library has no statistics package, and the module is built
+// offline, so these are implemented from scratch with care around numeric
+// stability (Welford/Kahan-style accumulation where it matters).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or 0 for fewer than
+// two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum of xs. It returns ErrEmpty for
+// empty input.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1], nil
+	}
+	return s[i]*(1-frac) + s[i+1]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// RMSE returns the root-mean-square error between two equal-length series.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: RMSE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a))), nil
+}
+
+// MAE returns the mean absolute error between two equal-length series.
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: MAE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// MaxAbsErr returns the maximum absolute pointwise error.
+func MaxAbsErr(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: MaxAbsErr length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// LinearFit holds the result of an ordinary-least-squares line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// LinearRegression fits a least-squares line to (x, y) pairs. It needs at
+// least two points with distinct x values.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: regression length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return LinearFit{}, errors.New("stats: regression needs >= 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: regression x values are constant")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         len(x),
+	}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // y constant and perfectly predicted
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag, in [-1, 1]. Returns 0 for degenerate inputs.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n || n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// Online accumulates streaming mean/variance/min/max using Welford's
+// algorithm. The zero value is ready to use.
+type Online struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the observation count.
+func (o *Online) N() uint64 { return o.n }
+
+// Mean returns the running mean (0 if empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running unbiased variance (0 if n < 2).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the running standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 if empty).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge combines another accumulator into o (parallel Welford merge).
+func (o *Online) Merge(p *Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *p
+		return
+	}
+	n1, n2 := float64(o.n), float64(p.n)
+	delta := p.mean - o.mean
+	tot := n1 + n2
+	o.m2 += p.m2 + delta*delta*n1*n2/tot
+	o.mean += delta * n2 / tot
+	o.n += p.n
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+}
+
+// EWMA is an exponentially-weighted moving average with smoothing factor
+// alpha in (0, 1]: larger alpha weights recent samples more.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA; it panics on alpha outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %g out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value, e.init = x, true
+	} else {
+		e.value = e.alpha*x + (1-e.alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); out-of-range samples
+// are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bins, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g) empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Mode returns the index of the most populated bin (ties broken low).
+// This supports the paper's building-health example where scientists query
+// the mode of vibration directly at the sensor.
+func (h *Histogram) Mode() int {
+	best, bestN := 0, uint64(0)
+	for i, c := range h.Counts {
+		if c > bestN {
+			best, bestN = i, c
+		}
+	}
+	return best
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,374 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean=%v, want 2.5", got)
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known: population var 4, sample var 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance=%v, want %v", got, 32.0/7.0)
+	}
+	if got := Std(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std=%v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("MinMax(nil) should return ErrEmpty")
+	}
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax=(%v,%v,%v)", lo, hi, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("empty quantile should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q>1 should fail")
+	}
+	m, err := Median(xs)
+	if err != nil || m != 3 {
+		t.Errorf("Median=%v,%v", m, err)
+	}
+	q, _ := Quantile(xs, 0.25)
+	if q != 2 {
+		t.Errorf("Q25=%v, want 2", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if q != 5 {
+		t.Errorf("Q100=%v, want 5", q)
+	}
+	q, _ = Quantile([]float64{42}, 0.9)
+	if q != 42 {
+		t.Errorf("single-element quantile=%v", q)
+	}
+	// Interpolation: median of {1,2,3,4} is 2.5.
+	q, _ = Median([]float64{4, 1, 3, 2})
+	if q != 2.5 {
+		t.Errorf("interpolated median=%v, want 2.5", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, _ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 4, 3}
+	r, err := RMSE(a, b)
+	if err != nil || !almostEq(r, math.Sqrt(4.0/3.0), 1e-12) {
+		t.Errorf("RMSE=%v,%v", r, err)
+	}
+	m, err := MAE(a, b)
+	if err != nil || !almostEq(m, 2.0/3.0, 1e-12) {
+		t.Errorf("MAE=%v,%v", m, err)
+	}
+	x, err := MaxAbsErr(a, b)
+	if err != nil || x != 2 {
+		t.Errorf("MaxAbsErr=%v,%v", x, err)
+	}
+	if _, err := RMSE(a, b[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Error("empty RMSE should return ErrEmpty")
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	// Exact line y = 2x + 1.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit=%+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2=%v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEq(got, 21, 1e-12) {
+		t.Fatalf("Predict(10)=%v", got)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := LinearRegression([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant x should fail")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestLinearRegressionConstantY(t *testing.T) {
+	fit, err := LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 0, 1e-12) || !almostEq(fit.Intercept, 5, 1e-12) {
+		t.Fatalf("fit=%+v", fit)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Perfectly periodic signal has high autocorrelation at its period.
+	n := 256
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	if ac := Autocorrelation(xs, 16); ac < 0.9 {
+		t.Errorf("autocorr at period = %v, want > 0.9", ac)
+	}
+	if ac := Autocorrelation(xs, 8); ac > -0.8 {
+		t.Errorf("autocorr at half-period = %v, want < -0.8", ac)
+	}
+	if Autocorrelation(xs, 0) < 0.999 {
+		t.Error("lag-0 autocorr should be 1")
+	}
+	if Autocorrelation(xs, -1) != 0 || Autocorrelation(xs, n) != 0 {
+		t.Error("out-of-range lag should be 0")
+	}
+	if Autocorrelation([]float64{1, 1, 1}, 1) != 0 {
+		t.Error("constant series autocorr should be 0")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	lo, hi, _ := MinMax(xs)
+	if o.Min() != lo || o.Max() != hi {
+		t.Errorf("online min/max %v/%v vs %v/%v", o.Min(), o.Max(), lo, hi)
+	}
+	if o.N() != 1000 {
+		t.Errorf("N=%d", o.N())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var all, a, b Online
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		all.Add(x)
+		if i < 200 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if !almostEq(a.Mean(), all.Mean(), 1e-9) || !almostEq(a.Variance(), all.Variance(), 1e-9) {
+		t.Fatalf("merge mean/var %v/%v vs %v/%v", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+	var empty Online
+	a2 := a
+	a2.Merge(&empty)
+	if a2.N() != a.N() {
+		t.Error("merging empty changed N")
+	}
+	var fresh Online
+	fresh.Merge(&a)
+	if fresh.N() != a.N() || !almostEq(fresh.Mean(), a.Mean(), 1e-12) {
+		t.Error("merge into empty wrong")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Error("initial EWMA should be 0")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Errorf("first sample should initialize: %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Errorf("EWMA=%v, want 15", e.Value())
+	}
+}
+
+func TestEWMAPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(5.1)
+	h.Add(5.2)
+	if h.Mode() != 5 {
+		t.Errorf("Mode=%d, want 5", h.Mode())
+	}
+	if h.Total() != 12 {
+		t.Errorf("Total=%d", h.Total())
+	}
+	if !almostEq(h.Fraction(5), 3.0/12.0, 1e-12) {
+		t.Errorf("Fraction(5)=%v", h.Fraction(5))
+	}
+	if !almostEq(h.BinCenter(0), 0.5, 1e-12) {
+		t.Errorf("BinCenter(0)=%v", h.BinCenter(0))
+	}
+	// Clamping.
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+	if h.Fraction(-1) != 0 || h.Fraction(99) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+// Property: variance is never negative and shift-invariant.
+func TestPropertyVariance(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological float inputs
+			}
+		}
+		v := Variance(xs)
+		if v < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 1000
+		}
+		return almostEq(v, Variance(shifted), 1e-3*(1+v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		lo, hi, _ := MinMax(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-12 {
+				t.Fatalf("quantile not monotone at q=%v", q)
+			}
+			if v < lo-1e-12 || v > hi+1e-12 {
+				t.Fatalf("quantile %v outside [%v,%v]", v, lo, hi)
+			}
+			prev = v
+		}
+	}
+}
+
+// Property: Online.Merge is equivalent to sequential Adds regardless of
+// split point.
+func TestPropertyOnlineMergeAnySplit(t *testing.T) {
+	f := func(raw []uint8, split uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		k := int(split) % len(xs)
+		var whole, left, right Online
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEq(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(left.Variance(), whole.Variance(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package store provides PRESTO's unified logical view: "a single logical
+// store across tens to hundreds of proxies and thousands of remote
+// sensors" (Section 1).
+//
+// Users query the store by mote and time; the store routes each query to
+// the managing proxy through the distributed index, preferring a wired
+// replica when the managing proxy is wireless (Section 5's replication
+// for low-latency responses), and merges cross-proxy detection streams in
+// global time order. The abstraction hides which proxy owns which mote,
+// whether the answer came from cache, model, or a mote archive pull, and
+// the vagaries of the lossy sensor tier.
+package store
+
+import (
+	"fmt"
+
+	"presto/internal/index"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// Store is the unified logical store.
+type Store struct {
+	ix      *index.Index
+	proxies map[index.ProxyID]*proxy.Proxy
+
+	routed, replicaRouted uint64
+}
+
+// New creates a store over an index.
+func New(ix *index.Index) *Store {
+	return &Store{ix: ix, proxies: make(map[index.ProxyID]*proxy.Proxy)}
+}
+
+// AddProxy attaches a proxy under an index id.
+func (s *Store) AddProxy(id index.ProxyID, p *proxy.Proxy, wired bool) {
+	s.proxies[id] = p
+	s.ix.RegisterProxy(id, wired)
+}
+
+// AdoptMote records that proxy id manages the mote (routing state).
+func (s *Store) AdoptMote(m radio.NodeID, id index.ProxyID) {
+	s.ix.RegisterMote(m, id)
+}
+
+// Index exposes the underlying distributed index.
+func (s *Store) Index() *index.Index { return s.ix }
+
+// route picks the proxy that should answer a query for mote m: the wired
+// replica when one exists and holds the mote's data, otherwise the
+// managing proxy.
+func (s *Store) route(m radio.NodeID) (*proxy.Proxy, error) {
+	pid, err := s.ix.ProxyFor(m)
+	if err != nil {
+		return nil, err
+	}
+	if w, ok := s.ix.ReplicaFor(pid); ok {
+		if rp, ok := s.proxies[w]; ok {
+			s.replicaRouted++
+			return rp, nil
+		}
+	}
+	p, ok := s.proxies[pid]
+	if !ok {
+		return nil, fmt.Errorf("store: proxy %d not attached", pid)
+	}
+	s.routed++
+	return p, nil
+}
+
+// Execute routes and runs a query; cb fires exactly once.
+func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
+	p, err := s.route(q.Mote)
+	if err != nil {
+		return err
+	}
+	return query.Execute(p, q, cb)
+}
+
+// Detections returns the globally time-ordered detection stream in
+// [t0, t1] across all proxies.
+func (s *Store) Detections(t0, t1 simtime.Time) []index.Detection {
+	return s.ix.ScanDetections(t0, t1)
+}
+
+// Publish adds a detection to the global index on behalf of a proxy.
+func (s *Store) Publish(d index.Detection) error {
+	return s.ix.PublishDetection(d)
+}
+
+// Stats reports routing counters: queries routed to managing proxies and
+// to wired replicas.
+func (s *Store) Stats() (routed, replicaRouted uint64) {
+	return s.routed, s.replicaRouted
+}

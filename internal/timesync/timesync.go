@@ -1,0 +1,109 @@
+// Package timesync models and corrects mote clock error.
+//
+// Section 5: "Drift and skew of clocks at the remote sensors can result in
+// erroneous timestamps, which need to be corrected to provide an accurate
+// temporal view of data."
+//
+// A mote clock is modelled as local(t) = offset + (1 + skew) * t: a fixed
+// boot offset plus a rate error (crystal tolerance, tens of ppm on real
+// motes). The proxy observes (reported mote timestamp, proxy arrival time)
+// pairs from normal traffic, subtracts the known transmission latency
+// bound, and fits a line by least squares; inverting the fit converts mote
+// timestamps to proxy time. With crystal-class skew and a handful of
+// observations, residual error drops to the network jitter level.
+package timesync
+
+import (
+	"errors"
+	"fmt"
+
+	"presto/internal/simtime"
+	"presto/internal/stats"
+)
+
+// Clock simulates a drifting mote clock.
+type Clock struct {
+	Offset simtime.Time // boot offset
+	Skew   float64      // rate error, e.g. 50e-6 = 50 ppm fast
+}
+
+// Read returns the mote's local timestamp at true time t.
+func (c Clock) Read(t simtime.Time) simtime.Time {
+	return c.Offset + t + simtime.Time(float64(t)*c.Skew)
+}
+
+// Estimator fits the mote clock from (local, true arrival) samples.
+// The zero value is ready to use.
+type Estimator struct {
+	local []float64 // reported mote timestamps (ns)
+	truth []float64 // proxy receive times minus latency estimate (ns)
+	fit   stats.LinearFit
+	ok    bool
+}
+
+// MinSamples is the number of observations needed before Correct works.
+const MinSamples = 2
+
+// ErrNotReady is returned before enough samples have been observed.
+var ErrNotReady = errors.New("timesync: not enough samples to fit clock")
+
+// Observe records one (mote timestamp, proxy arrival time) pair. latency
+// is the proxy's estimate of transmission delay (e.g. half the LPL
+// interval plus propagation); it is subtracted from the arrival time.
+func (e *Estimator) Observe(moteTS, arrival simtime.Time, latency simtime.Time) {
+	e.local = append(e.local, float64(moteTS))
+	e.truth = append(e.truth, float64(arrival-latency))
+	e.ok = false // refit lazily
+}
+
+// Samples returns the number of observations.
+func (e *Estimator) Samples() int { return len(e.local) }
+
+// refit recomputes the regression truth = a*local + b.
+func (e *Estimator) refit() error {
+	if len(e.local) < MinSamples {
+		return ErrNotReady
+	}
+	fit, err := stats.LinearRegression(e.local, e.truth)
+	if err != nil {
+		return fmt.Errorf("timesync: %w", err)
+	}
+	e.fit = fit
+	e.ok = true
+	return nil
+}
+
+// Correct converts a mote timestamp to estimated true time.
+func (e *Estimator) Correct(moteTS simtime.Time) (simtime.Time, error) {
+	if !e.ok {
+		if err := e.refit(); err != nil {
+			return 0, err
+		}
+	}
+	return simtime.Time(e.fit.Predict(float64(moteTS))), nil
+}
+
+// SkewEstimate returns the estimated mote rate error. The fit is
+// truth = slope*local + intercept with slope = 1/(1+skew), so the skew
+// estimate is 1/slope - 1.
+func (e *Estimator) SkewEstimate() (float64, error) {
+	if !e.ok {
+		if err := e.refit(); err != nil {
+			return 0, err
+		}
+	}
+	if e.fit.Slope == 0 {
+		return 0, errors.New("timesync: degenerate fit")
+	}
+	return 1/e.fit.Slope - 1, nil
+}
+
+// OffsetEstimate returns the estimated boot offset as seen in proxy time.
+func (e *Estimator) OffsetEstimate() (simtime.Time, error) {
+	if !e.ok {
+		if err := e.refit(); err != nil {
+			return 0, err
+		}
+	}
+	return simtime.Time(-e.fit.Intercept / e.fit.Slope), nil
+}

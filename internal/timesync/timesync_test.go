@@ -1,0 +1,146 @@
+package timesync
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"presto/internal/simtime"
+)
+
+func TestClockModel(t *testing.T) {
+	c := Clock{Offset: simtime.Hour, Skew: 100e-6}
+	if got := c.Read(0); got != simtime.Hour {
+		t.Fatalf("Read(0)=%v", got)
+	}
+	// After one true day, a 100ppm-fast clock gains 8.64ms beyond offset.
+	got := c.Read(simtime.Day)
+	want := simtime.Hour + simtime.Day + simtime.Time(float64(simtime.Day)*100e-6)
+	if got != want {
+		t.Fatalf("Read(1d)=%v, want %v", got, want)
+	}
+}
+
+func TestNotReady(t *testing.T) {
+	var e Estimator
+	if _, err := e.Correct(0); err != ErrNotReady {
+		t.Fatalf("err=%v", err)
+	}
+	e.Observe(1, 1, 0)
+	if _, err := e.Correct(0); err != ErrNotReady {
+		t.Fatal("single sample should not be enough")
+	}
+	if _, err := e.SkewEstimate(); err == nil {
+		t.Fatal("skew before fit")
+	}
+	if _, err := e.OffsetEstimate(); err == nil {
+		t.Fatal("offset before fit")
+	}
+}
+
+func TestPerfectObservationsExactFit(t *testing.T) {
+	clock := Clock{Offset: 5 * simtime.Minute, Skew: 50e-6}
+	var e Estimator
+	for i := 1; i <= 10; i++ {
+		truth := simtime.Time(i) * simtime.Hour
+		e.Observe(clock.Read(truth), truth, 0)
+	}
+	// Correct an unseen timestamp.
+	truth := 30 * simtime.Hour
+	got, err := e.Correct(clock.Read(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errNs := math.Abs(float64(got - truth)); errNs > float64(simtime.Millisecond) {
+		t.Fatalf("corrected error %v", simtime.Time(errNs))
+	}
+	skew, err := e.SkewEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(skew-50e-6) > 5e-6 {
+		t.Fatalf("skew estimate %v, want 50ppm", skew)
+	}
+	off, err := e.OffsetEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(off-5*simtime.Minute)) > float64(simtime.Second) {
+		t.Fatalf("offset estimate %v, want 5m", off)
+	}
+}
+
+func TestNoisyObservationsBoundedError(t *testing.T) {
+	// With +/-10ms network jitter on arrivals, corrected timestamps
+	// should be accurate to well under the raw drift.
+	clock := Clock{Offset: 2 * simtime.Second, Skew: 80e-6}
+	rng := rand.New(rand.NewSource(4))
+	var e Estimator
+	for i := 1; i <= 50; i++ {
+		truth := simtime.Time(i) * 20 * simtime.Minute
+		jitter := simtime.Time(rng.Int63n(int64(20*simtime.Millisecond))) - 10*simtime.Millisecond
+		e.Observe(clock.Read(truth), truth+jitter, 0)
+	}
+	// Raw error at t=24h: offset 2s + drift 80ppm*24h ≈ 2s + 6.9s.
+	truth := 24 * simtime.Hour
+	raw := clock.Read(truth) - truth
+	got, err := e.Correct(clock.Read(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := math.Abs(float64(got - truth))
+	if corrected > float64(raw)/100 {
+		t.Fatalf("corrected error %v vs raw %v: less than 100x improvement", simtime.Time(corrected), raw)
+	}
+	if corrected > float64(50*simtime.Millisecond) {
+		t.Fatalf("corrected error %v too large", simtime.Time(corrected))
+	}
+}
+
+func TestLatencyCompensation(t *testing.T) {
+	// A constant known latency subtracted at Observe time should not bias
+	// the fit.
+	clock := Clock{Offset: 0, Skew: 0}
+	lat := 250 * simtime.Millisecond
+	var e Estimator
+	for i := 1; i <= 5; i++ {
+		truth := simtime.Time(i) * simtime.Hour
+		arrival := truth + lat
+		e.Observe(clock.Read(truth), arrival, lat)
+	}
+	got, err := e.Correct(clock.Read(10 * simtime.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10*simtime.Hour {
+		t.Fatalf("corrected %v, want exactly 10h", got)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	var e Estimator
+	e.Observe(1, 1, 0)
+	e.Observe(2, 2, 0)
+	if e.Samples() != 2 {
+		t.Fatalf("samples=%d", e.Samples())
+	}
+}
+
+func TestRefitAfterNewObservations(t *testing.T) {
+	clock := Clock{Offset: simtime.Second, Skew: 0}
+	var e Estimator
+	e.Observe(clock.Read(simtime.Hour), simtime.Hour, 0)
+	e.Observe(clock.Read(2*simtime.Hour), 2*simtime.Hour, 0)
+	if _, err := e.Correct(clock.Read(3 * simtime.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// New observation invalidates the cached fit and refits cleanly.
+	e.Observe(clock.Read(4*simtime.Hour), 4*simtime.Hour, 0)
+	got, err := e.Correct(clock.Read(5 * simtime.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got-5*simtime.Hour)) > float64(simtime.Millisecond) {
+		t.Fatalf("refit correction off: %v", got)
+	}
+}

@@ -1,0 +1,36 @@
+package wavelet_test
+
+import (
+	"fmt"
+	"math"
+
+	"presto/internal/wavelet"
+)
+
+// ExampleCompress shows the mote-side path for Figure 2's batched push
+// with wavelet denoising: a smooth batch compresses to a handful of
+// coefficients with bounded reconstruction error.
+func ExampleCompress() {
+	// One day of hourly temperatures: smooth diurnal curve.
+	batch := make([]float64, 24)
+	for h := range batch {
+		batch[h] = 20 + 4*math.Sin(2*math.Pi*float64(h)/24)
+	}
+	sparse, err := wavelet.Compress(batch, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	rec, err := wavelet.Decompress(sparse)
+	if err != nil {
+		panic(err)
+	}
+	var worst float64
+	for i := range batch {
+		if d := math.Abs(rec[i] - batch[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("kept %d of %d coefficients, wire size %d bytes, max error < 1: %v\n",
+		len(sparse.Index), len(batch), sparse.WireSize(), worst < 1)
+	// Output: kept 17 of 24 coefficients, wire size 148 bytes, max error < 1: true
+}

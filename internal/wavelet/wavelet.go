@@ -1,0 +1,298 @@
+// Package wavelet implements the Haar discrete wavelet transform together
+// with the two operations PRESTO builds on it:
+//
+//   - denoising before transmission (Figure 2's "Batched Push w/ Wavelet
+//     Denoising"): hard-threshold small detail coefficients so the batch
+//     compresses far better, at a bounded reconstruction error, and
+//   - multi-resolution summaries for graceful aging of the mote archive
+//     (Ganesan et al. [10]): keep progressively coarser approximations of
+//     old data as flash fills up.
+//
+// Haar is used (rather than longer Daubechies filters) because the mote
+// side must run the inverse/forward transform in O(n) adds and shifts —
+// matching the paper's requirement that sensor-side computation be cheap.
+package wavelet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNotPow2 is returned when a transform input is not a power-of-two
+// length. Use Pad to extend arbitrary inputs.
+var ErrNotPow2 = errors.New("wavelet: input length is not a power of two")
+
+// invSqrt2 is 1/sqrt(2), the orthonormal Haar filter coefficient.
+var invSqrt2 = 1 / math.Sqrt2
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Pad extends xs to the next power-of-two length by repeating the final
+// sample (constant extension minimizes spurious detail coefficients at the
+// boundary). It returns the padded slice and the original length.
+func Pad(xs []float64) ([]float64, int) {
+	n := len(xs)
+	if n == 0 {
+		return []float64{0}, 0
+	}
+	p := NextPow2(n)
+	if p == n {
+		return append([]float64(nil), xs...), n
+	}
+	out := make([]float64, p)
+	copy(out, xs)
+	for i := n; i < p; i++ {
+		out[i] = xs[n-1]
+	}
+	return out, n
+}
+
+// Forward computes the full orthonormal Haar DWT of xs in place and returns
+// xs. Layout: [approx | detail_level1 | detail_level2 | ... ] with the
+// single overall average first. Input length must be a power of two.
+func Forward(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	tmp := make([]float64, n)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := xs[2*i], xs[2*i+1]
+			tmp[i] = (a + b) * invSqrt2      // approximation
+			tmp[half+i] = (a - b) * invSqrt2 // detail
+		}
+		copy(xs[:length], tmp[:length])
+	}
+	return xs, nil
+}
+
+// Inverse computes the inverse Haar DWT in place and returns xs.
+func Inverse(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	tmp := make([]float64, n)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, d := xs[i], xs[half+i]
+			tmp[2*i] = (a + d) * invSqrt2
+			tmp[2*i+1] = (a - d) * invSqrt2
+		}
+		copy(xs[:length], tmp[:length])
+	}
+	return xs, nil
+}
+
+// Denoise hard-thresholds coefficients: any coefficient (except the overall
+// average at index 0) with |c| < threshold is zeroed. It returns the number
+// of coefficients zeroed. Operating on the transform domain, so call
+// Forward first.
+func Denoise(coeffs []float64, threshold float64) int {
+	zeroed := 0
+	for i := 1; i < len(coeffs); i++ {
+		if math.Abs(coeffs[i]) < threshold {
+			if coeffs[i] != 0 {
+				zeroed++
+			}
+			coeffs[i] = 0
+		}
+	}
+	return zeroed
+}
+
+// TopK keeps the k largest-magnitude coefficients (always including index
+// 0, the overall average) and zeroes the rest, returning how many were
+// zeroed. This is the classic wavelet synopsis used for lossy compression
+// and aging.
+func TopK(coeffs []float64, k int) int {
+	n := len(coeffs)
+	if k >= n {
+		return 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	type ci struct {
+		idx int
+		mag float64
+	}
+	rest := make([]ci, 0, n-1)
+	for i := 1; i < n; i++ {
+		rest = append(rest, ci{i, math.Abs(coeffs[i])})
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if rest[a].mag != rest[b].mag {
+			return rest[a].mag > rest[b].mag
+		}
+		return rest[a].idx < rest[b].idx
+	})
+	zeroed := 0
+	for _, c := range rest[k-1:] {
+		if coeffs[c.idx] != 0 {
+			zeroed++
+		}
+		coeffs[c.idx] = 0
+	}
+	return zeroed
+}
+
+// Coarsen halves the resolution of a signal: it returns the approximation
+// coefficients of one Haar level, rescaled so they remain in the signal's
+// units (pairwise means). Used by archive aging to derive a half-size
+// summary of an old block. len(xs) must be even and non-zero.
+func Coarsen(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if n == 0 || n%2 != 0 {
+		return nil, fmt.Errorf("wavelet: Coarsen needs non-empty even length, got %d", n)
+	}
+	out := make([]float64, n/2)
+	for i := range out {
+		out[i] = (xs[2*i] + xs[2*i+1]) / 2
+	}
+	return out, nil
+}
+
+// Expand reverses Coarsen approximately by duplicating each sample.
+func Expand(xs []float64, factor int) []float64 {
+	if factor < 1 {
+		factor = 1
+	}
+	out := make([]float64, 0, len(xs)*factor)
+	for _, x := range xs {
+		for j := 0; j < factor; j++ {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Sparse is a compact encoding of a thresholded coefficient vector:
+// only the non-zero coefficients and their indices, plus the original
+// (pre-pad) and padded lengths. This is what a mote actually transmits.
+type Sparse struct {
+	N       int // original signal length before padding
+	PaddedN int // power-of-two transform length
+	Index   []uint32
+	Value   []float64
+}
+
+// Compress transforms xs (padding as needed), zeroes coefficients smaller
+// than threshold, and returns the sparse representation.
+func Compress(xs []float64, threshold float64) (Sparse, error) {
+	padded, n := Pad(xs)
+	if _, err := Forward(padded); err != nil {
+		return Sparse{}, err
+	}
+	Denoise(padded, threshold)
+	s := Sparse{N: n, PaddedN: len(padded)}
+	for i, c := range padded {
+		if c != 0 {
+			s.Index = append(s.Index, uint32(i))
+			s.Value = append(s.Value, c)
+		}
+	}
+	return s, nil
+}
+
+// CompressTopK is like Compress but keeps exactly the k largest
+// coefficients instead of thresholding.
+func CompressTopK(xs []float64, k int) (Sparse, error) {
+	padded, n := Pad(xs)
+	if _, err := Forward(padded); err != nil {
+		return Sparse{}, err
+	}
+	TopK(padded, k)
+	s := Sparse{N: n, PaddedN: len(padded)}
+	for i, c := range padded {
+		if c != 0 {
+			s.Index = append(s.Index, uint32(i))
+			s.Value = append(s.Value, c)
+		}
+	}
+	return s, nil
+}
+
+// Decompress reconstructs the (lossy) signal from its sparse form,
+// truncated back to the original length.
+func Decompress(s Sparse) ([]float64, error) {
+	if !IsPow2(s.PaddedN) {
+		return nil, ErrNotPow2
+	}
+	if s.N < 0 || s.N > s.PaddedN {
+		return nil, fmt.Errorf("wavelet: invalid lengths N=%d PaddedN=%d", s.N, s.PaddedN)
+	}
+	if len(s.Index) != len(s.Value) {
+		return nil, fmt.Errorf("wavelet: index/value length mismatch %d vs %d", len(s.Index), len(s.Value))
+	}
+	coeffs := make([]float64, s.PaddedN)
+	for i, idx := range s.Index {
+		if int(idx) >= s.PaddedN {
+			return nil, fmt.Errorf("wavelet: coefficient index %d out of range %d", idx, s.PaddedN)
+		}
+		coeffs[idx] = s.Value[i]
+	}
+	if _, err := Inverse(coeffs); err != nil {
+		return nil, err
+	}
+	return coeffs[:s.N], nil
+}
+
+// Marshal encodes the sparse form as bytes: this is the exact payload size
+// charged to the radio in experiments. Format: u32 N, u32 PaddedN, u32
+// count, then count * (u32 index, f32 value). Values are quantized to
+// float32 — ample for sensor data and half the bytes.
+func (s Sparse) Marshal() []byte {
+	buf := make([]byte, 12+8*len(s.Index))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(s.N))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(s.PaddedN))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(s.Index)))
+	off := 12
+	for i := range s.Index {
+		binary.LittleEndian.PutUint32(buf[off:], s.Index[i])
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(float32(s.Value[i])))
+		off += 8
+	}
+	return buf
+}
+
+// UnmarshalSparse decodes the wire form produced by Marshal.
+func UnmarshalSparse(buf []byte) (Sparse, error) {
+	if len(buf) < 12 {
+		return Sparse{}, fmt.Errorf("wavelet: short sparse buffer (%d bytes)", len(buf))
+	}
+	s := Sparse{
+		N:       int(binary.LittleEndian.Uint32(buf[0:])),
+		PaddedN: int(binary.LittleEndian.Uint32(buf[4:])),
+	}
+	count := int(binary.LittleEndian.Uint32(buf[8:]))
+	if len(buf) < 12+8*count {
+		return Sparse{}, fmt.Errorf("wavelet: sparse buffer truncated: want %d bytes, have %d", 12+8*count, len(buf))
+	}
+	off := 12
+	for i := 0; i < count; i++ {
+		s.Index = append(s.Index, binary.LittleEndian.Uint32(buf[off:]))
+		s.Value = append(s.Value, float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))))
+		off += 8
+	}
+	return s, nil
+}
+
+// WireSize returns the Marshal size in bytes without allocating.
+func (s Sparse) WireSize() int { return 12 + 8*len(s.Index) }

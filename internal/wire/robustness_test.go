@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"presto/internal/compress"
+	"presto/internal/model"
+	"presto/internal/wavelet"
+)
+
+// Every decoder in the mote↔proxy path parses bytes that arrived over a
+// lossy radio from nodes we may not control. None of them may panic on
+// arbitrary input — they must return errors. This test throws random and
+// mutated-valid buffers at all of them.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	decoders := []struct {
+		name string
+		fn   func([]byte)
+	}{
+		{"DecodePush", func(b []byte) { _, _ = DecodePush(b) }},
+		{"DecodeBatch", func(b []byte) { _, _ = DecodeBatch(b) }},
+		{"DecodeModelUpdate", func(b []byte) { _, _ = DecodeModelUpdate(b) }},
+		{"DecodePullReq", func(b []byte) { _, _ = DecodePullReq(b) }},
+		{"DecodePullResp", func(b []byte) { _, _ = DecodePullResp(b) }},
+		{"DecodeConfig", func(b []byte) { _, _ = DecodeConfig(b) }},
+		{"compress.Decode", func(b []byte) { _, _ = compress.Decode(b) }},
+		{"model.Unmarshal", func(b []byte) { _, _ = model.Unmarshal(b) }},
+		{"wavelet.UnmarshalSparse", func(b []byte) { _, _ = wavelet.UnmarshalSparse(b) }},
+	}
+	guard := func(name string, fn func([]byte), buf []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s panicked on %d bytes: %v", name, len(buf), r)
+			}
+		}()
+		fn(buf)
+	}
+	// Pure random buffers of assorted sizes.
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(300)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		for _, d := range decoders {
+			guard(d.name, d.fn, buf)
+		}
+	}
+	// Mutated valid messages: flip bytes in real encodings.
+	valid := [][]byte{
+		EncodePush(Push{T: 1234, V: 20.5}),
+		EncodePullReq(PullReq{ID: 1, T0: 0, T1: 100}),
+		EncodePullResp(PullResp{ID: 2, Records: []Rec{{T: 1, V: 2}, {T: 3, V: 4}}}),
+		EncodeConfig(Config{LPLInterval: 1000}),
+		EncodeModelUpdate(ModelUpdate{Delta: 1, Params: model.ConstLast{}.Marshal()}),
+	}
+	for _, base := range valid {
+		for trial := 0; trial < 200; trial++ {
+			buf := append([]byte(nil), base...)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+			}
+			// Also random truncation.
+			if rng.Intn(2) == 0 {
+				buf = buf[:rng.Intn(len(buf)+1)]
+			}
+			for _, d := range decoders {
+				guard(d.name, d.fn, buf)
+			}
+		}
+	}
+}

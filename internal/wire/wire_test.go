@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"presto/internal/compress"
+	"presto/internal/simtime"
+)
+
+func TestPushRoundTrip(t *testing.T) {
+	p := Push{T: 90 * simtime.Minute, V: 23.75}
+	got, err := DecodePush(EncodePush(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != p.T || math.Abs(got.V-p.V) > 1e-5 {
+		t.Fatalf("round trip %+v -> %+v", p, got)
+	}
+	if _, err := DecodePush([]byte{1}); err != ErrShort {
+		t.Fatal("short push accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{Start: simtime.Hour, Interval: simtime.Minute, Values: []float64{1, 2, 3, 2.5}}
+	for _, codec := range []compress.Batch{
+		{Mode: compress.Raw},
+		{Mode: compress.Delta, Quantum: 0.01},
+		{Mode: compress.WaveletDenoise, Threshold: 0.01},
+	} {
+		buf, err := EncodeBatch(b, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Start != b.Start || got.Interval != b.Interval || len(got.Values) != 4 {
+			t.Fatalf("codec %v: %+v", codec.Mode, got)
+		}
+		for i := range b.Values {
+			if math.Abs(got.Values[i]-b.Values[i]) > 0.1 {
+				t.Fatalf("codec %v value %d: %v vs %v", codec.Mode, i, got.Values[i], b.Values[i])
+			}
+		}
+	}
+	if _, err := DecodeBatch([]byte{1, 2}); err != ErrShort {
+		t.Fatal("short batch accepted")
+	}
+	if _, err := DecodeBatch(make([]byte, 17)); err == nil {
+		t.Fatal("garbage batch payload accepted")
+	}
+}
+
+func TestModelUpdateRoundTrip(t *testing.T) {
+	m := ModelUpdate{Delta: 1.5, Params: []byte{9, 8, 7}}
+	got, err := DecodeModelUpdate(EncodeModelUpdate(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delta != 1.5 || len(got.Params) != 3 || got.Params[0] != 9 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := DecodeModelUpdate([]byte{1}); err != ErrShort {
+		t.Fatal("short update accepted")
+	}
+}
+
+func TestPullReqRoundTrip(t *testing.T) {
+	r := PullReq{ID: 42, T0: simtime.Hour, T1: 2 * simtime.Hour, Quantum: 0.25}
+	got, err := DecodePullReq(EncodePullReq(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.T0 != r.T0 || got.T1 != r.T1 || math.Abs(got.Quantum-0.25) > 1e-6 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := DecodePullReq(make([]byte, 10)); err != ErrShort {
+		t.Fatal("short req accepted")
+	}
+}
+
+func TestPullRespRoundTrip(t *testing.T) {
+	r := PullResp{
+		ID:       7,
+		ErrBound: 0.5,
+		Records: []Rec{
+			{T: simtime.Minute, V: 20},
+			{T: 2 * simtime.Minute, V: 20.5},
+			{T: 10 * simtime.Minute, V: 19},
+		},
+	}
+	buf := EncodePullResp(r)
+	got, err := DecodePullResp(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || math.Abs(got.ErrBound-0.5) > 1e-6 || len(got.Records) != 3 {
+		t.Fatalf("round trip %+v", got)
+	}
+	for i := range r.Records {
+		if got.Records[i].T != r.Records[i].T {
+			t.Fatalf("record %d time %v vs %v", i, got.Records[i].T, r.Records[i].T)
+		}
+		if math.Abs(got.Records[i].V-r.Records[i].V) > 1e-4 {
+			t.Fatalf("record %d value", i)
+		}
+	}
+	// Truncation errors.
+	if _, err := DecodePullResp(buf[:5]); err != ErrShort {
+		t.Fatal("short resp accepted")
+	}
+	if _, err := DecodePullResp(buf[:14]); err == nil {
+		t.Fatal("truncated records accepted")
+	}
+}
+
+func TestPullRespEmpty(t *testing.T) {
+	got, err := DecodePullResp(EncodePullResp(PullResp{ID: 1}))
+	if err != nil || got.ID != 1 || len(got.Records) != 0 {
+		t.Fatalf("%+v, %v", got, err)
+	}
+}
+
+func TestPullRespCompact(t *testing.T) {
+	// Regularly spaced records should take ~6-7 bytes each (varint dt +
+	// f32), far below the 12-byte naive encoding.
+	var r PullResp
+	for i := 0; i < 100; i++ {
+		r.Records = append(r.Records, Rec{T: simtime.Time(i) * simtime.Minute, V: 20})
+	}
+	if n := len(EncodePullResp(r)); n > 12+100*10 {
+		t.Fatalf("pull response %d bytes for 100 records", n)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	c := Config{
+		LPLInterval:    simtime.Second,
+		SampleInterval: simtime.Minute,
+		BatchInterval:  simtime.Hour,
+		BatchMode:      2,
+		Quantum:        0.05,
+		Threshold:      0.4,
+		StreamAll:      1,
+	}
+	got, err := DecodeConfig(EncodeConfig(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip %+v vs %+v", got, c)
+	}
+	if _, err := DecodeConfig(make([]byte, 10)); err != ErrShort {
+		t.Fatal("short config accepted")
+	}
+}
+
+// Property: pull responses round-trip any monotone record sequence.
+func TestPropertyPullRespRoundTrip(t *testing.T) {
+	f := func(dts []uint16, vals []int16) bool {
+		n := len(dts)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		var r PullResp
+		tt := simtime.Time(0)
+		for i := 0; i < n; i++ {
+			tt += simtime.Time(dts[i]) * simtime.Second
+			r.Records = append(r.Records, Rec{T: tt, V: float64(vals[i]) / 4})
+		}
+		got, err := DecodePullResp(EncodePullResp(r))
+		if err != nil || len(got.Records) != n {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i].T != r.Records[i].T {
+				return false
+			}
+			if math.Abs(got.Records[i].V-r.Records[i].V) > 0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
