@@ -11,9 +11,15 @@
 package presto_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"presto/internal/core"
 	"presto/internal/exp"
+	"presto/internal/gen"
+	"presto/internal/query"
+	"presto/internal/simtime"
 )
 
 // run executes an experiment once per benchmark iteration and reports the
@@ -124,6 +130,68 @@ func BenchmarkAblationLPL(b *testing.B) { run(b, exp.AblationLPL) }
 
 // BenchmarkAblationSpatial regenerates the spatial-extrapolation ablation.
 func BenchmarkAblationSpatial(b *testing.B) { run(b, exp.AblationSpatial) }
+
+// BenchmarkQueryThroughput measures the async query engine end to end on
+// a 4-proxy deployment at 1 and 4 shards: each iteration submits a batch
+// of range queries spread over every mote and waits for all results.
+// With one shard a single worker settles every domain; with four the
+// domains advance concurrently, so queries/sec should scale with cores.
+func BenchmarkQueryThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const proxies, motesPer = 4, 4
+			c := gen.DefaultTempConfig()
+			c.Sensors = proxies * motesPer
+			c.Days = 4
+			c.Seed = 1
+			traces, err := gen.Temperature(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Proxies = proxies
+			cfg.MotesPerProxy = motesPer
+			cfg.Shards = shards
+			cfg.Radio.LossProb = 0
+			cfg.Radio.JitterMax = 0
+			cfg.Traces = traces
+			n, err := core.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			n.Start()
+			n.Run(48 * time.Hour)
+
+			ids := n.MoteIDs()
+			qs := make([]query.Query, 0, 4*len(ids))
+			for qi := 0; qi < 4; qi++ {
+				for _, id := range ids {
+					t0 := simtime.Time(2+qi*9) * simtime.Hour
+					qs = append(qs, query.Query{
+						Type: query.Past, Mote: id,
+						T0: t0, T1: t0 + 6*simtime.Hour, Precision: 0.2,
+					})
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chans, err := n.SubmitBatch(qs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ch := range chans {
+					if _, ok := <-ch; !ok {
+						b.Fatal("query never completed")
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
 
 // BenchmarkAllExperiments runs the full registry once per iteration (the
 // cmd/presto-bench workload at quick scale).

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	presto-bench [-scale quick|paper] [-run T1,F2,...] [-list]
+//	presto-bench [-scale quick|paper] [-shards N] [-run T1,F2,...] [-list]
 //
 // The paper scale reproduces the published parameters (28 days of 1-minute
 // samples, 20-mote deployments); quick scale preserves every shape at a
@@ -23,6 +23,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	shards := flag.Int("shards", 1, "concurrent simulation domains for multi-proxy deployments")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -46,6 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	sc.Shards = *shards
 
 	want := map[string]bool{}
 	if *run != "" {

@@ -1,0 +1,3 @@
+module presto
+
+go 1.22

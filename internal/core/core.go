@@ -2,17 +2,28 @@
 // architecture of Figure 1 — remote sensors with local archives, tethered
 // proxies with caches and prediction engines, and the unified logical
 // store with its distributed index on top — wired together over the
-// simulated radio and driven by the discrete-event kernel.
+// simulated radio and driven by discrete-event kernels.
 //
 // This is the package applications import: Build a Network from a Config,
 // Bootstrap it (training phase → model-driven operation), then post
 // queries against the unified store while virtual time advances.
+//
+// A deployment can be sharded (Config.Shards): proxies and their motes
+// are partitioned into independent simulation domains that advance
+// concurrently, one worker goroutine per domain, with a wired-replica
+// bridge carrying confirmed data and models between domains. See
+// engine.go for the query engine and worker model. With Shards <= 1 the
+// deployment is a single domain and behaves exactly like the unsharded
+// design, including bit-for-bit reproducible runs for a given seed.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"presto/internal/baseline"
@@ -24,7 +35,6 @@ import (
 	"presto/internal/mote"
 	"presto/internal/predict"
 	"presto/internal/proxy"
-	"presto/internal/query"
 	"presto/internal/radio"
 	"presto/internal/simtime"
 	"presto/internal/store"
@@ -40,6 +50,12 @@ type Config struct {
 	Proxies       int
 	MotesPerProxy int
 
+	// Shards partitions the deployment into this many concurrent
+	// simulation domains (clamped to Proxies; <= 1 means a single
+	// domain). Each domain owns a contiguous block of proxies plus their
+	// motes and advances on its own worker goroutine.
+	Shards int
+
 	Radio  radio.Config
 	Energy energy.Params
 
@@ -48,6 +64,10 @@ type Config struct {
 	Flash          flash.Geometry
 	Delta          float64
 
+	// BridgeLatency is the one-way wired latency between simulation
+	// domains (replica traffic); zero means 2 ms.
+	BridgeLatency time.Duration
+
 	// Preset optionally overrides the mote push policy (baselines).
 	Preset *baseline.Preset
 
@@ -55,17 +75,20 @@ type Config struct {
 	Traces []*gen.Trace
 
 	// WiredFirstProxy marks proxy 0 as wired and the rest wireless; when
-	// set, proxy 0 is registered as the wired replica of the others.
+	// set, proxy 0 is registered as the wired replica of the others and
+	// receives a mirrored copy of their confirmed data and models —
+	// directly when co-located in a domain, over the bridge otherwise.
 	WiredFirstProxy bool
 }
 
 // DefaultConfig returns a small deployment: 1 proxy, 4 motes, 1-minute
-// sampling, delta 1.0.
+// sampling, delta 1.0, a single simulation domain.
 func DefaultConfig() Config {
 	return Config{
 		Seed:           1,
 		Proxies:        1,
 		MotesPerProxy:  4,
+		Shards:         1,
 		Radio:          radio.DefaultConfig(),
 		Energy:         energy.DefaultParams(),
 		SampleInterval: time.Minute,
@@ -89,40 +112,143 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Network is a running PRESTO deployment. Public methods are safe for
-// concurrent use: a mutex serializes access to the single-threaded
-// simulation underneath.
+// Network is a running PRESTO deployment: one or more concurrent
+// simulation domains fronted by the async query engine (engine.go).
+// Public methods are safe for concurrent use — each domain is owned by
+// one worker goroutine and the engine routes work to it.
+//
+// Sim, Medium, Index and Store alias shard 0's domain for compatibility
+// and single-domain introspection; touching them (or Proxies/Motes
+// elements) directly is only safe while the engine is quiescent — no
+// Run, Submit or ExecuteWait concurrently in flight.
 type Network struct {
-	mu sync.Mutex
+	cfg    Config
+	shards []*shard
 
-	cfg     Config
+	// moteShard / moteHome route a mote id to its owning shard and
+	// simulated node; proxyShard maps global proxy index to shard.
+	// Immutable after Build.
+	moteShard  map[radio.NodeID]int
+	moteHome   map[radio.NodeID]*mote.Mote
+	proxyShard []int
+
+	bridge       *radio.Bridge
+	replicaFirst bool // multi-domain wired replica serving enabled
+
+	mu        sync.Mutex // engine control state (started)
+	started   bool
+	closeOnce sync.Once
+
+	queriesSubmitted atomic.Uint64
+	replicaServed    atomic.Uint64
+
+	// Shard 0 aliases and global views (see type comment).
 	Sim     *simtime.Simulator
 	Medium  *radio.Medium
 	Index   *index.Index
 	Store   *store.Store
 	Proxies []*proxy.Proxy
 	Motes   []*mote.Mote
-
-	started         bool
-	retrainFailures uint64
 }
 
 // Build constructs a deployment (not yet sampling; call Start or
-// Bootstrap).
+// Bootstrap). Shard workers start immediately; Close the network when
+// done with it (abandoned networks are reaped by a finalizer).
 func Build(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sim := simtime.New(cfg.Seed)
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 1
+	}
+	if nShards > cfg.Proxies {
+		nShards = cfg.Proxies
+	}
+	n := &Network{
+		cfg:       cfg,
+		moteShard: make(map[radio.NodeID]int),
+		moteHome:  make(map[radio.NodeID]*mote.Mote),
+	}
+	if nShards > 1 {
+		lat := cfg.BridgeLatency
+		if lat <= 0 {
+			lat = 2 * time.Millisecond
+		}
+		n.bridge = radio.NewBridge(lat)
+		n.replicaFirst = cfg.WiredFirstProxy
+	}
+
+	// Contiguous proxy partition: shard si owns proxies [pi0, pi0+count).
+	base, rem := cfg.Proxies/nShards, cfg.Proxies%nShards
+	pi0 := 0
+	for si := 0; si < nShards; si++ {
+		count := base
+		if si < rem {
+			count++
+		}
+		s, err := n.buildShard(si, pi0, count)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.shards = append(n.shards, s)
+		for i := 0; i < count; i++ {
+			n.proxyShard = append(n.proxyShard, si)
+		}
+		pi0 += count
+	}
+
+	// Wired replication: proxy 0 mirrors every wireless proxy. Same-
+	// domain proxies tap straight into it; remote domains go over the
+	// bridge. The replica registers every remote mote in replica-only
+	// mode so it can absorb and serve their data.
+	if cfg.WiredFirstProxy && cfg.Proxies > 1 {
+		n.wireReplication()
+	}
+
+	n.Sim = n.shards[0].sim
+	n.Medium = n.shards[0].medium
+	n.Index = n.shards[0].ix
+	n.Store = n.shards[0].st
+	for _, s := range n.shards {
+		n.Proxies = append(n.Proxies, s.proxies...)
+		n.Motes = append(n.Motes, s.motes...)
+	}
+	sort.Slice(n.Motes, func(i, j int) bool { return n.Motes[i].ID() < n.Motes[j].ID() })
+
+	for _, s := range n.shards {
+		go s.loop()
+	}
+	runtime.SetFinalizer(n, (*Network).Close)
+	return n, nil
+}
+
+// buildShard assembles one simulation domain holding count proxies
+// starting at global proxy index pi0, plus their motes.
+func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
+	cfg := n.cfg
+	sim := simtime.New(cfg.Seed + int64(si))
 	med, err := radio.NewMedium(sim, cfg.Radio, cfg.Energy)
 	if err != nil {
 		return nil, err
 	}
-	ix := index.New(cfg.Seed + 1)
+	ix := index.New(cfg.Seed + 1 + int64(si))
 	st := store.New(ix)
-	n := &Network{cfg: cfg, Sim: sim, Medium: med, Index: ix, Store: st}
+	s := &shard{
+		domain:    si,
+		sim:       sim,
+		medium:    med,
+		ix:        ix,
+		st:        st,
+		moteProxy: make(map[radio.NodeID]*proxy.Proxy),
+		bridge:    n.bridge,
+		cmds:      make(chan shardCmd, 256),
+		quit:      make(chan struct{}),
+		pending:   make(map[*pendingQuery]struct{}),
+	}
 
-	for pi := 0; pi < cfg.Proxies; pi++ {
+	for pi := pi0; pi < pi0+count; pi++ {
 		pid := radio.NodeID(proxyIDBase + 1 + pi)
 		p, err := proxy.New(sim, med, proxy.DefaultConfig(pid))
 		if err != nil {
@@ -130,38 +256,92 @@ func Build(cfg Config) (*Network, error) {
 		}
 		wired := !cfg.WiredFirstProxy || pi == 0
 		st.AddProxy(index.ProxyID(pi), p, wired)
-		n.Proxies = append(n.Proxies, p)
-	}
-	if cfg.WiredFirstProxy {
-		for pi := 1; pi < cfg.Proxies; pi++ {
-			if err := ix.SetReplica(index.ProxyID(pi), 0); err != nil {
-				return nil, err
-			}
-		}
+		s.proxies = append(s.proxies, p)
 	}
 
-	for mi := 0; mi < cfg.Proxies*cfg.MotesPerProxy; mi++ {
-		pi := mi / cfg.MotesPerProxy
-		mid := radio.NodeID(1 + mi)
-		mc := mote.DefaultConfig(mid, radio.NodeID(proxyIDBase+1+pi))
-		mc.SampleInterval = cfg.SampleInterval
-		mc.LPLInterval = cfg.LPLInterval
-		mc.Flash = cfg.Flash
-		mc.Delta = cfg.Delta
-		if cfg.Preset != nil {
-			cfg.Preset.Apply(&mc)
+	for pi := pi0; pi < pi0+count; pi++ {
+		for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
+			mid := radio.NodeID(1 + mi)
+			mc := mote.DefaultConfig(mid, radio.NodeID(proxyIDBase+1+pi))
+			mc.SampleInterval = cfg.SampleInterval
+			mc.LPLInterval = cfg.LPLInterval
+			mc.Flash = cfg.Flash
+			mc.Delta = cfg.Delta
+			if cfg.Preset != nil {
+				cfg.Preset.Apply(&mc)
+			}
+			tr := cfg.Traces[mi]
+			sampler := func(t simtime.Time) float64 { return tr.Value(t) }
+			m, err := mote.New(sim, med, cfg.Energy, mc, sampler)
+			if err != nil {
+				return nil, err
+			}
+			p := s.proxies[pi-pi0]
+			p.Register(mid, mc.SampleInterval, mc.Delta)
+			st.AdoptMote(mid, index.ProxyID(pi))
+			s.motes = append(s.motes, m)
+			s.moteProxy[mid] = p
+			n.moteShard[mid] = si
+			n.moteHome[mid] = m
 		}
-		tr := cfg.Traces[mi]
-		sampler := func(t simtime.Time) float64 { return tr.Value(t) }
-		m, err := mote.New(sim, med, cfg.Energy, mc, sampler)
-		if err != nil {
-			return nil, err
-		}
-		n.Proxies[pi].Register(mid, mc.SampleInterval, mc.Delta)
-		st.AdoptMote(mid, index.ProxyID(pi))
-		n.Motes = append(n.Motes, m)
 	}
-	return n, nil
+	return s, nil
+}
+
+// wireReplication connects every wireless proxy's replica tap to proxy 0
+// and registers their motes on it in replica-only mode. Within shard 0
+// the tap is a direct call (same domain, same kernel); across shards it
+// rides the bridge, whose handler on shard 0 absorbs the traffic.
+func (n *Network) wireReplication() {
+	s0 := n.shards[0]
+	wiredProxy := s0.proxies[0]
+	s0.wired = wiredProxy
+
+	if n.bridge != nil {
+		n.bridge.AttachDomain(0, s0.sim, func(msg radio.BridgeMsg) {
+			wiredProxy.AbsorbReplica(msg.Mote, msg.Kind, msg.Payload)
+		})
+	}
+
+	cfg := n.cfg
+	globalPi := 0
+	for si, s := range n.shards {
+		if n.bridge != nil && si != 0 {
+			// Non-replica domains still need an attachment so future
+			// bidirectional traffic has an inbox; handler drops.
+			n.bridge.AttachDomain(radio.DomainID(si), s.sim, func(radio.BridgeMsg) {})
+		}
+		for lpi, p := range s.proxies {
+			pi := globalPi + lpi
+			if pi == 0 {
+				continue // the wired proxy does not replicate itself
+			}
+			// Replica registrations for this proxy's motes.
+			for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
+				wiredProxy.RegisterReplica(radio.NodeID(1+mi), cfg.SampleInterval, cfg.Delta)
+			}
+			if si == 0 {
+				// Same domain: direct tap, and the domain-local store
+				// routes these motes' queries to the replica (seed
+				// behaviour, now with real mirrored data behind it).
+				p.SetReplicaTap(wiredProxy.AbsorbReplica)
+				// Proxy 0 is always wired here, so this cannot fail.
+				_ = s.ix.SetReplica(index.ProxyID(pi), 0)
+			} else {
+				// Capture the bridge, not n: this closure is held by the
+				// shard for its lifetime, and referencing n would keep
+				// abandoned networks finalizer-unreachable.
+				src, bridge := radio.DomainID(si), n.bridge
+				p.SetReplicaTap(func(m radio.NodeID, kind radio.Kind, payload []byte) {
+					bridge.Send(radio.BridgeMsg{
+						Src: src, Dst: 0, Mote: m, Kind: kind,
+						Payload: append([]byte(nil), payload...),
+					})
+				})
+			}
+		}
+		globalPi += len(s.proxies)
+	}
 }
 
 // Start begins sampling on every mote.
@@ -172,72 +352,79 @@ func (n *Network) Start() {
 		return
 	}
 	n.started = true
-	for _, m := range n.Motes {
-		m.Start()
-	}
-}
-
-// Run advances virtual time by d.
-func (n *Network) Run(d time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.Sim.RunFor(d)
-}
-
-// Now returns the current virtual time.
-func (n *Network) Now() simtime.Time {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.Sim.Now()
+	n.eachShard(func(s *shard) {
+		for _, m := range s.motes {
+			m.Start()
+		}
+	})
 }
 
 // ProxyFor returns the proxy managing a mote.
 func (n *Network) ProxyFor(m radio.NodeID) (*proxy.Proxy, error) {
-	pid, err := n.Index.ProxyFor(m)
+	s, err := n.shardFor(m)
 	if err != nil {
 		return nil, err
 	}
-	return n.Proxies[int(pid)], nil
+	return s.moteProxy[m], nil
 }
 
-// Bootstrap runs PRESTO's two-phase startup: motes stream everything for
-// trainFor (populating proxy caches with ground truth), then each proxy
-// trains a seasonal-anchored model per mote, ships it with delta, and
-// switches the mote to model-driven push. Returns the trained models by
-// mote id.
+// Bootstrap runs PRESTO's two-phase startup on every domain
+// concurrently: motes stream everything for trainFor (populating proxy
+// caches with ground truth), then each proxy trains a seasonal-anchored
+// model per mote, ships it with delta, and switches the mote to
+// model-driven push. Returns the trained models by mote id.
 func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (map[radio.NodeID]model.Model, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if !n.started {
 		n.started = true
-		for _, m := range n.Motes {
-			m.Start()
+		n.eachShard(func(s *shard) {
+			for _, m := range s.motes {
+				m.Start()
+			}
+		})
+	}
+	n.mu.Unlock()
+
+	models := make([]map[radio.NodeID]model.Model, len(n.shards))
+	errs := make([]error, len(n.shards))
+	n.eachShard(func(s *shard) {
+		local := make(map[radio.NodeID]model.Model, len(s.motes))
+		// Phase 1: stream-all.
+		for _, m := range s.motes {
+			if err := s.moteProxy[m.ID()].Configure(m.ID(), wire.Config{StreamAll: 1}); err != nil {
+				errs[s.domain] = err
+				return
+			}
+		}
+		s.advance(trainFor)
+		// Phase 2: train, ship, switch to model-driven.
+		for _, m := range s.motes {
+			p := s.moteProxy[m.ID()]
+			mdl, err := p.TrainAndShip(m.ID(), 0, s.sim.Now(), bins, delta)
+			if err != nil {
+				errs[s.domain] = fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
+				return
+			}
+			if err := p.Configure(m.ID(), wire.Config{StreamAll: 2}); err != nil {
+				errs[s.domain] = err
+				return
+			}
+			local[m.ID()] = mdl
+		}
+		// Let the model updates and config changes propagate.
+		s.advance(time.Minute)
+		models[s.domain] = local
+	})
+	merged := make(map[radio.NodeID]model.Model, len(n.moteShard))
+	for si, local := range models {
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		for id, m := range local {
+			merged[id] = m
 		}
 	}
-	// Phase 1: stream-all.
-	for _, m := range n.Motes {
-		p := n.proxyOfLocked(m.ID())
-		if err := p.Configure(m.ID(), wire.Config{StreamAll: 1}); err != nil {
-			return nil, err
-		}
-	}
-	n.Sim.RunFor(trainFor)
-	// Phase 2: train, ship, switch to model-driven.
-	models := make(map[radio.NodeID]model.Model, len(n.Motes))
-	for _, m := range n.Motes {
-		p := n.proxyOfLocked(m.ID())
-		mdl, err := p.TrainAndShip(m.ID(), 0, n.Sim.Now(), bins, delta)
-		if err != nil {
-			return nil, fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
-		}
-		if err := p.Configure(m.ID(), wire.Config{StreamAll: 2}); err != nil {
-			return nil, err
-		}
-		models[m.ID()] = mdl
-	}
-	// Let the model updates and config changes propagate.
-	n.Sim.RunFor(time.Minute)
-	return models, nil
+	return merged, nil
 }
 
 // Retrain refreshes every mote's model from recent confirmed data per the
@@ -246,149 +433,172 @@ func (n *Network) Retrain(policy predict.RetrainPolicy, delta float64) error {
 	if err := policy.Validate(); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	now := n.Sim.Now()
-	t0 := now - simtime.Time(policy.Window)
-	if t0 < 0 {
-		t0 = 0
-	}
-	for _, m := range n.Motes {
-		p := n.proxyOfLocked(m.ID())
-		if _, err := p.TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
-			return fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
+	errs := make([]error, len(n.shards))
+	n.eachShard(func(s *shard) {
+		now := s.sim.Now()
+		t0 := now - simtime.Time(policy.Window)
+		if t0 < 0 {
+			t0 = 0
+		}
+		for _, m := range s.motes {
+			if _, err := s.moteProxy[m.ID()].TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
+				errs[s.domain] = fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// RetrainTicker aggregates the per-domain retrain tickers installed by
+// AutoRetrain.
+type RetrainTicker struct {
+	n       *Network
+	tickers []*simtime.Ticker // indexed by shard
+}
+
+// Firings reports the total retrain rounds fired across all domains.
+func (t *RetrainTicker) Firings() uint64 {
+	var total uint64
+	for _, tk := range t.tickers {
+		if tk != nil {
+			total += tk.Firings()
+		}
+	}
+	return total
+}
+
+// Stop cancels future retrains in every domain.
+func (t *RetrainTicker) Stop() {
+	for si, tk := range t.tickers {
+		if tk == nil {
+			continue
+		}
+		tk := tk
+		t.n.shards[si].call(func(*shard) { tk.Stop() })
+	}
+}
+
 // AutoRetrain schedules periodic model refresh per the policy: every
-// policy.Every of virtual time, each mote's model is retrained on the last
-// policy.Window of confirmed data and re-shipped. Returns the ticker so
-// callers can stop it. Retraining failures on individual motes (e.g. no
-// confirmed data yet) are counted, not fatal — a deployment must survive
-// a quiet mote.
-func (n *Network) AutoRetrain(policy predict.RetrainPolicy, delta float64) (*simtime.Ticker, error) {
+// policy.Every of virtual time, each domain retrains its motes' models
+// on the last policy.Window of confirmed data and re-ships them. Returns
+// a ticker handle so callers can stop it. Retraining failures on
+// individual motes (e.g. no confirmed data yet) are counted, not fatal —
+// a deployment must survive a quiet mote.
+func (n *Network) AutoRetrain(policy predict.RetrainPolicy, delta float64) (*RetrainTicker, error) {
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	t := n.Sim.Every(policy.Every, func() {
-		now := n.Sim.Now()
-		t0 := now - simtime.Time(policy.Window)
-		if t0 < 0 {
-			t0 = 0
-		}
-		for _, m := range n.Motes {
-			p := n.proxyOfLocked(m.ID())
-			if p == nil {
-				continue
+	rt := &RetrainTicker{n: n, tickers: make([]*simtime.Ticker, len(n.shards))}
+	n.eachShard(func(s *shard) {
+		rt.tickers[s.domain] = s.sim.Every(policy.Every, func() {
+			now := s.sim.Now()
+			t0 := now - simtime.Time(policy.Window)
+			if t0 < 0 {
+				t0 = 0
 			}
-			if _, err := p.TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
-				n.retrainFailures++
+			for _, m := range s.motes {
+				p := s.moteProxy[m.ID()]
+				if p == nil {
+					continue
+				}
+				if _, err := p.TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
+					s.retrainFailures.Add(1)
+				}
 			}
-		}
+		})
 	})
-	return t, nil
+	return rt, nil
 }
 
 // RetrainFailures reports how many per-mote retrain attempts failed.
 func (n *Network) RetrainFailures() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.retrainFailures
+	var total uint64
+	for _, s := range n.shards {
+		total += s.retrainFailures.Load()
+	}
+	return total
 }
 
 // MatchWorkload applies query–sensor matching for a mote: the workload is
 // translated to a plan and shipped over the air.
 func (n *Network) MatchWorkload(m radio.NodeID, w predict.Workload) (predict.Plan, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s, err := n.shardFor(m)
+	if err != nil {
+		return predict.Plan{}, fmt.Errorf("core: mote %d has no proxy", m)
+	}
 	plan, err := predict.Match(w, n.cfg.SampleInterval)
 	if err != nil {
 		return predict.Plan{}, err
 	}
-	p := n.proxyOfLocked(m)
-	if p == nil {
-		return predict.Plan{}, fmt.Errorf("core: mote %d has no proxy", m)
+	var cfgErr error
+	if !s.call(func(s *shard) { cfgErr = s.moteProxy[m].Configure(m, plan.WireConfig()) }) {
+		return predict.Plan{}, ErrClosed
 	}
-	if err := p.Configure(m, plan.WireConfig()); err != nil {
-		return predict.Plan{}, err
+	if cfgErr != nil {
+		return predict.Plan{}, cfgErr
 	}
 	return plan, nil
 }
 
-// proxyOfLocked resolves a mote's proxy; caller holds the mutex.
-func (n *Network) proxyOfLocked(m radio.NodeID) *proxy.Proxy {
-	pid, err := n.Index.ProxyFor(m)
-	if err != nil {
-		return nil
-	}
-	return n.Proxies[int(pid)]
-}
-
-// Execute posts a query against the unified store. The callback may fire
-// during a later Run if the query needs a mote round trip.
-func (n *Network) Execute(q query.Query, cb func(query.Result)) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.Store.Execute(q, cb)
-}
-
-// ExecuteWait posts a query and advances virtual time until it completes,
-// returning the result. This is the convenient synchronous form for
-// examples and experiments.
-func (n *Network) ExecuteWait(q query.Query) (query.Result, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	var res query.Result
-	done := false
-	err := n.Store.Execute(q, func(r query.Result) { res = r; done = true })
-	if err != nil {
-		return query.Result{}, err
-	}
-	for !done && n.Sim.Step() {
-	}
-	if !done {
-		return query.Result{}, errors.New("core: query never completed (no pending events)")
-	}
-	return res, nil
-}
-
 // MoteEnergy returns a mote's up-to-date energy meter.
 func (n *Network) MoteEnergy(id radio.NodeID) (*energy.Meter, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, m := range n.Motes {
-		if m.ID() == id {
-			return m.Meter(), nil
-		}
+	s, err := n.shardFor(id)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown mote %d", id)
+	var meter *energy.Meter
+	if !s.call(func(*shard) { meter = n.moteHome[id].Meter() }) {
+		return nil, ErrClosed
+	}
+	return meter, nil
 }
 
 // TotalMoteEnergy aggregates all motes' meters.
 func (n *Network) TotalMoteEnergy() energy.Meter {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	totals := make([]energy.Meter, len(n.shards))
+	n.eachShard(func(s *shard) {
+		for _, m := range s.motes {
+			totals[s.domain].AddFrom(m.Meter())
+		}
+	})
 	var total energy.Meter
-	for _, m := range n.Motes {
-		total.AddFrom(m.Meter())
+	for i := range totals {
+		total.AddFrom(&totals[i])
 	}
 	return total
 }
 
 // MoteStats returns a mote's activity counters.
 func (n *Network) MoteStats(id radio.NodeID) (mote.Stats, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, m := range n.Motes {
-		if m.ID() == id {
-			return m.Stats(), nil
-		}
+	s, err := n.shardFor(id)
+	if err != nil {
+		return mote.Stats{}, err
 	}
-	return mote.Stats{}, fmt.Errorf("core: unknown mote %d", id)
+	var st mote.Stats
+	if !s.call(func(*shard) { st = n.moteHome[id].Stats() }) {
+		return mote.Stats{}, ErrClosed
+	}
+	return st, nil
+}
+
+// ProxyStatsFor returns the activity counters of the proxy managing a
+// mote.
+func (n *Network) ProxyStatsFor(id radio.NodeID) (proxy.Stats, error) {
+	s, err := n.shardFor(id)
+	if err != nil {
+		return proxy.Stats{}, err
+	}
+	var st proxy.Stats
+	if !s.call(func(s *shard) { st = s.moteProxy[id].Stats() }) {
+		return proxy.Stats{}, ErrClosed
+	}
+	return st, nil
 }
 
 // Truth returns the ground-truth trace value for a mote at time t
@@ -417,4 +627,32 @@ func (n *Network) MoteIDs() []radio.NodeID {
 		out[i] = m.ID()
 	}
 	return out
+}
+
+// Detections returns the globally time-ordered detection stream in
+// [t0, t1] merged across every domain's index.
+func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
+	per := make([][]index.Detection, len(n.shards))
+	n.eachShard(func(s *shard) { per[s.domain] = s.st.Detections(t0, t1) })
+	var out []index.Detection
+	for _, ds := range per {
+		out = append(out, ds...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Publish adds a detection to the index of the domain owning the
+// publishing proxy.
+func (n *Network) Publish(d index.Detection) error {
+	pi := int(d.Proxy)
+	if pi < 0 || pi >= len(n.proxyShard) {
+		return fmt.Errorf("core: unknown proxy %d", d.Proxy)
+	}
+	s := n.shards[n.proxyShard[pi]]
+	var err error
+	if !s.call(func(s *shard) { err = s.st.Publish(d) }) {
+		return ErrClosed
+	}
+	return err
 }

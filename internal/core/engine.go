@@ -1,0 +1,415 @@
+package core
+
+// The query engine: sharded, asynchronous, pull-coalescing.
+//
+// A deployment is partitioned into shards — independent simulation
+// domains, each owning a group of proxies, their motes, an event kernel,
+// a radio medium, and a slice of the distributed index. One worker
+// goroutine per shard serializes all access to the domain, so shards
+// advance concurrently with no shared locks; the only cross-domain
+// channels are the wired-replica bridge (radio.Bridge) and the engine's
+// command queues.
+//
+// Queries enter through Submit/SubmitBatch: the engine routes each query
+// to the shard owning its mote, the shard worker executes it against the
+// domain's unified store, and — when the query needs a mote rendezvous —
+// steps the domain's kernel until the answer resolves. Queries submitted
+// while a rendezvous is outstanding are picked up between steps, which is
+// what lets the proxy coalesce their pulls into the in-flight rendezvous.
+// ExecuteWait is a thin synchronous wrapper over Submit.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"presto/internal/index"
+	"presto/internal/mote"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/store"
+)
+
+// ErrClosed is returned by engine operations after Close.
+var ErrClosed = errors.New("core: network closed")
+
+// bridgeDrainQuantum bounds how much virtual time a shard advances
+// between bridge drains, so replica mirrors lag the wireless domains by
+// at most this much of virtual time during long runs (well under one
+// sample interval at the default 1-minute sampling).
+const bridgeDrainQuantum = 10 * time.Second
+
+// pendingQuery tracks one submitted query until its result is delivered.
+// The channel is buffered so an abandoned Submit cannot wedge a worker.
+type pendingQuery struct {
+	ch chan query.Result
+}
+
+// shardCmd is one unit of work for a shard worker. fn runs on the
+// worker; done, when non-nil, is closed as soon as fn returns (queries fn
+// started settle afterwards).
+type shardCmd struct {
+	fn   func(*shard)
+	done chan struct{}
+}
+
+// shard is one independent simulation domain and its worker state.
+type shard struct {
+	domain  int
+	sim     *simtime.Simulator
+	medium  *radio.Medium
+	ix      *index.Index
+	st      *store.Store
+	proxies []*proxy.Proxy // local, in global build order
+	motes   []*mote.Mote   // local, in global build order
+
+	// moteProxy maps each local mote to its managing proxy.
+	moteProxy map[radio.NodeID]*proxy.Proxy
+
+	bridge *radio.Bridge // nil in single-domain deployments
+	wired  *proxy.Proxy  // the wired replica proxy (shard 0 only)
+
+	cmds chan shardCmd
+	quit chan struct{}
+	// closeMu gates enqueue against Close: senders hold it shared while
+	// checking closed and sending, Close holds it exclusively while
+	// flipping the flag, so no command can slip in after the worker's
+	// final drain.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// Worker-local:
+	pending map[*pendingQuery]struct{}
+
+	retrainFailures atomic.Uint64
+}
+
+// loop is the shard worker: it serializes every touch of the domain and
+// settles submitted queries by stepping the domain's kernel.
+func (s *shard) loop() {
+	for {
+		select {
+		case <-s.quit:
+			// Run any stragglers accepted before Close flipped the gate,
+			// then fail whatever queries remain outstanding.
+			s.drainCmds()
+			s.failPending()
+			return
+		case c := <-s.cmds:
+			s.deliverBridge()
+			s.exec(c)
+			s.settle()
+		}
+	}
+}
+
+// deliverBridge drains the inter-domain inbox and, when the domain has
+// no queries settling (which would step the kernel anyway), runs the
+// kernel past the wired latency so the deliveries apply before the next
+// command executes — replica mirrors stay fresh even in query-only
+// workloads that never call Run.
+func (s *shard) deliverBridge() {
+	if s.bridge == nil {
+		return
+	}
+	if s.bridge.Drain(radio.DomainID(s.domain)) > 0 && len(s.pending) == 0 {
+		s.sim.RunFor(s.bridge.Latency())
+	}
+}
+
+func (s *shard) exec(c shardCmd) {
+	c.fn(s)
+	if c.done != nil {
+		close(c.done)
+	}
+}
+
+// drainCmds executes every queued command without blocking, so queries
+// submitted while the worker is settling join the current rendezvous
+// window (pull coalescing across concurrent submitters).
+func (s *shard) drainCmds() {
+	for {
+		select {
+		case c := <-s.cmds:
+			s.exec(c)
+		default:
+			return
+		}
+	}
+}
+
+// settle advances the domain until every submitted query has resolved.
+// Pull timeouts guarantee progress; if the kernel still runs dry with
+// queries outstanding, they are failed rather than wedged.
+func (s *shard) settle() {
+	for {
+		if s.bridge != nil {
+			s.bridge.Drain(radio.DomainID(s.domain))
+		}
+		s.drainCmds()
+		if len(s.pending) == 0 {
+			return
+		}
+		if !s.sim.Step() {
+			s.failPending()
+			return
+		}
+	}
+}
+
+// failPending closes every outstanding result channel (receivers see a
+// closed channel and report the query as never completed).
+func (s *shard) failPending() {
+	for pq := range s.pending {
+		close(pq.ch)
+	}
+	clear(s.pending)
+}
+
+// submit executes one query on the worker, registering it for settling.
+func (s *shard) submit(q query.Query, pq *pendingQuery) {
+	s.pending[pq] = struct{}{}
+	err := s.st.Execute(q, func(r query.Result) {
+		delete(s.pending, pq)
+		pq.ch <- r
+	})
+	if err != nil {
+		delete(s.pending, pq)
+		close(pq.ch)
+	}
+}
+
+// advance runs the domain forward by d, draining the bridge at bounded
+// virtual-time intervals so replica traffic from other domains keeps
+// flowing during long runs.
+func (s *shard) advance(d time.Duration) {
+	target := s.sim.Now() + simtime.Time(d)
+	for {
+		if s.bridge != nil {
+			s.bridge.Drain(radio.DomainID(s.domain))
+		}
+		next := s.sim.Now() + simtime.Time(bridgeDrainQuantum)
+		if s.bridge == nil || next > target {
+			next = target
+		}
+		s.sim.RunUntil(next)
+		if s.sim.Now() >= target {
+			return
+		}
+	}
+}
+
+// enqueue hands a command to the worker, reporting false after Close.
+// Holding closeMu shared across the check-and-send means a true return
+// guarantees the worker will run the command: Close cannot flip the gate
+// mid-send, and the worker drains the queue before exiting.
+func (s *shard) enqueue(c shardCmd) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	s.cmds <- c
+	return true
+}
+
+// shutdown flips the gate and wakes the worker for its final drain.
+func (s *shard) shutdown() {
+	s.closeMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	s.closeMu.Unlock()
+}
+
+// call runs fn on the shard worker and waits for it to return. It
+// reports false after Close.
+func (s *shard) call(fn func(*shard)) bool {
+	done := make(chan struct{})
+	if !s.enqueue(shardCmd{fn: fn, done: done}) {
+		return false
+	}
+	<-done
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Engine API on Network
+
+// Shards reports how many concurrent simulation domains the deployment
+// runs.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// shardFor routes a mote to its owning shard.
+func (n *Network) shardFor(m radio.NodeID) (*shard, error) {
+	si, ok := n.moteShard[m]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown mote %d", m)
+	}
+	return n.shards[si], nil
+}
+
+// Submit posts a query to the engine and returns a channel that yields
+// the result when it completes. The channel is closed without a value if
+// the query can never complete (wedged domain or engine shutdown). NOW
+// queries for motes in other domains are offered to the wired replica
+// first when one exists; everything the replica cannot answer within
+// precision is forwarded to the owning shard.
+func (n *Network) Submit(q query.Query) (<-chan query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	target, err := n.shardFor(q.Mote)
+	if err != nil {
+		return nil, err
+	}
+	n.queriesSubmitted.Add(1)
+	pq := &pendingQuery{ch: make(chan query.Result, 1)}
+	if n.replicaFirst && target.domain != 0 && q.Type == query.Now {
+		s0 := n.shards[0]
+		ok := s0.enqueue(shardCmd{fn: func(s *shard) {
+			if a, ok := s.wired.QueryLocal(q.Mote, s.sim.Now(), q.Precision); ok {
+				n.replicaServed.Add(1)
+				pq.ch <- query.Result{Query: q, Answer: a}
+				return
+			}
+			if !target.enqueue(shardCmd{fn: func(ts *shard) { ts.submit(q, pq) }}) {
+				close(pq.ch) // owning shard shut down mid-forward
+			}
+		}})
+		if !ok {
+			return nil, ErrClosed
+		}
+		return pq.ch, nil
+	}
+	if !target.enqueue(shardCmd{fn: func(s *shard) { s.submit(q, pq) }}) {
+		return nil, ErrClosed
+	}
+	return pq.ch, nil
+}
+
+// SubmitBatch posts a set of queries at once, grouped so that each shard
+// issues its queries back-to-back before settling — concurrent cold
+// queries on the same mote deterministically share one archive
+// rendezvous. Result channels are returned in input order.
+func (n *Network) SubmitBatch(qs []query.Query) ([]<-chan query.Result, error) {
+	type item struct {
+		q  query.Query
+		pq *pendingQuery
+	}
+	chans := make([]<-chan query.Result, len(qs))
+	groups := make(map[*shard][]item)
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+		target, err := n.shardFor(q.Mote)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+		pq := &pendingQuery{ch: make(chan query.Result, 1)}
+		chans[i] = pq.ch
+		groups[target] = append(groups[target], item{q: q, pq: pq})
+	}
+	n.queriesSubmitted.Add(uint64(len(qs)))
+	for target, items := range groups {
+		items := items
+		if !target.enqueue(shardCmd{fn: func(s *shard) {
+			for _, it := range items {
+				s.submit(it.q, it.pq)
+			}
+		}}) {
+			return nil, ErrClosed
+		}
+	}
+	return chans, nil
+}
+
+// ExecuteWait posts a query and blocks until it completes — the
+// synchronous convenience wrapper over Submit that examples and
+// experiments use.
+func (n *Network) ExecuteWait(q query.Query) (query.Result, error) {
+	ch, err := n.Submit(q)
+	if err != nil {
+		return query.Result{}, err
+	}
+	r, ok := <-ch
+	if !ok {
+		return query.Result{}, errors.New("core: query never completed (no pending events)")
+	}
+	return r, nil
+}
+
+// Execute posts a query against the unified store without settling: the
+// callback fires on the owning shard's worker, possibly during a later
+// Run if the query needs a mote round trip.
+func (n *Network) Execute(q query.Query, cb func(query.Result)) error {
+	target, err := n.shardFor(q.Mote)
+	if err != nil {
+		return err
+	}
+	var execErr error
+	if !target.call(func(s *shard) { execErr = s.st.Execute(q, cb) }) {
+		return ErrClosed
+	}
+	return execErr
+}
+
+// Run advances every shard's virtual time by d, concurrently.
+func (n *Network) Run(d time.Duration) {
+	n.eachShard(func(s *shard) { s.advance(d) })
+}
+
+// eachShard runs fn on every shard's worker in parallel and waits for
+// all of them.
+func (n *Network) eachShard(fn func(*shard)) {
+	dones := make([]chan struct{}, 0, len(n.shards))
+	for _, s := range n.shards {
+		done := make(chan struct{})
+		if s.enqueue(shardCmd{fn: fn, done: done}) {
+			dones = append(dones, done)
+		}
+	}
+	for _, done := range dones {
+		<-done
+	}
+}
+
+// Now returns the current virtual time: the least-advanced shard clock,
+// read from atomic snapshots without taking any lock.
+func (n *Network) Now() simtime.Time {
+	now := n.shards[0].sim.NowSnapshot()
+	for _, s := range n.shards[1:] {
+		if t := s.sim.NowSnapshot(); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Close shuts down the shard workers. Outstanding queries fail (their
+// result channels close); subsequent engine calls return ErrClosed. Safe
+// to call multiple times; networks abandoned without Close are reaped by
+// a finalizer.
+func (n *Network) Close() {
+	n.closeOnce.Do(func() {
+		for _, s := range n.shards {
+			s.shutdown()
+		}
+	})
+}
+
+// EngineStats reports engine-level counters: queries submitted, queries
+// served directly by the wired replica, and wired-replica bridge traffic
+// (messages sent / delivered across domains).
+func (n *Network) EngineStats() (submitted, replicaServed, bridgeSent, bridgeDelivered uint64) {
+	if n.bridge != nil {
+		bridgeSent, bridgeDelivered = n.bridge.Stats()
+	}
+	return n.queriesSubmitted.Load(), n.replicaServed.Load(), bridgeSent, bridgeDelivered
+}

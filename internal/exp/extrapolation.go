@@ -52,6 +52,7 @@ func extrapolationCell(sc Scale, delta, precision float64) (e6Cell, error) {
 	if err != nil {
 		return e6Cell{}, err
 	}
+	defer n.Close()
 	if _, err := n.Bootstrap(36*time.Hour, 48, delta); err != nil {
 		return e6Cell{}, err
 	}

@@ -21,14 +21,18 @@ type Scale struct {
 	Motes  int // motes per deployment where applicable
 	Events float64
 	Seed   int64
+	// Shards partitions multi-proxy deployments into this many concurrent
+	// simulation domains (cmd/presto-bench -shards); single-proxy
+	// experiments always run one domain.
+	Shards int
 }
 
 // PaperScale reproduces the published parameters (Figure 2 uses a
 // multi-week Intel Lab trace; we run 28 days).
-func PaperScale() Scale { return Scale{Days: 28, Motes: 20, Events: 0.5, Seed: 1} }
+func PaperScale() Scale { return Scale{Days: 28, Motes: 20, Events: 0.5, Seed: 1, Shards: 1} }
 
 // QuickScale keeps benchmarks fast while preserving shapes.
-func QuickScale() Scale { return Scale{Days: 7, Motes: 6, Events: 0.5, Seed: 1} }
+func QuickScale() Scale { return Scale{Days: 7, Motes: 6, Events: 0.5, Seed: 1, Shards: 1} }
 
 // tempTraces generates n temperature traces at this scale.
 func tempTraces(sc Scale, n int) ([]*gen.Trace, error) {
@@ -52,6 +56,7 @@ func smallFlash() flash.Geometry {
 func defaultCfg(sc Scale) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = sc.Seed
+	cfg.Shards = sc.Shards
 	cfg.Radio.LossProb = 0
 	cfg.Radio.JitterMax = 0
 	cfg.Flash = smallFlash()
@@ -63,6 +68,7 @@ func defaultCfg(sc Scale) core.Config {
 func buildNet(sc Scale, motes int, preset *baseline.Preset, traces []*gen.Trace, lossProb float64) (*core.Network, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = sc.Seed
+	cfg.Shards = sc.Shards
 	cfg.Proxies = 1
 	cfg.MotesPerProxy = motes
 	cfg.Radio.LossProb = lossProb
@@ -91,6 +97,7 @@ func runEnergyPerDay(sc Scale, preset baseline.Preset, trace *gen.Trace, lpl, pr
 	if err != nil {
 		return 0, err
 	}
+	defer n.Close()
 	n.Start()
 	n.Run(time.Duration(sc.Days) * 24 * time.Hour)
 	m, err := n.MoteEnergy(radio.NodeID(1))

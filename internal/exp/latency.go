@@ -56,6 +56,7 @@ func latencyCell(sc Scale, traces []*gen.Trace, lpl time.Duration) (cacheL, pull
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	defer n.Close()
 	if _, err := n.Bootstrap(30*time.Hour, 48, 1.0); err != nil {
 		return nil, nil, nil, err
 	}
@@ -88,6 +89,7 @@ func latencyCell(sc Scale, traces []*gen.Trace, lpl time.Duration) (cacheL, pull
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	defer nd.Close()
 	nd.Start()
 	nd.Run(12 * time.Hour)
 	for i := 0; i < queries; i++ {

@@ -51,6 +51,7 @@ func matchingCell(sc Scale, deadline time.Duration) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer n.Close()
 	if _, err := n.Bootstrap(36*time.Hour, 48, plan.Delta); err != nil {
 		return nil, err
 	}

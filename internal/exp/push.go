@@ -69,6 +69,7 @@ func runE4System(sc Scale, preset baseline.Preset, bootstrap bool, poll time.Dur
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	defer n.Close()
 	var po *baseline.Poller
 	if bootstrap {
 		if _, err := n.Bootstrap(e4Warmup, 48, 1.0); err != nil {

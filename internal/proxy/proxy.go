@@ -26,6 +26,14 @@ import (
 	"presto/internal/wire"
 )
 
+// Pull coalescing: every query that misses cache and model pays a
+// duty-cycle rendezvous in the seed design — the exact cost PRESTO exists
+// to amortize. The proxy therefore keeps at most one archive pull in
+// flight per mote: queries arriving while one is outstanding either join
+// it as waiters (their range is covered) or queue to be merged into a
+// single follow-up rendezvous when the current one resolves. N concurrent
+// cold-cache queries on one mote cost one rendezvous, not N.
+
 // Config sets proxy behaviour.
 type Config struct {
 	ID radio.NodeID
@@ -109,14 +117,52 @@ type moteState struct {
 	sampleInterval simtime.Time
 	lastHeard      simtime.Time
 	spatial        *spatialState
+
+	// inflight is the single outstanding archive rendezvous, if any;
+	// pullQueue holds requests it could not cover, merged and issued when
+	// it resolves.
+	inflight  *inflightPull
+	pullQueue []queuedPull
+	// replicaOnly marks a mote mirrored over the wired-replica bridge:
+	// the proxy has no radio path to it, so pulls degrade to best-effort
+	// local answers instead of a rendezvous.
+	replicaOnly bool
 }
 
-// pendingPull tracks an outstanding archive fetch.
-type pendingPull struct {
+// pullDone consumes a resolved archive fetch.
+type pullDone func(recs []wire.Rec, errBound float64, timedOut bool)
+
+// inflightPull is one outstanding archive rendezvous with its waiting
+// queries; the response (or timeout) fans out to every waiter.
+type inflightPull struct {
+	id      uint32
 	mote    radio.NodeID
-	done    func(recs []wire.Rec, errBound float64, timedOut bool)
+	t0, t1  simtime.Time
+	quantum float64
+	waiters []pullDone
 	timeout simtime.Handle
 }
+
+// covers reports whether the in-flight rendezvous will satisfy a request
+// for [t0, t1] at the given quantum (0 = lossless, which covers any
+// quantum; a lossy in-flight pull covers only equal-or-looser requests).
+func (fl *inflightPull) covers(t0, t1 simtime.Time, quantum float64) bool {
+	if t0 < fl.t0 || t1 > fl.t1 {
+		return false
+	}
+	return fl.quantum == 0 || (quantum > 0 && fl.quantum <= quantum)
+}
+
+// queuedPull is a request the in-flight rendezvous could not cover.
+type queuedPull struct {
+	t0, t1  simtime.Time
+	quantum float64
+	done    pullDone
+}
+
+// ReplicaTap receives a copy of every confirmed-data and model message a
+// proxy handles, in wire form, for forwarding to a wired replica.
+type ReplicaTap func(mote radio.NodeID, kind radio.Kind, payload []byte)
 
 // Stats counts proxy activity.
 type Stats struct {
@@ -124,9 +170,14 @@ type Stats struct {
 	BatchesReceived uint64
 	EventsReceived  uint64
 	PullsIssued     uint64
+	PullsCoalesced  uint64 // pull requests that joined an in-flight rendezvous
+	PullsQueued     uint64 // pull requests deferred behind an in-flight rendezvous
 	PullsTimedOut   uint64
 	QueriesAnswered uint64
 	AnswersBySource [NumSources]uint64 // indexed by Source
+
+	ReplicaForwarded uint64 // messages copied out through the replica tap
+	ReplicaAbsorbed  uint64 // bridged messages applied to replica motes
 }
 
 // Proxy is a PRESTO proxy node.
@@ -135,9 +186,10 @@ type Proxy struct {
 	sim    *simtime.Simulator
 	ep     *radio.Endpoint
 	motes  map[radio.NodeID]*moteState
-	pulls  map[uint32]*pendingPull
+	pulls  map[uint32]*inflightPull
 	nextID uint32
 	stats  Stats
+	tap    ReplicaTap
 
 	watches   []*watch
 	nextWatch WatchID
@@ -157,7 +209,7 @@ func New(sim *simtime.Simulator, medium *radio.Medium, cfg Config) (*Proxy, erro
 		cfg:   cfg,
 		sim:   sim,
 		motes: make(map[radio.NodeID]*moteState),
-		pulls: make(map[uint32]*pendingPull),
+		pulls: make(map[uint32]*inflightPull),
 	}
 	var err error
 	p.ep, err = medium.Attach(cfg.ID, nil, 0, p.handle)
@@ -169,6 +221,9 @@ func New(sim *simtime.Simulator, medium *radio.Medium, cfg Config) (*Proxy, erro
 
 // ID returns the proxy's node id.
 func (p *Proxy) ID() radio.NodeID { return p.cfg.ID }
+
+// Now returns the proxy's domain clock.
+func (p *Proxy) Now() simtime.Time { return p.sim.Now() }
 
 // Stats returns activity counters.
 func (p *Proxy) Stats() Stats { return p.stats }
@@ -184,6 +239,94 @@ func (p *Proxy) Register(id radio.NodeID, sampleInterval time.Duration, delta fl
 		delta:          delta,
 		sampleInterval: simtime.Time(sampleInterval),
 	}
+}
+
+// RegisterReplica adopts a mote in replica-only mode: the proxy accepts
+// bridged copies of its confirmed data and models (AbsorbReplica) and
+// answers queries from them, but has no radio path to the mote itself, so
+// queries that would need an archive pull answer best-effort instead.
+// This is the receive side of Section 5's wired replication.
+func (p *Proxy) RegisterReplica(id radio.NodeID, sampleInterval time.Duration, delta float64) {
+	p.Register(id, sampleInterval, delta)
+	p.motes[id].replicaOnly = true
+}
+
+// SetReplicaTap registers a callback that receives a copy of every
+// confirmed-data and model message this proxy handles, for forwarding to
+// its wired replica. Pass nil to stop forwarding.
+func (p *Proxy) SetReplicaTap(tap ReplicaTap) { p.tap = tap }
+
+// forwardReplica copies a wire message out through the tap.
+func (p *Proxy) forwardReplica(mote radio.NodeID, kind radio.Kind, payload []byte) {
+	if p.tap == nil {
+		return
+	}
+	p.stats.ReplicaForwarded++
+	p.tap(mote, kind, payload)
+}
+
+// AbsorbReplica applies one bridged wire message for a replica-only mote:
+// confirmed observations refine the mirrored cache, model updates install
+// the model the managing proxy trained. Messages for motes this proxy
+// does not replicate are dropped.
+func (p *Proxy) AbsorbReplica(mote radio.NodeID, kind radio.Kind, payload []byte) {
+	st, ok := p.motes[mote]
+	if !ok || !st.replicaOnly {
+		return
+	}
+	switch kind {
+	case wire.KindPush:
+		push, err := wire.DecodePush(payload)
+		if err != nil {
+			return
+		}
+		st.lastHeard = p.sim.Now()
+		st.series.Insert(cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+		p.noteConfirmed(st, model.Record{T: push.T, V: push.V})
+		p.fireWatches(mote, cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+	case wire.KindBatch:
+		b, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return
+		}
+		st.lastHeard = p.sim.Now()
+		for i, v := range b.Values {
+			tt := b.Start + simtime.Time(i)*b.Interval
+			st.series.Insert(cache.Entry{T: tt, V: v, Source: cache.Pushed})
+		}
+	case wire.KindEvents:
+		resp, err := wire.DecodePullResp(payload)
+		if err != nil {
+			return
+		}
+		st.lastHeard = p.sim.Now()
+		for _, r := range resp.Records {
+			st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
+			p.noteConfirmed(st, model.Record{T: r.T, V: r.V})
+		}
+	case wire.KindPullResp:
+		resp, err := wire.DecodePullResp(payload)
+		if err != nil {
+			return
+		}
+		for _, r := range resp.Records {
+			st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pulled, ErrBound: resp.ErrBound})
+		}
+	case wire.KindModelUpdate:
+		mu, err := wire.DecodeModelUpdate(payload)
+		if err != nil {
+			return
+		}
+		m, err := model.Unmarshal(mu.Params)
+		if err != nil {
+			return
+		}
+		st.mdl = m
+		st.delta = mu.Delta
+	default:
+		return
+	}
+	p.stats.ReplicaAbsorbed++
 }
 
 // Motes lists managed mote ids (stable order not guaranteed).
@@ -214,6 +357,10 @@ func (p *Proxy) ShipModel(id radio.NodeID, m model.Model, delta float64) error {
 	st.mdl = m
 	st.delta = delta
 	payload := wire.EncodeModelUpdate(wire.ModelUpdate{Delta: delta, Params: m.Marshal()})
+	p.forwardReplica(id, wire.KindModelUpdate, payload)
+	if st.replicaOnly {
+		return nil // replica motes have no radio path; local install only
+	}
 	return p.ep.Send(id, wire.KindModelUpdate, payload)
 }
 
@@ -262,6 +409,7 @@ func (p *Proxy) handle(pkt radio.Packet) {
 		p.noteConfirmed(st, model.Record{T: push.T, V: push.V})
 		p.observeSpatial(pkt.Src, push.T, push.V)
 		p.fireWatches(pkt.Src, cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+		p.forwardReplica(pkt.Src, pkt.Kind, pkt.Payload)
 	case wire.KindBatch:
 		b, err := wire.DecodeBatch(pkt.Payload)
 		if err != nil {
@@ -275,6 +423,7 @@ func (p *Proxy) handle(pkt radio.Packet) {
 			p.observeSpatial(pkt.Src, tt, v)
 			p.fireWatches(pkt.Src, cache.Entry{T: tt, V: v, Source: cache.Pushed})
 		}
+		p.forwardReplica(pkt.Src, pkt.Kind, pkt.Payload)
 	case wire.KindEvents:
 		resp, err := wire.DecodePullResp(pkt.Payload)
 		if err != nil {
@@ -288,12 +437,15 @@ func (p *Proxy) handle(pkt radio.Packet) {
 			p.observeSpatial(pkt.Src, r.T, r.V)
 			p.fireWatches(pkt.Src, cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
 		}
+		p.forwardReplica(pkt.Src, pkt.Kind, pkt.Payload)
 	case wire.KindPullResp:
 		resp, err := wire.DecodePullResp(pkt.Payload)
 		if err != nil {
 			return
 		}
-		p.completePull(pkt.Src, resp)
+		if p.completePull(pkt.Src, resp) {
+			p.forwardReplica(pkt.Src, pkt.Kind, pkt.Payload)
+		}
 	}
 	p.maybePrune()
 }
@@ -335,33 +487,12 @@ func (p *Proxy) QueryPoint(id radio.NodeID, t simtime.Time, precision float64, c
 		cb(Answer{Mote: id, IssuedAt: issued, DoneAt: issued})
 		return
 	}
-	// 1. Cache: accept an entry within one sample interval whose bound
-	// meets the precision.
-	maxGap := time.Duration(st.sampleInterval)
-	if e, ok := st.series.At(t, maxGap); ok && e.ErrBound <= precision {
-		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromCache, IssuedAt: issued, DoneAt: p.sim.Now()})
-		return
-	}
-	// 2a. Spatial extrapolation: co-located siblings' data plus the
-	// learned offset, when its bound meets the precision and beats the
-	// mote's own model bound (useful when delta is loose or the mote is
-	// silent/dead).
-	if se, ok := p.spatialEstimate(id, t); ok && se.ErrBound <= precision && se.ErrBound < st.delta {
-		st.series.Insert(se)
-		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{se}, Source: FromSpatial, IssuedAt: issued, DoneAt: p.sim.Now()})
-		return
-	}
-	// 2b. Extrapolate: the model plus the push contract bounds the error
-	// by delta wherever the mote has been silent.
-	if st.delta <= precision {
-		shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
-		v := st.mdl.Predict(t, shared)
-		e := cache.Entry{T: t, V: v, Source: cache.Predicted, ErrBound: st.delta}
-		st.series.Insert(e)
-		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromModel, IssuedAt: issued, DoneAt: p.sim.Now()})
+	if e, src, ok := p.localAnswer(st, t, precision); ok {
+		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
 		return
 	}
 	// 3. Pull from the mote archive around t.
+	maxGap := time.Duration(st.sampleInterval)
 	t0, t1 := t-st.sampleInterval, t+st.sampleInterval
 	if t0 < 0 {
 		t0 = 0
@@ -374,7 +505,6 @@ func (p *Proxy) QueryPoint(id radio.NodeID, t simtime.Time, precision float64, c
 			p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromTimeout, IssuedAt: issued, DoneAt: p.sim.Now()})
 			return
 		}
-		p.insertPulled(st, recs, errBound)
 		e, ok := st.series.At(t, maxGap)
 		if !ok {
 			e = cache.Entry{T: t, Source: cache.Predicted, ErrBound: st.delta}
@@ -383,6 +513,57 @@ func (p *Proxy) QueryPoint(id radio.NodeID, t simtime.Time, precision float64, c
 		}
 		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: FromPull, IssuedAt: issued, DoneAt: p.sim.Now()})
 	})
+}
+
+// localAnswer tries the pull-free answer paths for one instant, in the
+// paper's order, reporting ok=false when meeting the precision would
+// require an archive pull.
+func (p *Proxy) localAnswer(st *moteState, t simtime.Time, precision float64) (cache.Entry, Source, bool) {
+	// 1. Cache: accept an entry within one sample interval whose bound
+	// meets the precision.
+	if e, ok := st.series.At(t, time.Duration(st.sampleInterval)); ok && e.ErrBound <= precision {
+		return e, FromCache, true
+	}
+	// 2a. Spatial extrapolation: co-located siblings' data plus the
+	// learned offset, when its bound meets the precision and beats the
+	// mote's own model bound (useful when delta is loose or the mote is
+	// silent/dead).
+	if se, ok := p.spatialEstimate(st.id, t); ok && se.ErrBound <= precision && se.ErrBound < st.delta {
+		st.series.Insert(se)
+		return se, FromSpatial, true
+	}
+	// 2b. Extrapolate: the model plus the push contract bounds the error
+	// by delta wherever the mote has been silent.
+	if st.delta <= precision {
+		shared := st.series.ConfirmedBefore(t, p.cfg.SharedHistory)
+		v := st.mdl.Predict(t, shared)
+		e := cache.Entry{T: t, V: v, Source: cache.Predicted, ErrBound: st.delta}
+		st.series.Insert(e)
+		return e, FromModel, true
+	}
+	return cache.Entry{}, FromCache, false
+}
+
+// QueryLocal answers a point query only if cache, spatial extrapolation,
+// or the model can meet the precision — it never pulls. A wired replica
+// uses this to serve what it can instantly, forwarding the rest to the
+// managing proxy's domain.
+func (p *Proxy) QueryLocal(id radio.NodeID, t simtime.Time, precision float64) (Answer, bool) {
+	st, ok := p.motes[id]
+	if !ok {
+		return Answer{}, false
+	}
+	issued := p.sim.Now()
+	e, src, ok := p.localAnswer(st, t, precision)
+	if !ok {
+		return Answer{}, false
+	}
+	a := Answer{Mote: id, Entries: []cache.Entry{e}, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()}
+	p.stats.QueriesAnswered++
+	if int(a.Source) < len(p.stats.AnswersBySource) {
+		p.stats.AnswersBySource[a.Source]++
+	}
+	return a, true
 }
 
 // QueryNow answers the paper's NOW query: current value within precision.
@@ -412,12 +593,16 @@ func (p *Proxy) QueryRange(id radio.NodeID, t0, t1 simtime.Time, precision float
 	if precision > 0 {
 		quantum = precision / 2
 	}
-	p.pull(st, t0, t1, quantum, func(recs []wire.Rec, errBound float64, timedOut bool) {
+	// Pad the span by one sample interval each side (as QueryPoint does)
+	// so a narrow span still fetches the samples bracketing it.
+	pt0, pt1 := t0-st.sampleInterval, t1+st.sampleInterval
+	if pt0 < 0 {
+		pt0 = 0
+	}
+	p.pull(st, pt0, pt1, quantum, func(recs []wire.Rec, errBound float64, timedOut bool) {
 		src := FromPull
 		if timedOut {
 			src = FromTimeout
-		} else {
-			p.insertPulled(st, recs, errBound)
 		}
 		entries, _ := p.assembleRange(st, t0, t1, precision)
 		p.finish(cb, Answer{Mote: id, Entries: entries, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
@@ -456,37 +641,110 @@ func (p *Proxy) insertPulled(st *moteState, recs []wire.Rec, errBound float64) {
 	}
 }
 
-// pull issues an archive fetch with timeout.
-func (p *Proxy) pull(st *moteState, t0, t1 simtime.Time, quantum float64, done func([]wire.Rec, float64, bool)) {
-	p.nextID++
-	id := p.nextID
-	p.stats.PullsIssued++
-	pending := &pendingPull{mote: st.id, done: done}
-	pending.timeout = p.sim.Schedule(p.cfg.PullTimeout, func() {
-		delete(p.pulls, id)
-		p.stats.PullsTimedOut++
+// pull requests archive records in [t0, t1], coalescing with the mote's
+// in-flight rendezvous when possible: a covered request joins as a
+// waiter, an uncovered one queues for the merged follow-up. done fires
+// exactly once, after the cache has been refined with the response.
+func (p *Proxy) pull(st *moteState, t0, t1 simtime.Time, quantum float64, done pullDone) {
+	if st.replicaOnly {
+		// Replica mirrors have no radio path to the mote: answer
+		// best-effort from local state via the timeout path, instantly.
 		done(nil, 0, true)
+		return
+	}
+	if fl := st.inflight; fl != nil {
+		if fl.covers(t0, t1, quantum) {
+			p.stats.PullsCoalesced++
+			fl.waiters = append(fl.waiters, done)
+			return
+		}
+		p.stats.PullsQueued++
+		st.pullQueue = append(st.pullQueue, queuedPull{t0: t0, t1: t1, quantum: quantum, done: done})
+		return
+	}
+	p.issuePull(st, t0, t1, quantum, []pullDone{done})
+}
+
+// issuePull sends one archive rendezvous with timeout.
+func (p *Proxy) issuePull(st *moteState, t0, t1 simtime.Time, quantum float64, waiters []pullDone) {
+	p.nextID++
+	p.stats.PullsIssued++
+	fl := &inflightPull{id: p.nextID, mote: st.id, t0: t0, t1: t1, quantum: quantum, waiters: waiters}
+	fl.timeout = p.sim.Schedule(p.cfg.PullTimeout, func() {
+		p.stats.PullsTimedOut++
+		p.resolvePull(st, fl, nil, 0, true)
 	})
-	p.pulls[id] = pending
-	payload := wire.EncodePullReq(wire.PullReq{ID: id, T0: t0, T1: t1, Quantum: quantum})
+	st.inflight = fl
+	p.pulls[fl.id] = fl
+	payload := wire.EncodePullReq(wire.PullReq{ID: fl.id, T0: t0, T1: t1, Quantum: quantum})
 	if err := p.ep.Send(st.id, wire.KindPullReq, payload); err != nil {
 		// Unknown/detached mote: let the timeout fire (keeps one code path).
 		return
 	}
 }
 
-// completePull resolves a pending pull.
-func (p *Proxy) completePull(src radio.NodeID, resp wire.PullResp) {
-	pending, ok := p.pulls[resp.ID]
-	if !ok || pending.mote != src {
-		return // late or duplicate response
+// resolvePull retires an in-flight rendezvous: the cache is refined once,
+// the result fans out to every waiter, and any queued requests are merged
+// into a single follow-up rendezvous.
+func (p *Proxy) resolvePull(st *moteState, fl *inflightPull, recs []wire.Rec, errBound float64, timedOut bool) {
+	delete(p.pulls, fl.id)
+	if st.inflight == fl {
+		st.inflight = nil
 	}
-	delete(p.pulls, resp.ID)
-	pending.timeout.Cancel()
-	if st, ok := p.motes[src]; ok {
-		st.lastHeard = p.sim.Now()
+	fl.timeout.Cancel()
+	if !timedOut {
+		p.insertPulled(st, recs, errBound)
 	}
-	pending.done(resp.Records, resp.ErrBound, false)
+	for _, w := range fl.waiters {
+		w(recs, errBound, timedOut)
+	}
+	p.issueQueued(st)
+}
+
+// issueQueued merges every deferred pull into one covering rendezvous:
+// the union of the spans, at the tightest quantum requested (0 =
+// lossless dominates).
+func (p *Proxy) issueQueued(st *moteState) {
+	if st.inflight != nil || len(st.pullQueue) == 0 {
+		return
+	}
+	q := st.pullQueue
+	st.pullQueue = nil
+	t0, t1, quantum := q[0].t0, q[0].t1, q[0].quantum
+	waiters := make([]pullDone, len(q))
+	for i, r := range q {
+		waiters[i] = r.done
+		if r.t0 < t0 {
+			t0 = r.t0
+		}
+		if r.t1 > t1 {
+			t1 = r.t1
+		}
+		if r.quantum == 0 || quantum == 0 {
+			quantum = 0
+		} else if r.quantum < quantum {
+			quantum = r.quantum
+		}
+	}
+	p.issuePull(st, t0, t1, quantum, waiters)
+}
+
+// completePull resolves the rendezvous a response answers, reporting
+// whether the response was expected (late and duplicate responses are
+// dropped).
+func (p *Proxy) completePull(src radio.NodeID, resp wire.PullResp) bool {
+	fl, ok := p.pulls[resp.ID]
+	if !ok || fl.mote != src {
+		return false // late or duplicate response
+	}
+	st, ok := p.motes[src]
+	if !ok {
+		delete(p.pulls, resp.ID)
+		return false
+	}
+	st.lastHeard = p.sim.Now()
+	p.resolvePull(st, fl, resp.Records, resp.ErrBound, false)
+	return true
 }
 
 // finish records stats and invokes the callback.

@@ -1,0 +1,125 @@
+package radio
+
+// Partitioned mode: a sharded deployment runs each proxy and its motes in
+// an independent simulation domain (own event kernel, own Medium) so the
+// domains can advance concurrently on separate goroutines. The wireless
+// tier never crosses a domain — motes only talk to their own proxy — but
+// the wired backbone between proxies does: Section 5's wired replicas
+// receive a copy of every confirmed observation and model update from the
+// wireless proxies they replicate. Bridge is that backbone.
+//
+// A Bridge is a thread-safe mailbox network between domains. Senders
+// (running inside their own domain's event loop) enqueue wire-level
+// messages from any goroutine; each receiving domain drains its inbox at
+// safe points of its own worker loop, which schedules delivery onto that
+// domain's kernel after the wired latency. Virtual clocks of different
+// domains are only loosely aligned (they advance in parallel), so a
+// bridged message is timestamped by the *receiving* domain — the same
+// relaxation a real wired WAN imposes.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"presto/internal/simtime"
+)
+
+// DomainID identifies one simulation domain on a bridge.
+type DomainID int
+
+// BridgeMsg is one wired inter-domain message. Kind and Payload are
+// wire-level (the same encodings motes and proxies exchange over radio);
+// Mote names the subject mote for replica traffic.
+type BridgeMsg struct {
+	Src, Dst DomainID
+	Mote     NodeID
+	Kind     Kind
+	Payload  []byte
+}
+
+// bridgeDomain is the receive side of one domain.
+type bridgeDomain struct {
+	sim     *simtime.Simulator
+	handler func(BridgeMsg)
+	inbox   []BridgeMsg
+}
+
+// Bridge carries wired traffic between partitioned simulation domains.
+// Send is safe from any goroutine; Drain must be called only by the
+// goroutine driving the destination domain's simulator.
+type Bridge struct {
+	latency time.Duration
+
+	mu      sync.Mutex
+	domains map[DomainID]*bridgeDomain
+
+	sent, delivered atomic.Uint64
+}
+
+// NewBridge creates a bridge whose deliveries take latency of the
+// receiving domain's virtual time (a wired LAN/WAN hop; no LPL rendezvous,
+// no loss — the wired tier is reliable in the paper's architecture).
+func NewBridge(latency time.Duration) *Bridge {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Bridge{latency: latency, domains: make(map[DomainID]*bridgeDomain)}
+}
+
+// Latency returns the one-way wired delivery latency.
+func (b *Bridge) Latency() time.Duration { return b.latency }
+
+// AttachDomain registers a domain's simulator and message handler. The
+// handler runs on the domain's own goroutine, from events scheduled by
+// Drain.
+func (b *Bridge) AttachDomain(d DomainID, sim *simtime.Simulator, h func(BridgeMsg)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.domains[d] = &bridgeDomain{sim: sim, handler: h}
+}
+
+// Send enqueues a message for the destination domain. Unknown
+// destinations drop the message (a detached domain, mirroring radio's
+// silent link-layer loss).
+func (b *Bridge) Send(msg BridgeMsg) {
+	b.mu.Lock()
+	dom, ok := b.domains[msg.Dst]
+	if ok {
+		dom.inbox = append(dom.inbox, msg)
+	}
+	b.mu.Unlock()
+	if ok {
+		b.sent.Add(1)
+	}
+}
+
+// Drain moves every pending message for domain d onto d's event kernel,
+// each delivered after the wired latency. It returns how many messages
+// were scheduled. Only the goroutine driving d's simulator may call it.
+func (b *Bridge) Drain(d DomainID) int {
+	b.mu.Lock()
+	dom, ok := b.domains[d]
+	if !ok || len(dom.inbox) == 0 {
+		b.mu.Unlock()
+		return 0
+	}
+	pending := dom.inbox
+	dom.inbox = nil
+	b.mu.Unlock()
+
+	for _, msg := range pending {
+		m := msg
+		dom.sim.Schedule(b.latency, func() {
+			b.delivered.Add(1)
+			dom.handler(m)
+		})
+	}
+	return len(pending)
+}
+
+// Stats reports bridge-wide counters: messages accepted by Send and
+// messages delivered to handlers.
+func (b *Bridge) Stats() (sent, delivered uint64) {
+	return b.sent.Load(), b.delivered.Load()
+}

@@ -1,0 +1,74 @@
+package radio
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"presto/internal/simtime"
+)
+
+func TestBridgeDeliversAcrossDomains(t *testing.T) {
+	b := NewBridge(2 * time.Millisecond)
+	simA, simB := simtime.New(1), simtime.New(2)
+	var got []BridgeMsg
+	b.AttachDomain(0, simA, func(m BridgeMsg) { got = append(got, m) })
+	b.AttachDomain(1, simB, func(BridgeMsg) {})
+
+	b.Send(BridgeMsg{Src: 1, Dst: 0, Mote: 7, Kind: 3, Payload: []byte{1, 2}})
+	b.Send(BridgeMsg{Src: 1, Dst: 0, Mote: 8, Kind: 4})
+	if len(got) != 0 {
+		t.Fatal("delivered before drain")
+	}
+	if n := b.Drain(0); n != 2 {
+		t.Fatalf("drained %d, want 2", n)
+	}
+	simA.RunFor(time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("delivered before the wired latency elapsed")
+	}
+	simA.RunFor(5 * time.Millisecond)
+	if len(got) != 2 || got[0].Mote != 7 || got[1].Mote != 8 {
+		t.Fatalf("got %+v", got)
+	}
+	sent, delivered := b.Stats()
+	if sent != 2 || delivered != 2 {
+		t.Fatalf("stats sent=%d delivered=%d", sent, delivered)
+	}
+}
+
+func TestBridgeDropsUnknownDomain(t *testing.T) {
+	b := NewBridge(0)
+	b.Send(BridgeMsg{Dst: 9})
+	if sent, _ := b.Stats(); sent != 0 {
+		t.Fatalf("unknown destination accepted: sent=%d", sent)
+	}
+	if n := b.Drain(9); n != 0 {
+		t.Fatalf("drained %d from unknown domain", n)
+	}
+}
+
+func TestBridgeConcurrentSenders(t *testing.T) {
+	// Senders race from many goroutines (the cross-domain case); the
+	// receiving domain drains serially.
+	b := NewBridge(time.Millisecond)
+	sim := simtime.New(1)
+	count := 0
+	b.AttachDomain(0, sim, func(BridgeMsg) { count++ })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Send(BridgeMsg{Src: DomainID(g + 1), Dst: 0, Mote: NodeID(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Drain(0)
+	sim.RunFor(10 * time.Millisecond)
+	if count != 400 {
+		t.Fatalf("delivered %d, want 400", count)
+	}
+}

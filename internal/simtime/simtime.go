@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -107,6 +108,10 @@ type Simulator struct {
 	rng       *rand.Rand
 	processed uint64
 	running   bool
+
+	// nowSnapshot mirrors now for lock-free readers on other goroutines
+	// (sharded deployments publish each domain's clock through it).
+	nowSnapshot atomic.Int64
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -114,8 +119,20 @@ func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It must only be called from the
+// goroutine driving the simulator; concurrent readers use NowSnapshot.
 func (s *Simulator) Now() Time { return s.now }
+
+// NowSnapshot returns the clock as last published by the driving
+// goroutine. Unlike Now it is safe to call from any goroutine: sharded
+// deployments serve their Now() from this without taking any lock.
+func (s *Simulator) NowSnapshot() Time { return Time(s.nowSnapshot.Load()) }
+
+// setNow advances the clock and publishes the snapshot.
+func (s *Simulator) setNow(t Time) {
+	s.now = t
+	s.nowSnapshot.Store(int64(t))
+}
 
 // Rand returns the simulator's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
@@ -160,7 +177,7 @@ func (s *Simulator) Step() bool {
 		if ev.cancelled {
 			continue
 		}
-		s.now = ev.at
+		s.setNow(ev.at)
 		ev.fired = true
 		s.processed++
 		ev.fn()
@@ -199,13 +216,13 @@ func (s *Simulator) RunUntil(t Time) {
 			break
 		}
 		heap.Pop(&s.events)
-		s.now = ev.at
+		s.setNow(ev.at)
 		ev.fired = true
 		s.processed++
 		ev.fn()
 	}
 	if s.now < t {
-		s.now = t
+		s.setNow(t)
 	}
 }
 
@@ -214,12 +231,14 @@ func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + Time(d)) }
 
 // Ticker fires a callback at a fixed period until stopped.
 type Ticker struct {
-	sim      *Simulator
-	period   Time
-	fn       func()
-	handle   Handle
-	stopped  bool
-	fireings uint64
+	sim     *Simulator
+	period  Time
+	fn      func()
+	handle  Handle
+	stopped bool
+	// fireings is atomic so aggregate handles (core.RetrainTicker) can
+	// read it while other shards' tickers are still firing.
+	fireings atomic.Uint64
 }
 
 // Every schedules fn to run every period, with the first firing one full
@@ -255,7 +274,7 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
-	t.fireings++
+	t.fireings.Add(1)
 	t.fn()
 	if !t.stopped {
 		t.arm()
@@ -272,5 +291,6 @@ func (t *Ticker) Stop() {
 	t.handle.Cancel()
 }
 
-// Firings reports how many times the ticker has fired.
-func (t *Ticker) Firings() uint64 { return t.fireings }
+// Firings reports how many times the ticker has fired. Safe for
+// concurrent use.
+func (t *Ticker) Firings() uint64 { return t.fireings.Load() }

@@ -320,3 +320,19 @@ func BenchmarkScheduleRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestNowSnapshotTracksClock(t *testing.T) {
+	s := New(1)
+	if s.NowSnapshot() != 0 {
+		t.Fatalf("fresh snapshot %v", s.NowSnapshot())
+	}
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	if s.NowSnapshot() != Second {
+		t.Fatalf("snapshot %v after event, want 1s", s.NowSnapshot())
+	}
+	s.RunFor(2 * time.Second) // clamp with no events must also publish
+	if s.NowSnapshot() != 3*Second || s.NowSnapshot() != s.Now() {
+		t.Fatalf("snapshot %v, now %v, want both 3s", s.NowSnapshot(), s.Now())
+	}
+}

@@ -48,34 +48,44 @@ func (s *Store) AdoptMote(m radio.NodeID, id index.ProxyID) {
 // Index exposes the underlying distributed index.
 func (s *Store) Index() *index.Index { return s.ix }
 
-// route picks the proxy that should answer a query for mote m: the wired
-// replica when one exists and holds the mote's data, otherwise the
-// managing proxy.
-func (s *Store) route(m radio.NodeID) (*proxy.Proxy, error) {
-	pid, err := s.ix.ProxyFor(m)
-	if err != nil {
-		return nil, err
+// replica returns the wired replica proxy for a mote's managing proxy,
+// if one is attached.
+func (s *Store) replica(pid index.ProxyID) (*proxy.Proxy, bool) {
+	w, ok := s.ix.ReplicaFor(pid)
+	if !ok {
+		return nil, false
 	}
-	if w, ok := s.ix.ReplicaFor(pid); ok {
-		if rp, ok := s.proxies[w]; ok {
-			s.replicaRouted++
-			return rp, nil
+	rp, ok := s.proxies[w]
+	return rp, ok
+}
+
+// Execute routes and runs a query; cb fires exactly once. NOW queries
+// are offered to the managing proxy's wired replica first (Section 5's
+// low-latency replication): if the replica's mirrored cache/model meets
+// the precision the answer is served there, otherwise the query falls
+// through to the managing proxy, which can pay the mote rendezvous.
+func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
+	pid, err := s.ix.ProxyFor(q.Mote)
+	if err != nil {
+		return err
+	}
+	if q.Type == query.Now {
+		if rp, ok := s.replica(pid); ok {
+			s.replicaRouted++ // replica was tried (the routing decision)
+			if err := q.Validate(); err != nil {
+				return err
+			}
+			if a, ok := rp.QueryLocal(q.Mote, rp.Now(), q.Precision); ok {
+				cb(query.Result{Query: q, Answer: a})
+				return nil
+			}
 		}
 	}
 	p, ok := s.proxies[pid]
 	if !ok {
-		return nil, fmt.Errorf("store: proxy %d not attached", pid)
+		return fmt.Errorf("store: proxy %d not attached", pid)
 	}
 	s.routed++
-	return p, nil
-}
-
-// Execute routes and runs a query; cb fires exactly once.
-func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
-	p, err := s.route(q.Mote)
-	if err != nil {
-		return err
-	}
 	return query.Execute(p, q, cb)
 }
 
@@ -90,8 +100,9 @@ func (s *Store) Publish(d index.Detection) error {
 	return s.ix.PublishDetection(d)
 }
 
-// Stats reports routing counters: queries routed to managing proxies and
-// to wired replicas.
+// Stats reports routing counters: queries routed to managing proxies,
+// and queries offered to a wired replica (whether or not the replica
+// could answer within precision).
 func (s *Store) Stats() (routed, replicaRouted uint64) {
 	return s.routed, s.replicaRouted
 }
