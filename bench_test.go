@@ -17,9 +17,12 @@ import (
 
 	"presto/internal/core"
 	"presto/internal/exp"
+	"presto/internal/flash"
 	"presto/internal/gen"
 	"presto/internal/query"
+	"presto/internal/radio"
 	"presto/internal/simtime"
+	"presto/internal/store"
 )
 
 // run executes an experiment once per benchmark iteration and reports the
@@ -189,6 +192,136 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkFlashStore measures the per-domain archival store backends
+// head to head: each iteration appends an interleaved multi-mote record
+// stream and then answers range queries over it. The mem backend is the
+// in-RAM baseline; flash pays simulated page programs and reads;
+// flash-compact shrinks the device until segment compaction runs in the
+// loop. Reports appended records/s and archive queries/s.
+func BenchmarkFlashStore(b *testing.B) {
+	const (
+		motes   = 8
+		records = 4096
+		queries = 64
+	)
+	backends := []struct {
+		name string
+		make func() (store.Backend, error)
+	}{
+		{"mem", func() (store.Backend, error) { return store.NewMemBackend(), nil }},
+		{"flash", func() (store.Backend, error) { return store.NewFlashBackend(flash.Geometry{}) }},
+		{"flash-compact", func() (store.Backend, error) {
+			// ~1.6k records of capacity: every iteration compacts.
+			return store.NewFlashBackend(flash.Geometry{PageSize: 256, PagesPerBlock: 16, NumBlocks: 8})
+		}},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bk, err := be.make()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < records; r++ {
+					m := radio.NodeID(1 + r%motes)
+					if err := bk.Append(m, store.Record{T: simtime.Time(r) * simtime.Minute, V: float64(r % 100)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				span := simtime.Time(records) * simtime.Minute
+				hits := 0
+				for qi := 0; qi < queries; qi++ {
+					m := radio.NodeID(1 + qi%motes)
+					t0 := span * simtime.Time(qi) / queries
+					recs, err := bk.QueryRange(m, t0, t0+span/8)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(recs) > 0 {
+						hits++
+					}
+				}
+				// Compaction coarsens old history (sparse windows may miss)
+				// but recent data must always be there.
+				if hits < queries/4 {
+					b.Fatalf("only %d/%d archive queries returned data", hits, queries)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*records)/b.Elapsed().Seconds(), "records/s")
+			b.ReportMetric(float64(b.N*queries)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkFreshnessBounds measures the cost of per-query freshness
+// bounds end to end on a sharded deployment: unbounded NOW queries ride
+// the wired replica, a loose bound still mostly does, and a tight bound
+// bypasses the replica and pays mote rendezvous in the owning domain.
+func BenchmarkFreshnessBounds(b *testing.B) {
+	bounds := []struct {
+		name  string
+		stale time.Duration
+	}{
+		{"unbounded", 0},
+		{"loose-6h", 6 * time.Hour},
+		{"tight-1s", time.Second},
+	}
+	for _, bd := range bounds {
+		b.Run(bd.name, func(b *testing.B) {
+			const proxies, motesPer = 2, 4
+			c := gen.DefaultTempConfig()
+			c.Sensors = proxies * motesPer
+			c.Days = 4
+			c.Seed = 1
+			traces, err := gen.Temperature(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Proxies = proxies
+			cfg.MotesPerProxy = motesPer
+			cfg.Shards = 2
+			cfg.Radio.LossProb = 0
+			cfg.Radio.JitterMax = 0
+			cfg.Traces = traces
+			cfg.WiredFirstProxy = true
+			n, err := core.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			n.Start()
+			n.Run(24 * time.Hour)
+
+			// Remote motes only: the interesting path is the cross-domain
+			// replica decision.
+			var remote []radio.NodeID
+			for _, id := range n.MoteIDs() {
+				if id > motesPer {
+					remote = append(remote, id)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range remote {
+					q := query.Query{Type: query.Now, Mote: id, Precision: 2.0, MaxStaleness: bd.stale}
+					if _, err := n.ExecuteWait(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(remote))/b.Elapsed().Seconds(), "queries/s")
+			_, served, _, _ := n.EngineStats()
+			b.ReportMetric(float64(served), "replica-served")
+			b.ReportMetric(float64(n.ReplicaBypassed()), "replica-bypassed")
 		})
 	}
 }

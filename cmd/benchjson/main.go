@@ -1,0 +1,203 @@
+// Command benchjson turns `go test -bench` output into a JSON summary and
+// optionally gates on a committed baseline: if a tracked throughput metric
+// drops by more than the allowed fraction against the baseline, benchjson
+// exits non-zero and CI fails the push.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=3x -count=3 . | \
+//	    benchjson -out BENCH_ci.json -baseline BENCH_baseline.json \
+//	              -metric queries/s -max-regress 0.20
+//
+// Parsing: standard benchmark lines ("BenchmarkX/sub-8  3  1234 ns/op
+// 567 queries/s ..."). The trailing -P GOMAXPROCS suffix is stripped so
+// baselines transfer between machines with different core counts. With
+// -count > 1 the best run wins per metric (max for rates — unit ending in
+// "/s" — min for costs), which filters scheduler noise on shared CI
+// runners.
+//
+// Gating compares only the named -metric, only for benchmarks present in
+// both files: new benchmarks pass freely, and a benchmark that disappears
+// from the current run is an error (a silently-deleted benchmark must not
+// disable its own gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is the summary of one benchmark across all runs.
+type Bench struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk JSON shape.
+type File struct {
+	Command    string           `json:"command,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// procSuffix strips the trailing GOMAXPROCS marker from a benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	in := flag.String("in", "-", "benchmark output to parse (- = stdin)")
+	out := flag.String("out", "BENCH_ci.json", "JSON summary to write (empty = skip)")
+	command := flag.String("command", "", "provenance string recorded in the JSON")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	metric := flag.String("metric", "queries/s", "metric the gate compares")
+	maxRegress := flag.Float64("max-regress", 0.20, "max tolerated fractional drop of -metric vs baseline")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	cur, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	cur.Command = *command
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readFile(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if failed := gate(base, cur, *metric, *maxRegress); failed > 0 {
+		log.Fatalf("%d benchmark(s) regressed more than %.0f%% on %s", failed, *maxRegress*100, *metric)
+	}
+}
+
+// parse consumes `go test -bench` output, folding repeated runs of the
+// same benchmark into their best result per metric.
+func parse(r io.Reader) (File, error) {
+	out := File{Benchmarks: make(map[string]Bench)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then "value unit" pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		b, ok := out.Benchmarks[name]
+		if !ok {
+			b = Bench{Metrics: make(map[string]float64)}
+		}
+		b.Runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			prev, seen := b.Metrics[unit]
+			if !seen || better(unit, v, prev) {
+				b.Metrics[unit] = v
+			}
+		}
+		out.Benchmarks[name] = b
+	}
+	return out, sc.Err()
+}
+
+// better reports whether v beats prev for a unit: rates (anything ending
+// in "/s") want max, costs (ns/op, B/op, allocs/op, ...) want min.
+func better(unit string, v, prev float64) bool {
+	if strings.HasSuffix(unit, "/s") {
+		return v > prev
+	}
+	return v < prev
+}
+
+func readFile(path string) (File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// gate compares the tracked metric benchmark-by-benchmark and returns how
+// many regressed beyond the allowance (missing benchmarks count).
+func gate(base, cur File, metric string, maxRegress float64) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name, b := range base.Benchmarks {
+		if _, tracked := b.Metrics[metric]; tracked {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		want := base.Benchmarks[name].Metrics[metric]
+		got, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %-45s missing from current run (baseline %.0f %s)\n", name, want, metric)
+			failed++
+			continue
+		}
+		cv, ok := got.Metrics[metric]
+		if !ok {
+			fmt.Printf("FAIL %-45s no %s metric in current run\n", name, metric)
+			failed++
+			continue
+		}
+		change := cv/want - 1
+		status := "ok  "
+		if cv < want*(1-maxRegress) {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-45s %s: %.0f -> %.0f (%+.1f%%)\n", status, name, metric, want, cv, change*100)
+	}
+	return failed
+}

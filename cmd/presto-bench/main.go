@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	presto-bench [-scale quick|paper] [-shards N] [-run T1,F2,...] [-list]
+//	presto-bench [-scale quick|paper] [-shards N] [-store mem|flash]
+//	             [-run T1,F2,...] [-list]
 //
 // The paper scale reproduces the published parameters (28 days of 1-minute
 // samples, 20-mote deployments); quick scale preserves every shape at a
@@ -24,6 +25,7 @@ import (
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	shards := flag.Int("shards", 1, "concurrent simulation domains for multi-proxy deployments")
+	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -48,6 +50,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Shards = *shards
+	sc.Backend = *storeBackend
 
 	want := map[string]bool{}
 	if *run != "" {

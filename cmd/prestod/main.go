@@ -8,11 +8,20 @@
 //
 //	prestod [-proxies N] [-motes N] [-shards N] [-days N] [-delta F]
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
+//	        [-store mem|flash] [-max-staleness D]
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
 // through the async engine, with NOW queries served by the wired replica
 // where possible.
+//
+// -store selects each domain's archival store backend: "mem" (in-memory)
+// or "flash" (log-structured archive on simulated NAND; PAST queries the
+// archive covers within precision never touch the proxy query path).
+// -max-staleness, when positive, attaches a per-query freshness bound to
+// every NOW query: replicas whose snapshot lags the owning domain by more
+// than the bound are bypassed, and a managing proxy whose own snapshot is
+// too old pays a mote rendezvous instead of answering from the model.
 package main
 
 import (
@@ -44,6 +53,8 @@ func main() {
 	precision := flag.Float64("precision", 1.0, "query precision (error tolerance)")
 	loss := flag.Float64("loss", 0.02, "radio loss probability")
 	seed := flag.Int64("seed", 1, "random seed")
+	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
+	maxStale := flag.Duration("max-staleness", 0, "per-query freshness bound on NOW queries (0 = unbounded)")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
 
@@ -65,14 +76,15 @@ func main() {
 	cfg.Radio.LossProb = *loss
 	cfg.Traces = traces
 	cfg.WiredFirstProxy = *proxies > 1
+	cfg.StoreBackend = *storeBackend
 	n, err := core.Build(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer n.Close()
 
-	fmt.Printf("deployment: %d proxies x %d motes, %d days, delta=%.2f, loss=%.1f%%, %d shard(s)\n",
-		*proxies, *motes, *days, *delta, *loss*100, n.Shards())
+	fmt.Printf("deployment: %d proxies x %d motes, %d days, delta=%.2f, loss=%.1f%%, %d shard(s), %s store\n",
+		*proxies, *motes, *days, *delta, *loss*100, n.Shards(), *storeBackend)
 
 	// Bootstrap: 36h training stream, then model-driven operation.
 	trainFor := 36 * time.Hour
@@ -97,7 +109,7 @@ func main() {
 	for i := 0; i < *queries; i++ {
 		n.Run(perQuery)
 		id := ids[rng.Intn(len(ids))]
-		q := query.Query{Type: query.Now, Mote: id, Precision: *precision}
+		q := query.Query{Type: query.Now, Mote: id, Precision: *precision, MaxStaleness: *maxStale}
 		if rng.Float64() < 0.3 { // 30% PAST point queries
 			back := simtime.Time(time.Duration(1+rng.Intn(600)) * time.Minute)
 			at := n.Now() - back
@@ -133,11 +145,23 @@ func main() {
 	p50, _ := stats.Median(latencies)
 	p95, _ := stats.Quantile(latencies, 0.95)
 	fmt.Printf("query latency: p50=%.1f ms p95=%.1f ms over %d queries\n", p50, p95, len(latencies))
-	fmt.Printf("answers: cache=%d model=%d pull=%d timeout=%d\n",
-		bySource[proxy.FromCache], bySource[proxy.FromModel], bySource[proxy.FromPull], bySource[proxy.FromTimeout])
+	fmt.Printf("answers: cache=%d model=%d pull=%d timeout=%d archive=%d\n",
+		bySource[proxy.FromCache], bySource[proxy.FromModel], bySource[proxy.FromPull],
+		bySource[proxy.FromTimeout], bySource[proxy.FromArchive])
 	submitted, replicaServed, bridgeSent, bridgeDelivered := n.EngineStats()
-	fmt.Printf("engine: %d submitted, %d replica-served, bridge %d/%d sent/delivered\n",
-		submitted, replicaServed, bridgeSent, bridgeDelivered)
+	fmt.Printf("engine: %d submitted, %d replica-served, %d replica-bypassed (stale), bridge %d/%d sent/delivered\n",
+		submitted, replicaServed, n.ReplicaBypassed(), bridgeSent, bridgeDelivered)
+	ss := n.StoreStats()
+	bs := n.StoreBackendStats()
+	fmt.Printf("store: %d proxy-routed, %d replica-offered (%d stale-rejected), %d archive-served\n",
+		ss.Routed, ss.ReplicaRouted, ss.ReplicaStale, ss.ArchiveServed)
+	fmt.Printf("archive backend: %d records (%d appends, %d dropped), %d range reads, read-amp %.2f",
+		bs.Records, bs.Appends, bs.Dropped, bs.QueryRanges, bs.ReadAmp())
+	if *storeBackend == "flash" {
+		fmt.Printf(", %d pages written, %d pages read, %d compactions",
+			bs.PagesWritten, bs.PagesRead, bs.Compactions)
+	}
+	fmt.Println()
 	if len(errs) > 0 {
 		lo, hi, _ := stats.MinMax(errs)
 		fmt.Printf("answer error vs ground truth: mean=%.3f max=%.3f (min %.3f); precision=%.2f\n",

@@ -204,6 +204,33 @@ func Decode(buf []byte) ([]float64, error) {
 	}
 }
 
+// DecodeBound reports the per-sample reconstruction error bound implied
+// by an encoded batch: 0 for raw float32, quantum/2 for delta coding, and
+// unbounded (+Inf) for wavelet denoising, whose threshold does not ride
+// the wire and whose per-sample error is only roughly bounded by it.
+// Consumers that need a guaranteed bound (the proxy's archive sink) treat
+// +Inf as "never precise enough".
+func DecodeBound(buf []byte) float64 {
+	if len(buf) < 1 {
+		return math.Inf(1)
+	}
+	switch buf[0] {
+	case tagRaw:
+		return 0
+	case tagDelta:
+		if len(buf) < 9 {
+			return math.Inf(1)
+		}
+		q := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[5:])))
+		if q <= 0 {
+			return math.Inf(1)
+		}
+		return q / 2
+	default:
+		return math.Inf(1)
+	}
+}
+
 // Ratio reports the compression ratio achieved on xs: encoded bytes divided
 // by raw float32 bytes. Lower is better; Raw mode is ~1.
 func (b Batch) Ratio(xs []float64) (float64, error) {

@@ -279,6 +279,51 @@ func TestPropertyLengthPreserved(t *testing.T) {
 	}
 }
 
+// Property: DecodeBound's claimed bound actually covers the round-trip
+// error of every sample, and only codecs with a wire-visible bound claim
+// a finite one.
+func TestDecodeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 20 + rng.NormFloat64()*3
+	}
+	for _, tc := range []struct {
+		mode  Mode
+		bound float64 // expected claim; NaN = must be +Inf
+	}{
+		{Raw, 0},
+		// The quantum rides the wire as float32; the honest bound is half
+		// of what the decoder actually reads back.
+		{Delta, float64(float32(0.05)) / 2},
+		{WaveletDenoise, math.Inf(1)},
+	} {
+		enc, err := Batch{Mode: tc.mode, Quantum: 0.05, Threshold: 0.5}.Encode(xs)
+		if err != nil {
+			t.Fatalf("mode %v: %v", tc.mode, err)
+		}
+		got := DecodeBound(enc)
+		if got != tc.bound && !(math.IsInf(tc.bound, 1) && math.IsInf(got, 1)) {
+			t.Fatalf("mode %v: bound %v, want %v", tc.mode, got, tc.bound)
+		}
+		if math.IsInf(got, 1) {
+			continue
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dec {
+			if e := math.Abs(dec[i] - xs[i]); e > got+1e-6 {
+				t.Fatalf("mode %v sample %d: error %v exceeds claimed bound %v", tc.mode, i, e, got)
+			}
+		}
+	}
+	if !math.IsInf(DecodeBound(nil), 1) {
+		t.Fatal("empty buffer must claim an unbounded error")
+	}
+}
+
 func BenchmarkDeltaEncode1k(b *testing.B) {
 	xs := smoothSeries(1000)
 	b.ReportAllocs()

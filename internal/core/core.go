@@ -64,6 +64,14 @@ type Config struct {
 	Flash          flash.Geometry
 	Delta          float64
 
+	// StoreBackend selects each domain's archival store backend: "mem"
+	// (default, in-memory) or "flash" (log-structured archive on simulated
+	// NAND — the paper's flash-archival proxy design).
+	StoreBackend string
+	// StoreFlash is the device geometry for the "flash" store backend
+	// (zero value = store.DefaultStoreGeometry()).
+	StoreFlash flash.Geometry
+
 	// BridgeLatency is the one-way wired latency between simulation
 	// domains (replica traffic); zero means 2 ms.
 	BridgeLatency time.Duration
@@ -109,6 +117,11 @@ func (c Config) Validate() error {
 	if len(c.Traces) < c.Proxies*c.MotesPerProxy {
 		return fmt.Errorf("core: %d traces for %d motes", len(c.Traces), c.Proxies*c.MotesPerProxy)
 	}
+	switch c.StoreBackend {
+	case "", "mem", "flash":
+	default:
+		return fmt.Errorf("core: unknown store backend %q (want mem or flash)", c.StoreBackend)
+	}
 	return nil
 }
 
@@ -141,6 +154,7 @@ type Network struct {
 
 	queriesSubmitted atomic.Uint64
 	replicaServed    atomic.Uint64
+	replicaBypassed  atomic.Uint64 // replica skipped by a freshness bound
 
 	// Shard 0 aliases and global views (see type comment).
 	Sim     *simtime.Simulator
@@ -235,6 +249,13 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 	}
 	ix := index.New(cfg.Seed + 1 + int64(si))
 	st := store.New(ix)
+	if cfg.StoreBackend == "flash" {
+		fb, err := store.NewFlashBackend(cfg.StoreFlash)
+		if err != nil {
+			return nil, err
+		}
+		st.SetBackend(fb)
+	}
 	s := &shard{
 		domain:    si,
 		sim:       sim,
@@ -278,7 +299,7 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 			}
 			p := s.proxies[pi-pi0]
 			p.Register(mid, mc.SampleInterval, mc.Delta)
-			st.AdoptMote(mid, index.ProxyID(pi))
+			st.AdoptMote(mid, index.ProxyID(pi), mc.SampleInterval)
 			s.motes = append(s.motes, m)
 			s.moteProxy[mid] = p
 			n.moteShard[mid] = si
@@ -640,6 +661,44 @@ func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
+}
+
+// StoreStats aggregates every domain's store routing counters: managing-
+// proxy routes, replica offers, freshness-bound replica rejections, and
+// range queries served whole from the archive backend.
+func (n *Network) StoreStats() store.RoutingStats {
+	per := make([]store.RoutingStats, len(n.shards))
+	n.eachShard(func(s *shard) { per[s.domain] = s.st.RoutingStats() })
+	var total store.RoutingStats
+	for _, r := range per {
+		total.Routed += r.Routed
+		total.ReplicaRouted += r.ReplicaRouted
+		total.ReplicaStale += r.ReplicaStale
+		total.ArchiveServed += r.ArchiveServed
+	}
+	return total
+}
+
+// StoreBackendStats aggregates every domain's archive backend counters,
+// so callers can report archive hit ratios and flash read amplification.
+func (n *Network) StoreBackendStats() store.BackendStats {
+	per := make([]store.BackendStats, len(n.shards))
+	n.eachShard(func(s *shard) { per[s.domain] = s.st.BackendStats() })
+	var total store.BackendStats
+	for _, b := range per {
+		total.Appends += b.Appends
+		total.Records += b.Records
+		total.QueryRanges += b.QueryRanges
+		total.LatestReads += b.LatestReads
+		total.PagesWritten += b.PagesWritten
+		total.PagesRead += b.PagesRead
+		total.RecordsScanned += b.RecordsScanned
+		total.RecordsMatched += b.RecordsMatched
+		total.Compactions += b.Compactions
+		total.Coarsened += b.Coarsened
+		total.Dropped += b.Dropped
+	}
+	return total
 }
 
 // Publish adds a detection to the index of the domain owning the

@@ -260,6 +260,16 @@ func (n *Network) shardFor(m radio.NodeID) (*shard, error) {
 // queries for motes in other domains are offered to the wired replica
 // first when one exists; everything the replica cannot answer within
 // precision is forwarded to the owning shard.
+//
+// A query carrying a freshness bound (MaxStaleness > 0) bypasses the
+// replica entirely when the replica's snapshot cannot meet it: the
+// replica's newest confirmed observation for the mote is compared against
+// the owning domain's clock (lock-free snapshot), and any undrained
+// bridge traffic for the replica's domain also marks it stale. Bypassed
+// queries settle in the owning domain, where the managing proxy enforces
+// the bound end-to-end — paying a mote rendezvous if its own snapshot is
+// too old. This replaces the fixed bridge-drain-quantum guarantee with a
+// per-query bound.
 func (n *Network) Submit(q query.Query) (<-chan query.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -272,15 +282,29 @@ func (n *Network) Submit(q query.Query) (<-chan query.Result, error) {
 	pq := &pendingQuery{ch: make(chan query.Result, 1)}
 	if n.replicaFirst && target.domain != 0 && q.Type == query.Now {
 		s0 := n.shards[0]
+		forward := func() {
+			if !target.enqueue(shardCmd{fn: func(ts *shard) { ts.submit(q, pq) }}) {
+				close(pq.ch) // owning shard shut down mid-forward
+			}
+		}
 		ok := s0.enqueue(shardCmd{fn: func(s *shard) {
+			// The owning domain's clock, read lock-free at check time (not
+			// at Submit — the owner may advance while this query queues):
+			// the replica's mirrored data carries owning-domain timestamps,
+			// so this is the reference the staleness check needs.
+			ownerNow := target.sim.NowSnapshot()
+			if q.MaxStaleness > 0 &&
+				(s.bridge.PendingFor(0, q.Mote) > 0 || !s.wired.FreshWithin(q.Mote, ownerNow, q.MaxStaleness)) {
+				n.replicaBypassed.Add(1)
+				forward()
+				return
+			}
 			if a, ok := s.wired.QueryLocal(q.Mote, s.sim.Now(), q.Precision); ok {
 				n.replicaServed.Add(1)
 				pq.ch <- query.Result{Query: q, Answer: a}
 				return
 			}
-			if !target.enqueue(shardCmd{fn: func(ts *shard) { ts.submit(q, pq) }}) {
-				close(pq.ch) // owning shard shut down mid-forward
-			}
+			forward()
 		}})
 		if !ok {
 			return nil, ErrClosed
@@ -413,3 +437,7 @@ func (n *Network) EngineStats() (submitted, replicaServed, bridgeSent, bridgeDel
 	}
 	return n.queriesSubmitted.Load(), n.replicaServed.Load(), bridgeSent, bridgeDelivered
 }
+
+// ReplicaBypassed reports how many NOW queries skipped the wired replica
+// because a per-query freshness bound judged its snapshot too stale.
+func (n *Network) ReplicaBypassed() uint64 { return n.replicaBypassed.Load() }

@@ -1,0 +1,243 @@
+package core
+
+// Per-query freshness bounds (query.Query.MaxStaleness) end to end: a NOW
+// query with a tight bound must bypass a stale wired replica, settle in
+// the owning domain, and pay the mote rendezvous there; a loose bound
+// keeps the replica fast path. Run with -race: the staleness decision
+// reads the owning domain's clock snapshot from the submitting goroutine
+// while both domain workers advance.
+
+import (
+	"testing"
+	"time"
+
+	"presto/internal/gen"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// freshnessNet builds a 2-proxy, 2-domain deployment with wired
+// replication and lossless radio, warmed up long enough that the replica
+// mirrors confirmed data for the remote motes.
+func freshnessNet(t *testing.T) *Network {
+	t.Helper()
+	const proxies, motesPer = 2, 2
+	c := gen.DefaultTempConfig()
+	c.Sensors = proxies * motesPer
+	c.Days = 1
+	c.Seed = 7
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Proxies = proxies
+	cfg.MotesPerProxy = motesPer
+	cfg.Shards = 2
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Delta = 0.25 // frequent pushes keep the mirror warm
+	cfg.Traces = traces
+	cfg.WiredFirstProxy = true
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	n.Start()
+	n.Run(2 * time.Hour)
+	return n
+}
+
+func TestFreshnessBoundBypassesStaleReplica(t *testing.T) {
+	n := freshnessNet(t)
+	remote := radio.NodeID(motesPerProxyFirstRemote(n)) // a domain-1 mote
+
+	// Loose bound: the replica's mirror is well within a day, so the
+	// wired fast path must serve without touching the owning domain.
+	res, err := n.ExecuteWait(query.Query{
+		Type: query.Now, Mote: remote, Precision: 5, MaxStaleness: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, served, _, _ := n.EngineStats(); served != 1 {
+		t.Fatalf("replica served %d queries, want 1", served)
+	}
+	if n.ReplicaBypassed() != 0 {
+		t.Fatalf("loose bound bypassed the replica")
+	}
+	if res.Answer.Source == proxy.FromPull {
+		t.Fatalf("loose bound paid a rendezvous: %v", res.Answer.Source)
+	}
+
+	// Tight bound: no snapshot can be one nanosecond old, so the replica
+	// is bypassed and the owning domain's proxy must pay a mote
+	// rendezvous rather than serve its own stale cache/model view.
+	res, err = n.ExecuteWait(query.Query{
+		Type: query.Now, Mote: remote, Precision: 5, MaxStaleness: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ReplicaBypassed() != 1 {
+		t.Fatalf("replica bypassed %d times, want 1", n.ReplicaBypassed())
+	}
+	if _, served, _, _ := n.EngineStats(); served != 1 {
+		t.Fatalf("stale replica still served the tight query")
+	}
+	if res.Answer.Source != proxy.FromPull {
+		t.Fatalf("tight bound answered from %v, want pull (owning-domain rendezvous)", res.Answer.Source)
+	}
+	// The rendezvous was paid by the owning proxy, not the replica.
+	st, err := n.ProxyStatsFor(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StalenessPulls != 1 {
+		t.Fatalf("owning proxy staleness pulls %d, want 1", st.StalenessPulls)
+	}
+}
+
+// motesPerProxyFirstRemote returns the first mote owned by a non-zero
+// domain (proxy 1's first mote).
+func motesPerProxyFirstRemote(n *Network) int {
+	return n.cfg.MotesPerProxy + 1
+}
+
+func TestFreshnessBoundSameDomainReplica(t *testing.T) {
+	// Single domain, two proxies: the store-level replica path (proxy 0
+	// mirrors proxy 1) must also honor the bound — a tight-staleness NOW
+	// query skips the replica and forces the managing proxy's rendezvous.
+	const proxies, motesPer = 2, 2
+	c := gen.DefaultTempConfig()
+	c.Sensors = proxies * motesPer
+	c.Days = 1
+	c.Seed = 7
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Proxies = proxies
+	cfg.MotesPerProxy = motesPer
+	cfg.Shards = 1
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Delta = 0.25
+	cfg.Traces = traces
+	cfg.WiredFirstProxy = true
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(2 * time.Hour)
+
+	remote := radio.NodeID(motesPer + 1)
+	res, err := n.ExecuteWait(query.Query{
+		Type: query.Now, Mote: remote, Precision: 5, MaxStaleness: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := n.StoreStats()
+	if ss.ReplicaStale != 1 {
+		t.Fatalf("store stale-rejections %d, want 1", ss.ReplicaStale)
+	}
+	if res.Answer.Source != proxy.FromPull {
+		t.Fatalf("answer from %v, want pull", res.Answer.Source)
+	}
+
+	// And a loose bound serves from the replica's local view.
+	res, err = n.ExecuteWait(query.Query{
+		Type: query.Now, Mote: remote, Precision: 5, MaxStaleness: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Source == proxy.FromPull {
+		t.Fatalf("loose bound paid a rendezvous")
+	}
+	if ss := n.StoreStats(); ss.ReplicaStale != 1 {
+		t.Fatalf("loose bound rejected as stale: %+v", ss)
+	}
+}
+
+func TestArchiveServesCoveredRange(t *testing.T) {
+	// After a streamed bootstrap the domain archive covers the training
+	// window: a PAST range query inside it must be served whole from the
+	// backend (FromArchive) without touching the proxy query path — on
+	// both backends.
+	for _, backend := range []string{"mem", "flash"} {
+		t.Run(backend, func(t *testing.T) {
+			c := gen.DefaultTempConfig()
+			c.Sensors = 2
+			c.Days = 2
+			c.Seed = 3
+			traces, err := gen.Temperature(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Seed = 3
+			cfg.Proxies = 1
+			cfg.MotesPerProxy = 2
+			cfg.Radio.LossProb = 0
+			cfg.Radio.JitterMax = 0
+			cfg.Traces = traces
+			cfg.StoreBackend = backend
+			n, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			if _, err := n.Bootstrap(12*time.Hour, 24, 1.0); err != nil {
+				t.Fatal(err)
+			}
+			res, err := n.ExecuteWait(query.Query{
+				Type: query.Past, Mote: 1,
+				T0: 2 * simtime.Hour, T1: 6 * simtime.Hour, Precision: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Answer.Source != proxy.FromArchive {
+				t.Fatalf("answer from %v, want archive", res.Answer.Source)
+			}
+			if len(res.Answer.Entries) == 0 {
+				t.Fatal("archive answer has no entries")
+			}
+			ss := n.StoreStats()
+			if ss.ArchiveServed != 1 {
+				t.Fatalf("archive served %d, want 1", ss.ArchiveServed)
+			}
+			bs := n.StoreBackendStats()
+			if bs.Appends == 0 || bs.QueryRanges == 0 {
+				t.Fatalf("backend stats not threaded: %+v", bs)
+			}
+			if backend == "flash" && bs.PagesWritten == 0 {
+				t.Fatalf("flash backend never wrote a page: %+v", bs)
+			}
+			// Ground truth check: archive answers are confirmed data.
+			for _, e := range res.Answer.Entries {
+				truth, err := n.Truth(1, e.T)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diff := e.V - truth
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 0.51 { // precision + float32 wire slack
+					t.Fatalf("archive entry off truth by %v", diff)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ func All() []Experiment {
 		{"E9", "Skip-graph index scaling", E9SkipGraph},
 		{"E10", "Clock correction", E10TimeSync},
 		{"E11", "Replication and consistency", E11Consistency},
+		{"E12", "Store backends: archive hit ratio, flash costs", E12StoreBackends},
 		{"A1", "Ablation: model family", AblationModels},
 		{"A2", "Ablation: batch codec", AblationCompression},
 		{"A3", "Ablation: retraining period", AblationRetrain},

@@ -290,10 +290,36 @@ func TestAblationCompressionOrdering(t *testing.T) {
 	}
 }
 
+func TestE12Shape(t *testing.T) {
+	tab, err := E12StoreBackends(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	// Same deployment and query mix: the backends must agree on which
+	// answers the archive served.
+	if tab.Rows[0][1] != tab.Rows[1][1] {
+		t.Errorf("backends disagree on archive-served answers: mem=%s flash=%s",
+			tab.Rows[0][1], tab.Rows[1][1])
+	}
+	if tab.Rows[0][1] == "0" {
+		t.Error("archive served nothing; coverage path dead")
+	}
+	// Only the flash backend pays device pages.
+	if tab.Rows[0][7] != "0/0" {
+		t.Errorf("mem backend paid flash pages: %s", tab.Rows[0][7])
+	}
+	if tab.Rows[1][7] == "0/0" {
+		t.Errorf("flash backend paid no pages")
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

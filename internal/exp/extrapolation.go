@@ -70,9 +70,12 @@ func extrapolationCell(sc Scale, delta, precision float64) (e6Cell, error) {
 		if err != nil {
 			return e6Cell{}, err
 		}
-		if res.Answer.Source == proxy.FromCache || res.Answer.Source == proxy.FromModel {
+		switch res.Answer.Source {
+		case proxy.FromCache, proxy.FromModel, proxy.FromArchive:
+			// Answered without a mote rendezvous: cache, model
+			// extrapolation, or the domain's archive backend.
 			cell.localRate++
-		} else {
+		default:
 			cell.pulls++
 		}
 		if v, ok := res.Answer.Value(); ok {

@@ -25,6 +25,10 @@ type Scale struct {
 	// simulation domains (cmd/presto-bench -shards); single-proxy
 	// experiments always run one domain.
 	Shards int
+	// Backend selects the per-domain archival store backend
+	// (cmd/presto-bench -store): "" or "mem" for in-memory, "flash" for
+	// the log-structured flash archive.
+	Backend string
 }
 
 // PaperScale reproduces the published parameters (Figure 2 uses a
@@ -60,6 +64,7 @@ func defaultCfg(sc Scale) core.Config {
 	cfg.Radio.LossProb = 0
 	cfg.Radio.JitterMax = 0
 	cfg.Flash = smallFlash()
+	cfg.StoreBackend = sc.Backend
 	return cfg
 }
 
@@ -75,6 +80,7 @@ func buildNet(sc Scale, motes int, preset *baseline.Preset, traces []*gen.Trace,
 	cfg.Flash = smallFlash()
 	cfg.Preset = preset
 	cfg.Traces = traces
+	cfg.StoreBackend = sc.Backend
 	return core.Build(cfg)
 }
 

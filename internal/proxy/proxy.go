@@ -64,10 +64,11 @@ const (
 	FromPull
 	FromTimeout // pull timed out; best-effort model answer
 	FromSpatial // extrapolated from co-located sibling motes
+	FromArchive // served whole from the domain's archival store backend
 )
 
 // NumSources is the number of answer sources.
-const NumSources = int(FromSpatial) + 1
+const NumSources = int(FromArchive) + 1
 
 // String names the source.
 func (s Source) String() string {
@@ -82,6 +83,8 @@ func (s Source) String() string {
 		return "timeout"
 	case FromSpatial:
 		return "spatial"
+	case FromArchive:
+		return "archive"
 	default:
 		return fmt.Sprintf("source(%d)", int(s))
 	}
@@ -164,6 +167,12 @@ type queuedPull struct {
 // proxy handles, in wire form, for forwarding to a wired replica.
 type ReplicaTap func(mote radio.NodeID, kind radio.Kind, payload []byte)
 
+// ArchiveSink receives every confirmed observation a proxy accepts —
+// pushes, batches, event records, archive pull responses — so the domain's
+// archival store backend (internal/store) keeps a full copy. errBound is 0
+// for exact values and the compression quantum for lossy pulls.
+type ArchiveSink func(mote radio.NodeID, t simtime.Time, v, errBound float64)
+
 // Stats counts proxy activity.
 type Stats struct {
 	PushesReceived  uint64
@@ -173,6 +182,7 @@ type Stats struct {
 	PullsCoalesced  uint64 // pull requests that joined an in-flight rendezvous
 	PullsQueued     uint64 // pull requests deferred behind an in-flight rendezvous
 	PullsTimedOut   uint64
+	StalenessPulls  uint64 // rendezvous forced by a per-query freshness bound
 	QueriesAnswered uint64
 	AnswersBySource [NumSources]uint64 // indexed by Source
 
@@ -190,6 +200,7 @@ type Proxy struct {
 	nextID uint32
 	stats  Stats
 	tap    ReplicaTap
+	sink   ArchiveSink
 
 	watches   []*watch
 	nextWatch WatchID
@@ -256,6 +267,18 @@ func (p *Proxy) RegisterReplica(id radio.NodeID, sampleInterval time.Duration, d
 // its wired replica. Pass nil to stop forwarding.
 func (p *Proxy) SetReplicaTap(tap ReplicaTap) { p.tap = tap }
 
+// SetArchiveSink registers the domain's archival store: every confirmed
+// observation this proxy accepts is copied into it. Pass nil to stop
+// archiving.
+func (p *Proxy) SetArchiveSink(sink ArchiveSink) { p.sink = sink }
+
+// archive copies one confirmed observation to the sink.
+func (p *Proxy) archive(mote radio.NodeID, t simtime.Time, v, errBound float64) {
+	if p.sink != nil {
+		p.sink(mote, t, v, errBound)
+	}
+}
+
 // forwardReplica copies a wire message out through the tap.
 func (p *Proxy) forwardReplica(mote radio.NodeID, kind radio.Kind, payload []byte) {
 	if p.tap == nil {
@@ -268,7 +291,9 @@ func (p *Proxy) forwardReplica(mote radio.NodeID, kind radio.Kind, payload []byt
 // AbsorbReplica applies one bridged wire message for a replica-only mote:
 // confirmed observations refine the mirrored cache, model updates install
 // the model the managing proxy trained. Messages for motes this proxy
-// does not replicate are dropped.
+// does not replicate are dropped. Mirrored data never reaches the archive
+// sink: the owning domain already archives it, and range queries always
+// settle there — archiving here would store every record twice.
 func (p *Proxy) AbsorbReplica(mote radio.NodeID, kind radio.Kind, payload []byte) {
 	st, ok := p.motes[mote]
 	if !ok || !st.replicaOnly {
@@ -406,6 +431,7 @@ func (p *Proxy) handle(pkt radio.Packet) {
 		p.stats.PushesReceived++
 		st.lastHeard = p.sim.Now()
 		st.series.Insert(cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
+		p.archive(pkt.Src, push.T, push.V, 0)
 		p.noteConfirmed(st, model.Record{T: push.T, V: push.V})
 		p.observeSpatial(pkt.Src, push.T, push.V)
 		p.fireWatches(pkt.Src, cache.Entry{T: push.T, V: push.V, Source: cache.Pushed})
@@ -420,6 +446,10 @@ func (p *Proxy) handle(pkt radio.Packet) {
 		for i, v := range b.Values {
 			tt := b.Start + simtime.Time(i)*b.Interval
 			st.series.Insert(cache.Entry{T: tt, V: v, Source: cache.Pushed})
+			// Archive with the codec's real bound: delta-coded batches are
+			// lossy (quantum/2), and archive-served answers must honor the
+			// guaranteed-bound contract the coverage check rests on.
+			p.archive(pkt.Src, tt, v, b.ErrBound)
 			p.observeSpatial(pkt.Src, tt, v)
 			p.fireWatches(pkt.Src, cache.Entry{T: tt, V: v, Source: cache.Pushed})
 		}
@@ -433,6 +463,7 @@ func (p *Proxy) handle(pkt radio.Packet) {
 		st.lastHeard = p.sim.Now()
 		for _, r := range resp.Records {
 			st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
+			p.archive(pkt.Src, r.T, r.V, 0)
 			p.noteConfirmed(st, model.Record{T: r.T, V: r.V})
 			p.observeSpatial(pkt.Src, r.T, r.V)
 			p.fireWatches(pkt.Src, cache.Entry{T: r.T, V: r.V, Source: cache.Pushed})
@@ -491,7 +522,14 @@ func (p *Proxy) QueryPoint(id radio.NodeID, t simtime.Time, precision float64, c
 		p.finish(cb, Answer{Mote: id, Entries: []cache.Entry{e}, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
 		return
 	}
-	// 3. Pull from the mote archive around t.
+	p.pullPoint(st, t, issued, cb)
+}
+
+// pullPoint pays the archive rendezvous for a point query at t (step 3 of
+// the paper's query path), answering best-effort from the model on
+// timeout.
+func (p *Proxy) pullPoint(st *moteState, t simtime.Time, issued simtime.Time, cb func(Answer)) {
+	id := st.id
 	maxGap := time.Duration(st.sampleInterval)
 	t0, t1 := t-st.sampleInterval, t+st.sampleInterval
 	if t0 < 0 {
@@ -571,6 +609,43 @@ func (p *Proxy) QueryNow(id radio.NodeID, precision float64, cb func(Answer)) {
 	p.QueryPoint(id, p.sim.Now(), precision, cb)
 }
 
+// FreshWithin reports whether the proxy's newest confirmed observation for
+// a mote is at most maxStale older than asOf. Callers comparing across
+// simulation domains pass the owning domain's clock as asOf — confirmed
+// data carries the owning domain's timestamps, so the check is immune to
+// the loose alignment of domain clocks.
+func (p *Proxy) FreshWithin(id radio.NodeID, asOf simtime.Time, maxStale time.Duration) bool {
+	st, ok := p.motes[id]
+	if !ok {
+		return false
+	}
+	e, ok := st.series.LastConfirmed()
+	if !ok {
+		return false
+	}
+	return asOf-e.T <= simtime.Time(maxStale)
+}
+
+// QueryNowBounded answers a NOW query under a per-query freshness bound:
+// when the newest confirmed observation is older than maxStale, the local
+// cache/model answer — however precise its error bound — is rejected as a
+// stale snapshot and the proxy pays an archive rendezvous to resample the
+// mote. maxStale <= 0 means unbounded (plain QueryNow).
+func (p *Proxy) QueryNowBounded(id radio.NodeID, precision float64, maxStale time.Duration, cb func(Answer)) {
+	now := p.sim.Now()
+	st, ok := p.motes[id]
+	if !ok {
+		cb(Answer{Mote: id, IssuedAt: now, DoneAt: now})
+		return
+	}
+	if maxStale <= 0 || p.FreshWithin(id, now, maxStale) {
+		p.QueryPoint(id, now, precision, cb)
+		return
+	}
+	p.stats.StalenessPulls++
+	p.pullPoint(st, now, now, cb)
+}
+
 // QueryRange answers a PAST query over [t0, t1]: one entry per sample
 // interval, each within precision if at all possible. Gaps that the model
 // cannot cover within precision trigger a single archive pull for the
@@ -638,6 +713,7 @@ func (p *Proxy) assembleRange(st *moteState, t0, t1 simtime.Time, precision floa
 func (p *Proxy) insertPulled(st *moteState, recs []wire.Rec, errBound float64) {
 	for _, r := range recs {
 		st.series.Insert(cache.Entry{T: r.T, V: r.V, Source: cache.Pulled, ErrBound: errBound})
+		p.archive(st.id, r.T, r.V, errBound)
 	}
 }
 

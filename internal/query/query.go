@@ -87,6 +87,13 @@ type Query struct {
 	// prediction engine's query–sensor matching uses it to retune motes
 	// (see internal/predict).
 	Deadline time.Duration
+	// MaxStaleness, when positive, bounds how old the data snapshot behind
+	// a NOW answer may be: replicas whose newest confirmed observation
+	// lags the owning domain by more than this are bypassed, and the
+	// managing proxy pays a mote rendezvous rather than serve a staler
+	// cache/model answer. Zero means unbounded (the engine's default
+	// replica-freshness guarantee applies).
+	MaxStaleness time.Duration
 }
 
 // Validate reports structural errors.
@@ -102,6 +109,9 @@ func (q Query) Validate() error {
 	}
 	if q.Precision < 0 {
 		return errors.New("query: negative precision")
+	}
+	if q.MaxStaleness < 0 {
+		return errors.New("query: negative max staleness")
 	}
 	return nil
 }
@@ -124,6 +134,12 @@ func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
 	}
 	switch q.Type {
 	case Now:
+		if q.MaxStaleness > 0 {
+			p.QueryNowBounded(q.Mote, q.Precision, q.MaxStaleness, func(a proxy.Answer) {
+				cb(Result{Query: q, Answer: a})
+			})
+			return nil
+		}
 		p.QueryNow(q.Mote, q.Precision, func(a proxy.Answer) {
 			cb(Result{Query: q, Answer: a})
 		})
@@ -133,14 +149,16 @@ func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
 		})
 	case Agg:
 		p.QueryRange(q.Mote, q.T0, q.T1, q.Precision, func(a proxy.Answer) {
-			cb(Result{Query: q, Answer: a, AggValue: aggregate(q.Agg, a)})
+			cb(Result{Query: q, Answer: a, AggValue: Aggregate(q.Agg, a)})
 		})
 	}
 	return nil
 }
 
-// aggregate computes the operator over an answer's entries.
-func aggregate(kind AggKind, a proxy.Answer) float64 {
+// Aggregate computes the operator over an answer's entries. The store uses
+// it to aggregate archive-served range answers without re-running the
+// proxy query path.
+func Aggregate(kind AggKind, a proxy.Answer) float64 {
 	if len(a.Entries) == 0 {
 		return math.NaN()
 	}

@@ -118,6 +118,30 @@ func (b *Bridge) Drain(d DomainID) int {
 	return len(pending)
 }
 
+// PendingFor reports how many undelivered messages queued for domain d
+// concern mote m. A non-zero count means d's replica mirror of that mote
+// is provably behind the owning domain — per-query freshness bounds treat
+// such a replica as stale rather than serve from a snapshot known to lag.
+// Traffic for other motes does not count: it says nothing about this
+// mote's mirror, and charging it would defeat the replica fast path under
+// steady load. The inbox is drained at every worker command, so the scan
+// is over a handful of messages at most. Safe from any goroutine.
+func (b *Bridge) PendingFor(d DomainID, m NodeID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dom, ok := b.domains[d]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, msg := range dom.inbox {
+		if msg.Mote == m {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats reports bridge-wide counters: messages accepted by Send and
 // messages delivered to handlers.
 func (b *Bridge) Stats() (sent, delivered uint64) {

@@ -1,0 +1,158 @@
+package store
+
+// Per-domain archival backends. The paper's proxies "keep a full archival
+// store of mote data": every confirmed observation a proxy sees — pushes,
+// batches, event records, archive pull responses — is appended to the
+// domain's backend, and PAST/AGG queries whose span the archive covers
+// within precision are answered straight from it, without touching the
+// proxy cache or paying a mote rendezvous.
+//
+// Backend is the seam PR 1 left behind the shard worker: each simulation
+// domain owns one backend instance, accessed only from that domain's
+// worker goroutine, so implementations need no internal locking. Two
+// implementations ship: MemBackend (sorted in-memory runs, the seed
+// behaviour) and FlashBackend (flashbackend.go — a log-structured store on
+// simulated NAND, the paper's flash-archival proxy design).
+
+import (
+	"sort"
+
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// Record is one archived confirmed observation.
+type Record struct {
+	T simtime.Time
+	V float64
+	// ErrBound is the guaranteed |V - truth| bound: 0 for pushed values,
+	// the compression quantum for lossy pull responses.
+	ErrBound float64
+}
+
+// BackendStats counts backend activity. Flash-specific fields stay zero on
+// the in-memory backend.
+type BackendStats struct {
+	Appends uint64 // records appended
+	// Records is the stored-record count. The mem backend dedupes on
+	// append, so it counts unique timestamps; the log-structured flash
+	// backend cannot afford a read per append, so duplicate-timestamp
+	// backfills count until a compaction's dedupe retires them.
+	Records     uint64
+	QueryRanges uint64 // QueryRange calls served
+	LatestReads uint64 // Latest calls served
+
+	// Log-structured device accounting (FlashBackend only).
+	PagesWritten   uint64 // flash pages programmed
+	PagesRead      uint64 // flash pages read back
+	RecordsScanned uint64 // records decoded while answering queries
+	RecordsMatched uint64 // records actually returned by queries
+	Compactions    uint64 // segment-compaction passes
+	Coarsened      uint64 // records merged away by compaction
+	Dropped        uint64 // records shed unserved (device full, buffer bounded)
+}
+
+// ReadAmp is the read amplification of the query path so far: records
+// decoded per record returned (1 = perfectly clustered, higher = the log
+// layout made queries scan unrelated data).
+func (s BackendStats) ReadAmp() float64 {
+	if s.RecordsMatched == 0 {
+		return 0
+	}
+	return float64(s.RecordsScanned) / float64(s.RecordsMatched)
+}
+
+// Backend is a per-domain archival store of confirmed mote observations.
+// Implementations are confined to one shard worker and need not be safe
+// for concurrent use.
+type Backend interface {
+	// Append archives one confirmed observation. Out-of-order timestamps
+	// are legal (pull responses backfill history).
+	Append(m radio.NodeID, r Record) error
+	// QueryRange returns archived records with t0 <= T <= t1 in time
+	// order, deduplicated by timestamp (tightest error bound wins).
+	QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record, error)
+	// Latest returns the newest archived record for a mote.
+	Latest(m radio.NodeID) (Record, bool)
+	// Stats returns cumulative counters.
+	Stats() BackendStats
+}
+
+// MemBackend archives records in per-mote time-sorted slices.
+type MemBackend struct {
+	series map[radio.NodeID][]Record
+	stats  BackendStats
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{series: make(map[radio.NodeID][]Record)}
+}
+
+// Append inserts in time order; a record at an existing timestamp replaces
+// the stored one only if its error bound is tighter (refinement).
+func (b *MemBackend) Append(m radio.NodeID, r Record) error {
+	b.stats.Appends++
+	s := b.series[m]
+	i := sort.Search(len(s), func(i int) bool { return s[i].T >= r.T })
+	if i < len(s) && s[i].T == r.T {
+		if r.ErrBound <= s[i].ErrBound {
+			s[i] = r
+		}
+		return nil
+	}
+	s = append(s, Record{})
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	b.series[m] = s
+	b.stats.Records++
+	return nil
+}
+
+// QueryRange returns the archived records in [t0, t1].
+func (b *MemBackend) QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record, error) {
+	b.stats.QueryRanges++
+	s := b.series[m]
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= t0 })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].T > t1 })
+	out := make([]Record, hi-lo)
+	copy(out, s[lo:hi])
+	b.stats.RecordsScanned += uint64(len(out))
+	b.stats.RecordsMatched += uint64(len(out))
+	return out, nil
+}
+
+// Latest returns the newest record for a mote.
+func (b *MemBackend) Latest(m radio.NodeID) (Record, bool) {
+	b.stats.LatestReads++
+	s := b.series[m]
+	if len(s) == 0 {
+		return Record{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Stats returns cumulative counters.
+func (b *MemBackend) Stats() BackendStats { return b.stats }
+
+// dedupeSorted collapses records sharing a timestamp in a time-sorted
+// slice, keeping the tightest error bound. Used by backends whose storage
+// layout can hold both a pushed value and a lossy pulled copy of the same
+// sample.
+func dedupeSorted(recs []Record) []Record {
+	if len(recs) < 2 {
+		return recs
+	}
+	out := recs[:1]
+	for _, r := range recs[1:] {
+		last := &out[len(out)-1]
+		if r.T == last.T {
+			if r.ErrBound <= last.ErrBound {
+				*last = r
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"presto/internal/flash"
+	"presto/internal/index"
+	"presto/internal/proxy"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// both runs a subtest against a mem and a flash backend.
+func both(t *testing.T, fn func(t *testing.T, b Backend)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { fn(t, NewMemBackend()) })
+	t.Run("flash", func(t *testing.T) {
+		fb, err := NewFlashBackend(flash.Geometry{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, fb)
+	})
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	both(t, func(t *testing.T, b Backend) {
+		const motes = 3
+		for i := 0; i < 300; i++ {
+			m := radio.NodeID(1 + i%motes)
+			if err := b.Append(m, Record{T: simtime.Time(i) * simtime.Minute, V: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mote 1 owns i = 0, 3, 6, ...
+		recs, err := b.QueryRange(1, 0, 30*simtime.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 11 {
+			t.Fatalf("got %d records, want 11", len(recs))
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].T <= recs[i-1].T {
+				t.Fatal("records out of time order")
+			}
+		}
+		if recs[1].T != 3*simtime.Minute || recs[1].V != 3 {
+			t.Fatalf("wrong record %+v", recs[1])
+		}
+		last, ok := b.Latest(2)
+		if !ok || last.T != 298*simtime.Minute {
+			t.Fatalf("latest for mote 2: %+v ok=%v", last, ok)
+		}
+		if _, ok := b.Latest(99); ok {
+			t.Fatal("latest for unknown mote should miss")
+		}
+		if st := b.Stats(); st.Appends != 300 || st.Records != 300 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+}
+
+func TestBackendOutOfOrderAndDedupe(t *testing.T) {
+	both(t, func(t *testing.T, b Backend) {
+		// Pushes land first, then a lossy pull backfills — including a
+		// duplicate timestamp with a looser bound, which must not replace
+		// the exact value.
+		must := func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		must(b.Append(1, Record{T: 10 * simtime.Minute, V: 10}))
+		must(b.Append(1, Record{T: 30 * simtime.Minute, V: 30}))
+		must(b.Append(1, Record{T: 20 * simtime.Minute, V: 20, ErrBound: 0.5})) // backfill
+		must(b.Append(1, Record{T: 10 * simtime.Minute, V: 11, ErrBound: 0.5})) // lossy duplicate
+		recs, err := b.QueryRange(1, 0, simtime.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 3 {
+			t.Fatalf("got %d records, want 3 (dedupe)", len(recs))
+		}
+		if recs[0].V != 10 || recs[0].ErrBound != 0 {
+			t.Fatalf("exact record lost to lossy duplicate: %+v", recs[0])
+		}
+		if recs[1].T != 20*simtime.Minute {
+			t.Fatalf("backfill missing: %+v", recs[1])
+		}
+		// Latest must agree with the query path on the tie: the exact
+		// record wins over the equal-timestamp lossy duplicate.
+		must(b.Append(1, Record{T: 30 * simtime.Minute, V: 31, ErrBound: 0.5}))
+		last, ok := b.Latest(1)
+		if !ok || last.V != 30 || last.ErrBound != 0 {
+			t.Fatalf("Latest shadowed by lossy duplicate: %+v", last)
+		}
+	})
+}
+
+func TestArchiveAnswerNoDuplicateEntries(t *testing.T) {
+	// A query whose T0 sits half a step off the sample grid makes two
+	// adjacent slots nearest to the same archived record; the answer must
+	// contain that record once, not once per slot.
+	ix := index.New(1)
+	st := New(ix)
+	st.AdoptMote(1, 0, time.Minute)
+	base := 10 * simtime.Minute
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(st.Backend().Append(1, Record{T: base - simtime.Minute, V: 1}))
+	must(st.Backend().Append(1, Record{T: base + simtime.Minute/2, V: 2}))
+	var got *query.Result
+	err := st.Execute(query.Query{
+		Type: query.Past, Mote: 1, T0: base, T1: base + simtime.Minute, Precision: 0.1,
+	}, func(r query.Result) { got = &r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("query did not complete")
+	}
+	if got.Answer.Source != proxy.FromArchive {
+		t.Fatalf("answer from %v, want archive", got.Answer.Source)
+	}
+	seen := map[simtime.Time]bool{}
+	for _, e := range got.Answer.Entries {
+		if seen[e.T] {
+			t.Fatalf("duplicate entry at %v", e.T)
+		}
+		seen[e.T] = true
+	}
+	if len(got.Answer.Entries) != 1 {
+		t.Fatalf("entries=%d, want 1 (both slots covered by one record)", len(got.Answer.Entries))
+	}
+}
+
+func TestFlashBackendPageAccounting(t *testing.T) {
+	fb, err := NewFlashBackend(flash.Geometry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := DefaultStoreGeometry().PageSize / flashRecSize
+	for i := 0; i < perPage*3; i++ {
+		if err := fb.Append(1, Record{T: simtime.Time(i) * simtime.Minute, V: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := fb.Stats(); st.PagesWritten != 3 {
+		t.Fatalf("pages written %d, want 3 (page-append batching)", st.PagesWritten)
+	}
+	// One more record sits in the pending buffer — still queryable.
+	if err := fb.Append(1, Record{T: simtime.Time(perPage*3) * simtime.Minute, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fb.QueryRange(1, 0, simtime.Time(perPage*4)*simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != perPage*3+1 {
+		t.Fatalf("got %d records, want %d (pending tail included)", len(recs), perPage*3+1)
+	}
+	if st := fb.Stats(); st.PagesRead == 0 || st.ReadAmp() < 1 {
+		t.Fatalf("query should have paid page reads: %+v", st)
+	}
+}
+
+func TestFlashBackendCompaction(t *testing.T) {
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	fb, err := NewFlashBackend(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := geo.PageSize / flashRecSize
+	capacity := perPage * geo.PagesPerBlock * geo.NumBlocks
+	// Write 3x the device capacity across two motes: compaction must keep
+	// absorbing the overflow.
+	total := 3 * capacity
+	for i := 0; i < total; i++ {
+		m := radio.NodeID(1 + i%2)
+		if err := fb.Append(m, Record{T: simtime.Time(i) * simtime.Minute, V: float64(i % 50)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fb.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compaction despite 3x capacity overwrite")
+	}
+	if st.Coarsened == 0 {
+		t.Fatal("compaction coarsened nothing")
+	}
+	if st.Records > uint64(capacity) {
+		t.Fatalf("claims %d records stored in a %d-record device", st.Records, capacity)
+	}
+	// Recent history survives at full resolution.
+	recent, err := fb.QueryRange(1, simtime.Time(total-60)*simtime.Minute, simtime.Time(total)*simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) < 25 {
+		t.Fatalf("recent history lost: %d records", len(recent))
+	}
+	// Old history survives coarsened: fewer records, wider bounds, but
+	// the time range is still covered from the very front.
+	old, err := fb.QueryRange(1, 0, simtime.Time(total/3)*simtime.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) == 0 {
+		t.Fatal("old history vanished entirely")
+	}
+	widened := false
+	for _, r := range old {
+		if r.ErrBound > 0 {
+			widened = true
+			break
+		}
+	}
+	if !widened {
+		t.Fatal("coarsened records should carry widened error bounds")
+	}
+	// The device must also have physically erased blocks.
+	if _, _, erases := fb.Device().Stats(); erases == 0 {
+		t.Fatal("compaction never erased a block")
+	}
+}
+
+func TestFlashBackendCompactionUnevenInterleave(t *testing.T) {
+	// Regression: the coarsening factor must account for per-mote ceiling
+	// slack. An uneven interleave (one mote front-loaded, then two
+	// alternating) used to make the compaction output exceed one block
+	// ("compaction output N exceeds block capacity") and permanently wedge
+	// the device.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	fb, err := NewFlashBackend(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := simtime.Time(0)
+	app := func(m radio.NodeID) {
+		t.Helper()
+		if err := fb.Append(m, Record{T: next, V: 1}); err != nil {
+			t.Fatalf("append at %v: %v", next, err)
+		}
+		next += simtime.Minute
+	}
+	for i := 0; i < 130; i++ {
+		app(3)
+	}
+	perPage := geo.PageSize / flashRecSize
+	total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
+	for i := 0; i < total; i++ {
+		app(radio.NodeID(1 + i%2))
+	}
+	if fb.Stats().Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+}
+
+func TestCoarsenBoundCoversEveryMember(t *testing.T) {
+	// The coarse record stands in for every member of its group, so its
+	// bound must cover the worst member: |mean - V_i| + bound_i. The old
+	// half-spread widening underclaimed for skewed groups like {0,10,10,10}
+	// (mean 7.5, true value 0 → error 7.5 > claimed 5).
+	recs := []Record{
+		{T: 0, V: 0},
+		{T: 1, V: 10},
+		{T: 2, V: 10},
+		{T: 3, V: 10, ErrBound: 0.5},
+	}
+	out := coarsenRecords(recs, 4)
+	if len(out) != 1 {
+		t.Fatalf("groups=%d, want 1", len(out))
+	}
+	for _, r := range recs {
+		miss := out[0].V - r.V
+		if miss < 0 {
+			miss = -miss
+		}
+		if miss+r.ErrBound > out[0].ErrBound+1e-12 {
+			t.Fatalf("member %+v outside coarse bound %v (mean %v)", r, out[0].ErrBound, out[0].V)
+		}
+	}
+}
+
+func TestFlashBackendLatestSurvivesCompaction(t *testing.T) {
+	// A quiet mote's newest record can be merged away by coarsening; the
+	// Latest index must then point at a record QueryRange can actually
+	// return, not at the pre-compaction phantom.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	fb, err := NewFlashBackend(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mote 2 writes early, then goes quiet while mote 1 floods the device
+	// through several compactions.
+	for i := 0; i < 40; i++ {
+		if err := fb.Append(2, Record{T: simtime.Time(i) * simtime.Minute, V: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perPage := geo.PageSize / flashRecSize
+	total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
+	for i := 0; i < total; i++ {
+		if err := fb.Append(1, Record{T: simtime.Time(40+i) * simtime.Minute, V: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fb.Stats().Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+	last, ok := fb.Latest(2)
+	if !ok {
+		return // mote 2's history aged out entirely: a miss is honest
+	}
+	recs, err := fb.QueryRange(2, last.T, last.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("Latest points at a phantom: %+v not returned by QueryRange", last)
+	}
+}

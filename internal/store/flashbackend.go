@@ -1,0 +1,522 @@
+package store
+
+// FlashBackend: the paper's flash-archival proxy store as a log-structured
+// record log on simulated NAND (internal/flash).
+//
+// Confirmed observations from every mote in the domain are appended to one
+// shared log in arrival order: records pack into page-sized buffers and
+// each full buffer costs exactly one page-program operation — the
+// page-append write pattern that makes flash archival two orders of
+// magnitude cheaper per byte than radio. One erase block is one segment; a
+// compact in-RAM index tracks, per segment, the [minT, maxT] span of each
+// mote's records, so queries only read the pages of segments that can
+// overlap. Because arrival order interleaves motes, young segments exhibit
+// read amplification (records decoded per record returned — see
+// BackendStats.ReadAmp); when the device runs out of erased blocks, a
+// compaction pass rewrites the oldest segments clustered by mote and
+// coarsened in time, reclaiming blocks and repairing locality at once.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"presto/internal/energy"
+	"presto/internal/flash"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// flashRecSize is the on-flash encoding: uint32 mote, int64 timestamp,
+// float32 value, float32 error bound.
+const flashRecSize = 20
+
+// compactFanIn is how many old segments one compaction pass consumes.
+const compactFanIn = 4
+
+// ErrBackendFull is returned when the device is full and compaction cannot
+// reclaim space.
+var ErrBackendFull = errors.New("store: flash backend full")
+
+// DefaultStoreGeometry sizes the per-domain archive device: 512 B pages,
+// 64 pages/block, 256 blocks = 8 MiB (~400k records). Real proxies are
+// tethered and carry gigabytes; experiments that want compaction pressure
+// shrink NumBlocks instead of writing gigabytes.
+func DefaultStoreGeometry() flash.Geometry {
+	return flash.Geometry{PageSize: 512, PagesPerBlock: 64, NumBlocks: 256}
+}
+
+// moteSpan is one mote's footprint inside a segment.
+type moteSpan struct {
+	minT, maxT simtime.Time
+	count      int
+}
+
+// flashSegment is one sealed-or-open erase block of the log.
+type flashSegment struct {
+	block int
+	pages int
+	count int
+	spans map[radio.NodeID]*moteSpan
+}
+
+func (seg *flashSegment) note(m radio.NodeID, t simtime.Time) {
+	sp, ok := seg.spans[m]
+	if !ok {
+		seg.spans[m] = &moteSpan{minT: t, maxT: t, count: 1}
+		return
+	}
+	if t < sp.minT {
+		sp.minT = t
+	}
+	if t > sp.maxT {
+		sp.maxT = t
+	}
+	sp.count++
+}
+
+// overlaps reports whether the segment can hold records for m in [t0, t1].
+func (seg *flashSegment) overlaps(m radio.NodeID, t0, t1 simtime.Time) bool {
+	sp, ok := seg.spans[m]
+	return ok && sp.minT <= t1 && sp.maxT >= t0
+}
+
+// flashRec pairs a record with its mote for log encoding.
+type flashRec struct {
+	m radio.NodeID
+	r Record
+}
+
+// FlashBackend is the log-structured flash archive. Confined to one shard
+// worker; not safe for concurrent use.
+type FlashBackend struct {
+	dev     *flash.Device
+	geo     flash.Geometry
+	perPage int
+
+	segs     []*flashSegment // oldest first; the last may be open
+	free     []int           // erased blocks (LIFO)
+	cur      int             // block being filled, -1 if none
+	curPages int
+	pending  []flashRec // records not yet flushed to a page
+
+	latest map[radio.NodeID]Record
+	stats  BackendStats
+}
+
+// NewFlashBackend creates a backend on a fresh device with the given
+// geometry (zero value = DefaultStoreGeometry). The device is unmetered:
+// proxies are tethered, so flash energy is not the constraint it is on
+// motes — what the simulation models here is the write/read/erase op
+// pattern and its read amplification.
+func NewFlashBackend(geo flash.Geometry) (*FlashBackend, error) {
+	if geo == (flash.Geometry{}) {
+		geo = DefaultStoreGeometry()
+	}
+	dev, err := flash.New(geo, energy.Params{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	perPage := geo.PageSize / flashRecSize
+	if perPage < 1 {
+		return nil, fmt.Errorf("store: page size %d too small for one record", geo.PageSize)
+	}
+	if geo.NumBlocks < compactFanIn+2 {
+		return nil, fmt.Errorf("store: flash backend needs at least %d blocks", compactFanIn+2)
+	}
+	b := &FlashBackend{
+		dev:     dev,
+		geo:     geo,
+		perPage: perPage,
+		cur:     -1,
+		latest:  make(map[radio.NodeID]Record),
+	}
+	for blk := geo.NumBlocks - 1; blk >= 0; blk-- {
+		b.free = append(b.free, blk)
+	}
+	return b, nil
+}
+
+// Device exposes the underlying simulated flash (tests inspect wear and
+// op counts).
+func (b *FlashBackend) Device() *flash.Device { return b.dev }
+
+// Append logs one confirmed observation.
+func (b *FlashBackend) Append(m radio.NodeID, r Record) error {
+	b.stats.Appends++
+	b.stats.Records++
+	// Ties on timestamp keep the tighter bound, mirroring the query-path
+	// dedupe rule (an exact push must not be shadowed by a lossy backfill).
+	if last, ok := b.latest[m]; !ok || r.T > last.T ||
+		(r.T == last.T && r.ErrBound <= last.ErrBound) {
+		b.latest[m] = r
+	}
+	b.pending = append(b.pending, flashRec{m: m, r: r})
+	if len(b.pending) >= b.perPage {
+		if err := b.flushPage(); err != nil {
+			// Device full and compaction cannot reclaim space: shed the
+			// oldest buffered page so RAM stays bounded, and surface the
+			// error so the sink can count the drop. A mote whose only
+			// record was shed loses its Latest entry (conservative: the
+			// coverage pre-check then bails instead of trusting a phantom).
+			if len(b.pending) > 4*b.perPage {
+				shed := b.pending[:b.perPage]
+				b.pending = b.pending[b.perPage:]
+				b.stats.Records -= uint64(len(shed))
+				b.stats.Dropped += uint64(len(shed))
+				for _, fr := range shed {
+					if cur, ok := b.latest[fr.m]; ok && cur.T == fr.r.T && !b.survives(fr.m, fr.r.T) {
+						delete(b.latest, fr.m)
+					}
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// survives reports whether mote m still holds a record at time >= t in
+// the flushed segments or the remaining pending buffer.
+func (b *FlashBackend) survives(m radio.NodeID, t simtime.Time) bool {
+	for _, fr := range b.pending {
+		if fr.m == m && fr.r.T >= t {
+			return true
+		}
+	}
+	for _, seg := range b.segs {
+		if sp, ok := seg.spans[m]; ok && sp.maxT >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// flushPage programs one page of pending records.
+func (b *FlashBackend) flushPage() error {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	if b.cur < 0 {
+		if err := b.openBlock(); err != nil {
+			return err
+		}
+	}
+	n := len(b.pending)
+	if n > b.perPage {
+		n = b.perPage
+	}
+	buf := encodePage(b.geo.PageSize, b.perPage, b.pending[:n])
+	page := b.cur*b.geo.PagesPerBlock + b.curPages
+	if err := b.dev.Write(page, buf); err != nil {
+		return fmt.Errorf("store: flash page write: %w", err)
+	}
+	b.stats.PagesWritten++
+	seg := b.segs[len(b.segs)-1]
+	for _, fr := range b.pending[:n] {
+		seg.note(fr.m, fr.r.T)
+	}
+	seg.count += n
+	seg.pages++
+	b.curPages++
+	b.pending = b.pending[n:]
+	if b.curPages == b.geo.PagesPerBlock {
+		b.cur = -1 // block sealed; next flush opens a new one
+	}
+	return nil
+}
+
+// encodePage packs records into one page image, padding unused slots with
+// a sentinel timestamp.
+func encodePage(pageSize, perPage int, recs []flashRec) []byte {
+	buf := make([]byte, pageSize)
+	for i := 0; i < perPage; i++ {
+		off := i * flashRecSize
+		if i < len(recs) {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(recs[i].m))
+			binary.LittleEndian.PutUint64(buf[off+4:], uint64(recs[i].r.T))
+			binary.LittleEndian.PutUint32(buf[off+12:], math.Float32bits(float32(recs[i].r.V)))
+			binary.LittleEndian.PutUint32(buf[off+16:], math.Float32bits(wireBound(recs[i].r.V, recs[i].r.ErrBound)))
+		} else {
+			binary.LittleEndian.PutUint64(buf[off+4:], math.MaxUint64) // padding
+		}
+	}
+	return buf
+}
+
+// wireBound widens a record's error bound to cover the float32
+// quantization of its value, so a decoded record still honors the
+// guarantee |V - truth| <= ErrBound that backend.go advertises.
+func wireBound(v, bound float64) float32 {
+	q := math.Abs(v - float64(float32(v)))
+	w := float32(bound + q)
+	if float64(w) < bound+q {
+		w = math.Nextafter32(w, float32(math.Inf(1)))
+	}
+	return w
+}
+
+// openBlock allocates a fresh block, compacting when the device runs low.
+// One block stays in reserve so compaction always has an output block.
+func (b *FlashBackend) openBlock() error {
+	if len(b.free) <= 1 {
+		if err := b.compact(); err != nil {
+			return err
+		}
+	}
+	if len(b.free) == 0 {
+		return ErrBackendFull
+	}
+	blk := b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	b.cur = blk
+	b.curPages = 0
+	b.segs = append(b.segs, &flashSegment{block: blk, spans: make(map[radio.NodeID]*moteSpan)})
+	return nil
+}
+
+// compact rewrites the oldest compactFanIn sealed segments into one block:
+// records are clustered by mote, time-sorted, deduplicated, and coarsened
+// just enough to fit — reclaiming fanIn-1 blocks and repairing the read
+// locality the arrival-order log lacks. The coarse records carry widened
+// error bounds (group mean can miss any member by half the group spread).
+func (b *FlashBackend) compact() error {
+	sealed := len(b.segs)
+	if b.cur >= 0 {
+		sealed--
+	}
+	if sealed < compactFanIn {
+		return ErrBackendFull
+	}
+	victims := b.segs[:compactFanIn]
+	perMote := make(map[radio.NodeID][]Record)
+	var order []radio.NodeID
+	rawTotal := 0
+	for _, seg := range victims {
+		recs, err := b.readSegment(seg)
+		if err != nil {
+			return err
+		}
+		rawTotal += len(recs)
+		for _, fr := range recs {
+			if _, ok := perMote[fr.m]; !ok {
+				order = append(order, fr.m)
+			}
+			perMote[fr.m] = append(perMote[fr.m], fr.r)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var total int
+	for _, m := range order {
+		s := perMote[m]
+		sort.Slice(s, func(i, j int) bool { return s[i].T < s[j].T })
+		s = dedupeSorted(s)
+		perMote[m] = s
+		total += len(s)
+	}
+	// Coarsen so the survivors fit one block. The output size is the sum
+	// of per-mote ceilings, so ceil(total/capacity) alone can overflow by
+	// up to one record per mote on uneven interleaves — grow the factor
+	// until the rounded total actually fits.
+	capacity := b.geo.PagesPerBlock * b.perPage
+	factor := (total + capacity - 1) / capacity
+	if factor < 2 {
+		factor = 2
+	}
+	coarseTotal := func(f int) int {
+		n := 0
+		for _, m := range order {
+			n += (len(perMote[m]) + f - 1) / f
+		}
+		return n
+	}
+	for coarseTotal(factor) > capacity && factor < total {
+		factor++
+	}
+	var out []flashRec
+	for _, m := range order {
+		for _, r := range coarsenRecords(perMote[m], factor) {
+			out = append(out, flashRec{m: m, r: r})
+		}
+	}
+	// Everything that did not survive — coarsening-merged or duplicate
+	// timestamps collapsed by the dedupe — left the store.
+	merged := uint64(rawTotal - len(out))
+	if len(out) > capacity {
+		return fmt.Errorf("store: compaction output %d exceeds block capacity %d", len(out), capacity)
+	}
+
+	// Write the clustered survivors into the reserve block.
+	if len(b.free) == 0 {
+		return ErrBackendFull
+	}
+	blk := b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	seg := &flashSegment{block: blk, spans: make(map[radio.NodeID]*moteSpan)}
+	for p := 0; p*b.perPage < len(out); p++ {
+		end := (p + 1) * b.perPage
+		if end > len(out) {
+			end = len(out)
+		}
+		batch := out[p*b.perPage : end]
+		if err := b.dev.Write(blk*b.geo.PagesPerBlock+p, encodePage(b.geo.PageSize, b.perPage, batch)); err != nil {
+			return fmt.Errorf("store: compaction write: %w", err)
+		}
+		b.stats.PagesWritten++
+		for _, fr := range batch {
+			seg.note(fr.m, fr.r.T)
+		}
+		seg.count += len(batch)
+		seg.pages++
+	}
+
+	for _, v := range victims {
+		if err := b.dev.EraseBlock(v.block); err != nil {
+			return err
+		}
+		b.free = append(b.free, v.block)
+	}
+	rest := append([]*flashSegment(nil), b.segs[compactFanIn:]...)
+	b.segs = append([]*flashSegment{seg}, rest...)
+	b.stats.Compactions++
+	b.stats.Coarsened += merged
+	b.stats.Records -= merged
+
+	// Reconcile the Latest index against the rebuilt store: a quiet
+	// mote's newest record may have been merged away by coarsening. Only
+	// replace an entry when no record at its timestamp survives anywhere
+	// (later segments and the pending buffer included — an equal-T
+	// duplicate outside the victims keeps the entry valid).
+	newestOut := make(map[radio.NodeID]Record)
+	for _, fr := range out {
+		if r, ok := newestOut[fr.m]; !ok || fr.r.T >= r.T {
+			newestOut[fr.m] = fr.r
+		}
+	}
+	for m := range perMote {
+		cur, ok := b.latest[m]
+		if !ok || b.survives(m, cur.T) {
+			continue
+		}
+		if nr, ok := newestOut[m]; ok {
+			b.latest[m] = nr
+		} else {
+			delete(b.latest, m)
+		}
+	}
+	return nil
+}
+
+// coarsenRecords merges each group of factor consecutive records into one
+// carrying the group mean and the group's first timestamp (so time
+// coverage never shrinks). The error bound must still guarantee
+// |V - truth| for every instant the record now stands for, so it widens
+// to the worst member: max over the group of |mean - V_i| + bound_i.
+func coarsenRecords(recs []Record, factor int) []Record {
+	if factor < 2 || len(recs) == 0 {
+		return recs
+	}
+	out := make([]Record, 0, (len(recs)+factor-1)/factor)
+	for i := 0; i < len(recs); i += factor {
+		end := i + factor
+		if end > len(recs) {
+			end = len(recs)
+		}
+		g := recs[i:end]
+		var sum float64
+		for _, r := range g {
+			sum += r.V
+		}
+		mean := sum / float64(len(g))
+		var bound float64
+		for _, r := range g {
+			miss := mean - r.V
+			if miss < 0 {
+				miss = -miss
+			}
+			if b := miss + r.ErrBound; b > bound {
+				bound = b
+			}
+		}
+		out = append(out, Record{T: g[0].T, V: mean, ErrBound: bound})
+	}
+	return out
+}
+
+// readSegment decodes every record in a segment, paying the page reads.
+func (b *FlashBackend) readSegment(seg *flashSegment) ([]flashRec, error) {
+	out := make([]flashRec, 0, seg.count)
+	base := seg.block * b.geo.PagesPerBlock
+	for p := 0; p < seg.pages; p++ {
+		buf, err := b.dev.Read(base + p)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment read: %w", err)
+		}
+		b.stats.PagesRead++
+		for i := 0; i < b.perPage; i++ {
+			off := i * flashRecSize
+			rawT := binary.LittleEndian.Uint64(buf[off+4:])
+			if rawT == math.MaxUint64 {
+				continue // padding
+			}
+			out = append(out, flashRec{
+				m: radio.NodeID(binary.LittleEndian.Uint32(buf[off:])),
+				r: Record{
+					T:        simtime.Time(rawT),
+					V:        float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+12:]))),
+					ErrBound: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+16:]))),
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+// QueryRange scans the segments whose per-mote index overlaps [t0, t1],
+// plus the unflushed tail, and returns m's records in time order.
+func (b *FlashBackend) QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record, error) {
+	if t1 < t0 {
+		return nil, fmt.Errorf("store: inverted range [%v, %v]", t0, t1)
+	}
+	b.stats.QueryRanges++
+	var out []Record
+	for _, seg := range b.segs {
+		if !seg.overlaps(m, t0, t1) {
+			continue
+		}
+		recs, err := b.readSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		b.stats.RecordsScanned += uint64(len(recs))
+		for _, fr := range recs {
+			if fr.m == m && fr.r.T >= t0 && fr.r.T <= t1 {
+				out = append(out, fr.r)
+			}
+		}
+	}
+	for _, fr := range b.pending {
+		b.stats.RecordsScanned++
+		if fr.m == m && fr.r.T >= t0 && fr.r.T <= t1 {
+			out = append(out, fr.r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	out = dedupeSorted(out)
+	b.stats.RecordsMatched += uint64(len(out))
+	return out, nil
+}
+
+// Latest returns the newest record appended for a mote (tracked in RAM —
+// the log's tail is always hot).
+func (b *FlashBackend) Latest(m radio.NodeID) (Record, bool) {
+	b.stats.LatestReads++
+	r, ok := b.latest[m]
+	return r, ok
+}
+
+// Stats returns cumulative counters.
+func (b *FlashBackend) Stats() BackendStats { return b.stats }

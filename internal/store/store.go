@@ -7,13 +7,23 @@
 // replica when the managing proxy is wireless (Section 5's replication
 // for low-latency responses), and merges cross-proxy detection streams in
 // global time order. The abstraction hides which proxy owns which mote,
-// whether the answer came from cache, model, or a mote archive pull, and
-// the vagaries of the lossy sensor tier.
+// whether the answer came from the archive backend, cache, model, or a
+// mote archive pull, and the vagaries of the lossy sensor tier.
+//
+// Behind the routing layer every domain owns an archival Backend
+// (backend.go): proxies copy each confirmed observation into it, PAST and
+// AGG queries whose span the archive covers within precision are answered
+// straight from it, and NOW queries under a freshness bound
+// (query.Query.MaxStaleness) consult the replica's snapshot age before
+// accepting a replica answer.
 package store
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
+	"presto/internal/cache"
 	"presto/internal/index"
 	"presto/internal/proxy"
 	"presto/internal/query"
@@ -21,28 +31,76 @@ import (
 	"presto/internal/simtime"
 )
 
+// RoutingStats counts the store's routing and serving decisions.
+type RoutingStats struct {
+	Routed        uint64 // queries routed to managing proxies
+	ReplicaRouted uint64 // queries offered to a wired replica
+	ReplicaStale  uint64 // replica offers rejected by a per-query freshness bound
+	ArchiveServed uint64 // range queries served whole from the archive backend
+}
+
 // Store is the unified logical store.
 type Store struct {
-	ix      *index.Index
-	proxies map[index.ProxyID]*proxy.Proxy
+	ix        *index.Index
+	proxies   map[index.ProxyID]*proxy.Proxy
+	backend   Backend
+	intervals map[radio.NodeID]simtime.Time // per-mote sample interval
 
-	routed, replicaRouted uint64
+	rstats RoutingStats
 }
 
-// New creates a store over an index.
+// New creates a store over an index with an in-memory archive backend.
 func New(ix *index.Index) *Store {
-	return &Store{ix: ix, proxies: make(map[index.ProxyID]*proxy.Proxy)}
+	return &Store{
+		ix:        ix,
+		proxies:   make(map[index.ProxyID]*proxy.Proxy),
+		backend:   NewMemBackend(),
+		intervals: make(map[radio.NodeID]simtime.Time),
+	}
 }
 
-// AddProxy attaches a proxy under an index id.
+// SetBackend swaps the archive backend (per-domain configuration; see
+// core.Config.StoreBackend). Proxies attached before or after the swap
+// archive into whatever backend is current. Passing nil disables
+// archiving and archive-served answers.
+func (s *Store) SetBackend(b Backend) { s.backend = b }
+
+// Backend returns the current archive backend (nil when archiving is
+// disabled).
+func (s *Store) Backend() Backend { return s.backend }
+
+// BackendStats returns the archive backend's counters (zero value when
+// archiving is disabled).
+func (s *Store) BackendStats() BackendStats {
+	if s.backend == nil {
+		return BackendStats{}
+	}
+	return s.backend.Stats()
+}
+
+// AddProxy attaches a proxy under an index id and wires its confirmed
+// traffic into the domain archive.
 func (s *Store) AddProxy(id index.ProxyID, p *proxy.Proxy, wired bool) {
 	s.proxies[id] = p
 	s.ix.RegisterProxy(id, wired)
+	p.SetArchiveSink(func(m radio.NodeID, t simtime.Time, v, errBound float64) {
+		if s.backend == nil {
+			return
+		}
+		// An Append error means the device is full and archiving is
+		// degraded; the backend accounts the actual records it sheds in
+		// BackendStats.Dropped (the failed record itself may be retained
+		// and served). The deployment keeps running either way — archive
+		// coverage decays and queries fall back to the proxy path.
+		_ = s.backend.Append(m, Record{T: t, V: v, ErrBound: errBound})
+	})
 }
 
-// AdoptMote records that proxy id manages the mote (routing state).
-func (s *Store) AdoptMote(m radio.NodeID, id index.ProxyID) {
+// AdoptMote records that proxy id manages the mote (routing state) and the
+// mote's sample interval (archive coverage checks).
+func (s *Store) AdoptMote(m radio.NodeID, id index.ProxyID, sampleInterval time.Duration) {
 	s.ix.RegisterMote(m, id)
+	s.intervals[m] = simtime.Time(sampleInterval)
 }
 
 // Index exposes the underlying distributed index.
@@ -59,34 +117,118 @@ func (s *Store) replica(pid index.ProxyID) (*proxy.Proxy, bool) {
 	return rp, ok
 }
 
-// Execute routes and runs a query; cb fires exactly once. NOW queries
-// are offered to the managing proxy's wired replica first (Section 5's
-// low-latency replication): if the replica's mirrored cache/model meets
-// the precision the answer is served there, otherwise the query falls
-// through to the managing proxy, which can pay the mote rendezvous.
+// Execute routes and runs a query; cb fires exactly once.
+//
+// NOW queries are offered to the managing proxy's wired replica first
+// (Section 5's low-latency replication) — unless the query carries a
+// freshness bound the replica's snapshot cannot meet, in which case it
+// falls through to the managing proxy, which can pay the mote rendezvous.
+//
+// PAST and AGG queries are served from the domain's archive backend when
+// the archived records cover every sample slot of the span within the
+// requested precision; only uncovered spans reach the proxy query path.
 func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 	pid, err := s.ix.ProxyFor(q.Mote)
 	if err != nil {
 		return err
 	}
-	if q.Type == query.Now {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	switch q.Type {
+	case query.Now:
 		if rp, ok := s.replica(pid); ok {
-			s.replicaRouted++ // replica was tried (the routing decision)
-			if err := q.Validate(); err != nil {
-				return err
+			s.rstats.ReplicaRouted++ // replica was tried (the routing decision)
+			if q.MaxStaleness > 0 && !rp.FreshWithin(q.Mote, rp.Now(), q.MaxStaleness) {
+				s.rstats.ReplicaStale++
+				break // snapshot too stale: fall through to the managing proxy
 			}
 			if a, ok := rp.QueryLocal(q.Mote, rp.Now(), q.Precision); ok {
 				cb(query.Result{Query: q, Answer: a})
 				return nil
 			}
 		}
+	case query.Past, query.Agg:
+		if a, ok := s.archiveAnswer(q, pid); ok {
+			s.rstats.ArchiveServed++
+			res := query.Result{Query: q, Answer: a}
+			if q.Type == query.Agg {
+				res.AggValue = query.Aggregate(q.Agg, a)
+			}
+			cb(res)
+			return nil
+		}
 	}
 	p, ok := s.proxies[pid]
 	if !ok {
 		return fmt.Errorf("store: proxy %d not attached", pid)
 	}
-	s.routed++
+	s.rstats.Routed++
 	return query.Execute(p, q, cb)
+}
+
+// archiveAnswer tries to satisfy a range query wholly from the archive
+// backend: it succeeds when every sample slot in [T0, T1] has an archived
+// record within half a sample interval whose error bound meets the
+// precision.
+func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, bool) {
+	if s.backend == nil {
+		return proxy.Answer{}, false
+	}
+	step := s.intervals[q.Mote]
+	if step <= 0 {
+		return proxy.Answer{}, false
+	}
+	// Cheap pre-check: if the newest archived record cannot cover the last
+	// sample slot (the slot grid is T0-based, so it may stop short of T1),
+	// the span is uncoverable — skip the (flash page-read) range scan
+	// entirely.
+	lastSlot := q.T0 + (q.T1-q.T0)/step*step
+	if last, ok := s.backend.Latest(q.Mote); !ok || last.T+step/2 < lastSlot {
+		return proxy.Answer{}, false
+	}
+	lo := q.T0 - step
+	if lo < 0 {
+		lo = 0
+	}
+	recs, err := s.backend.QueryRange(q.Mote, lo, q.T1+step)
+	if err != nil || len(recs) == 0 {
+		return proxy.Answer{}, false
+	}
+	var entries []cache.Entry
+	for t := q.T0; t <= q.T1; t += step {
+		i := sort.Search(len(recs), func(i int) bool { return recs[i].T >= t })
+		best := -1
+		if i < len(recs) {
+			best = i
+		}
+		if i > 0 && (best == -1 || t-recs[i-1].T <= recs[i].T-t) {
+			best = i - 1
+		}
+		r := recs[best]
+		gap := r.T - t
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > step/2 || r.ErrBound > q.Precision {
+			return proxy.Answer{}, false // slot uncovered: proxy path decides
+		}
+		if n := len(entries); n > 0 && entries[n-1].T == r.T {
+			continue // off-grid T0: two adjacent slots share one record
+		}
+		entries = append(entries, cache.Entry{T: r.T, V: r.V, Source: cache.Pulled, ErrBound: r.ErrBound})
+	}
+	now := simtime.Time(0)
+	if p, ok := s.proxies[pid]; ok {
+		now = p.Now()
+	}
+	return proxy.Answer{
+		Mote:     q.Mote,
+		Entries:  entries,
+		Source:   proxy.FromArchive,
+		IssuedAt: now,
+		DoneAt:   now,
+	}, true
 }
 
 // Detections returns the globally time-ordered detection stream in
@@ -100,9 +242,13 @@ func (s *Store) Publish(d index.Detection) error {
 	return s.ix.PublishDetection(d)
 }
 
-// Stats reports routing counters: queries routed to managing proxies,
-// and queries offered to a wired replica (whether or not the replica
-// could answer within precision).
+// Stats reports the legacy routing counters: queries routed to managing
+// proxies, and queries offered to a wired replica (whether or not the
+// replica could answer within precision). See RoutingStats for the full
+// set.
 func (s *Store) Stats() (routed, replicaRouted uint64) {
-	return s.routed, s.replicaRouted
+	return s.rstats.Routed, s.rstats.ReplicaRouted
 }
+
+// RoutingStats reports the store's routing and serving counters.
+func (s *Store) RoutingStats() RoutingStats { return s.rstats }

@@ -49,7 +49,7 @@ func newRig(t *testing.T) *rig {
 			t.Fatal(err)
 		}
 		p.Register(mid, mc.SampleInterval, mc.Delta)
-		st.AdoptMote(mid, index.ProxyID(pi))
+		st.AdoptMote(mid, index.ProxyID(pi), mc.SampleInterval)
 		m.Start()
 	}
 	sim.RunFor(2 * time.Hour)

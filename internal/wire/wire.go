@@ -69,6 +69,11 @@ type Batch struct {
 	Start    simtime.Time
 	Interval simtime.Time
 	Values   []float64
+	// ErrBound is the per-sample reconstruction error bound implied by
+	// the codec that carried the values (set by DecodeBatch): 0 for raw,
+	// quantum/2 for delta, +Inf for lossy codecs without a wire-visible
+	// bound.
+	ErrBound float64
 }
 
 // EncodeBatch serializes a batch using the given codec.
@@ -94,6 +99,7 @@ func DecodeBatch(buf []byte) (Batch, error) {
 		return Batch{}, fmt.Errorf("wire: batch payload: %w", err)
 	}
 	return Batch{
+		ErrBound: compress.DecodeBound(buf[16:]),
 		Start:    simtime.Time(binary.LittleEndian.Uint64(buf)),
 		Interval: simtime.Time(binary.LittleEndian.Uint64(buf[8:])),
 		Values:   vals,
