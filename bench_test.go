@@ -259,6 +259,57 @@ func BenchmarkFlashStore(b *testing.B) {
 	}
 }
 
+// BenchmarkWaveletAging measures the flash archive's aging modes head to
+// head at equal device occupancy: each iteration floods a tiny device
+// with 6x its capacity (forcing multi-level aging compactions), then
+// answers range queries over the oldest quarter of history. Reports
+// ingest records/s, archive queries/s, and the effective old-window
+// density (records per query) each mode retains.
+func BenchmarkWaveletAging(b *testing.B) {
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	perPage := geo.PageSize / 20 // flash record size
+	records := 6 * perPage * geo.PagesPerBlock * geo.NumBlocks
+	const motes = 2
+	const queries = 32
+	for _, mode := range []string{store.AgingUniform, store.AgingWavelet} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var oldRecs int
+			for i := 0; i < b.N; i++ {
+				bk, err := store.NewFlashBackendPolicy(geo, store.AgingPolicy{Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < records; r++ {
+					m := radio.NodeID(1 + r%motes)
+					rec := store.Record{T: simtime.Time(r) * simtime.Minute, V: float64(r % 100)}
+					if err := bk.Append(m, rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if bk.Stats().Compactions == 0 {
+					b.Fatal("no aging pressure")
+				}
+				oldSpan := simtime.Time(records/4) * simtime.Minute
+				oldRecs = 0
+				for qi := 0; qi < queries; qi++ {
+					m := radio.NodeID(1 + qi%motes)
+					t0 := oldSpan * simtime.Time(qi) / queries
+					recs, err := bk.QueryRange(m, t0, t0+oldSpan/4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					oldRecs += len(recs)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*records)/b.Elapsed().Seconds(), "records/s")
+			b.ReportMetric(float64(b.N*queries)/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(oldRecs)/queries, "old-recs/query")
+		})
+	}
+}
+
 // BenchmarkFreshnessBounds measures the cost of per-query freshness
 // bounds end to end on a sharded deployment: unbounded NOW queries ride
 // the wired replica, a loose bound still mostly does, and a tight bound

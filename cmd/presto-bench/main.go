@@ -5,7 +5,7 @@
 // Usage:
 //
 //	presto-bench [-scale quick|paper] [-shards N] [-store mem|flash]
-//	             [-run T1,F2,...] [-list]
+//	             [-aging wavelet[:tiers]|uniform] [-run T1,F2,...] [-list]
 //
 // The paper scale reproduces the published parameters (28 days of 1-minute
 // samples, 20-mote deployments); quick scale preserves every shape at a
@@ -20,12 +20,14 @@ import (
 	"time"
 
 	"presto/internal/exp"
+	"presto/internal/store"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	shards := flag.Int("shards", 1, "concurrent simulation domains for multi-proxy deployments")
 	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
+	aging := flag.String("aging", "wavelet", "flash compaction aging policy: wavelet[:tiers] or uniform")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -51,6 +53,11 @@ func main() {
 	sc.Seed = *seed
 	sc.Shards = *shards
 	sc.Backend = *storeBackend
+	if _, err := store.ParseAgingPolicy(*aging); err != nil {
+		fmt.Fprintf(os.Stderr, "presto-bench: %v\n", err)
+		os.Exit(2)
+	}
+	sc.Aging = *aging
 
 	want := map[string]bool{}
 	if *run != "" {

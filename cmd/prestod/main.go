@@ -8,7 +8,8 @@
 //
 //	prestod [-proxies N] [-motes N] [-shards N] [-days N] [-delta F]
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
-//	        [-store mem|flash] [-max-staleness D]
+//	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
+//	        [-max-staleness D]
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
@@ -18,10 +19,16 @@
 // -store selects each domain's archival store backend: "mem" (in-memory)
 // or "flash" (log-structured archive on simulated NAND; PAST queries the
 // archive covers within precision never touch the proxy query path).
-// -max-staleness, when positive, attaches a per-query freshness bound to
-// every NOW query: replicas whose snapshot lags the owning domain by more
-// than the bound are bypassed, and a managing proxy whose own snapshot is
-// too old pays a mote rendezvous instead of answering from the model.
+// -aging selects how flash compaction ages old segments: "wavelet"
+// (age-tiered multi-resolution summaries — every timestamp survives,
+// value detail decays per the tier schedule, e.g. wavelet:1/2,1/4,1/8) or
+// "uniform" (legacy widened-mean coarsening).
+// -max-staleness, when positive, attaches a per-query freshness bound:
+// NOW queries bypass replicas whose snapshot lags the owning domain by
+// more than the bound, a managing proxy whose own snapshot is too old
+// pays a mote rendezvous instead of answering from the model, and PAST
+// queries whose window tail overlaps "now" refuse stale archive/model
+// snapshots the same way.
 package main
 
 import (
@@ -54,7 +61,8 @@ func main() {
 	loss := flag.Float64("loss", 0.02, "radio loss probability")
 	seed := flag.Int64("seed", 1, "random seed")
 	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
-	maxStale := flag.Duration("max-staleness", 0, "per-query freshness bound on NOW queries (0 = unbounded)")
+	aging := flag.String("aging", "wavelet", "flash compaction aging policy: wavelet[:tiers] or uniform")
+	maxStale := flag.Duration("max-staleness", 0, "per-query freshness bound (0 = unbounded); PAST windows whose tail overlaps now honor it too")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
 
@@ -77,6 +85,7 @@ func main() {
 	cfg.Traces = traces
 	cfg.WiredFirstProxy = *proxies > 1
 	cfg.StoreBackend = *storeBackend
+	cfg.StoreAging = *aging
 	n, err := core.Build(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -116,7 +125,9 @@ func main() {
 			if at < 0 {
 				at = 0
 			}
-			q = query.Query{Type: query.Past, Mote: id, T0: at, T1: at, Precision: *precision}
+			// PAST queries carry the bound too: it bites only when the
+			// window tail overlaps the staleness horizon.
+			q = query.Query{Type: query.Past, Mote: id, T0: at, T1: at, Precision: *precision, MaxStaleness: *maxStale}
 		}
 		res, err := n.ExecuteWait(q)
 		if err != nil {
@@ -153,13 +164,13 @@ func main() {
 		submitted, replicaServed, n.ReplicaBypassed(), bridgeSent, bridgeDelivered)
 	ss := n.StoreStats()
 	bs := n.StoreBackendStats()
-	fmt.Printf("store: %d proxy-routed, %d replica-offered (%d stale-rejected), %d archive-served\n",
-		ss.Routed, ss.ReplicaRouted, ss.ReplicaStale, ss.ArchiveServed)
+	fmt.Printf("store: %d proxy-routed, %d replica-offered (%d stale-rejected), %d archive-served (%d stale-declined)\n",
+		ss.Routed, ss.ReplicaRouted, ss.ReplicaStale, ss.ArchiveServed, ss.ArchiveStale)
 	fmt.Printf("archive backend: %d records (%d appends, %d dropped), %d range reads, read-amp %.2f",
 		bs.Records, bs.Appends, bs.Dropped, bs.QueryRanges, bs.ReadAmp())
 	if *storeBackend == "flash" {
-		fmt.Printf(", %d pages written, %d pages read, %d compactions",
-			bs.PagesWritten, bs.PagesRead, bs.Compactions)
+		fmt.Printf(", %d pages written, %d pages read, %d compactions (%s aging, %d wavelet chunks)",
+			bs.PagesWritten, bs.PagesRead, bs.Compactions, *aging, bs.WaveletChunks)
 	}
 	fmt.Println()
 	if len(errs) > 0 {

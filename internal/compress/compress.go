@@ -231,6 +231,75 @@ func DecodeBound(buf []byte) float64 {
 	}
 }
 
+// TimestampEncode appends a non-decreasing int64 timestamp sequence to buf
+// using delta-of-delta varints: the first value and first delta as uvarints,
+// then zigzag varints of each delta's change. On a regular sample grid every
+// delta-of-delta is zero, so N timestamps cost ~N bytes — the property the
+// flash archive's wavelet aging relies on to keep full time coverage while
+// shrinking old segments. Decode with TimestampDecode(buf, len(ts)).
+func TimestampEncode(buf []byte, ts []int64) ([]byte, error) {
+	if len(ts) == 0 {
+		return buf, nil
+	}
+	if ts[0] < 0 {
+		return nil, fmt.Errorf("compress: negative timestamp %d", ts[0])
+	}
+	buf = binary.AppendUvarint(buf, uint64(ts[0]))
+	prevDelta := int64(0)
+	for i := 1; i < len(ts); i++ {
+		d := ts[i] - ts[i-1]
+		if d < 0 {
+			return nil, fmt.Errorf("compress: timestamps decrease at %d (%d -> %d)", i, ts[i-1], ts[i])
+		}
+		if i == 1 {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		} else {
+			buf = binary.AppendVarint(buf, d-prevDelta)
+		}
+		prevDelta = d
+	}
+	return buf, nil
+}
+
+// TimestampDecode reverses TimestampEncode, reading exactly n timestamps
+// from the front of buf. It returns the timestamps and the unconsumed rest
+// of the buffer (the sequence is not self-delimiting: the caller carries n).
+func TimestampDecode(buf []byte, n int) ([]int64, []byte, error) {
+	if n <= 0 {
+		return nil, buf, nil
+	}
+	out := make([]int64, 0, n)
+	first, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, errors.New("compress: truncated first timestamp")
+	}
+	buf = buf[sz:]
+	out = append(out, int64(first))
+	delta := int64(0)
+	for i := 1; i < n; i++ {
+		if i == 1 {
+			d, sz := binary.Uvarint(buf)
+			if sz <= 0 {
+				return nil, nil, errors.New("compress: truncated first delta")
+			}
+			buf = buf[sz:]
+			delta = int64(d)
+		} else {
+			dod, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("compress: truncated delta-of-delta at %d", i)
+			}
+			buf = buf[sz:]
+			delta += dod
+		}
+		if delta < 0 {
+			return nil, nil, fmt.Errorf("compress: negative delta at %d", i)
+		}
+		out = append(out, out[i-1]+delta)
+	}
+	return out, buf, nil
+}
+
 // Ratio reports the compression ratio achieved on xs: encoded bytes divided
 // by raw float32 bytes. Lower is better; Raw mode is ~1.
 func (b Batch) Ratio(xs []float64) (float64, error) {

@@ -71,6 +71,11 @@ type Config struct {
 	// StoreFlash is the device geometry for the "flash" store backend
 	// (zero value = store.DefaultStoreGeometry()).
 	StoreFlash flash.Geometry
+	// StoreAging selects how flash compaction ages old segments, in the
+	// form store.ParseAgingPolicy accepts: "" or "wavelet" for age-tiered
+	// wavelet summarization (optionally "wavelet:1/2,1/4,1/8" to set the
+	// tier schedule), "uniform" for legacy widened-mean coarsening.
+	StoreAging string
 
 	// BridgeLatency is the one-way wired latency between simulation
 	// domains (replica traffic); zero means 2 ms.
@@ -121,6 +126,9 @@ func (c Config) Validate() error {
 	case "", "mem", "flash":
 	default:
 		return fmt.Errorf("core: unknown store backend %q (want mem or flash)", c.StoreBackend)
+	}
+	if _, err := store.ParseAgingPolicy(c.StoreAging); err != nil {
+		return err
 	}
 	return nil
 }
@@ -250,7 +258,11 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 	ix := index.New(cfg.Seed + 1 + int64(si))
 	st := store.New(ix)
 	if cfg.StoreBackend == "flash" {
-		fb, err := store.NewFlashBackend(cfg.StoreFlash)
+		pol, err := store.ParseAgingPolicy(cfg.StoreAging)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := store.NewFlashBackendPolicy(cfg.StoreFlash, pol)
 		if err != nil {
 			return nil, err
 		}
@@ -675,6 +687,7 @@ func (n *Network) StoreStats() store.RoutingStats {
 		total.ReplicaRouted += r.ReplicaRouted
 		total.ReplicaStale += r.ReplicaStale
 		total.ArchiveServed += r.ArchiveServed
+		total.ArchiveStale += r.ArchiveStale
 	}
 	return total
 }
@@ -696,6 +709,7 @@ func (n *Network) StoreBackendStats() store.BackendStats {
 		total.RecordsMatched += b.RecordsMatched
 		total.Compactions += b.Compactions
 		total.Coarsened += b.Coarsened
+		total.WaveletChunks += b.WaveletChunks
 		total.Dropped += b.Dropped
 	}
 	return total

@@ -270,6 +270,14 @@ func (n *Network) shardFor(m radio.NodeID) (*shard, error) {
 // the bound end-to-end — paying a mote rendezvous if its own snapshot is
 // too old. This replaces the fixed bridge-drain-quantum guarantee with a
 // per-query bound.
+//
+// PAST and AGG queries always settle in the owning domain, where the
+// bound is enforced when the window tail overlaps "now" (T1 plus the
+// bound reaches the domain clock): the domain store refuses to serve the
+// span from an archive staler than the bound (RoutingStats.ArchiveStale)
+// and the managing proxy pulls the span rather than extrapolate the tail
+// from a stale model snapshot (proxy.QueryRangeBounded). Purely
+// historical windows are unaffected.
 func (n *Network) Submit(q query.Query) (<-chan query.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err

@@ -8,9 +8,12 @@ package core
 // while both domain workers advance.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"presto/internal/flash"
 	"presto/internal/gen"
 	"presto/internal/proxy"
 	"presto/internal/query"
@@ -166,6 +169,196 @@ func TestFreshnessBoundSameDomainReplica(t *testing.T) {
 	}
 	if ss := n.StoreStats(); ss.ReplicaStale != 1 {
 		t.Fatalf("loose bound rejected as stale: %+v", ss)
+	}
+}
+
+func TestFreshnessBoundPastTail(t *testing.T) {
+	// Regression: a PAST query whose window tail overlaps "now" used to
+	// ignore MaxStaleness entirely — the proxy would extrapolate the tail
+	// from a stale model snapshot. Now the bound forces a rendezvous when
+	// the confirmed snapshot is older than the bound, while purely
+	// historical windows are untouched.
+	c := gen.DefaultTempConfig()
+	c.Sensors = 2
+	c.Days = 2
+	c.Seed = 9
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	cfg.Proxies = 1
+	cfg.MotesPerProxy = 2
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Delta = 25 // model never misses by 25 °C: no pushes after bootstrap
+	cfg.Traces = traces
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.Bootstrap(6*time.Hour, 24, 25); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3 * time.Hour) // confirmed snapshot ages ~3h with no pushes
+	now := n.Now()
+
+	// Unbounded tail query: the model's 25-degree bound satisfies the
+	// loose precision, so the proxy answers from its (stale) local view.
+	res, err := n.ExecuteWait(query.Query{
+		Type: query.Past, Mote: 1, T0: now - 30*simtime.Minute, T1: now, Precision: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Source == proxy.FromPull {
+		t.Fatalf("unbounded tail query paid a rendezvous: %v", res.Answer.Source)
+	}
+	if st, _ := n.ProxyStatsFor(1); st.StalenessPulls != 0 {
+		t.Fatalf("unbounded query counted a staleness pull")
+	}
+
+	// The same window under a tight bound: the snapshot is hours old, so
+	// the proxy must pull instead of extrapolating the tail.
+	res, err = n.ExecuteWait(query.Query{
+		Type: query.Past, Mote: 1, T0: now - 30*simtime.Minute, T1: now, Precision: 30,
+		MaxStaleness: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Source != proxy.FromPull {
+		t.Fatalf("bounded tail query answered from %v, want pull", res.Answer.Source)
+	}
+	st, err := n.ProxyStatsFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StalenessPulls != 1 {
+		t.Fatalf("staleness pulls %d, want 1", st.StalenessPulls)
+	}
+	if ss := n.StoreStats(); ss.ArchiveStale == 0 {
+		t.Fatalf("archive never declined the stale tail: %+v", ss)
+	}
+
+	// A purely historical window (inside the streamed bootstrap) under the
+	// same tight bound: no overlap with now, so the archive serves as if
+	// unbounded.
+	res, err = n.ExecuteWait(query.Query{
+		Type: query.Past, Mote: 1, T0: 2 * simtime.Hour, T1: 4 * simtime.Hour, Precision: 0.5,
+		MaxStaleness: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Source != proxy.FromArchive {
+		t.Fatalf("historical bounded query answered from %v, want archive", res.Answer.Source)
+	}
+	// AGG rides the same path.
+	res, err = n.ExecuteWait(query.Query{
+		Type: query.Agg, Agg: query.Mean, Mote: 1, T0: 2 * simtime.Hour, T1: 4 * simtime.Hour,
+		Precision: 0.5, MaxStaleness: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Source != proxy.FromArchive {
+		t.Fatalf("bounded AGG answered from %v, want archive", res.Answer.Source)
+	}
+}
+
+func TestWaveletAgedArchiveConcurrentQueries(t *testing.T) {
+	// Wavelet round-trip on aged segments under -race: a tiny flash device
+	// forces aging compactions during the streamed bootstrap, then
+	// concurrent PAST queries reconstruct wavelet segments on two domain
+	// workers while the submitting goroutines race. Every archive-served
+	// entry must stay within its (widened) error bound of ground truth —
+	// bounds never tighter than the raw records they summarize.
+	c := gen.DefaultTempConfig()
+	c.Sensors = 4
+	c.Days = 2
+	c.Seed = 5
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	cfg.Proxies = 2
+	cfg.MotesPerProxy = 2
+	cfg.Shards = 2
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	cfg.StoreBackend = "flash"
+	// ~819 records of capacity per domain vs 2 motes x 720 streamed
+	// minutes: several compactions per domain.
+	cfg.StoreFlash = flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	cfg.StoreAging = "wavelet"
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.Bootstrap(12*time.Hour, 24, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	bs := n.StoreBackendStats()
+	if bs.Compactions == 0 || bs.WaveletChunks == 0 {
+		t.Fatalf("bootstrap did not force wavelet aging: %+v", bs)
+	}
+
+	ids := n.MoteIDs()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := 0; qi < 8; qi++ {
+				id := ids[(g+qi)%len(ids)]
+				t0 := simtime.Time(1+(g*8+qi)%8) * simtime.Hour
+				res, err := n.ExecuteWait(query.Query{
+					Type: query.Past, Mote: id, T0: t0, T1: t0 + simtime.Hour, Precision: 10,
+				})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if len(res.Answer.Entries) == 0 {
+					errs <- "empty answer"
+					continue
+				}
+				for _, e := range res.Answer.Entries {
+					truth, err := n.Truth(id, e.T)
+					if err != nil {
+						errs <- err.Error()
+						continue
+					}
+					diff := e.V - truth
+					if diff < 0 {
+						diff = -diff
+					}
+					// 1e-3 covers the float32 quantization of pushed
+					// values archived with a zero bound.
+					if diff > e.ErrBound+1e-3 {
+						errs <- fmt.Sprintf("mote %d at %v: |%v - %v| outside bound %v",
+							id, e.T, e.V, truth, e.ErrBound)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if ss := n.StoreStats(); ss.ArchiveServed == 0 {
+		t.Fatalf("no query was served from the aged archive: %+v", ss)
 	}
 }
 

@@ -22,6 +22,7 @@ func All() []Experiment {
 		{"E10", "Clock correction", E10TimeSync},
 		{"E11", "Replication and consistency", E11Consistency},
 		{"E12", "Store backends: archive hit ratio, flash costs", E12StoreBackends},
+		{"E13", "Flash archive aging: uniform vs wavelet tiers", E13WaveletAging},
 		{"A1", "Ablation: model family", AblationModels},
 		{"A2", "Ablation: batch codec", AblationCompression},
 		{"A3", "Ablation: retraining period", AblationRetrain},

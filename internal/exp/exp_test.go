@@ -316,10 +316,48 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+func TestE13WaveletAgingDenserAndHonest(t *testing.T) {
+	tab, err := E13WaveletAging(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows %d, want 6 (3 buckets x 2 modes)", len(tab.Rows))
+	}
+	density := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] != "oldest day" {
+			continue
+		}
+		var d float64
+		if _, err := fmtSscan(row[2], &d); err != nil {
+			t.Fatalf("bad density cell %q: %v", row[2], err)
+		}
+		density[row[0]] = d
+	}
+	// The acceptance property: at equal occupancy, wavelet aging answers
+	// oldest-window queries at measurably denser effective resolution.
+	if density["wavelet"] < 2*density["uniform"] {
+		t.Fatalf("wavelet oldest-day density %.2f not measurably above uniform %.2f",
+			density["wavelet"], density["uniform"])
+	}
+	// Honesty: no served bucket may show a negative margin (bound below
+	// the true reconstruction error).
+	for _, row := range tab.Rows {
+		var margin float64
+		if _, err := fmtSscan(row[5], &margin); err != nil {
+			continue // NaN: empty bucket
+		}
+		if margin < 0 {
+			t.Fatalf("%s %s: negative honesty margin %v", row[0], row[1], row[5])
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -29,6 +29,11 @@ type Scale struct {
 	// (cmd/presto-bench -store): "" or "mem" for in-memory, "flash" for
 	// the log-structured flash archive.
 	Backend string
+	// Aging selects the flash backend's compaction aging policy
+	// (cmd/presto-bench -aging), in store.ParseAgingPolicy form: "" or
+	// "wavelet" for age-tiered wavelet summarization, "uniform" for
+	// legacy widened-mean coarsening.
+	Aging string
 }
 
 // PaperScale reproduces the published parameters (Figure 2 uses a
@@ -65,6 +70,7 @@ func defaultCfg(sc Scale) core.Config {
 	cfg.Radio.JitterMax = 0
 	cfg.Flash = smallFlash()
 	cfg.StoreBackend = sc.Backend
+	cfg.StoreAging = sc.Aging
 	return cfg
 }
 
@@ -81,6 +87,7 @@ func buildNet(sc Scale, motes int, preset *baseline.Preset, traces []*gen.Trace,
 	cfg.Preset = preset
 	cfg.Traces = traces
 	cfg.StoreBackend = sc.Backend
+	cfg.StoreAging = sc.Aging
 	return core.Build(cfg)
 }
 

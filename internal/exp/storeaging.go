@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"presto/internal/flash"
+	"presto/internal/gen"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/store"
+)
+
+// E13WaveletAging measures the proxy archive's graceful-aging claim head
+// to head: the same record stream floods the same tiny flash device once
+// under legacy uniform coarsening and once under age-tiered wavelet
+// summarization, so occupancy is equal by construction (same geometry,
+// same compaction trigger). Per age bucket it reports the effective
+// resolution old PAST queries see (records per hour), the reconstruction
+// RMSE against ground truth, the mean claimed error bound, and the worst
+// honesty margin (bound minus true error — negative would mean the
+// guaranteed-precision contract broke; the honest-bounds property test in
+// internal/store asserts it never does).
+func E13WaveletAging(sc Scale) (*Table, error) {
+	days := sc.Days
+	if days < 7 {
+		days = 7 // aging needs pressure
+	}
+	c := gen.DefaultTempConfig()
+	c.Days = days
+	c.Seed = sc.Seed
+	c.EventsPerDay = 0
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		return nil, err
+	}
+	tr := traces[0]
+
+	// ~819 records of capacity vs days*1440 appended: the archive turns
+	// over many times, pushing the oldest history through several tiers.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+
+	t := &Table{
+		Title: "E13: Flash archive aging — uniform coarsening vs wavelet tiers at equal occupancy",
+		Note: fmt.Sprintf("%d days of 1-minute samples into a %d-block device; same stream, same compaction trigger per mode.",
+			days, geo.NumBlocks),
+		Headers: []string{"aging", "age bucket", "recs/hour", "RMSE", "mean bound", "min margin", "blocks", "compactions"},
+	}
+
+	end := tr.At(len(tr.Values) - 1)
+	buckets := []struct {
+		name   string
+		t0, t1 simtime.Time
+	}{
+		{"last 6h", end - 6*simtime.Hour, end},
+		{"mid-run day", end/2 - 12*simtime.Hour, end/2 + 12*simtime.Hour},
+		{"oldest day", 0, 24 * simtime.Hour},
+	}
+
+	for _, mode := range []string{store.AgingUniform, store.AgingWavelet} {
+		fb, err := store.NewFlashBackendPolicy(geo, store.AgingPolicy{Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		const m = radio.NodeID(1)
+		for i, v := range tr.Values {
+			if err := fb.Append(m, store.Record{T: tr.At(i), V: v}); err != nil {
+				return nil, fmt.Errorf("exp: %s append %d: %w", mode, i, err)
+			}
+		}
+		st := fb.Stats()
+		for _, b := range buckets {
+			recs, err := fb.QueryRange(m, b.t0, b.t1)
+			if err != nil {
+				return nil, err
+			}
+			hours := (b.t1 - b.t0).Hours()
+			perHour := float64(len(recs)) / hours
+			rmse, meanBound, minMargin := agedFidelity(recs, tr)
+			t.AddRow(mode, b.name, f2(perHour), f2(rmse), f2(meanBound), f2(minMargin),
+				fmt.Sprintf("%d", fb.OccupiedBlocks()), fmt.Sprintf("%d", st.Compactions))
+		}
+	}
+	return t, nil
+}
+
+// agedFidelity compares archive records against the ground-truth trace at
+// the records' own timestamps: reconstruction RMSE, the mean claimed
+// bound, and the minimum honesty margin bound - |V - truth| (>= ~0 means
+// every claimed bound held; float32 wire quantization of exact records is
+// inside the bound by construction).
+func agedFidelity(recs []store.Record, tr *gen.Trace) (rmse, meanBound, minMargin float64) {
+	if len(recs) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	var ss, bounds float64
+	minMargin = math.Inf(1)
+	for _, r := range recs {
+		truth := tr.Value(r.T)
+		d := r.V - truth
+		ss += d * d
+		bounds += r.ErrBound
+		// Exact records ride the wire as float32 with a bound widened to
+		// cover the quantization, so the margin stays non-negative.
+		if margin := r.ErrBound - math.Abs(d); margin < minMargin {
+			minMargin = margin
+		}
+	}
+	n := float64(len(recs))
+	return math.Sqrt(ss / n), bounds / n, minMargin
+}

@@ -662,6 +662,13 @@ func (p *Proxy) QueryRange(id radio.NodeID, t0, t1 simtime.Time, precision float
 		p.finish(cb, Answer{Mote: id, Entries: entries, Source: FromCache, IssuedAt: issued, DoneAt: p.sim.Now()})
 		return
 	}
+	p.pullRange(st, t0, t1, precision, issued, cb)
+}
+
+// pullRange pays the archive rendezvous for a range query and answers
+// from the refined cache: the shared tail of QueryRange (cache/model miss)
+// and QueryRangeBounded (stale snapshot).
+func (p *Proxy) pullRange(st *moteState, t0, t1 simtime.Time, precision float64, issued simtime.Time, cb func(Answer)) {
 	// Lossy pull when the query precision allows it: quantize to half the
 	// precision budget, leaving the other half for sampling-offset error.
 	quantum := 0.0
@@ -680,8 +687,31 @@ func (p *Proxy) QueryRange(id radio.NodeID, t0, t1 simtime.Time, precision float
 			src = FromTimeout
 		}
 		entries, _ := p.assembleRange(st, t0, t1, precision)
-		p.finish(cb, Answer{Mote: id, Entries: entries, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
+		p.finish(cb, Answer{Mote: st.id, Entries: entries, Source: src, IssuedAt: issued, DoneAt: p.sim.Now()})
 	})
+}
+
+// QueryRangeBounded answers a PAST query under a per-query freshness
+// bound. The bound only bites when the window's tail overlaps the
+// staleness horizon (t1 + maxStale >= now): such a query is partially
+// "now-like", so a cache/model view whose newest confirmed observation is
+// older than maxStale is a stale snapshot — the proxy pays an archive
+// rendezvous over the span before answering, exactly as QueryNowBounded
+// does for NOW. Purely historical windows (t1 + maxStale < now) and
+// maxStale <= 0 behave exactly like QueryRange.
+func (p *Proxy) QueryRangeBounded(id radio.NodeID, t0, t1 simtime.Time, precision float64, maxStale time.Duration, cb func(Answer)) {
+	now := p.sim.Now()
+	st, ok := p.motes[id]
+	if !ok || t1 < t0 {
+		cb(Answer{Mote: id, IssuedAt: now, DoneAt: now})
+		return
+	}
+	if maxStale <= 0 || t1+simtime.Time(maxStale) < now || p.FreshWithin(id, now, maxStale) {
+		p.QueryRange(id, t0, t1, precision, cb)
+		return
+	}
+	p.stats.StalenessPulls++
+	p.pullRange(st, t0, t1, precision, now, cb)
 }
 
 // assembleRange builds one entry per sample interval over [t0, t1] from

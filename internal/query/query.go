@@ -88,10 +88,14 @@ type Query struct {
 	// (see internal/predict).
 	Deadline time.Duration
 	// MaxStaleness, when positive, bounds how old the data snapshot behind
-	// a NOW answer may be: replicas whose newest confirmed observation
-	// lags the owning domain by more than this are bypassed, and the
-	// managing proxy pays a mote rendezvous rather than serve a staler
-	// cache/model answer. Zero means unbounded (the engine's default
+	// an answer may be. For NOW queries: replicas whose newest confirmed
+	// observation lags the owning domain by more than this are bypassed,
+	// and the managing proxy pays a mote rendezvous rather than serve a
+	// staler cache/model answer. For PAST/AGG queries it bites when the
+	// window tail overlaps "now" (T1 + MaxStaleness >= now): the archive
+	// declines if its newest record is staler than the bound, and the
+	// managing proxy pulls rather than extrapolate the tail from a stale
+	// model snapshot. Zero means unbounded (the engine's default
 	// replica-freshness guarantee applies).
 	MaxStaleness time.Duration
 }
@@ -143,13 +147,15 @@ func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
 		p.QueryNow(q.Mote, q.Precision, func(a proxy.Answer) {
 			cb(Result{Query: q, Answer: a})
 		})
-	case Past:
-		p.QueryRange(q.Mote, q.T0, q.T1, q.Precision, func(a proxy.Answer) {
-			cb(Result{Query: q, Answer: a})
-		})
-	case Agg:
-		p.QueryRange(q.Mote, q.T0, q.T1, q.Precision, func(a proxy.Answer) {
-			cb(Result{Query: q, Answer: a, AggValue: Aggregate(q.Agg, a)})
+	case Past, Agg:
+		// QueryRangeBounded without a bound is exactly QueryRange; the
+		// bound only bites when the window tail overlaps "now".
+		p.QueryRangeBounded(q.Mote, q.T0, q.T1, q.Precision, q.MaxStaleness, func(a proxy.Answer) {
+			r := Result{Query: q, Answer: a}
+			if q.Type == Agg {
+				r.AggValue = Aggregate(q.Agg, a)
+			}
+			cb(r)
 		})
 	}
 	return nil

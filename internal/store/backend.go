@@ -48,8 +48,13 @@ type BackendStats struct {
 	RecordsScanned uint64 // records decoded while answering queries
 	RecordsMatched uint64 // records actually returned by queries
 	Compactions    uint64 // segment-compaction passes
-	Coarsened      uint64 // records merged away by compaction
-	Dropped        uint64 // records shed unserved (device full, buffer bounded)
+	Coarsened      uint64 // records merged away by compaction (dedupe + grid thinning)
+	WaveletChunks  uint64 // wavelet summary chunks written by aging compactions
+	// Dropped counts records shed unserved when the device is full and
+	// compaction cannot reclaim space (the bounded pending buffer
+	// overflows). Shed records leave Records, so archive-coverage ratios
+	// computed from these stats reflect what the store can actually serve.
+	Dropped uint64
 }
 
 // ReadAmp is the read amplification of the query path so far: records

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"presto/internal/energy"
 	"presto/internal/flash"
 	"presto/internal/index"
 	"presto/internal/proxy"
@@ -170,95 +171,199 @@ func TestFlashBackendPageAccounting(t *testing.T) {
 	}
 }
 
-func TestFlashBackendCompaction(t *testing.T) {
-	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
-	fb, err := NewFlashBackend(geo)
-	if err != nil {
-		t.Fatal(err)
-	}
-	perPage := geo.PageSize / flashRecSize
-	capacity := perPage * geo.PagesPerBlock * geo.NumBlocks
-	// Write 3x the device capacity across two motes: compaction must keep
-	// absorbing the overflow.
-	total := 3 * capacity
-	for i := 0; i < total; i++ {
-		m := radio.NodeID(1 + i%2)
-		if err := fb.Append(m, Record{T: simtime.Time(i) * simtime.Minute, V: float64(i % 50)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	st := fb.Stats()
-	if st.Compactions == 0 {
-		t.Fatal("no compaction despite 3x capacity overwrite")
-	}
-	if st.Coarsened == 0 {
-		t.Fatal("compaction coarsened nothing")
-	}
-	if st.Records > uint64(capacity) {
-		t.Fatalf("claims %d records stored in a %d-record device", st.Records, capacity)
-	}
-	// Recent history survives at full resolution.
-	recent, err := fb.QueryRange(1, simtime.Time(total-60)*simtime.Minute, simtime.Time(total)*simtime.Minute)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recent) < 25 {
-		t.Fatalf("recent history lost: %d records", len(recent))
-	}
-	// Old history survives coarsened: fewer records, wider bounds, but
-	// the time range is still covered from the very front.
-	old, err := fb.QueryRange(1, 0, simtime.Time(total/3)*simtime.Minute)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(old) == 0 {
-		t.Fatal("old history vanished entirely")
-	}
-	widened := false
-	for _, r := range old {
-		if r.ErrBound > 0 {
-			widened = true
-			break
-		}
-	}
-	if !widened {
-		t.Fatal("coarsened records should carry widened error bounds")
-	}
-	// The device must also have physically erased blocks.
-	if _, _, erases := fb.Device().Stats(); erases == 0 {
-		t.Fatal("compaction never erased a block")
+// agingModes runs a subtest per compaction aging policy.
+func agingModes(t *testing.T, geo flash.Geometry, fn func(t *testing.T, fb *FlashBackend)) {
+	t.Helper()
+	for _, mode := range []string{AgingUniform, AgingWavelet} {
+		t.Run(mode, func(t *testing.T) {
+			fb, err := NewFlashBackendPolicy(geo, AgingPolicy{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, fb)
+		})
 	}
 }
 
-func TestFlashBackendCompactionUnevenInterleave(t *testing.T) {
-	// Regression: the coarsening factor must account for per-mote ceiling
-	// slack. An uneven interleave (one mote front-loaded, then two
-	// alternating) used to make the compaction output exceed one block
-	// ("compaction output N exceeds block capacity") and permanently wedge
-	// the device.
+func TestFlashBackendCompaction(t *testing.T) {
 	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
-	fb, err := NewFlashBackend(geo)
+	agingModes(t, geo, func(t *testing.T, fb *FlashBackend) {
+		perPage := geo.PageSize / flashRecSize
+		capacity := perPage * geo.PagesPerBlock * geo.NumBlocks
+		// Write 3x the device capacity across two motes: compaction must
+		// keep absorbing the overflow.
+		total := 3 * capacity
+		for i := 0; i < total; i++ {
+			m := radio.NodeID(1 + i%2)
+			if err := fb.Append(m, Record{T: simtime.Time(i) * simtime.Minute, V: float64(i % 50)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := fb.Stats()
+		if st.Compactions == 0 {
+			t.Fatal("no compaction despite 3x capacity overwrite")
+		}
+		switch fb.AgingPolicy().Mode {
+		case AgingUniform:
+			if st.Coarsened == 0 {
+				t.Fatal("uniform compaction coarsened nothing")
+			}
+			if st.Records > uint64(capacity) {
+				t.Fatalf("claims %d records stored in a %d-record device", st.Records, capacity)
+			}
+		case AgingWavelet:
+			if st.WaveletChunks == 0 {
+				t.Fatal("wavelet compaction wrote no summary chunks")
+			}
+		}
+		// Recent history survives at full resolution.
+		recent, err := fb.QueryRange(1, simtime.Time(total-60)*simtime.Minute, simtime.Time(total)*simtime.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recent) < 25 {
+			t.Fatalf("recent history lost: %d records", len(recent))
+		}
+		// Old history survives aged: wider bounds, but the time range is
+		// still covered from the very front.
+		old, err := fb.QueryRange(1, 0, simtime.Time(total/3)*simtime.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(old) == 0 {
+			t.Fatal("old history vanished entirely")
+		}
+		widened := false
+		for _, r := range old {
+			if r.ErrBound > 0 {
+				widened = true
+				break
+			}
+		}
+		if !widened {
+			t.Fatal("aged records should carry widened error bounds")
+		}
+		// The device must also have physically erased blocks.
+		if _, _, erases := fb.Device().Stats(); erases == 0 {
+			t.Fatal("compaction never erased a block")
+		}
+	})
+}
+
+func TestFlashBackendCompactionUnevenInterleave(t *testing.T) {
+	// Regression: the compaction fit logic must account for per-mote
+	// slack. An uneven interleave (one mote front-loaded, then two
+	// alternating) used to make the uniform compaction output exceed one
+	// block ("compaction output N exceeds block capacity") and permanently
+	// wedge the device; the wavelet planner's shrink loop must absorb the
+	// same shape.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	agingModes(t, geo, func(t *testing.T, fb *FlashBackend) {
+		next := simtime.Time(0)
+		app := func(m radio.NodeID) {
+			t.Helper()
+			if err := fb.Append(m, Record{T: next, V: 1}); err != nil {
+				t.Fatalf("append at %v: %v", next, err)
+			}
+			next += simtime.Minute
+		}
+		for i := 0; i < 130; i++ {
+			app(3)
+		}
+		perPage := geo.PageSize / flashRecSize
+		total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
+		for i := 0; i < total; i++ {
+			app(radio.NodeID(1 + i%2))
+		}
+		if fb.Stats().Compactions == 0 {
+			t.Fatal("compaction never ran")
+		}
+	})
+}
+
+func TestArchiveDeclinesStaleTail(t *testing.T) {
+	// A freshness-bounded PAST query whose window tail overlaps "now" must
+	// not be served from an archive whose newest record is staler than the
+	// bound — even when the sample-slot coverage check would pass (the
+	// half-step tolerance admits a record just under T1 while now has
+	// moved past the bound). The decline falls through to the proxy path,
+	// which pays the rendezvous (here: times out, as no real mote is
+	// attached).
+	sim := simtime.New(1)
+	rcfg := radio.DefaultConfig()
+	rcfg.LossProb = 0
+	med, err := radio.NewMedium(sim, rcfg, energy.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	next := simtime.Time(0)
-	app := func(m radio.NodeID) {
-		t.Helper()
-		if err := fb.Append(m, Record{T: next, V: 1}); err != nil {
-			t.Fatalf("append at %v: %v", next, err)
+	ix := index.New(1)
+	st := New(ix)
+	p, err := proxy.New(sim, med, proxy.DefaultConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddProxy(0, p, true)
+	p.Register(1, time.Minute, 1.0)
+	st.AdoptMote(1, 0, time.Minute)
+	// Archive minute records through 59, plus one at 59.5 min: the slot
+	// grid of [30m, 60m] is fully covered (slot 60 by the 59.5m record),
+	// but the archive's knowledge horizon is 59.5m.
+	for i := 0; i < 60; i++ {
+		if err := st.Backend().Append(1, Record{T: simtime.Time(i) * simtime.Minute, V: float64(i)}); err != nil {
+			t.Fatal(err)
 		}
-		next += simtime.Minute
 	}
-	for i := 0; i < 130; i++ {
-		app(3)
+	if err := st.Backend().Append(1, Record{T: 59*simtime.Minute + simtime.Minute/2, V: 59.5}); err != nil {
+		t.Fatal(err)
 	}
-	perPage := geo.PageSize / flashRecSize
-	total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
-	for i := 0; i < total; i++ {
-		app(radio.NodeID(1 + i%2))
+	sim.RunFor(61 * time.Minute) // now = 61m; newest archived = 59.5m
+
+	run := func(maxStale time.Duration) (query.Result, bool) {
+		var res query.Result
+		done := false
+		err := st.Execute(query.Query{
+			Type: query.Past, Mote: 1, T0: 30 * simtime.Minute, T1: 60 * simtime.Minute,
+			Precision: 1, MaxStaleness: maxStale,
+		}, func(r query.Result) { res = r; done = true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, done
 	}
-	if fb.Stats().Compactions == 0 {
-		t.Fatal("compaction never ran")
+
+	// Unbounded: the archive serves the covered span synchronously.
+	res, done := run(0)
+	if !done || res.Answer.Source != proxy.FromArchive {
+		t.Fatalf("unbounded query: done=%v source=%v, want archive", done, res.Answer.Source)
+	}
+	if rs := st.RoutingStats(); rs.ArchiveServed != 1 || rs.ArchiveStale != 0 {
+		t.Fatalf("unbounded routing stats %+v", rs)
+	}
+
+	// Bounded at 80s: the tail overlaps now (60m + 80s >= 61m) and the
+	// newest record is 90s old — the archive must decline and the proxy
+	// must pay (and here lose) the rendezvous.
+	res, done = run(80 * time.Second)
+	sim.RunFor(time.Hour) // let the forced pull time out; now = 121m
+	if res.Answer.Source == proxy.FromArchive {
+		t.Fatal("stale archive served a tail-overlapping bounded query")
+	}
+	rs := st.RoutingStats()
+	if rs.ArchiveStale != 1 {
+		t.Fatalf("ArchiveStale = %d, want 1 (%+v)", rs.ArchiveStale, rs)
+	}
+	if ps := p.Stats(); ps.StalenessPulls != 1 {
+		t.Fatalf("proxy staleness pulls %d, want 1", ps.StalenessPulls)
+	}
+
+	// Bounded at 62m (now = 121m): the tail still overlaps now, but the
+	// 61.5m-old snapshot meets the bound — the archive serves again.
+	res, done = run(62 * time.Minute)
+	if !done || res.Answer.Source != proxy.FromArchive {
+		t.Fatalf("fresh-enough query: done=%v source=%v, want archive", done, res.Answer.Source)
+	}
+	if rs := st.RoutingStats(); rs.ArchiveStale != 1 || rs.ArchiveServed != 2 {
+		t.Fatalf("final routing stats %+v", rs)
 	}
 }
 
@@ -289,40 +394,87 @@ func TestCoarsenBoundCoversEveryMember(t *testing.T) {
 }
 
 func TestFlashBackendLatestSurvivesCompaction(t *testing.T) {
-	// A quiet mote's newest record can be merged away by coarsening; the
-	// Latest index must then point at a record QueryRange can actually
-	// return, not at the pre-compaction phantom.
+	// A quiet mote's newest record can be merged away (uniform) or have
+	// its value rewritten by reconstruction (wavelet); the Latest index
+	// must then point at a record QueryRange can actually return — same
+	// timestamp, same value, same bound — not at the pre-compaction
+	// phantom.
 	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
-	fb, err := NewFlashBackend(geo)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Mote 2 writes early, then goes quiet while mote 1 floods the device
-	// through several compactions.
-	for i := 0; i < 40; i++ {
-		if err := fb.Append(2, Record{T: simtime.Time(i) * simtime.Minute, V: 2}); err != nil {
+	agingModes(t, geo, func(t *testing.T, fb *FlashBackend) {
+		// Mote 2 writes early, then goes quiet while mote 1 floods the
+		// device through several compactions.
+		for i := 0; i < 40; i++ {
+			if err := fb.Append(2, Record{T: simtime.Time(i) * simtime.Minute, V: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perPage := geo.PageSize / flashRecSize
+		total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
+		for i := 0; i < total; i++ {
+			if err := fb.Append(1, Record{T: simtime.Time(40+i) * simtime.Minute, V: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if fb.Stats().Compactions == 0 {
+			t.Fatal("compaction never ran")
+		}
+		last, ok := fb.Latest(2)
+		if !ok {
+			return // mote 2's history aged out entirely: a miss is honest
+		}
+		recs, err := fb.QueryRange(2, last.T, last.T)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	perPage := geo.PageSize / flashRecSize
-	total := 4 * perPage * geo.PagesPerBlock * geo.NumBlocks
-	for i := 0; i < total; i++ {
-		if err := fb.Append(1, Record{T: simtime.Time(40+i) * simtime.Minute, V: 1}); err != nil {
-			t.Fatal(err)
+		if len(recs) != 1 {
+			t.Fatalf("Latest points at a phantom: %+v not returned by QueryRange", last)
 		}
-	}
-	if fb.Stats().Compactions == 0 {
-		t.Fatal("compaction never ran")
-	}
-	last, ok := fb.Latest(2)
-	if !ok {
-		return // mote 2's history aged out entirely: a miss is honest
-	}
-	recs, err := fb.QueryRange(2, last.T, last.T)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 1 {
-		t.Fatalf("Latest points at a phantom: %+v not returned by QueryRange", last)
-	}
+		if recs[0] != last {
+			t.Fatalf("Latest %+v disagrees with QueryRange %+v", last, recs[0])
+		}
+	})
+}
+
+func TestFlashBackendShedAccounting(t *testing.T) {
+	// When the device is full and compaction cannot reclaim space (here:
+	// more motes than one block can hold even one record each), Append
+	// sheds the oldest buffered page once the pending buffer exceeds its
+	// bound. Shed records must be visible in BackendStats — counted in
+	// Dropped and removed from Records — so archive-coverage ratios
+	// derived from these stats aren't inflated by records the store can
+	// no longer serve.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 4, NumBlocks: 6}
+	perBlock := (geo.PageSize / flashRecSize) * geo.PagesPerBlock // 48 records
+	motes := perBlock + 12                                        // compaction output can never fit
+	agingModes(t, geo, func(t *testing.T, fb *FlashBackend) {
+		var appends uint64
+		sawErr := false
+		for i := 0; i < 40*motes; i++ {
+			m := radio.NodeID(1 + i%motes)
+			if err := fb.Append(m, Record{T: simtime.Time(i) * simtime.Minute, V: float64(m)}); err != nil {
+				sawErr = true
+			}
+			appends++
+		}
+		st := fb.Stats()
+		if !sawErr {
+			t.Fatal("device never reported full")
+		}
+		if st.Dropped == 0 {
+			t.Fatal("shed records invisible: Dropped == 0")
+		}
+		if st.Appends != appends {
+			t.Fatalf("appends %d, want %d", st.Appends, appends)
+		}
+		// Records reflects what the store still holds: appended minus
+		// merged-away minus shed.
+		if want := appends - st.Coarsened - st.Dropped; st.Records != want {
+			t.Fatalf("Records %d, want appends-coarsened-dropped = %d (stats %+v)", st.Records, want, st)
+		}
+		// The pending buffer stays bounded even though the device is
+		// permanently full.
+		if len(fb.pending) > 4*fb.perPage+1 {
+			t.Fatalf("pending buffer unbounded: %d records", len(fb.pending))
+		}
+	})
 }

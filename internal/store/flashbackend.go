@@ -27,6 +27,7 @@ import (
 	"presto/internal/flash"
 	"presto/internal/radio"
 	"presto/internal/simtime"
+	"presto/internal/wavelet"
 )
 
 // flashRecSize is the on-flash encoding: uint32 mote, int64 timestamp,
@@ -54,11 +55,23 @@ type moteSpan struct {
 	count      int
 }
 
+// Segment kinds: how a block's pages decode.
+const (
+	// segRaw holds fixed-size records in arrival (or compaction-cluster)
+	// order — the log's native format.
+	segRaw = iota
+	// segWavelet holds a byte stream of wavelet summary chunks (aging.go):
+	// every original timestamp plus top-K value coefficients.
+	segWavelet
+)
+
 // flashSegment is one sealed-or-open erase block of the log.
 type flashSegment struct {
 	block int
 	pages int
-	count int
+	count int // records decodable from the segment (reconstructed for wavelet)
+	kind  int // segRaw or segWavelet
+	level int // aging level: 0 = raw, +1 per compaction survived
 	spans map[radio.NodeID]*moteSpan
 }
 
@@ -95,6 +108,7 @@ type FlashBackend struct {
 	dev     *flash.Device
 	geo     flash.Geometry
 	perPage int
+	pol     AgingPolicy
 
 	segs     []*flashSegment // oldest first; the last may be open
 	free     []int           // erased blocks (LIFO)
@@ -107,11 +121,20 @@ type FlashBackend struct {
 }
 
 // NewFlashBackend creates a backend on a fresh device with the given
-// geometry (zero value = DefaultStoreGeometry). The device is unmetered:
-// proxies are tethered, so flash energy is not the constraint it is on
-// motes — what the simulation models here is the write/read/erase op
-// pattern and its read amplification.
+// geometry (zero value = DefaultStoreGeometry) and the default wavelet
+// aging policy. The device is unmetered: proxies are tethered, so flash
+// energy is not the constraint it is on motes — what the simulation models
+// here is the write/read/erase op pattern and its read amplification.
 func NewFlashBackend(geo flash.Geometry) (*FlashBackend, error) {
+	return NewFlashBackendPolicy(geo, DefaultAgingPolicy())
+}
+
+// NewFlashBackendPolicy is NewFlashBackend with an explicit aging policy
+// (zero-value fields take defaults; see AgingPolicy).
+func NewFlashBackendPolicy(geo flash.Geometry, pol AgingPolicy) (*FlashBackend, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
 	if geo == (flash.Geometry{}) {
 		geo = DefaultStoreGeometry()
 	}
@@ -130,6 +153,7 @@ func NewFlashBackend(geo flash.Geometry) (*FlashBackend, error) {
 		dev:     dev,
 		geo:     geo,
 		perPage: perPage,
+		pol:     pol.normalized(),
 		cur:     -1,
 		latest:  make(map[radio.NodeID]Record),
 	}
@@ -142,6 +166,13 @@ func NewFlashBackend(geo flash.Geometry) (*FlashBackend, error) {
 // Device exposes the underlying simulated flash (tests inspect wear and
 // op counts).
 func (b *FlashBackend) Device() *flash.Device { return b.dev }
+
+// AgingPolicy returns the compaction aging policy in effect.
+func (b *FlashBackend) AgingPolicy() AgingPolicy { return b.pol }
+
+// OccupiedBlocks reports how many erase blocks currently hold data —
+// the device occupancy experiments equalize when comparing aging modes.
+func (b *FlashBackend) OccupiedBlocks() int { return b.geo.NumBlocks - len(b.free) }
 
 // Append logs one confirmed observation.
 func (b *FlashBackend) Append(m radio.NodeID, r Record) error {
@@ -277,11 +308,15 @@ func (b *FlashBackend) openBlock() error {
 	return nil
 }
 
-// compact rewrites the oldest compactFanIn sealed segments into one block:
-// records are clustered by mote, time-sorted, deduplicated, and coarsened
-// just enough to fit — reclaiming fanIn-1 blocks and repairing the read
-// locality the arrival-order log lacks. The coarse records carry widened
-// error bounds (group mean can miss any member by half the group spread).
+// compact rewrites the oldest compactFanIn sealed segments into one block,
+// reclaiming fanIn-1 blocks and repairing the read locality the
+// arrival-order log lacks. Records are clustered by mote, time-sorted and
+// deduplicated, then aged per the backend's AgingPolicy: wavelet mode
+// (default) summarizes each mote's run as multi-resolution coefficient
+// chunks — every timestamp survives, value detail decays with the
+// segment's age level — while uniform mode merges groups of consecutive
+// records into widened-bound means (the legacy behaviour). Either way the
+// output's error bounds cover every record it stands for.
 func (b *FlashBackend) compact() error {
 	sealed := len(b.segs)
 	if b.cur >= 0 {
@@ -294,12 +329,16 @@ func (b *FlashBackend) compact() error {
 	perMote := make(map[radio.NodeID][]Record)
 	var order []radio.NodeID
 	rawTotal := 0
+	level := 0
 	for _, seg := range victims {
 		recs, err := b.readSegment(seg)
 		if err != nil {
 			return err
 		}
 		rawTotal += len(recs)
+		if seg.level > level {
+			level = seg.level
+		}
 		for _, fr := range recs {
 			if _, ok := perMote[fr.m]; !ok {
 				order = append(order, fr.m)
@@ -307,6 +346,7 @@ func (b *FlashBackend) compact() error {
 			perMote[fr.m] = append(perMote[fr.m], fr.r)
 		}
 	}
+	level++ // the rewritten segment is one aging step older than its inputs
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
 	var total int
@@ -317,10 +357,92 @@ func (b *FlashBackend) compact() error {
 		perMote[m] = s
 		total += len(s)
 	}
-	// Coarsen so the survivors fit one block. The output size is the sum
-	// of per-mote ceilings, so ceil(total/capacity) alone can overflow by
-	// up to one record per mote on uneven interleaves — grow the factor
-	// until the rounded total actually fits.
+
+	// Plan the aged output: the reconstructable records (for the index and
+	// Latest repair) plus a writer that lays them into the reserve block.
+	var out []flashRec
+	var write func(blk int, seg *flashSegment) error
+	var err error
+	if b.pol.Mode == AgingUniform {
+		out, write, err = b.planUniform(order, perMote, total)
+	} else {
+		out, write, err = b.planWavelet(order, perMote, level)
+	}
+	if err != nil {
+		return err
+	}
+	// Everything that did not survive — coarsening-merged or duplicate
+	// timestamps collapsed by the dedupe — left the store.
+	merged := uint64(rawTotal - len(out))
+
+	// Write the aged survivors into the reserve block.
+	if len(b.free) == 0 {
+		return ErrBackendFull
+	}
+	blk := b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	seg := &flashSegment{block: blk, level: level, spans: make(map[radio.NodeID]*moteSpan)}
+	if err := write(blk, seg); err != nil {
+		return err
+	}
+	for _, fr := range out {
+		seg.note(fr.m, fr.r.T)
+	}
+	seg.count = len(out)
+
+	for _, v := range victims {
+		if err := b.dev.EraseBlock(v.block); err != nil {
+			return err
+		}
+		b.free = append(b.free, v.block)
+	}
+	rest := append([]*flashSegment(nil), b.segs[compactFanIn:]...)
+	b.segs = append([]*flashSegment{seg}, rest...)
+	b.stats.Compactions++
+	b.stats.Coarsened += merged
+	b.stats.Records -= merged
+
+	// Reconcile the Latest index against the rebuilt store: a quiet
+	// mote's newest record may have been merged away (uniform) or had its
+	// value rewritten by reconstruction (wavelet). Only replace an entry
+	// when no record at its timestamp survives anywhere (later segments
+	// and the pending buffer included — an equal-T duplicate outside the
+	// victims keeps the entry valid); wavelet-summarized timestamps
+	// survive, but the entry must carry the reconstructed value and bound
+	// that QueryRange will actually return.
+	newestOut := make(map[radio.NodeID]Record)
+	for _, fr := range out {
+		if r, ok := newestOut[fr.m]; !ok || fr.r.T >= r.T {
+			newestOut[fr.m] = fr.r
+		}
+	}
+	for m := range perMote {
+		cur, ok := b.latest[m]
+		if !ok {
+			continue
+		}
+		if nr, ok := newestOut[m]; ok && nr.T == cur.T && !b.survivesElsewhere(m, cur.T) {
+			b.latest[m] = nr // same instant, now reconstructed
+			continue
+		}
+		if b.survives(m, cur.T) {
+			continue
+		}
+		if nr, ok := newestOut[m]; ok {
+			b.latest[m] = nr
+		} else {
+			delete(b.latest, m)
+		}
+	}
+	return nil
+}
+
+// planUniform coarsens each mote's run just enough that the merged output
+// fits one block of fixed-size records. The output size is the sum of
+// per-mote ceilings, so ceil(total/capacity) alone can overflow by up to
+// one record per mote on uneven interleaves — the factor grows until the
+// rounded total actually fits.
+func (b *FlashBackend) planUniform(order []radio.NodeID, perMote map[radio.NodeID][]Record, total int) ([]flashRec, func(int, *flashSegment) error, error) {
 	capacity := b.geo.PagesPerBlock * b.perPage
 	factor := (total + capacity - 1) / capacity
 	if factor < 2 {
@@ -342,72 +464,166 @@ func (b *FlashBackend) compact() error {
 			out = append(out, flashRec{m: m, r: r})
 		}
 	}
-	// Everything that did not survive — coarsening-merged or duplicate
-	// timestamps collapsed by the dedupe — left the store.
-	merged := uint64(rawTotal - len(out))
 	if len(out) > capacity {
-		return fmt.Errorf("store: compaction output %d exceeds block capacity %d", len(out), capacity)
+		return nil, nil, fmt.Errorf("store: compaction output %d exceeds block capacity %d", len(out), capacity)
 	}
+	write := func(blk int, seg *flashSegment) error {
+		seg.kind = segRaw
+		for p := 0; p*b.perPage < len(out); p++ {
+			end := (p + 1) * b.perPage
+			if end > len(out) {
+				end = len(out)
+			}
+			batch := out[p*b.perPage : end]
+			if err := b.dev.Write(blk*b.geo.PagesPerBlock+p, encodePage(b.geo.PageSize, b.perPage, batch)); err != nil {
+				return fmt.Errorf("store: compaction write: %w", err)
+			}
+			b.stats.PagesWritten++
+			seg.pages++
+		}
+		return nil
+	}
+	return out, write, nil
+}
 
-	// Write the clustered survivors into the reserve block.
-	if len(b.free) == 0 {
-		return ErrBackendFull
+// planWavelet summarizes each mote's run as wavelet chunks at the level's
+// tier fraction, shrinking until the encoded stream fits one block: first
+// by halving the coefficient fraction, then — once chunks are down to a
+// couple of coefficients — by thinning the time grid onto an age-octave
+// pyramid (pyramidThin) whose base cell width doubles per round. Old data
+// thus degrades progressively, oldest-coarsest, instead of being
+// discarded wholesale.
+func (b *FlashBackend) planWavelet(order []radio.NodeID, perMote map[radio.NodeID][]Record, level int) ([]flashRec, func(int, *flashSegment) error, error) {
+	capBytes := b.geo.PagesPerBlock * b.geo.PageSize
+	// Infeasibility precheck: even one record per mote costs at least a
+	// chunk header, a timestamp byte and one coefficient. Failing fast
+	// here keeps a permanently-full device (Append keeps retrying
+	// compaction) from paying the whole shrink loop on every append.
+	const minChunkBytes = chunkHeaderSize + 1 + 12 + 8
+	if len(order)*minChunkBytes > capBytes {
+		return nil, nil, fmt.Errorf("store: wavelet compaction cannot fit %d motes in a %d-byte block", len(order), capBytes)
 	}
-	blk := b.free[len(b.free)-1]
-	b.free = b.free[:len(b.free)-1]
-	seg := &flashSegment{block: blk, spans: make(map[radio.NodeID]*moteSpan)}
-	for p := 0; p*b.perPage < len(out); p++ {
-		end := (p + 1) * b.perPage
-		if end > len(out) {
-			end = len(out)
-		}
-		batch := out[p*b.perPage : end]
-		if err := b.dev.Write(blk*b.geo.PagesPerBlock+p, encodePage(b.geo.PageSize, b.perPage, batch)); err != nil {
-			return fmt.Errorf("store: compaction write: %w", err)
-		}
-		b.stats.PagesWritten++
-		for _, fr := range batch {
-			seg.note(fr.m, fr.r.T)
-		}
-		seg.count += len(batch)
-		seg.pages++
-	}
-
-	for _, v := range victims {
-		if err := b.dev.EraseBlock(v.block); err != nil {
-			return err
-		}
-		b.free = append(b.free, v.block)
-	}
-	rest := append([]*flashSegment(nil), b.segs[compactFanIn:]...)
-	b.segs = append([]*flashSegment{seg}, rest...)
-	b.stats.Compactions++
-	b.stats.Coarsened += merged
-	b.stats.Records -= merged
-
-	// Reconcile the Latest index against the rebuilt store: a quiet
-	// mote's newest record may have been merged away by coarsening. Only
-	// replace an entry when no record at its timestamp survives anywhere
-	// (later segments and the pending buffer included — an equal-T
-	// duplicate outside the victims keeps the entry valid).
-	newestOut := make(map[radio.NodeID]Record)
-	for _, fr := range out {
-		if r, ok := newestOut[fr.m]; !ok || fr.r.T >= r.T {
-			newestOut[fr.m] = fr.r
+	frac := b.pol.fraction(level)
+	window := b.pol.ChunkWindow
+	grid := perMote
+	maxLen := 0
+	for _, rs := range perMote {
+		if len(rs) > maxLen {
+			maxLen = len(rs)
 		}
 	}
-	for m := range perMote {
-		cur, ok := b.latest[m]
-		if !ok || b.survives(m, cur.T) {
+	// Halving frac below one kept coefficient per largest actual chunk is
+	// a no-op (short runs floor at k = 1 long before frac*window does) —
+	// gate on the real transform length so no byte-identical rebuild runs.
+	maxChunk := maxLen
+	if maxChunk > window {
+		maxChunk = window
+	}
+	round := 0
+	for {
+		chunks, out, size, err := b.buildWavelet(order, grid, frac, window)
+		if err != nil {
+			return nil, nil, err
+		}
+		if size <= capBytes {
+			write := func(blk int, seg *flashSegment) error {
+				seg.kind = segWavelet
+				stream := make([]byte, 0, size)
+				for _, ch := range chunks {
+					stream = append(stream, ch.bytes...)
+				}
+				for p := 0; len(stream) > 0; p++ {
+					n := b.geo.PageSize
+					if n > len(stream) {
+						n = len(stream)
+					}
+					if err := b.dev.Write(blk*b.geo.PagesPerBlock+p, stream[:n]); err != nil {
+						return fmt.Errorf("store: compaction write: %w", err)
+					}
+					b.stats.PagesWritten++
+					seg.pages++
+					stream = stream[n:]
+				}
+				b.stats.WaveletChunks += uint64(len(chunks))
+				return nil
+			}
+			return out, write, nil
+		}
+		if frac*float64(wavelet.NextPow2(maxChunk)) > 2 {
+			frac /= 2 // drop more coefficients first
 			continue
 		}
-		if nr, ok := newestOut[m]; ok {
-			b.latest[m] = nr
-		} else {
-			delete(b.latest, m)
+		// Coefficient floor: thin the time grid. Each round re-buckets
+		// the original records onto the pyramid at twice the previous
+		// base width; the idempotence of the pyramid (regions already at
+		// target density are untouched) keeps repeated compactions from
+		// compounding decay beyond what the data's age warrants.
+		// Once the base width exceeds every mote's span the pyramid is at
+		// its floor (one record per occupied age octave) and no further
+		// round can shrink it.
+		round++
+		if 1<<round > 2*maxLen {
+			return nil, nil, fmt.Errorf("store: wavelet compaction output %d bytes exceeds block capacity %d", size, capBytes)
+		}
+		thinned := make(map[radio.NodeID][]Record, len(perMote))
+		for m, rs := range perMote {
+			if len(rs) < 2 {
+				thinned[m] = rs
+				continue
+			}
+			span := rs[len(rs)-1].T - rs[0].T
+			w := span / simtime.Time(len(rs)) // current mean spacing
+			if w <= 0 {
+				w = 1
+			}
+			thinned[m] = pyramidThin(rs, w<<round)
+		}
+		grid = thinned
+	}
+}
+
+// buildWavelet encodes every mote's run into chunks of at most window
+// records at the given coefficient fraction, returning the chunks, the
+// reconstructable records, and the total encoded size.
+func (b *FlashBackend) buildWavelet(order []radio.NodeID, grid map[radio.NodeID][]Record, frac float64, window int) ([]waveletChunk, []flashRec, int, error) {
+	var chunks []waveletChunk
+	var out []flashRec
+	size := 0
+	for _, m := range order {
+		rs := grid[m]
+		for i := 0; i < len(rs); i += window {
+			end := i + window
+			if end > len(rs) {
+				end = len(rs)
+			}
+			ch, err := summarizeChunk(m, rs[i:end], frac)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			chunks = append(chunks, ch)
+			out = append(out, ch.recs...)
+			size += len(ch.bytes)
 		}
 	}
-	return nil
+	return chunks, out, size, nil
+}
+
+// survivesElsewhere is survives restricted to the pending buffer and the
+// segments other than the just-written head — used to tell "this exact
+// record still exists raw somewhere" apart from "only the reconstruction
+// stands for it now".
+func (b *FlashBackend) survivesElsewhere(m radio.NodeID, t simtime.Time) bool {
+	for _, fr := range b.pending {
+		if fr.m == m && fr.r.T >= t {
+			return true
+		}
+	}
+	for _, seg := range b.segs[1:] {
+		if sp, ok := seg.spans[m]; ok && sp.maxT >= t {
+			return true
+		}
+	}
+	return false
 }
 
 // coarsenRecords merges each group of factor consecutive records into one
@@ -425,31 +641,30 @@ func coarsenRecords(recs []Record, factor int) []Record {
 		if end > len(recs) {
 			end = len(recs)
 		}
-		g := recs[i:end]
-		var sum float64
-		for _, r := range g {
-			sum += r.V
-		}
-		mean := sum / float64(len(g))
-		var bound float64
-		for _, r := range g {
-			miss := mean - r.V
-			if miss < 0 {
-				miss = -miss
-			}
-			if b := miss + r.ErrBound; b > bound {
-				bound = b
-			}
-		}
-		out = append(out, Record{T: g[0].T, V: mean, ErrBound: bound})
+		out = append(out, mergeRecords(recs[i:end]))
 	}
 	return out
 }
 
 // readSegment decodes every record in a segment, paying the page reads.
+// Wavelet segments reconstruct their records from the stored summary
+// chunks: every summarized timestamp comes back, carrying the chunk's
+// widened error bound.
 func (b *FlashBackend) readSegment(seg *flashSegment) ([]flashRec, error) {
-	out := make([]flashRec, 0, seg.count)
 	base := seg.block * b.geo.PagesPerBlock
+	if seg.kind == segWavelet {
+		var stream []byte
+		for p := 0; p < seg.pages; p++ {
+			buf, err := b.dev.Read(base + p)
+			if err != nil {
+				return nil, fmt.Errorf("store: segment read: %w", err)
+			}
+			b.stats.PagesRead++
+			stream = append(stream, buf...)
+		}
+		return decodeChunks(stream)
+	}
+	out := make([]flashRec, 0, seg.count)
 	for p := 0; p < seg.pages; p++ {
 		buf, err := b.dev.Read(base + p)
 		if err != nil {

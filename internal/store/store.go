@@ -37,6 +37,11 @@ type RoutingStats struct {
 	ReplicaRouted uint64 // queries offered to a wired replica
 	ReplicaStale  uint64 // replica offers rejected by a per-query freshness bound
 	ArchiveServed uint64 // range queries served whole from the archive backend
+	// ArchiveStale counts range queries the archive covered but refused
+	// to serve because the window tail overlaps "now" and the archive's
+	// newest record for the mote is older than the query's MaxStaleness —
+	// the proxy path must pay the rendezvous instead.
+	ArchiveStale uint64
 }
 
 // Store is the unified logical store.
@@ -127,6 +132,10 @@ func (s *Store) replica(pid index.ProxyID) (*proxy.Proxy, bool) {
 // PAST and AGG queries are served from the domain's archive backend when
 // the archived records cover every sample slot of the span within the
 // requested precision; only uncovered spans reach the proxy query path.
+// A freshness bound applies to them too when the window tail overlaps
+// "now": an archive whose newest record for the mote is staler than
+// MaxStaleness declines (ArchiveStale), and the proxy path pays the
+// rendezvous (proxy.QueryRangeBounded).
 func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 	pid, err := s.ix.ProxyFor(q.Mote)
 	if err != nil {
@@ -178,6 +187,24 @@ func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, b
 	step := s.intervals[q.Mote]
 	if step <= 0 {
 		return proxy.Answer{}, false
+	}
+	// A freshness-bounded query whose window tail overlaps "now" (the tail
+	// sits within MaxStaleness of the present) must not be answered from a
+	// snapshot older than the bound: the archive may simply not have heard
+	// about the tail yet, and the sample-slot coverage check below cannot
+	// see records that never arrived. If the archive's newest record for
+	// the mote is too old, decline — the managing proxy enforces the bound
+	// end to end (QueryRangeBounded pays the rendezvous).
+	if q.MaxStaleness > 0 {
+		if p, ok := s.proxies[pid]; ok {
+			now := p.Now()
+			if q.T1+simtime.Time(q.MaxStaleness) >= now {
+				if last, ok := s.backend.Latest(q.Mote); !ok || now-last.T > simtime.Time(q.MaxStaleness) {
+					s.rstats.ArchiveStale++
+					return proxy.Answer{}, false
+				}
+			}
+		}
 	}
 	// Cheap pre-check: if the newest archived record cannot cover the last
 	// sample slot (the slot grid is T0-based, so it may stop short of T1),

@@ -229,6 +229,53 @@ func CompressTopK(xs []float64, k int) (Sparse, error) {
 	return s, nil
 }
 
+// CompressFraction is like CompressTopK but keeps a fraction of the padded
+// transform length: frac = 0.5 keeps the 1/2 largest-magnitude coefficients,
+// 0.25 the 1/4, and so on — the tier schedule the archive's multi-resolution
+// aging speaks in. frac is clamped to (0, 1]; at least one coefficient (the
+// overall average) always survives.
+func CompressFraction(xs []float64, frac float64) (Sparse, error) {
+	if frac > 1 {
+		frac = 1
+	}
+	n := NextPow2(len(xs))
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return CompressTopK(xs, k)
+}
+
+// Quantize rounds the coefficient values through float32 — exactly what
+// Marshal will store — so residuals computed on the quantized form match
+// what a decoder will reconstruct from the wire bytes.
+func (s *Sparse) Quantize() {
+	for i, v := range s.Value {
+		s.Value[i] = float64(float32(v))
+	}
+}
+
+// Residual returns the maximum absolute reconstruction error of the sparse
+// form against the original signal: max_i |Decompress(s)[i] - orig[i]|.
+// This is the dropped-coefficient residual an archive must add to a
+// record's error bound when it replaces the record with a summary.
+func Residual(s Sparse, orig []float64) (float64, error) {
+	recon, err := Decompress(s)
+	if err != nil {
+		return 0, err
+	}
+	if len(recon) < len(orig) {
+		return 0, fmt.Errorf("wavelet: reconstruction length %d < original %d", len(recon), len(orig))
+	}
+	worst := 0.0
+	for i, x := range orig {
+		if d := math.Abs(recon[i] - x); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
 // Decompress reconstructs the (lossy) signal from its sparse form,
 // truncated back to the original length.
 func Decompress(s Sparse) ([]float64, error) {
@@ -274,16 +321,26 @@ func (s Sparse) Marshal() []byte {
 
 // UnmarshalSparse decodes the wire form produced by Marshal.
 func UnmarshalSparse(buf []byte) (Sparse, error) {
+	s, _, err := UnmarshalSparsePrefix(buf)
+	return s, err
+}
+
+// UnmarshalSparsePrefix decodes one Marshal-encoded value from the front
+// of buf, also reporting how many bytes it consumed — for readers of
+// streams that concatenate sparse vectors with other data (the flash
+// archive's wavelet segments). The framing knowledge stays in this
+// package: only Marshal's counterpart knows where an encoding ends.
+func UnmarshalSparsePrefix(buf []byte) (Sparse, int, error) {
 	if len(buf) < 12 {
-		return Sparse{}, fmt.Errorf("wavelet: short sparse buffer (%d bytes)", len(buf))
+		return Sparse{}, 0, fmt.Errorf("wavelet: short sparse buffer (%d bytes)", len(buf))
 	}
 	s := Sparse{
 		N:       int(binary.LittleEndian.Uint32(buf[0:])),
 		PaddedN: int(binary.LittleEndian.Uint32(buf[4:])),
 	}
 	count := int(binary.LittleEndian.Uint32(buf[8:]))
-	if len(buf) < 12+8*count {
-		return Sparse{}, fmt.Errorf("wavelet: sparse buffer truncated: want %d bytes, have %d", 12+8*count, len(buf))
+	if count < 0 || len(buf) < 12+8*count {
+		return Sparse{}, 0, fmt.Errorf("wavelet: sparse buffer truncated: want %d bytes, have %d", 12+8*count, len(buf))
 	}
 	off := 12
 	for i := 0; i < count; i++ {
@@ -291,7 +348,7 @@ func UnmarshalSparse(buf []byte) (Sparse, error) {
 		s.Value = append(s.Value, float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))))
 		off += 8
 	}
-	return s, nil
+	return s, off, nil
 }
 
 // WireSize returns the Marshal size in bytes without allocating.
