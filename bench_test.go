@@ -11,6 +11,7 @@
 package presto_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -375,6 +376,136 @@ func BenchmarkFreshnessBounds(b *testing.B) {
 			b.ReportMetric(float64(n.ReplicaBypassed()), "replica-bypassed")
 		})
 	}
+}
+
+// BenchmarkScatterGather prices declarative set-valued aggregates end to
+// end: one AGG(mean) Spec over 1, 8 and 64 motes on a 64-mote deployment
+// at 1 and 4 shards. However many motes and domains a spec spans, it
+// costs a single engine submission — per-domain partials merged by the
+// client — so specs/sec should degrade sublinearly in mote count and
+// gain from sharding. Reports specs/sec as queries/s (the CI gate
+// metric).
+func BenchmarkScatterGather(b *testing.B) {
+	const proxies, motesPer = 4, 16
+	for _, shards := range []int{1, 4} {
+		c := gen.DefaultTempConfig()
+		c.Sensors = proxies * motesPer
+		c.Days = 4
+		c.Seed = 1
+		traces, err := gen.Temperature(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Proxies = proxies
+		cfg.MotesPerProxy = motesPer
+		cfg.Shards = shards
+		cfg.Radio.LossProb = 0
+		cfg.Radio.JitterMax = 0
+		cfg.Traces = traces
+		n, err := core.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Start()
+		n.Run(48 * time.Hour)
+		ids := n.MoteIDs()
+		for _, motes := range []int{1, 8, 64} {
+			spec := query.Spec{
+				Type: query.Agg, Agg: query.Mean,
+				Select: query.SelectMotes(ids[:motes]...),
+				T0:     2 * simtime.Hour, T1: 8 * simtime.Hour,
+				Precision: 2.0,
+			}
+			b.Run(fmt.Sprintf("shards=%d/motes=%d", shards, motes), func(b *testing.B) {
+				ctx := context.Background()
+				cl := n.Client()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := cl.QueryOne(ctx, spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Err != nil || res.Count == 0 {
+						b.Fatalf("empty aggregate: %+v", res)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+		n.Close()
+	}
+}
+
+// BenchmarkContinuousQuery measures a standing query riding a live
+// simulation: each iteration arms a bounded continuous NOW spec over
+// every mote (one result per 30 virtual minutes for 6 virtual hours),
+// advances the deployment through the window, and drains the 12
+// incremental results. Reports delivered rounds/sec as queries/s.
+func BenchmarkContinuousQuery(b *testing.B) {
+	const proxies, motesPer = 2, 2
+	c := gen.DefaultTempConfig()
+	c.Sensors = proxies * motesPer
+	c.Days = 4
+	c.Seed = 1
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Proxies = proxies
+	cfg.MotesPerProxy = motesPer
+	cfg.Shards = 2
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	n, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(2 * time.Hour)
+
+	ctx := context.Background()
+	cl := n.Client()
+	rounds := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cl.Query(ctx, query.Spec{
+			Type: query.Now, Precision: 2.0,
+			Continuous: &query.Continuous{Every: 30 * time.Minute, Until: 6 * time.Hour},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			got := 0
+			for res := range st.Results() {
+				if res.Failed != 0 {
+					done <- fmt.Errorf("round %d: %d motes failed", res.Seq, res.Failed)
+					return
+				}
+				got++
+			}
+			rounds += got
+			if got == 0 {
+				done <- fmt.Errorf("no rounds delivered")
+				return
+			}
+			done <- nil
+		}()
+		n.Run(6 * time.Hour)
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "queries/s")
 }
 
 // BenchmarkAllExperiments runs the full registry once per iteration (the

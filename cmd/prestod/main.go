@@ -9,7 +9,7 @@
 //	prestod [-proxies N] [-motes N] [-shards N] [-days N] [-delta F]
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
 //	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
-//	        [-max-staleness D]
+//	        [-max-staleness D] [-every D]
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
@@ -29,9 +29,14 @@
 // pays a mote rendezvous instead of answering from the model, and PAST
 // queries whose window tail overlaps "now" refuse stale archive/model
 // snapshots the same way.
+// -every, when positive, additionally runs a standing query — a
+// continuous all-motes NOW spec through the core.Client facade — that
+// delivers one fleet snapshot per that much virtual time for the whole
+// post-bootstrap run; each snapshot costs a single engine submission.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +68,7 @@ func main() {
 	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
 	aging := flag.String("aging", "wavelet", "flash compaction aging policy: wavelet[:tiers] or uniform")
 	maxStale := flag.Duration("max-staleness", 0, "per-query freshness bound (0 = unbounded); PAST windows whose tail overlaps now honor it too")
+	every := flag.Duration("every", 0, "standing query period of virtual time (0 = no continuous query)")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
 
@@ -107,9 +113,37 @@ func main() {
 	}
 	fmt.Printf("bootstrap: %d models trained and shipped\n", len(models))
 
-	// Run the remaining time with a query mix sprinkled in.
+	// Run the remaining time with a query mix sprinkled in, posed through
+	// the declarative client facade.
+	c := n.Client()
+	ctx := context.Background()
 	remaining := time.Duration(*days)*24*time.Hour - trainFor
 	perQuery := remaining / time.Duration(*queries+1)
+
+	// Standing query: a bounded continuous NOW spec over every mote
+	// delivers one fleet snapshot per -every of virtual time; the stream
+	// closes itself after the run's horizon.
+	var snapshots int
+	var contDone chan struct{}
+	if *every > 0 {
+		stream, err := c.Query(ctx, query.Spec{
+			Type: query.Now, Precision: *precision, MaxStaleness: *maxStale,
+			Continuous: &query.Continuous{Every: *every, Until: remaining},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		contDone = make(chan struct{})
+		go func() {
+			defer close(contDone)
+			for snap := range stream.Results() {
+				if snap.Failed == 0 {
+					snapshots++
+				}
+			}
+		}()
+	}
+
 	var latencies []float64
 	var errs []float64
 	bySource := map[proxy.Source]int{}
@@ -118,7 +152,7 @@ func main() {
 	for i := 0; i < *queries; i++ {
 		n.Run(perQuery)
 		id := ids[rng.Intn(len(ids))]
-		q := query.Query{Type: query.Now, Mote: id, Precision: *precision, MaxStaleness: *maxStale}
+		spec := query.Spec{Type: query.Now, Select: query.SelectMotes(id), Precision: *precision, MaxStaleness: *maxStale}
 		if rng.Float64() < 0.3 { // 30% PAST point queries
 			back := simtime.Time(time.Duration(1+rng.Intn(600)) * time.Minute)
 			at := n.Now() - back
@@ -127,12 +161,16 @@ func main() {
 			}
 			// PAST queries carry the bound too: it bites only when the
 			// window tail overlaps the staleness horizon.
-			q = query.Query{Type: query.Past, Mote: id, T0: at, T1: at, Precision: *precision, MaxStaleness: *maxStale}
+			spec = query.Spec{Type: query.Past, Select: query.SelectMotes(id), T0: at, T1: at, Precision: *precision, MaxStaleness: *maxStale}
 		}
-		res, err := n.ExecuteWait(q)
+		set, err := c.QueryOne(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if len(set.Results) != 1 {
+			log.Fatalf("query for mote %d answered %d results (%d failed)", id, len(set.Results), set.Failed)
+		}
+		res := set.Results[0]
 		latencies = append(latencies, res.Latency().Seconds()*1000)
 		bySource[res.Answer.Source]++
 		if v, ok := res.Answer.Value(); ok {
@@ -144,6 +182,9 @@ func main() {
 		}
 	}
 	n.Run(remaining - perQuery*time.Duration(*queries))
+	if contDone != nil {
+		<-contDone
+	}
 
 	// Report.
 	fmt.Printf("\n=== after %v of virtual time ===\n", n.Now())
@@ -162,6 +203,14 @@ func main() {
 	submitted, replicaServed, bridgeSent, bridgeDelivered := n.EngineStats()
 	fmt.Printf("engine: %d submitted, %d replica-served, %d replica-bypassed (stale), bridge %d/%d sent/delivered\n",
 		submitted, replicaServed, n.ReplicaBypassed(), bridgeSent, bridgeDelivered)
+	if *every > 0 {
+		fmt.Printf("standing query: %d fleet snapshots delivered (one per %v of virtual time, 1 submission each)\n",
+			snapshots, *every)
+		if snapshots == 0 {
+			fmt.Fprintln(os.Stderr, "prestod: standing query delivered no snapshots")
+			os.Exit(1)
+		}
+	}
 	ss := n.StoreStats()
 	bs := n.StoreBackendStats()
 	fmt.Printf("store: %d proxy-routed, %d replica-offered (%d stale-rejected), %d archive-served (%d stale-declined)\n",
@@ -171,6 +220,10 @@ func main() {
 	if *storeBackend == "flash" {
 		fmt.Printf(", %d pages written, %d pages read, %d compactions (%s aging, %d wavelet chunks)",
 			bs.PagesWritten, bs.PagesRead, bs.Compactions, *aging, bs.WaveletChunks)
+		if bs.RecordsSkipped > 0 {
+			fmt.Printf(", chunk directory skipped %d records (read-amp %.2f without it)",
+				bs.RecordsSkipped, bs.ReadAmpNoDir())
+		}
 	}
 	fmt.Println()
 	if len(errs) > 0 {

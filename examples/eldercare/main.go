@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -91,17 +92,21 @@ func main() {
 		log.Fatal("no anomalies detected after training")
 	}
 
-	// The caregiver checks this morning's activity level.
-	res, err := net.ExecuteWait(query.Query{
-		Type: query.Agg, Mote: 1,
+	// The caregiver checks this morning's activity level: a declarative
+	// aggregate spec through the client facade.
+	res, err := net.Client().QueryOne(context.Background(), query.Spec{
+		Type: query.Agg, Select: query.SelectMotes(1),
 		T0: net.Now() - 6*simtime.Hour, T1: net.Now(),
 		Precision: 15, Agg: query.Mean,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmean activity over the last 6h: %.1f steps/interval (source=%s)\n",
-		res.AggValue, res.Answer.Source)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("\nmean activity over the last 6h: %.1f ± %.1f steps/interval (%d samples)\n",
+		res.Value, res.ErrBound, res.Count)
 
 	// Wearable battery story.
 	m, _ := net.MoteEnergy(1)

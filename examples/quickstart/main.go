@@ -2,14 +2,17 @@
 //
 // Builds a one-proxy, four-mote deployment over synthetic indoor
 // temperature, bootstraps the prediction models (stream → train → switch
-// to model-driven push), and issues one NOW query and one PAST range
-// query against the unified store, printing where each answer came from
-// (cache, model extrapolation, or a mote archive pull) and what it cost.
+// to model-driven push), and poses declarative queries through the
+// core.Client facade: a NOW query on one sensor, a PAST range query, and
+// a building-wide aggregate over all four sensors that costs a single
+// engine submission (each domain computes a partial aggregate; a merge
+// stage combines them with honest error bounds).
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +25,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. Synthetic workload: four co-located temperature sensors with a
 	// diurnal cycle and the occasional unpredictable event.
@@ -41,6 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer net.Close()
 
 	// 3. Bootstrap: motes stream for 36 hours, the proxy trains a
 	// seasonal-anchored model per mote and ships it with delta=1.0;
@@ -52,42 +57,73 @@ func main() {
 
 	// 4. Let the system run for another day of virtual time.
 	net.Run(24 * time.Hour)
+	c := net.Client()
 
 	// 5. NOW query: "what is sensor 2 reading, within 1 degree?"
-	res, err := net.ExecuteWait(query.Query{Type: query.Now, Mote: 2, Precision: 1.0})
+	now, err := c.QueryOne(ctx, query.Spec{
+		Type: query.Now, Select: query.SelectMotes(2), Precision: 1.0,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, _ := res.Answer.Value()
-	truth, _ := net.Truth(2, res.Answer.DoneAt)
+	r := one(now)
+	v, _ := r.Answer.Value()
+	truth, _ := net.Truth(2, r.Answer.DoneAt)
 	fmt.Printf("NOW  sensor 2: %.2f °C (truth %.2f) from %s in %v\n",
-		v, truth, res.Answer.Source, res.Latency())
+		v, truth, r.Answer.Source, r.Latency())
 
 	// 6. PAST query: an hour from the model-driven period (after the
 	// bootstrap stream) at 0.1-degree precision — tighter than delta, so
 	// the proxy must pull from the mote's flash archive.
 	t0 := net.Now() - simtime.Time(12*time.Hour)
-	res, err = net.ExecuteWait(query.Query{
-		Type: query.Past, Mote: 1, T0: t0, T1: t0 + simtime.Hour, Precision: 0.1,
-	})
+	spec := query.Spec{
+		Type: query.Past, Select: query.SelectMotes(1),
+		T0: t0, T1: t0 + simtime.Hour, Precision: 0.1,
+	}
+	past, err := c.QueryOne(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	r = one(past)
 	fmt.Printf("PAST sensor 1: %d samples from %s in %v\n",
-		len(res.Answer.Entries), res.Answer.Source, res.Latency())
+		len(r.Answer.Entries), r.Answer.Source, r.Latency())
 
 	// 7. The same range again now hits the refined cache.
-	res, err = net.ExecuteWait(query.Query{
-		Type: query.Past, Mote: 1, T0: t0, T1: t0 + simtime.Hour, Precision: 0.1,
+	past, err = c.QueryOne(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r = one(past)
+	fmt.Printf("PAST again   : %d samples from %s in %v (cache refined by the pull)\n",
+		len(r.Answer.Entries), r.Answer.Source, r.Latency())
+
+	// 8. Set-valued query: the mean over the whole building for the last
+	// six hours — all four motes, one engine submission, merged error
+	// bound.
+	agg, err := c.QueryOne(ctx, query.Spec{
+		Type: query.Agg, Agg: query.Mean,
+		T0: net.Now() - 6*simtime.Hour, T1: net.Now(), Precision: 1.0,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("PAST again   : %d samples from %s in %v (cache refined by the pull)\n",
-		len(res.Answer.Entries), res.Answer.Source, res.Latency())
+	if agg.Err != nil {
+		log.Fatal(agg.Err)
+	}
+	fmt.Printf("AGG  building mean over 6h: %.2f ± %.2f °C from %d observations (1 submission)\n",
+		agg.Value, agg.ErrBound, agg.Count)
 
-	// 8. What did all of this cost the motes?
+	// 9. What did all of this cost the motes?
 	total := net.TotalMoteEnergy()
 	days := net.Now().Hours() / 24
 	fmt.Printf("energy: %.2f J/day/mote — %s\n", total.Total()/4/days, total.String())
+}
+
+// one unwraps the single result of a one-mote spec, failing loudly if
+// the query could not complete.
+func one(res query.SetResult) query.Result {
+	if len(res.Results) != 1 {
+		log.Fatalf("query answered %d results (%d motes failed)", len(res.Results), res.Failed)
+	}
+	return res.Results[0]
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -79,9 +80,42 @@ func main() {
 		}
 	}
 
+	// A standing query rides alongside the watches: one continuous NOW
+	// spec over all eight sensors delivers a fleet snapshot every hour of
+	// virtual time (each round is a single engine submission), the kind
+	// of periodic situation report a guard console renders. Bounded by
+	// Until, the stream closes itself after the surveillance window.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, err := net.Client().Query(ctx, query.Spec{
+		Type: query.Now, Precision: 1.0,
+		Continuous: &query.Continuous{Every: time.Hour, Until: 3 * 24 * time.Hour},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapshots := 0
+	peak := 0.0
+	var peakAt simtime.Time
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		for snap := range stream.Results() {
+			snapshots++
+			for _, r := range snap.Results {
+				if v, ok := r.Answer.Value(); ok && v > peak {
+					peak, peakAt = v, snap.At
+				}
+			}
+		}
+	}()
+
 	net.Run(3 * 24 * time.Hour)
+	<-streamDone // the bounded stream delivers its last round and closes
 	fmt.Printf("live watch: %d alerts; first alert surfaced %v after the sample was taken\n",
 		alerts, firstAlertLatency)
+	fmt.Printf("standing query: %d hourly fleet snapshots; peak intensity %.1f at %v\n",
+		snapshots, peak, peakAt)
 
 	// Every push the proxies received is a candidate detection; publish
 	// the strong ones into the shared temporal index (this is what a
@@ -121,14 +155,18 @@ func main() {
 	if t0 < 0 {
 		t0 = 0
 	}
-	res, err := net.ExecuteWait(query.Query{
-		Type: query.Past, Mote: first.Mote,
+	post, err := net.Client().QueryOne(context.Background(), query.Spec{
+		Type: query.Past, Select: query.SelectMotes(first.Mote),
 		T0: t0, T1: first.T + 15*simtime.Minute,
 		Precision: 0.05,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if len(post.Results) != 1 {
+		log.Fatalf("postmortem answered %d results (%d motes failed)", len(post.Results), post.Failed)
+	}
+	res := post.Results[0]
 	fmt.Printf("postmortem: %d archive samples around the incident (source=%s, latency=%v)\n",
 		len(res.Answer.Entries), res.Answer.Source, res.Latency())
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -104,17 +105,21 @@ func main() {
 		}
 	}
 
-	// Commuter NOW queries: answered from cache/model, interactively.
-	fmt.Println("\ncommuter queries (current flow, tolerance 25):")
-	for _, id := range net.MoteIDs()[:3] {
-		res, err := net.ExecuteWait(query.Query{Type: query.Now, Mote: id, Precision: 25})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Commuter NOW queries: one declarative spec over the three sensors
+	// on the commute — a single engine submission fans out per domain and
+	// the per-mote answers come back merged in mote order.
+	fmt.Println("\ncommuter query (current flow on 3 sensors, tolerance 25):")
+	set, err := net.Client().QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Select: query.SelectMotes(net.MoteIDs()[:3]...), Precision: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range set.Results {
 		v, _ := res.Answer.Value()
-		truth, _ := net.Truth(id, res.Answer.DoneAt)
+		truth, _ := net.Truth(res.Query.Mote, res.Answer.DoneAt)
 		fmt.Printf("  sensor %d: %.0f veh/5min (truth %.0f) from %s in %v\n",
-			id, v, truth, res.Answer.Source, res.Latency())
+			res.Query.Mote, v, truth, res.Answer.Source, res.Latency())
 	}
 
 	total := net.TotalMoteEnergy()

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -119,13 +120,14 @@ func runMatched(traces []*gen.Trace, deadline time.Duration) (float64, float64) 
 	net.Run(time.Duration(days)*24*time.Hour - time.Duration(startT))
 	d := (net.Now() - startT).Hours() / 24
 
-	// Sanity: queries still answer within precision.
-	res, err := net.ExecuteWait(query.Query{Type: query.Now, Mote: 1, Precision: 1.0})
+	// Sanity: the whole fleet still answers within precision — one NOW
+	// spec over every mote costs one engine submission.
+	res, err := net.Client().QueryOne(context.Background(), query.Spec{Type: query.Now, Precision: 1.0})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, ok := res.Answer.Value(); !ok {
-		log.Fatal("no answer after matching")
+	if len(res.Results) != sensors || res.Failed != 0 {
+		log.Fatalf("fleet query answered %d/%d motes (%d failed)", len(res.Results), sensors, res.Failed)
 	}
 	return (meterTotal(net) - startJ) / d / sensors, float64(msgTotal(net)-startMsgs) / d / sensors
 }

@@ -1,0 +1,377 @@
+package core
+
+// The declarative client facade and the engine's scatter-gather stage.
+//
+// A query.Spec targets a *set* of motes; the engine fans it out as one
+// command per owning simulation domain (not one per mote), each domain
+// worker folds its motes' answers — served through the same
+// store/replica/proxy path single queries use — into a query.Partial,
+// and a merge stage combines the per-domain partials into one answer
+// with honest combined error bounds. An N-mote aggregate spanning any
+// number of domains therefore costs exactly one engine submission.
+//
+// Continuous specs re-arm on the simulation clock: a self-re-arming
+// wakeup event on the anchor domain's kernel scatters a round at each
+// exact period instant, and a merge goroutine assembles the rounds in
+// order and pushes them down the stream. Multi-domain workers drain
+// their command queues at bounded virtual-time intervals while advancing
+// (see shard.advance), so the other domains' contributions to a round
+// execute in the middle of one long Run instead of piling up behind it.
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// shardPartial is one domain's contribution to a spec round.
+type shardPartial struct {
+	partial query.Partial  // Agg specs
+	results []query.Result // Now/Past specs (completed motes only)
+	failed  int            // motes whose execution could not complete
+}
+
+// specTargets resolves a spec's selector against the deployment and
+// groups the target motes by owning shard, preserving global mote order
+// within each group.
+func (n *Network) specTargets(spec query.Spec) (map[*shard][]radio.NodeID, error) {
+	targets := spec.Select.Resolve(n.MoteIDs())
+	if len(targets) == 0 {
+		return nil, errors.New("core: spec selects no motes")
+	}
+	groups := make(map[*shard][]radio.NodeID)
+	for _, m := range targets {
+		s, err := n.shardFor(m)
+		if err != nil {
+			return nil, err
+		}
+		groups[s] = append(groups[s], m)
+	}
+	return groups, nil
+}
+
+// gatherSpec runs on a shard worker: it issues every target mote's query
+// against the domain's unified store and folds the answers into one
+// shardPartial, delivered on parts when the last answer lands. Answers
+// that need a mote rendezvous resolve while the worker settles (or
+// during the remaining chunks of an in-progress advance); the per-domain
+// pull coalescing applies across the motes of the round as usual.
+func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- shardPartial) {
+	agg := spec.Type == query.Agg
+	sp := &shardPartial{partial: query.NewPartial(spec.Precision)}
+	remaining := len(motes)
+	for _, m := range motes {
+		sh.submitCB(spec.QueryFor(m), func(r query.Result, ok bool) {
+			switch {
+			case !ok:
+				sp.failed++
+			case agg:
+				sp.partial.ObserveResult(r)
+			default:
+				sp.results = append(sp.results, r)
+			}
+			remaining--
+			if remaining == 0 {
+				parts <- *sp
+			}
+		})
+	}
+}
+
+// specRound is one in-flight round of a spec: its sequence number, the
+// virtual instant it fired at, and the channel its per-domain partials
+// arrive on (buffered to the domain count, so workers never block).
+type specRound struct {
+	seq    int
+	at     simtime.Time
+	parts  chan shardPartial
+	expect int
+}
+
+// newSpecRound allocates a round and scatters it: the calling shard (if
+// any) gathers inline — a continuous round fires on the anchor's kernel
+// and snapshots that domain at the exact round instant — and every other
+// owning domain gets one command. Domains that cannot accept work
+// (engine closed) contribute a failed partial immediately.
+func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID, seq int, at simtime.Time, self *shard) *specRound {
+	n.queriesSubmitted.Add(1)
+	rs := &specRound{seq: seq, at: at, parts: make(chan shardPartial, len(groups)), expect: len(groups)}
+	for s, motes := range groups {
+		if s == self {
+			gatherSpec(s, spec, motes, rs.parts)
+			continue
+		}
+		s, motes := s, motes
+		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, motes, rs.parts) }}) {
+			rs.parts <- shardPartial{partial: query.NewPartial(spec.Precision), failed: len(motes)}
+		}
+	}
+	return rs
+}
+
+// mergeRound blocks for every domain's partial and combines them into
+// the round's SetResult. Workers always deliver — queries that can never
+// complete fail their callbacks instead of wedging — so this terminates.
+func mergeRound(spec query.Spec, rs *specRound) query.SetResult {
+	merged := query.NewPartial(spec.Precision)
+	var results []query.Result
+	failed := 0
+	for i := 0; i < rs.expect; i++ {
+		sp := <-rs.parts
+		merged.Merge(sp.partial)
+		results = append(results, sp.results...)
+		failed += sp.failed
+	}
+	res := query.SetResult{Seq: rs.seq, At: rs.at, Failed: failed}
+	if spec.Type == query.Agg {
+		res.Count = merged.Count
+		res.Value, res.ErrBound, res.Err = merged.Final(spec.Agg)
+		return res
+	}
+	// Per-mote results in global mote order (shard gather order is
+	// per-domain; the merge restores a deterministic presentation).
+	sort.Slice(results, func(i, j int) bool { return results[i].Query.Mote < results[j].Query.Mote })
+	res.Results = results
+	return res
+}
+
+// SubmitSpec posts a declarative set query to the engine. The returned
+// channel yields one SetResult for a one-shot spec, then closes; a
+// Continuous spec yields a result every spec period of virtual time
+// until ctx is cancelled (or the Until horizon passes), then closes.
+// Each round is a single engine submission regardless of how many motes
+// or domains it spans.
+//
+// Cancellation is prompt and leak-free: the driver goroutine exits on
+// ctx.Done even when no receiver drains the channel.
+func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query.SetResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	groups, err := n.specTargets(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Fail fast after Close (Close shuts every shard down). A Close
+	// racing a submitted round is still safe: the round's motes are
+	// reported in SetResult.Failed instead.
+	if n.shards[0].isClosed() {
+		return nil, ErrClosed
+	}
+	out := make(chan query.SetResult, 1)
+	if spec.Continuous == nil {
+		// A one-shot NOW spec naming a single mote is exactly a legacy
+		// Submit — route it there so it keeps the engine's wired-replica
+		// fast path (cross-domain NOW queries served from the replica
+		// mirror when it meets precision and freshness). Scatter rounds
+		// execute at the owning domains instead: a set snapshot wants
+		// the authoritative data, and its per-domain partials cannot
+		// depend on another domain's replica decision.
+		if spec.Type == query.Now && len(groups) == 1 {
+			for _, motes := range groups {
+				if len(motes) != 1 {
+					break
+				}
+				ch, err := n.Submit(spec.QueryFor(motes[0]))
+				if err != nil {
+					return nil, err
+				}
+				go func() {
+					defer close(out)
+					res := query.SetResult{At: n.Now()}
+					if r, ok := <-ch; ok {
+						res.Results = []query.Result{r}
+					} else {
+						res.Failed = 1
+					}
+					select {
+					case out <- res:
+					case <-ctx.Done():
+					}
+				}()
+				return out, nil
+			}
+		}
+		go func() {
+			defer close(out)
+			res := mergeRound(spec, n.newSpecRound(spec, groups, 0, n.Now(), nil))
+			select {
+			case out <- res:
+			case <-ctx.Done():
+			}
+		}()
+		return out, nil
+	}
+
+	// Standing query. The anchor domain's kernel (the one owning the
+	// lowest target mote) is the metronome: a self-re-arming wakeup event
+	// fires every spec period of virtual time and scatters a round at
+	// that exact instant — the anchor's own motes gather inline, other
+	// domains by command — so the round cadence tracks the simulation
+	// clock no matter how fast wall-clock Run outpaces the consumer. A
+	// merge goroutine assembles the rounds in order and delivers them
+	// with backpressure; kernels never block on it. Virtual time standing
+	// still (no Run in flight) means no new rounds — no new data can
+	// exist either.
+	cont := *spec.Continuous
+	anchor := n.anchorShard(groups)
+	maxRounds := 0
+	if cont.Until > 0 {
+		// The rounds whose instants fall at or before the Until horizon.
+		maxRounds = int(cont.Until / cont.Every)
+		if maxRounds == 0 {
+			close(out)
+			return out, nil
+		}
+	}
+	// In-flight rounds awaiting merge. The buffer bounds memory when the
+	// simulation sprints far ahead of the consumer; a full buffer skips
+	// rounds (keeping sequence numbers dense) rather than stalling any
+	// kernel. fire is the channel's only sender and runs on the anchor
+	// worker, so the length check makes its send non-blocking, and it can
+	// close the channel when a bounded stream's horizon passes — the
+	// merge side then terminates even if backpressure skipped rounds.
+	rounds := make(chan *specRound, 256)
+	started := 0 // rounds scattered (anchor-worker state)
+	fired := 0   // nominal instants reached, skips included
+	var fire func(s *shard)
+	fire = func(s *shard) {
+		if ctx.Err() != nil {
+			return // cancelled: stop re-arming; the merge side is gone
+		}
+		if len(rounds) < cap(rounds) {
+			rounds <- n.newSpecRound(spec, groups, started, s.sim.Now(), s)
+			started++
+		}
+		fired++
+		if maxRounds == 0 || fired < maxRounds {
+			s.sim.Schedule(cont.Every, func() { fire(s) })
+		} else {
+			close(rounds) // horizon reached: no further sends, ever
+		}
+	}
+	if !anchor.enqueue(shardCmd{fn: func(s *shard) {
+		s.sim.Schedule(cont.Every, func() { fire(s) })
+	}}) {
+		return nil, ErrClosed
+	}
+	go func() {
+		defer close(out)
+		for {
+			var rs *specRound
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case <-anchor.quit:
+				return // engine closed: the stream dies with it
+			case rs, ok = <-rounds:
+				if !ok {
+					return // bounded stream: horizon passed, all rounds merged
+				}
+			}
+			res := mergeRound(spec, rs)
+			select {
+			case out <- res:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// anchorShard picks the metronome domain for a continuous spec: the one
+// owning the lowest target mote id, so the choice is deterministic.
+func (n *Network) anchorShard(groups map[*shard][]radio.NodeID) *shard {
+	var anchor *shard
+	best := radio.NodeID(0)
+	for s, motes := range groups {
+		if anchor == nil || motes[0] < best {
+			anchor, best = s, motes[0]
+		}
+	}
+	return anchor
+}
+
+// ---------------------------------------------------------------------------
+// Client facade
+
+// Client is the user-facing query interface over a deployment: pose a
+// declarative query.Spec, receive a ResultStream. It replaces the bare
+// single-mote callback/channel APIs (Execute, Submit, ExecuteWait),
+// which remain as deprecated shims.
+type Client struct {
+	n *Network
+}
+
+// Client returns the deployment's query facade.
+func (n *Network) Client() *Client { return &Client{n: n} }
+
+// ResultStream delivers the results of one Spec. One-shot specs deliver
+// a single SetResult and close; Continuous specs deliver one per period
+// until cancelled. Close (or cancelling the context passed to Query)
+// tears the standing query down without leaking goroutines or waiters.
+type ResultStream struct {
+	ch     <-chan query.SetResult
+	cancel context.CancelFunc
+}
+
+// Results is the delivery channel. It closes when the spec is done:
+// after the single result of a one-shot spec, after the Until horizon of
+// a bounded continuous spec, or after cancellation.
+func (s *ResultStream) Results() <-chan query.SetResult { return s.ch }
+
+// Next blocks for the next delivery. ok is false when the stream is
+// exhausted or ctx is cancelled first.
+func (s *ResultStream) Next(ctx context.Context) (res query.SetResult, ok bool) {
+	select {
+	case res, ok = <-s.ch:
+		return res, ok
+	case <-ctx.Done():
+		return query.SetResult{}, false
+	}
+}
+
+// Close cancels the spec. Safe to call multiple times; pending rounds
+// are abandoned and the channel closes shortly after.
+func (s *ResultStream) Close() { s.cancel() }
+
+// Query poses a declarative spec against the deployment. The spec's
+// selector resolves at submission time; every round costs one engine
+// submission regardless of mote or domain count. Cancel ctx (or Close
+// the stream) to tear down a standing query.
+func (c *Client) Query(ctx context.Context, spec query.Spec) (*ResultStream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	ch, err := c.n.SubmitSpec(ctx, spec)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &ResultStream{ch: ch, cancel: cancel}, nil
+}
+
+// QueryOne poses a one-shot spec and blocks for its single result — the
+// Spec-era ExecuteWait.
+func (c *Client) QueryOne(ctx context.Context, spec query.Spec) (query.SetResult, error) {
+	if spec.Continuous != nil {
+		return query.SetResult{}, errors.New("core: QueryOne on a continuous spec (use Query)")
+	}
+	st, err := c.Query(ctx, spec)
+	if err != nil {
+		return query.SetResult{}, err
+	}
+	defer st.Close()
+	res, ok := st.Next(ctx)
+	if !ok {
+		if ctx.Err() != nil {
+			return query.SetResult{}, ctx.Err()
+		}
+		return query.SetResult{}, errors.New("core: spec never completed")
+	}
+	return res, nil
+}

@@ -1,0 +1,361 @@
+package core
+
+// Tests for the declarative client facade: scatter-gather merge
+// correctness (1 vs 4 shards), the one-engine-submission property of
+// set-valued aggregates, continuous-query delivery on the simulation
+// clock, and leak-free cancellation.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// aggSpec is the shared AGG window used across the merge tests.
+func aggSpec(kind query.AggKind) query.Spec {
+	return query.Spec{
+		Type: query.Agg, T0: simtime.Hour, T1: 3 * simtime.Hour,
+		Agg: kind, Precision: 0.5,
+	}
+}
+
+// TestScatterGatherOneSubmission is the acceptance property: an AGG spec
+// over N motes spanning multiple domains costs exactly one engine
+// submission — the per-domain partials are merged, with no per-mote
+// fan-out at the client.
+func TestScatterGatherOneSubmission(t *testing.T) {
+	n := buildSharded(t, 4, 2, 4, nil)
+	n.Start()
+	n.Run(4 * time.Hour)
+
+	before, _, _, _ := n.EngineStats()
+	res, err := n.Client().QueryOne(context.Background(), aggSpec(query.Mean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, _, _ := n.EngineStats()
+	if got := after - before; got != 1 {
+		t.Fatalf("8-mote AGG across 4 domains cost %d engine submissions, want exactly 1", got)
+	}
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	if res.Count == 0 || math.IsNaN(res.Value) {
+		t.Fatalf("empty merged aggregate: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d motes failed", res.Failed)
+	}
+}
+
+// TestScatterGatherMergeMatchesFlat compares the merged scatter-gather
+// answer against a flat computation over the same per-mote entries, at 1
+// and 4 shards: for every operator the merged value must equal folding
+// all entries into one partial, and min/max/mean must agree with the
+// legacy per-entry aggregation.
+func TestScatterGatherMergeMatchesFlat(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		n := buildSharded(t, 4, 2, shards, nil)
+		n.Start()
+		n.Run(4 * time.Hour)
+		c := n.Client()
+
+		// Flat reference: the same window as a Past spec yields every
+		// per-mote entry the aggregate path sees; fold them sequentially.
+		past, err := c.QueryOne(context.Background(), query.Spec{
+			Type: query.Past, T0: simtime.Hour, T1: 3 * simtime.Hour, Precision: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(past.Results) != 8 {
+			t.Fatalf("shards=%d: %d per-mote results, want 8", shards, len(past.Results))
+		}
+		flat := query.NewPartial(0.5)
+		for _, r := range past.Results {
+			flat.ObserveResult(r)
+		}
+
+		for _, kind := range []query.AggKind{query.Min, query.Max, query.Mean, query.Mode} {
+			got, err := c.QueryOne(context.Background(), aggSpec(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantBound, ferr := flat.Final(kind)
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			tol := 0.0
+			if kind == query.Mean {
+				tol = 1e-9 // summation order differs across domains
+			}
+			if math.Abs(got.Value-want) > tol {
+				t.Fatalf("shards=%d %v: merged %v vs flat %v", shards, kind, got.Value, want)
+			}
+			if math.Abs(got.ErrBound-wantBound) > 1e-9 {
+				t.Fatalf("shards=%d %v: merged bound %v vs flat %v", shards, kind, got.ErrBound, wantBound)
+			}
+			if got.Count != flat.Count {
+				t.Fatalf("shards=%d %v: merged count %d vs flat %d", shards, kind, got.Count, flat.Count)
+			}
+		}
+		n.Close()
+	}
+}
+
+// TestSpecSelectors exercises the three selector forms end to end.
+func TestSpecSelectors(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, nil)
+	n.Start()
+	n.Run(2 * time.Hour)
+	c := n.Client()
+
+	all, err := c.QueryOne(context.Background(), query.Spec{Type: query.Now, Precision: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) != 4 {
+		t.Fatalf("all-motes NOW: %d results", len(all.Results))
+	}
+	for i, r := range all.Results {
+		if want := radio.NodeID(i + 1); r.Query.Mote != want {
+			t.Fatalf("result %d for mote %d, want %d (global order)", i, r.Query.Mote, want)
+		}
+		if _, ok := r.Answer.Value(); !ok {
+			t.Fatalf("mote %d: empty answer", r.Query.Mote)
+		}
+	}
+
+	some, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Precision: 2, Select: query.SelectMotes(3, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some.Results) != 2 || some.Results[0].Query.Mote != 1 || some.Results[1].Query.Mote != 3 {
+		t.Fatalf("explicit selector results %+v", some.Results)
+	}
+
+	odd, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Precision: 2,
+		Select: query.SelectWhere(func(id radio.NodeID) bool { return id%2 == 1 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(odd.Results) != 2 {
+		t.Fatalf("predicate selector: %d results", len(odd.Results))
+	}
+
+	// Empty selection and unknown motes are submission-time errors.
+	if _, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Select: query.SelectWhere(func(radio.NodeID) bool { return false }),
+	}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	if _, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Select: query.SelectMotes(99),
+	}); err == nil {
+		t.Fatal("unknown mote accepted")
+	}
+}
+
+// TestSingleMoteNowSpecRidesReplica: a one-shot NOW spec naming one
+// mote must keep the legacy Submit path's wired-replica fast path —
+// cross-domain NOW queries served from the replica mirror.
+func TestSingleMoteNowSpecRidesReplica(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, func(c *Config) { c.WiredFirstProxy = true })
+	if _, err := n.Bootstrap(36*time.Hour, 24, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(4 * time.Hour)
+
+	// Mote 3 lives in shard 1; the replica lives in shard 0.
+	res, err := n.Client().QueryOne(context.Background(), query.Spec{
+		Type: query.Now, Select: query.SelectMotes(3), Precision: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 || res.Failed != 0 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	if _, ok := res.Results[0].Answer.Value(); !ok {
+		t.Fatal("no value")
+	}
+	if _, served, _, _ := n.EngineStats(); served == 0 {
+		t.Fatal("single-mote NOW spec bypassed the wired replica")
+	}
+}
+
+// TestContinuousDeliversDuringRun: a standing query re-arms on the
+// simulation clock and pushes incremental results down the stream while
+// one long Run is still in flight.
+func TestContinuousDeliversDuringRun(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, nil)
+	n.Start()
+	n.Run(2 * time.Hour)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := n.Client().Query(ctx, query.Spec{
+		Type: query.Now, Precision: 2,
+		Continuous: &query.Continuous{Every: 10 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan struct{})
+	go func() {
+		n.Run(6 * time.Hour)
+		close(runDone)
+	}()
+
+	var results []query.SetResult
+	for len(results) < 3 {
+		res, ok := st.Next(context.Background())
+		if !ok {
+			t.Fatal("stream closed before 3 deliveries")
+		}
+		results = append(results, res)
+	}
+	end := 8 * simtime.Hour // the 2h warmup plus the 6h Run
+	for i, r := range results {
+		if r.Seq != i {
+			t.Fatalf("delivery %d has seq %d", i, r.Seq)
+		}
+		if len(r.Results) != 4 {
+			t.Fatalf("delivery %d: %d per-mote results", i, len(r.Results))
+		}
+		// Strictly increasing virtual timestamps short of the Run's end
+		// prove the rounds executed incrementally while time advanced —
+		// rounds queued behind the whole Run would all share its final
+		// clock.
+		if i > 0 && r.At <= results[i-1].At {
+			t.Fatalf("delivery %d not later than %d (%v <= %v)", i, i-1, r.At, results[i-1].At)
+		}
+		if r.At >= end {
+			t.Fatalf("delivery %d at %v, at or past the Run's end — not incremental", i, r.At)
+		}
+	}
+	st.Close()
+	<-runDone
+}
+
+// TestContinuousUntil: a bounded standing query delivers its rounds and
+// closes the stream by itself.
+func TestContinuousUntil(t *testing.T) {
+	n := buildSharded(t, 1, 2, 1, nil)
+	n.Start()
+	n.Run(time.Hour)
+
+	st, err := n.Client().Query(context.Background(), query.Spec{
+		Type: query.Agg, T0: 0, T1: simtime.Hour, Agg: query.Max, Precision: 1,
+		Continuous: &query.Continuous{Every: 15 * time.Minute, Until: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run(3 * time.Hour)
+	var got int
+	for res := range st.Results() {
+		if res.Err != nil {
+			t.Fatalf("round %d err: %v", res.Seq, res.Err)
+		}
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("bounded stream delivered %d rounds, want 4 (Until/Every)", got)
+	}
+}
+
+// TestContinuousCancelLeaksNothing: cancelling mid-stream closes the
+// channel promptly and leaves no goroutines or engine waiters behind.
+func TestContinuousCancelLeaksNothing(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, nil)
+	n.Start()
+	n.Run(time.Hour)
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := n.Client().Query(ctx, query.Spec{
+		Type: query.Now, Precision: 2,
+		Continuous: &query.Continuous{Every: 10 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run(2 * time.Hour)
+	// Take a few deliveries, then cancel mid-stream.
+	for i := 0; i < 3; i++ {
+		if _, ok := st.Next(context.Background()); !ok {
+			t.Fatal("stream closed early")
+		}
+	}
+	cancel()
+	// The channel must close (the driver exits) even if nobody drains
+	// further results.
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	for {
+		if _, ok := st.Next(waitCtx); !ok {
+			break
+		}
+	}
+	if waitCtx.Err() != nil {
+		t.Fatal("stream did not close after cancel")
+	}
+	// Goroutines settle back to (at most) the pre-query level plus the
+	// still-running Run helper.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= base+1 {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And the engine still answers: no waiters wedged in any domain.
+	if _, err := n.Client().QueryOne(context.Background(), query.Spec{Type: query.Now, Precision: 2}); err != nil {
+		t.Fatalf("engine wedged after cancel: %v", err)
+	}
+}
+
+// TestQueryOneOnClosedNetwork: submission after Close fails cleanly.
+func TestSpecAfterClose(t *testing.T) {
+	n := buildSharded(t, 1, 1, 1, nil)
+	n.Start()
+	n.Close()
+	if _, err := n.Client().QueryOne(context.Background(), query.Spec{Type: query.Now, Precision: 1}); err == nil {
+		t.Fatal("QueryOne after Close succeeded")
+	}
+	if _, err := n.Client().Query(context.Background(), query.Spec{
+		Type: query.Now, Precision: 1, Continuous: &query.Continuous{Every: time.Minute},
+	}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("continuous Query after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSpecValidation: invalid specs are rejected at submission.
+func TestSpecSubmitValidation(t *testing.T) {
+	n := buildSharded(t, 1, 1, 1, nil)
+	n.Start()
+	bad := []query.Spec{
+		{Type: query.Past, T0: simtime.Hour, T1: 0},
+		{Type: query.Agg, T1: simtime.Hour, Agg: query.AggKind(9)},
+		{Type: query.Now, Continuous: &query.Continuous{Every: 0}},
+	}
+	for i, s := range bad {
+		if _, err := n.Client().Query(context.Background(), s); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}

@@ -707,6 +707,7 @@ func (n *Network) StoreBackendStats() store.BackendStats {
 		total.PagesRead += b.PagesRead
 		total.RecordsScanned += b.RecordsScanned
 		total.RecordsMatched += b.RecordsMatched
+		total.RecordsSkipped += b.RecordsSkipped
 		total.Compactions += b.Compactions
 		total.Coarsened += b.Coarsened
 		total.WaveletChunks += b.WaveletChunks

@@ -44,9 +44,22 @@ var ErrClosed = errors.New("core: network closed")
 const bridgeDrainQuantum = 10 * time.Second
 
 // pendingQuery tracks one submitted query until its result is delivered.
-// The channel is buffered so an abandoned Submit cannot wedge a worker.
+// Exactly one of ch/fn is set: the channel is buffered so an abandoned
+// Submit cannot wedge a worker; the callback form (scatter-gather
+// partials) runs on the worker with ok=false when the query can never
+// complete.
 type pendingQuery struct {
 	ch chan query.Result
+	fn func(query.Result, bool)
+}
+
+// fail reports the query as never completed.
+func (pq *pendingQuery) fail() {
+	if pq.fn != nil {
+		pq.fn(query.Result{}, false)
+		return
+	}
+	close(pq.ch)
 }
 
 // shardCmd is one unit of work for a shard worker. fn runs on the
@@ -162,10 +175,11 @@ func (s *shard) settle() {
 }
 
 // failPending closes every outstanding result channel (receivers see a
-// closed channel and report the query as never completed).
+// closed channel and report the query as never completed) and fires
+// callback-style queries with ok=false.
 func (s *shard) failPending() {
 	for pq := range s.pending {
-		close(pq.ch)
+		pq.fail()
 	}
 	clear(s.pending)
 }
@@ -175,23 +189,47 @@ func (s *shard) submit(q query.Query, pq *pendingQuery) {
 	s.pending[pq] = struct{}{}
 	err := s.st.Execute(q, func(r query.Result) {
 		delete(s.pending, pq)
+		if pq.fn != nil {
+			pq.fn(r, true)
+			return
+		}
 		pq.ch <- r
 	})
 	if err != nil {
 		delete(s.pending, pq)
-		close(pq.ch)
+		pq.fail()
 	}
 }
 
-// advance runs the domain forward by d, draining the bridge at bounded
-// virtual-time intervals so replica traffic from other domains keeps
-// flowing during long runs.
+// submitCB is submit for worker-side consumers: fn runs on the worker
+// exactly once — with the result, or with ok=false when the query can
+// never complete (wedged domain or shutdown). Scatter-gather partials
+// use it to fold per-mote answers into a domain-local aggregate without
+// a channel per mote.
+func (s *shard) submitCB(q query.Query, fn func(query.Result, bool)) {
+	s.submit(q, &pendingQuery{fn: fn})
+}
+
+// advance runs the domain forward by d. Multi-domain deployments chunk
+// the run at bounded virtual-time intervals, draining the bridge and
+// the command queue between chunks: replica traffic from other domains
+// keeps flowing during long runs, and scatter-gather commands from
+// other domains' continuous rounds execute near the virtual time they
+// fired instead of queueing behind the whole advance. Commands drained
+// here run between kernel chunks, when the kernel is not stepping, so
+// they may safely submit queries — any they leave pending settle during
+// the remaining chunks or in the worker's settle loop after the advance
+// command returns. Single-domain deployments run the span in one
+// unchunked RunUntil — there is no cross-domain traffic to interleave
+// (a continuous spec's rounds fire as kernel events on this very
+// domain), and chunking costs ~30% on long simulations.
 func (s *shard) advance(d time.Duration) {
 	target := s.sim.Now() + simtime.Time(d)
 	for {
 		if s.bridge != nil {
 			s.bridge.Drain(radio.DomainID(s.domain))
 		}
+		s.drainCmds()
 		next := s.sim.Now() + simtime.Time(bridgeDrainQuantum)
 		if s.bridge == nil || next > target {
 			next = target
@@ -215,6 +253,14 @@ func (s *shard) enqueue(c shardCmd) bool {
 	}
 	s.cmds <- c
 	return true
+}
+
+// isClosed reports whether the shard has been shut down. Close shuts
+// down every shard, so any one shard answers for the whole engine.
+func (s *shard) isClosed() bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.closed
 }
 
 // shutdown flips the gate and wakes the worker for its final drain.
@@ -363,8 +409,12 @@ func (n *Network) SubmitBatch(qs []query.Query) ([]<-chan query.Result, error) {
 }
 
 // ExecuteWait posts a query and blocks until it completes — the
-// synchronous convenience wrapper over Submit that examples and
+// synchronous convenience wrapper over Submit that legacy examples and
 // experiments use.
+//
+// Deprecated: pose a query.Spec through Client.QueryOne instead; a Spec
+// targeting one mote behaves identically and the same facade scales to
+// mote sets and continuous queries.
 func (n *Network) ExecuteWait(q query.Query) (query.Result, error) {
 	ch, err := n.Submit(q)
 	if err != nil {
@@ -380,6 +430,10 @@ func (n *Network) ExecuteWait(q query.Query) (query.Result, error) {
 // Execute posts a query against the unified store without settling: the
 // callback fires on the owning shard's worker, possibly during a later
 // Run if the query needs a mote round trip.
+//
+// Deprecated: the bare callback API predates the engine; use
+// Client.Query with a query.Spec (or Submit when channel semantics are
+// needed).
 func (n *Network) Execute(q query.Query, cb func(query.Result)) error {
 	target, err := n.shardFor(q.Mote)
 	if err != nil {

@@ -354,10 +354,45 @@ func TestE13WaveletAgingDenserAndHonest(t *testing.T) {
 	}
 }
 
+func TestE14Shape(t *testing.T) {
+	tab, err := E14ScatterGather(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("E14 rows = %d, want 6 (3 modes x 2 shard counts)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// The acceptance property, at the experiment level: the
+		// scatter-gather rows must report exactly 1 submission for the
+		// 8-mote aggregate; the loop rows exactly 8.
+		var subs float64
+		if _, err := fmtSscan(row[3], &subs); err != nil {
+			t.Fatalf("%s: bad submissions cell %q", row[0], row[3])
+		}
+		switch row[0] {
+		case "per-mote loop":
+			if subs != 8 {
+				t.Fatalf("loop submissions = %v, want 8", subs)
+			}
+		case "scatter-gather":
+			if subs != 1 {
+				t.Fatalf("scatter-gather submissions = %v, want 1", subs)
+			}
+		case "continuous":
+			if subs < 3 {
+				t.Fatalf("continuous rounds = %v, want >= 3", subs)
+			}
+		default:
+			t.Fatalf("unknown mode %q", row[0])
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

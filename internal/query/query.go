@@ -60,6 +60,9 @@ const (
 	Mode // the paper's building-vibration example
 )
 
+// Valid reports whether the operator is one of the defined aggregates.
+func (a AggKind) Valid() bool { return a >= Min && a <= Mode }
+
 // String names the operator.
 func (a AggKind) String() string {
 	switch a {
@@ -108,6 +111,11 @@ func (q Query) Validate() error {
 		if q.T1 < q.T0 {
 			return fmt.Errorf("query: inverted range [%v, %v]", q.T0, q.T1)
 		}
+		// An unknown operator used to slip through here and surface much
+		// later as a silent NaN from Aggregate; reject it up front.
+		if q.Type == Agg && !q.Agg.Valid() {
+			return fmt.Errorf("query: unknown aggregate %v", q.Agg)
+		}
 	default:
 		return fmt.Errorf("query: unknown type %v", q.Type)
 	}
@@ -126,12 +134,22 @@ type Result struct {
 	Answer proxy.Answer
 	// AggValue is the computed aggregate for Agg queries.
 	AggValue float64
+	// Err flags a query that completed without a usable answer — notably
+	// ErrEmptyAggregate when an Agg window held no observations (AggValue
+	// is NaN then; the flag makes the condition explicit instead of
+	// leaking a bare NaN).
+	Err error
 }
 
 // Latency returns the response time.
 func (r Result) Latency() time.Duration { return r.Answer.Latency() }
 
 // Execute runs a query against a proxy, invoking cb exactly once.
+//
+// Deprecated: Execute is the single-mote callback API kept for the store
+// routing layer and existing call sites. New code should pose a
+// query.Spec through core.Client, which adds mote sets, scatter-gather
+// aggregation and continuous queries on top of the same paths.
 func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
 	if err := q.Validate(); err != nil {
 		return err
@@ -154,6 +172,9 @@ func Execute(p *proxy.Proxy, q Query, cb func(Result)) error {
 			r := Result{Query: q, Answer: a}
 			if q.Type == Agg {
 				r.AggValue = Aggregate(q.Agg, a)
+				if len(a.Entries) == 0 {
+					r.Err = ErrEmptyAggregate
+				}
 			}
 			cb(r)
 		})

@@ -1,0 +1,211 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/energy"
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+func TestSelectorResolve(t *testing.T) {
+	all := []radio.NodeID{1, 2, 3, 4, 5}
+	if got := SelectAll().Resolve(all); len(got) != 5 {
+		t.Fatalf("SelectAll resolved %d motes", len(got))
+	}
+	if got := SelectMotes(4, 2).Resolve(all); len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Fatalf("SelectMotes resolved %v", got)
+	}
+	even := SelectWhere(func(id radio.NodeID) bool { return id%2 == 0 })
+	if got := even.Resolve(all); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("SelectWhere resolved %v", got)
+	}
+	// Predicate composes with an explicit list.
+	s := Selector{Motes: []radio.NodeID{1, 2, 3}, Where: func(id radio.NodeID) bool { return id > 1 }}
+	if got := s.Resolve(all); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("list+predicate resolved %v", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{Type: Now, Precision: 1},
+		{Type: Agg, T1: simtime.Hour, Agg: Mode, Precision: 0.5},
+		{Type: Now, Continuous: &Continuous{Every: time.Minute}},
+		{Type: Now, Continuous: &Continuous{Every: time.Minute, Until: time.Hour}},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("good %d rejected: %v", i, err)
+		}
+	}
+	bad := []Spec{
+		{Type: Past, T0: simtime.Hour, T1: 0},
+		{Type: Agg, T1: simtime.Hour, Agg: AggKind(7)}, // unknown operator
+		{Type: Now, Precision: -1},
+		{Type: Now, Continuous: &Continuous{Every: 0}},
+		{Type: Now, Continuous: &Continuous{Every: time.Minute, Until: -time.Hour}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad %d accepted", i)
+		}
+	}
+}
+
+// TestValidateRejectsUnknownAgg pins the bugfix: an AGG query with an
+// undefined operator used to validate fine and then Aggregate returned a
+// silent NaN.
+func TestValidateRejectsUnknownAgg(t *testing.T) {
+	q := Query{Type: Agg, Mote: 1, T1: simtime.Hour, Agg: AggKind(42)}
+	if err := q.Validate(); err == nil {
+		t.Fatal("unknown AggKind validated")
+	}
+	// Non-AGG queries do not care about the operator field.
+	q = Query{Type: Now, Mote: 1, Agg: AggKind(42)}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("NOW query rejected over unused operator: %v", err)
+	}
+}
+
+// TestPartialMergeMatchesFlat is the scatter-gather merge property: for
+// random entry sets and random partitions into 1..6 "domains", merging
+// per-partition partials must give the same aggregate as folding every
+// entry into one flat partial — for min, max, mean and mode — and the
+// same answer as the legacy flat Aggregate for min/max/mean.
+func TestPartialMergeMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		precision := []float64{0, 0.25, 1.0}[rng.Intn(3)]
+		entries := make([]cache.Entry, n)
+		for i := range entries {
+			entries[i] = cache.Entry{V: math.Round(rng.NormFloat64()*400) / 100, ErrBound: rng.Float64()}
+		}
+
+		flat := NewPartial(precision)
+		for _, e := range entries {
+			flat.Observe(e.V, e.ErrBound)
+		}
+
+		parts := 1 + rng.Intn(6)
+		partials := make([]Partial, parts)
+		for i := range partials {
+			partials[i] = NewPartial(precision)
+		}
+		for _, e := range entries {
+			partials[rng.Intn(parts)].Observe(e.V, e.ErrBound)
+		}
+		merged := NewPartial(precision)
+		for _, p := range partials {
+			merged.Merge(p)
+		}
+
+		if merged.Count != flat.Count || merged.Min != flat.Min || merged.Max != flat.Max {
+			t.Fatalf("trial %d: merged extrema %v/%v/%d vs flat %v/%v/%d",
+				trial, merged.Min, merged.Max, merged.Count, flat.Min, flat.Max, flat.Count)
+		}
+		for _, kind := range []AggKind{Min, Max, Mean, Mode} {
+			mv, mb, merr := merged.Final(kind)
+			fv, fb, ferr := flat.Final(kind)
+			if merr != nil || ferr != nil {
+				t.Fatalf("trial %d %v: unexpected err %v / %v", trial, kind, merr, ferr)
+			}
+			tol := 0.0
+			if kind == Mean {
+				tol = 1e-9 // summation order differs across partitions
+			}
+			if math.Abs(mv-fv) > tol || math.Abs(mb-fb) > 1e-9 {
+				t.Fatalf("trial %d %v: merged %v±%v vs flat %v±%v", trial, kind, mv, mb, fv, fb)
+			}
+		}
+
+		// Cross-check the flat partial against the legacy Aggregate.
+		a := proxy.Answer{Entries: entries}
+		for _, kind := range []AggKind{Min, Max, Mean} {
+			fv, _, _ := flat.Final(kind)
+			if legacy := Aggregate(kind, a); math.Abs(fv-legacy) > 1e-9 {
+				t.Fatalf("trial %d %v: partial %v vs Aggregate %v", trial, kind, fv, legacy)
+			}
+		}
+	}
+}
+
+// TestPartialModeBound: the mode's combined bound must cover the true
+// value of every member of the modal bin.
+func TestPartialModeBound(t *testing.T) {
+	p := NewPartial(1.0)
+	for _, v := range []float64{2.1, 2.4, 2.6, 7.0} {
+		p.Observe(v, 0.3)
+	}
+	v, b, err := p.Final(Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modal bin is [2, 3): center 2.5; every member within bin-half plus
+	// the entry bound.
+	if v != 2.5 {
+		t.Fatalf("mode %v, want 2.5", v)
+	}
+	if want := 0.5 + 0.3; math.Abs(b-want) > 1e-12 {
+		t.Fatalf("mode bound %v, want %v", b, want)
+	}
+}
+
+func TestPartialEmptyAggregate(t *testing.T) {
+	p := NewPartial(1)
+	if _, _, err := p.Final(Mean); !errors.Is(err, ErrEmptyAggregate) {
+		t.Fatalf("empty partial: err=%v, want ErrEmptyAggregate", err)
+	}
+	if _, _, err := p.Final(AggKind(9)); err == nil || errors.Is(err, ErrEmptyAggregate) {
+		t.Fatalf("unknown kind: err=%v", err)
+	}
+}
+
+// TestExecuteFlagsEmptyAggregate pins the other half of the NaN bugfix:
+// an AGG result with no entries must carry ErrEmptyAggregate instead of
+// only a bare NaN. (Exercised through the proxy-free Answer path: an
+// unknown mote yields an empty answer.)
+func TestExecuteFlagsEmptyAggregate(t *testing.T) {
+	sim := simtime.New(1)
+	med, err := radio.NewMedium(sim, radio.DefaultConfig(), energy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(sim, med, proxy.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	got := false
+	q := Query{Type: Agg, Mote: 99, T0: 0, T1: simtime.Hour, Agg: Mean, Precision: 1}
+	if err := Execute(p, q, func(r Result) { res = r; got = true }); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Minute)
+	if !got {
+		t.Fatal("AGG never completed")
+	}
+	if !errors.Is(res.Err, ErrEmptyAggregate) {
+		t.Fatalf("empty AGG Err=%v, want ErrEmptyAggregate", res.Err)
+	}
+	if !math.IsNaN(res.AggValue) {
+		t.Fatalf("empty AGG value %v, want NaN", res.AggValue)
+	}
+}
+
+func TestSpecQueryFor(t *testing.T) {
+	s := Spec{Type: Agg, T0: 1, T1: simtime.Hour, Agg: Max, Precision: 0.5,
+		Deadline: time.Second, MaxStaleness: time.Minute}
+	q := s.QueryFor(3)
+	if q.Mote != 3 || q.Type != Agg || q.T0 != 1 || q.T1 != simtime.Hour ||
+		q.Agg != Max || q.Precision != 0.5 || q.Deadline != time.Second || q.MaxStaleness != time.Minute {
+		t.Fatalf("QueryFor mapped %+v", q)
+	}
+}

@@ -213,6 +213,73 @@ func TestWaveletAgingDenserThanUniform(t *testing.T) {
 	}
 }
 
+func TestChunkDirectorySkipsOtherMotes(t *testing.T) {
+	// A wavelet segment interleaves every mote's chunks in one byte
+	// stream. The per-chunk directory must let a single-mote QueryRange
+	// decode only that mote's chunks — returning exactly what a full
+	// segment decode would, while skipping the other motes' records and
+	// reading fewer pages.
+	geo := flash.Geometry{PageSize: 256, PagesPerBlock: 8, NumBlocks: 8}
+	fb, err := NewFlashBackendPolicy(geo, AgingPolicy{Mode: AgingWavelet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floodBackend(t, fb, geo, 6)
+	if fb.Stats().WaveletChunks == 0 {
+		t.Fatal("no wavelet chunks written; test needs aged segments")
+	}
+	for _, seg := range fb.segs {
+		if seg.kind == segWavelet && len(seg.dir) == 0 {
+			t.Fatal("wavelet segment without a chunk directory")
+		}
+	}
+
+	perPage := geo.PageSize / flashRecSize
+	oldWindow := simtime.Time(6*perPage*geo.PagesPerBlock*geo.NumBlocks/4) * simtime.Minute
+	before := fb.Stats()
+	withDir, err := fb.QueryRange(1, 0, oldWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fb.Stats()
+	if len(withDir) == 0 {
+		t.Fatal("old window empty")
+	}
+	if after.RecordsSkipped == before.RecordsSkipped {
+		t.Fatal("directory skipped nothing on a single-mote query over interleaved chunks")
+	}
+	if after.ReadAmp() >= after.ReadAmpNoDir() {
+		t.Fatalf("ReadAmp %.2f not below ReadAmpNoDir %.2f", after.ReadAmp(), after.ReadAmpNoDir())
+	}
+	pagesWithDir := after.PagesRead - before.PagesRead
+
+	// Reference: strip the directories and re-run — the full-decode path
+	// must return byte-identical records at a higher cost.
+	for _, seg := range fb.segs {
+		seg.dir = nil
+	}
+	mid := fb.Stats()
+	noDir, err := fb.QueryRange(1, 0, oldWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := fb.Stats()
+	if len(noDir) != len(withDir) {
+		t.Fatalf("directory path returned %d records, full decode %d", len(withDir), len(noDir))
+	}
+	for i := range noDir {
+		if noDir[i] != withDir[i] {
+			t.Fatalf("record %d differs: dir %+v vs full %+v", i, withDir[i], noDir[i])
+		}
+	}
+	if final.RecordsSkipped != mid.RecordsSkipped {
+		t.Fatal("full-decode path counted skipped records")
+	}
+	if pagesNoDir := final.PagesRead - mid.PagesRead; pagesWithDir >= pagesNoDir {
+		t.Fatalf("directory read %d pages, full decode %d — no page saving", pagesWithDir, pagesNoDir)
+	}
+}
+
 func TestParseAgingPolicy(t *testing.T) {
 	cases := []struct {
 		in      string

@@ -47,6 +47,11 @@ type BackendStats struct {
 	PagesRead      uint64 // flash pages read back
 	RecordsScanned uint64 // records decoded while answering queries
 	RecordsMatched uint64 // records actually returned by queries
+	// RecordsSkipped counts records the wavelet per-chunk directory let
+	// the query path avoid decoding (other motes' chunks, or chunks
+	// outside the window, in touched segments). The directory's read-amp
+	// delta is ReadAmpNoDir() - ReadAmp().
+	RecordsSkipped uint64
 	Compactions    uint64 // segment-compaction passes
 	Coarsened      uint64 // records merged away by compaction (dedupe + grid thinning)
 	WaveletChunks  uint64 // wavelet summary chunks written by aging compactions
@@ -65,6 +70,17 @@ func (s BackendStats) ReadAmp() float64 {
 		return 0
 	}
 	return float64(s.RecordsScanned) / float64(s.RecordsMatched)
+}
+
+// ReadAmpNoDir is what ReadAmp would have been without the wavelet
+// per-chunk directory: every record the directory skipped would have
+// been decoded. The difference against ReadAmp is the directory's
+// saving.
+func (s BackendStats) ReadAmpNoDir() float64 {
+	if s.RecordsMatched == 0 {
+		return 0
+	}
+	return float64(s.RecordsScanned+s.RecordsSkipped) / float64(s.RecordsMatched)
 }
 
 // Backend is a per-domain archival store of confirmed mote observations.

@@ -65,6 +65,18 @@ const (
 	segWavelet
 )
 
+// chunkDirEntry locates one wavelet chunk inside a segment's byte
+// stream: which mote it summarizes, where its bytes live, and the time
+// span it reconstructs. The directory lets a single-mote QueryRange
+// decode only that mote's chunks instead of reconstructing the whole
+// segment.
+type chunkDirEntry struct {
+	m          radio.NodeID
+	off, size  int // byte range within the segment stream
+	count      int // records the chunk reconstructs
+	minT, maxT simtime.Time
+}
+
 // flashSegment is one sealed-or-open erase block of the log.
 type flashSegment struct {
 	block int
@@ -73,6 +85,9 @@ type flashSegment struct {
 	kind  int // segRaw or segWavelet
 	level int // aging level: 0 = raw, +1 per compaction survived
 	spans map[radio.NodeID]*moteSpan
+	// dir is the per-chunk directory of a segWavelet segment, in stream
+	// order.
+	dir []chunkDirEntry
 }
 
 func (seg *flashSegment) note(m radio.NodeID, t simtime.Time) {
@@ -530,6 +545,17 @@ func (b *FlashBackend) planWavelet(order []radio.NodeID, perMote map[radio.NodeI
 				seg.kind = segWavelet
 				stream := make([]byte, 0, size)
 				for _, ch := range chunks {
+					// Directory entry first: the chunk starts at the
+					// stream's current length. A chunk is one mote's
+					// time-ordered run, so first/last records bound it.
+					seg.dir = append(seg.dir, chunkDirEntry{
+						m:     ch.recs[0].m,
+						off:   len(stream),
+						size:  len(ch.bytes),
+						count: len(ch.recs),
+						minT:  ch.recs[0].r.T,
+						maxT:  ch.recs[len(ch.recs)-1].r.T,
+					})
 					stream = append(stream, ch.bytes...)
 				}
 				for p := 0; len(stream) > 0; p++ {
@@ -690,8 +716,67 @@ func (b *FlashBackend) readSegment(seg *flashSegment) ([]flashRec, error) {
 	return out, nil
 }
 
+// queryWaveletSegment answers one mote's range query from a wavelet
+// segment using its per-chunk directory: only the pages holding that
+// mote's overlapping chunks are read, and only those chunks are decoded.
+// Records in the segment's other chunks are counted as skipped — the
+// read amplification the directory avoided.
+func (b *FlashBackend) queryWaveletSegment(seg *flashSegment, m radio.NodeID, t0, t1 simtime.Time) ([]Record, error) {
+	base := seg.block * b.geo.PagesPerBlock
+	pages := make(map[int][]byte)
+	readPage := func(p int) ([]byte, error) {
+		if buf, ok := pages[p]; ok {
+			return buf, nil
+		}
+		buf, err := b.dev.Read(base + p)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment read: %w", err)
+		}
+		b.stats.PagesRead++
+		pages[p] = buf
+		return buf, nil
+	}
+	var out []Record
+	decoded := 0
+	for _, de := range seg.dir {
+		if de.m != m || de.maxT < t0 || de.minT > t1 {
+			continue
+		}
+		chunk := make([]byte, 0, de.size)
+		for off := de.off; off < de.off+de.size; {
+			buf, err := readPage(off / b.geo.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			in := off % b.geo.PageSize
+			n := b.geo.PageSize - in
+			if rest := de.off + de.size - off; n > rest {
+				n = rest
+			}
+			chunk = append(chunk, buf[in:in+n]...)
+			off += n
+		}
+		recs, err := decodeChunks(chunk)
+		if err != nil {
+			return nil, err
+		}
+		decoded += len(recs)
+		for _, fr := range recs {
+			if fr.r.T >= t0 && fr.r.T <= t1 {
+				out = append(out, fr.r)
+			}
+		}
+	}
+	b.stats.RecordsScanned += uint64(decoded)
+	b.stats.RecordsSkipped += uint64(seg.count - decoded)
+	return out, nil
+}
+
 // QueryRange scans the segments whose per-mote index overlaps [t0, t1],
 // plus the unflushed tail, and returns m's records in time order.
+// Wavelet segments carry a per-chunk directory, so only the target
+// mote's chunks are read and decoded; raw segments interleave motes
+// within pages and must be scanned whole.
 func (b *FlashBackend) QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record, error) {
 	if t1 < t0 {
 		return nil, fmt.Errorf("store: inverted range [%v, %v]", t0, t1)
@@ -700,6 +785,14 @@ func (b *FlashBackend) QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record
 	var out []Record
 	for _, seg := range b.segs {
 		if !seg.overlaps(m, t0, t1) {
+			continue
+		}
+		if seg.kind == segWavelet && len(seg.dir) > 0 {
+			recs, err := b.queryWaveletSegment(seg, m, t0, t1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
 			continue
 		}
 		recs, err := b.readSegment(seg)

@@ -163,6 +163,9 @@ func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 			res := query.Result{Query: q, Answer: a}
 			if q.Type == query.Agg {
 				res.AggValue = query.Aggregate(q.Agg, a)
+				if len(a.Entries) == 0 {
+					res.Err = query.ErrEmptyAggregate
+				}
 			}
 			cb(res)
 			return nil
