@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"presto/internal/cluster"
 	"presto/internal/core"
 	"presto/internal/exp"
 	"presto/internal/flash"
@@ -506,6 +507,93 @@ func BenchmarkContinuousQuery(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkClusterScatterGather prices distribution: the same 8-mote,
+// 4-domain AGG(mean) spec posed against the in-process engine and
+// against a 2-site cluster over the loopback transport (real frames,
+// push-down partials, honest-bounds merge — everything but the kernel's
+// socket copies). The gap is the cluster protocol's cost; the answers
+// are bit-identical, which each iteration re-checks. Reports specs/sec
+// as queries/s.
+func BenchmarkClusterScatterGather(b *testing.B) {
+	const proxies, motesPer, shards = 4, 2, 4
+	mkCfg := func() core.Config {
+		c := gen.DefaultTempConfig()
+		c.Sensors = proxies * motesPer
+		c.Days = 3
+		c.Seed = 1
+		traces, err := gen.Temperature(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Proxies = proxies
+		cfg.MotesPerProxy = motesPer
+		cfg.Shards = shards
+		cfg.Radio.LossProb = 0
+		cfg.Radio.JitterMax = 0
+		cfg.Traces = traces
+		return cfg
+	}
+	spec := query.Spec{Type: query.Agg, Agg: query.Mean, Precision: 0.5, Trailing: 2 * time.Hour}
+	ctx := context.Background()
+
+	n, err := core.Build(mkCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(6 * time.Hour)
+	ref, err := n.Client().QueryOne(ctx, spec)
+	if err != nil || ref.Err != nil {
+		b.Fatalf("reference: %v %v", err, ref.Err)
+	}
+
+	tr := cluster.NewLoopback()
+	co, err := cluster.Listen(tr, "", mkCfg(), cluster.Options{Sites: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer co.Close()
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() { _ = cluster.Serve(serveCtx, tr, co.Addr(), mkCfg()) }()
+	if err := co.AcceptSites(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := co.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := co.Run(ctx, 6*time.Hour); err != nil {
+		b.Fatal(err)
+	}
+
+	clients := []struct {
+		name string
+		cl   *core.Client
+	}{
+		{"inproc", n.Client()},
+		{"cluster-2site-loopback", co.Client()},
+	}
+	for _, c := range clients {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.cl.QueryOne(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Err != nil || res.Value != ref.Value || res.ErrBound != ref.ErrBound || res.Count != ref.Count {
+					b.Fatalf("answer diverged: %+v vs reference %+v", res, ref)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }
 
 // BenchmarkAllExperiments runs the full registry once per iteration (the

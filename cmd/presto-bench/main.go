@@ -5,11 +5,15 @@
 // Usage:
 //
 //	presto-bench [-scale quick|paper] [-shards N] [-store mem|flash]
-//	             [-aging wavelet[:tiers]|uniform] [-run T1,F2,...] [-list]
+//	             [-aging wavelet[:tiers]|uniform] [-cluster N]
+//	             [-run T1,F2,...] [-list]
 //
 // The paper scale reproduces the published parameters (28 days of 1-minute
 // samples, 20-mote deployments); quick scale preserves every shape at a
-// fraction of the runtime.
+// fraction of the runtime. -cluster sets the process count for the E15
+// cluster experiment (its domains split across that many cooperating
+// sites over the loopback transport; the merged answers are checked
+// bit-identical to the in-process run).
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	shards := flag.Int("shards", 1, "concurrent simulation domains for multi-proxy deployments")
 	storeBackend := flag.String("store", "mem", "archival store backend per domain: mem or flash")
 	aging := flag.String("aging", "wavelet", "flash compaction aging policy: wavelet[:tiers] or uniform")
+	clusterSites := flag.Int("cluster", 0, "cluster-mode site count for E15 (0 = the experiment's default of 2)")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -58,6 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Aging = *aging
+	sc.Sites = *clusterSites
 
 	want := map[string]bool{}
 	if *run != "" {

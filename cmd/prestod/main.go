@@ -10,6 +10,7 @@
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
 //	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
 //	        [-max-staleness D] [-every D]
+//	        [-listen addr -sites N [-wired] | -join addr [-wired]]
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
@@ -33,6 +34,22 @@
 // continuous all-motes NOW spec through the core.Client facade — that
 // delivers one fleet snapshot per that much virtual time for the whole
 // post-bootstrap run; each snapshot costs a single engine submission.
+//
+// Cluster mode runs ONE deployment across several OS processes
+// (internal/cluster). -listen starts the coordinator: it hosts the first
+// window of simulation domains, waits for -sites-1 joiners over TCP,
+// bootstraps, advances the cluster on virtual-time leases, poses a
+// trailing multi-site AGG (one scatter frame per site, partial
+// aggregates merged with honest bounds — printed with full float64
+// precision so runs can be diffed against a single-process run of the
+// same seed), and with -every also drives a standing fleet snapshot
+// query. -join starts a site: it must be launched with the SAME
+// deployment flags (enforced by a config fingerprint at join time),
+// receives its domain window from the coordinator, and serves until the
+// coordinator closes the session. -wired enables the wired replica in
+// cluster mode: remote sites' confirmed data rides the transport to
+// proxy 0 at the coordinator (replication timing is wall-clock
+// dependent, so leave it off when diffing against single-process runs).
 package main
 
 import (
@@ -43,6 +60,7 @@ import (
 	"os"
 	"time"
 
+	"presto/internal/cluster"
 	"presto/internal/core"
 	"presto/internal/energy"
 	"presto/internal/gen"
@@ -50,6 +68,7 @@ import (
 	"presto/internal/query"
 	"presto/internal/simtime"
 	"presto/internal/stats"
+	"presto/internal/wire"
 )
 
 func main() {
@@ -69,6 +88,11 @@ func main() {
 	aging := flag.String("aging", "wavelet", "flash compaction aging policy: wavelet[:tiers] or uniform")
 	maxStale := flag.Duration("max-staleness", 0, "per-query freshness bound (0 = unbounded); PAST windows whose tail overlaps now honor it too")
 	every := flag.Duration("every", 0, "standing query period of virtual time (0 = no continuous query)")
+	listen := flag.String("listen", "", "cluster coordinator: TCP listen address (host:port; :0 picks a port)")
+	join := flag.String("join", "", "cluster site: coordinator address to join")
+	sites := flag.Int("sites", 2, "cluster total process count for -listen, coordinator included")
+	quantum := flag.Duration("quantum", cluster.DefaultQuantum, "cluster advance-lease quantum of virtual time")
+	wired := flag.Bool("wired", false, "cluster mode: mirror remote sites onto proxy 0 over the transport (wired replica)")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
 
@@ -92,6 +116,23 @@ func main() {
 	cfg.WiredFirstProxy = *proxies > 1
 	cfg.StoreBackend = *storeBackend
 	cfg.StoreAging = *aging
+
+	if *listen != "" || *join != "" {
+		if *listen != "" && *join != "" {
+			log.Fatal("-listen and -join are mutually exclusive")
+		}
+		// Replication in cluster mode is opt-in: its bridge-drain timing
+		// is wall-clock dependent, and the default keeps cluster runs
+		// bit-diffable against single-process runs of the same seed.
+		cfg.WiredFirstProxy = *wired
+		if *join != "" {
+			runClusterSite(*join, cfg)
+			return
+		}
+		runClusterCoordinator(*listen, cfg, *sites, *quantum, *days, *delta, *precision, *every)
+		return
+	}
+
 	n, err := core.Build(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -257,6 +298,118 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runClusterSite joins a cluster and serves its assigned domain window
+// until the coordinator hangs up.
+func runClusterSite(addr string, cfg core.Config) {
+	fmt.Printf("cluster: joining coordinator at %s\n", addr)
+	if err := cluster.Serve(context.Background(), cluster.TCP{}, addr, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster: coordinator closed the session; site done")
+}
+
+// runClusterCoordinator drives a whole cluster run: accept joiners,
+// bootstrap, advance on leases, pose a trailing multi-site AGG (printed
+// at full float64 precision for diffing against single-process runs),
+// then optionally a standing fleet-snapshot query. The schedule is
+// deterministic in the flags: train for min(36h, days/2), run half the
+// remaining time quietly, query, then run the other half (under the
+// standing query when -every is set).
+func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time.Duration, days int, delta, precision float64, every time.Duration) {
+	ctx := context.Background()
+	co, err := cluster.Listen(cluster.TCP{}, addr, cfg, cluster.Options{Sites: sites, Quantum: quantum})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer co.Close()
+	fmt.Printf("cluster: listening on %s, waiting for %d site(s)\n", co.Addr(), sites-1)
+	if err := co.AcceptSites(ctx); err != nil {
+		log.Fatal(err)
+	}
+	lay := co.Network().Layout()
+	fmt.Printf("cluster: %d sites serving %d domains (%d motes)\n",
+		sites, lay.Shards, len(lay.AllMotes()))
+
+	trainFor := 36 * time.Hour
+	if d := time.Duration(days) * 24 * time.Hour; trainFor > d/2 {
+		trainFor = d / 2
+	}
+	fmt.Printf("cluster: bootstrapping (streaming %v, then model-driven)...\n", trainFor)
+	if err := co.Bootstrap(ctx, trainFor, 48, delta); err != nil {
+		log.Fatal(err)
+	}
+	remaining := time.Duration(days)*24*time.Hour - trainFor
+	quiet := remaining / 2
+	if err := co.Run(ctx, quiet); err != nil {
+		log.Fatal(err)
+	}
+
+	// The multi-site aggregate: one scatter frame per site, partials
+	// merged with honest bounds. Full precision so a single-process run
+	// of the same seed can be diffed bit-for-bit.
+	res, err := co.Client().QueryOne(ctx, query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: precision, Trailing: 2 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Err != nil || res.Count == 0 {
+		log.Fatalf("cluster aggregate unusable: err=%v count=%d", res.Err, res.Count)
+	}
+	for _, se := range res.SiteErrs {
+		fmt.Fprintf(os.Stderr, "prestod: site %d failed the round: %v\n", se.Site, se.Err)
+	}
+	if len(res.SiteErrs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("cluster agg: mean=%.17g bound=%.17g count=%d at=%v\n",
+		res.Value, res.ErrBound, res.Count, res.At)
+
+	// Standing query over the back half of the run.
+	snapshots := 0
+	if every > 0 {
+		stream, err := co.Client().Query(ctx, query.Spec{
+			Type: query.Now, Precision: precision,
+			Continuous: &query.Continuous{Every: every, Until: remaining - quiet},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		done := make(chan int, 1)
+		go func() {
+			n := 0
+			for snap := range stream.Results() {
+				if snap.Failed == 0 {
+					n++
+				}
+			}
+			done <- n
+		}()
+		if err := co.Run(ctx, remaining-quiet); err != nil {
+			log.Fatal(err)
+		}
+		snapshots = <-done
+	} else {
+		if err := co.Run(ctx, remaining-quiet); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i, st := range co.SiteStats() {
+		fmt.Printf("cluster frames: site %d sent=%d recv=%d scatter=%d partials=%d bridge=%d\n",
+			i+1, st.Sent, st.Recv, st.SentKind[wire.FrameScatter],
+			st.RecvKind[wire.FramePartials], st.RecvKind[wire.FrameBridge])
+	}
+	if every > 0 {
+		fmt.Printf("cluster standing query: %d fleet snapshots (one per %v of virtual time)\n", snapshots, every)
+		if snapshots == 0 {
+			fmt.Fprintln(os.Stderr, "prestod: cluster standing query delivered no snapshots")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("cluster: done after %v of virtual time\n", co.Now())
 }
 
 func abs(x float64) float64 {

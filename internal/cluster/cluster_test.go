@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"sync"
+	"testing"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/gen"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// testConfig builds the shared deployment config: 4 proxies x 2 motes in
+// 4 domains, deterministic radio. Replication is off by default — the
+// bit-identity tests want pure partitioned domains (bridge drain timing
+// is wall-clock dependent and tolerated, not bit-reproducible).
+func testConfig(t testing.TB, proxies, motesPer, shards int) core.Config {
+	t.Helper()
+	c := gen.DefaultTempConfig()
+	c.Sensors = proxies * motesPer
+	c.Days = 3
+	c.Seed = 1
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Proxies = proxies
+	cfg.MotesPerProxy = motesPer
+	cfg.Shards = shards
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	return cfg
+}
+
+// startCluster brings up a coordinator plus remote sites over the
+// transport and returns the coordinator and a cleanup-wait function.
+func startCluster(t *testing.T, tr Transport, cfg core.Config, sites int) (*Coordinator, func()) {
+	t.Helper()
+	co, err := Listen(tr, clusterAddr(tr), cfg, Options{Sites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	serveErrs := make(chan error, sites-1)
+	for i := 1; i < sites; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveErrs <- Serve(ctx, tr, co.Addr(), cfg)
+		}()
+	}
+	if err := co.AcceptSites(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return co, func() {
+		co.Close()
+		cancel()
+		wg.Wait()
+		close(serveErrs)
+		for err := range serveErrs {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("site serve: %v", err)
+			}
+		}
+	}
+}
+
+func clusterAddr(tr Transport) string {
+	if _, ok := tr.(TCP); ok {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+// TestClusterAggBitIdentical is the acceptance property: a multi-site
+// AGG query answers bit-identically — value, bound and count — to the
+// same seed run single-process, over both the loopback and TCP
+// transports, and costs exactly one scatter frame per remote site.
+func TestClusterAggBitIdentical(t *testing.T) {
+	const proxies, motesPer, shards, sites = 4, 2, 4, 2
+	runFor := 4 * time.Hour
+
+	// Single-process reference.
+	cfg := testConfig(t, proxies, motesPer, shards)
+	single, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Start()
+	single.Run(runFor)
+	refNow := single.Now()
+	spec := query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5,
+		T0: refNow - 3*simtime.Hour, T1: refNow - simtime.Hour,
+	}
+	ref, err := single.Client().QueryOne(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Close()
+	if ref.Err != nil || ref.Count == 0 {
+		t.Fatalf("reference aggregate unusable: %+v", ref)
+	}
+
+	for name, tr := range map[string]Transport{"loopback": NewLoopback(), "tcp": TCP{}} {
+		t.Run(name, func(t *testing.T) {
+			co, shutdown := startCluster(t, tr, testConfig(t, proxies, motesPer, shards), sites)
+			defer shutdown()
+			ctx := context.Background()
+			if err := co.Start(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := co.Run(ctx, runFor); err != nil {
+				t.Fatal(err)
+			}
+			if co.Now() != refNow {
+				t.Fatalf("cluster clock %v != single-process %v", co.Now(), refNow)
+			}
+			res, err := co.Client().QueryOne(ctx, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.SiteErrs) != 0 || res.Failed != 0 {
+				t.Fatalf("round not clean: %+v", res)
+			}
+			if res.Value != ref.Value || res.ErrBound != ref.ErrBound || res.Count != ref.Count {
+				t.Fatalf("cluster AGG (%v ± %v, n=%d) != single-process (%v ± %v, n=%d)",
+					res.Value, res.ErrBound, res.Count, ref.Value, ref.ErrBound, ref.Count)
+			}
+			// One frame per site: the whole 8-mote, 4-domain aggregate cost
+			// exactly one FrameScatter on each remote connection.
+			for i, st := range co.SiteStats() {
+				if got := st.SentKind[wire.FrameScatter]; got != 1 {
+					t.Fatalf("site %d saw %d scatter frames, want exactly 1", i+1, got)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterPastResultsMatch: per-mote PAST results — entries, bounds,
+// provenance — survive the wire and merge identically to single-process.
+func TestClusterPastResultsMatch(t *testing.T) {
+	const proxies, motesPer, shards, sites = 4, 2, 4, 2
+	runFor := 3 * time.Hour
+
+	cfg := testConfig(t, proxies, motesPer, shards)
+	single, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Start()
+	single.Run(runFor)
+	now := single.Now()
+	spec := query.Spec{Type: query.Past, T0: now - 2*simtime.Hour, T1: now - simtime.Hour, Precision: 0.5}
+	ref, err := single.Client().QueryOne(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Close()
+
+	co, shutdown := startCluster(t, NewLoopback(), testConfig(t, proxies, motesPer, shards), sites)
+	defer shutdown()
+	ctx := context.Background()
+	if err := co.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(ctx, runFor); err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Client().QueryOne(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(ref.Results) {
+		t.Fatalf("%d per-mote results, single-process had %d", len(res.Results), len(ref.Results))
+	}
+	for i, r := range res.Results {
+		w := ref.Results[i]
+		if r.Query.Mote != w.Query.Mote || r.Answer.Source != w.Answer.Source ||
+			len(r.Answer.Entries) != len(w.Answer.Entries) {
+			t.Fatalf("result %d shape differs: %+v vs %+v", i, r.Answer, w.Answer)
+		}
+		for j, e := range r.Answer.Entries {
+			if e != w.Answer.Entries[j] {
+				t.Fatalf("mote %d entry %d: %+v != %+v", r.Query.Mote, j, e, w.Answer.Entries[j])
+			}
+		}
+	}
+}
+
+// TestClusterContinuousTrailing: a standing trailing-window aggregate
+// delivers one round per period during Run, each round re-evaluating
+// [now-d, now] — counts stay roughly constant instead of growing with
+// history, and Until closes the stream by itself.
+func TestClusterContinuousTrailing(t *testing.T) {
+	co, shutdown := startCluster(t, NewLoopback(), testConfig(t, 4, 2, 4), 2)
+	defer shutdown()
+	ctx := context.Background()
+	if err := co.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(ctx, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := co.Client().Query(ctx, query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5,
+		Trailing:   time.Hour,
+		Continuous: &query.Continuous{Every: 30 * time.Minute, Until: 2 * time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(ctx, 3*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []query.SetResult
+	for res := range stream.Results() {
+		rounds = append(rounds, res)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("delivered %d rounds, want 4 (Until/Every)", len(rounds))
+	}
+	for i, r := range rounds {
+		if r.Seq != i {
+			t.Fatalf("round %d has seq %d", i, r.Seq)
+		}
+		if r.Err != nil || r.Failed != 0 || len(r.SiteErrs) != 0 {
+			t.Fatalf("round %d not clean: %+v", i, r)
+		}
+		if r.Count == 0 {
+			t.Fatalf("round %d: empty trailing window", i)
+		}
+		if i > 0 && r.At != rounds[i-1].At+30*simtime.Minute {
+			t.Fatalf("round %d at %v, want exact %v cadence", i, r.At, 30*simtime.Minute)
+		}
+		// A trailing 1h window over 1-minute sampling holds ~60 samples
+		// per mote; a fixed-from-zero window would grow past that.
+		if perMote := r.Count / 8; perMote > 70 {
+			t.Fatalf("round %d: %d samples/mote — window not trailing", i, r.Count/8)
+		}
+	}
+}
+
+// TestClusterSiteDropMidScatter is the fault-injection acceptance: a
+// site that dies after receiving a scatter frame (mid-round, response
+// never sent) must surface as an explicit per-site error with the other
+// sites' partials intact — not a hang, not a silent total.
+func TestClusterSiteDropMidScatter(t *testing.T) {
+	tr := NewLoopback()
+	cfg := testConfig(t, 4, 2, 4)
+	co, err := Listen(tr, "", cfg, Options{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// A saboteur site: completes the handshake and serves Start, then
+	// closes its connection the moment a scatter arrives.
+	ready := make(chan struct{})
+	go func() {
+		conn, err := tr.Dial(co.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Send(wire.Frame{Kind: wire.FrameHello,
+			Payload: wire.EncodeHello(wire.Hello{Version: wire.ProtoVersion, ConfigHash: configHash(cfg)})})
+		if f, err := conn.Recv(); err != nil || f.Kind != wire.FrameAssign {
+			t.Errorf("handshake: %v %v", f.Kind, err)
+			return
+		}
+		close(ready)
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			switch f.Kind {
+			case wire.FrameStart:
+				conn.Send(wire.Frame{Kind: wire.FrameStartAck, Seq: f.Seq, Payload: []byte{1}})
+			case wire.FrameScatter:
+				conn.Close() // die mid-round
+				return
+			default:
+				t.Errorf("saboteur got %v", f.Kind)
+				return
+			}
+		}
+	}()
+	if err := co.AcceptSites(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-ready
+	ctx := context.Background()
+	if err := co.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	co.local.Run(2 * time.Hour) // only the local window advances; enough for data
+
+	done := make(chan query.SetResult, 1)
+	go func() {
+		res, err := co.Client().QueryOne(ctx, query.Spec{Type: query.Agg, Agg: query.Mean, T1: simtime.Hour, Precision: 0.5})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	var res query.SetResult
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator hung on a dropped site")
+	}
+	if len(res.SiteErrs) != 1 || res.SiteErrs[0].Site != 1 || res.SiteErrs[0].Err == nil {
+		t.Fatalf("want one explicit error for site 1, got %+v", res.SiteErrs)
+	}
+	// Site 1 hosted domains 2-3 (motes 5-8): its 4 motes failed, the
+	// local window's 4 still answered.
+	if res.Failed != 4 {
+		t.Fatalf("failed motes = %d, want 4", res.Failed)
+	}
+	if res.Count == 0 || res.Err != nil {
+		t.Fatalf("local partials lost: %+v", res)
+	}
+
+	// The dead site stays dead: the next round fails fast, no hang.
+	res2, err := co.Client().QueryOne(ctx, query.Spec{Type: query.Now, Precision: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.SiteErrs) != 1 || len(res2.Results) != 4 {
+		t.Fatalf("subsequent round: %+v", res2)
+	}
+}
+
+// TestClusterWiredReplicaOverTransport: with WiredFirstProxy on, a
+// remote site's confirmed data rides FrameBridge over the transport into
+// the coordinator's replica proxy.
+func TestClusterWiredReplicaOverTransport(t *testing.T) {
+	cfg := testConfig(t, 2, 2, 2)
+	cfg.WiredFirstProxy = true
+	co, shutdown := startCluster(t, NewLoopback(), cfg, 2)
+	defer shutdown()
+	ctx := context.Background()
+	if err := co.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(ctx, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := co.SiteStats()[0]
+	if st.RecvKind[wire.FrameBridge] == 0 {
+		t.Fatal("no bridge frames crossed the transport")
+	}
+	if _, delivered := co.Network().Bridge().Stats(); delivered == 0 {
+		t.Fatal("bridge frames arrived but were never delivered to the replica domain")
+	}
+}
+
+// TestClusterErrNoMotes: an empty selection is a typed submission error,
+// cluster and single-process alike.
+func TestClusterErrNoMotes(t *testing.T) {
+	co, shutdown := startCluster(t, NewLoopback(), testConfig(t, 2, 2, 2), 2)
+	defer shutdown()
+	none := query.SelectWhere(func(radio.NodeID) bool { return false })
+	_, err := co.SubmitSpec(context.Background(), query.Spec{Type: query.Now, Precision: 1, Select: none})
+	if !errors.Is(err, query.ErrNoMotes) {
+		t.Fatalf("cluster: got %v, want ErrNoMotes", err)
+	}
+}
+
+// TestClusterRejectsMismatchedDeployment: a site launched with different
+// deployment parameters is refused at join time.
+func TestClusterRejectsMismatchedDeployment(t *testing.T) {
+	tr := NewLoopback()
+	cfg := testConfig(t, 2, 2, 2)
+	co, err := Listen(tr, "", cfg, Options{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	bad := cfg
+	bad.Seed = 99
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(context.Background(), tr, co.Addr(), bad) }()
+	if err := co.AcceptSites(context.Background()); err == nil {
+		t.Fatal("coordinator accepted a mismatched site")
+	}
+	if err := <-serveErr; err == nil {
+		t.Fatal("mismatched site joined successfully")
+	}
+}
+
+// TestSiteWindowPartition pins the contiguous split arithmetic.
+func TestSiteWindowPartition(t *testing.T) {
+	for _, tc := range []struct{ shards, sites int }{{4, 2}, {5, 2}, {7, 3}, {3, 3}, {1, 1}} {
+		covered := 0
+		prevEnd := 0
+		for s := 0; s < tc.sites; s++ {
+			first, count := siteWindow(tc.shards, tc.sites, s)
+			if first != prevEnd || count < 1 {
+				t.Fatalf("shards=%d sites=%d site=%d: window [%d,+%d) not contiguous from %d",
+					tc.shards, tc.sites, s, first, count, prevEnd)
+			}
+			prevEnd = first + count
+			covered += count
+		}
+		if covered != tc.shards {
+			t.Fatalf("shards=%d sites=%d: windows cover %d", tc.shards, tc.sites, covered)
+		}
+	}
+}
+
+// TestLoopbackAndTCPTransportBasics: frames round-trip, counters count,
+// close unblocks Recv.
+func TestTransportBasics(t *testing.T) {
+	for name, tr := range map[string]Transport{"loopback": NewLoopback(), "tcp": TCP{}} {
+		t.Run(name, func(t *testing.T) {
+			lis, err := tr.Listen(clusterAddr(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lis.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := lis.Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				accepted <- c
+			}()
+			client, err := tr.Dial(lis.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := <-accepted
+			want := wire.Frame{Kind: wire.FrameScatter, Seq: 42, Payload: []byte{1, 2, 3}}
+			if err := client.Send(want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := server.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != want.Kind || got.Seq != want.Seq || len(got.Payload) != 3 {
+				t.Fatalf("frame round-trip: %+v", got)
+			}
+			cs, ss := client.Stats(), server.Stats()
+			if cs.SentKind[wire.FrameScatter] != 1 || ss.RecvKind[wire.FrameScatter] != 1 {
+				t.Fatalf("counters: sent %+v recv %+v", cs.SentKind, ss.RecvKind)
+			}
+			client.Close()
+			if _, err := server.Recv(); err == nil {
+				t.Fatal("Recv survived peer close")
+			}
+			server.Close()
+		})
+	}
+}
+
+// buildFailure keeps error paths honest: impossible windows are refused.
+func TestClusterOptionValidation(t *testing.T) {
+	cfg := testConfig(t, 2, 2, 2)
+	if _, err := Listen(NewLoopback(), "", cfg, Options{Sites: 3}); err == nil {
+		t.Fatal("3 sites accepted for 2 domains")
+	}
+	if _, err := Listen(NewLoopback(), "", cfg, Options{Sites: 0}); err == nil {
+		t.Fatal("0 sites accepted")
+	}
+	win := cfg
+	win.SiteShards = 1
+	if _, err := Listen(NewLoopback(), "", win, Options{Sites: 2}); err == nil {
+		t.Fatal("pre-windowed config accepted")
+	}
+}

@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// DefaultQuantum is the advance-lease size: how much virtual time a site
+// may run ahead between coordinator barriers. It matches the in-process
+// engine's bridge-drain quantum — the same bound the single-process
+// replica freshness story is built on.
+const DefaultQuantum = 10 * time.Second
+
+// Options tunes a cluster coordinator.
+type Options struct {
+	// Sites is the total process count, including the coordinator
+	// (which always hosts the first window of domains — and with it the
+	// wired replica). Must be >= 1 and <= the deployment's domain count.
+	Sites int
+	// Quantum is the advance-lease size in virtual time (default
+	// DefaultQuantum). Continuous-round instants always land on a lease
+	// boundary, so smaller quanta tighten clock coherence at the price
+	// of more advance round-trips.
+	Quantum time.Duration
+}
+
+// contStream is one standing query's coordinator-side state.
+type contStream struct {
+	spec   query.Spec
+	groups []siteTargets
+	every  simtime.Time
+	until  simtime.Time // absolute horizon; 0 = unbounded
+	next   simtime.Time // next fire instant
+	seq    int
+	out    chan query.SetResult
+	ctx    context.Context
+	done   chan struct{}
+	closed bool
+}
+
+func (st *contStream) close() {
+	if !st.closed {
+		st.closed = true
+		close(st.out)
+		close(st.done)
+	}
+}
+
+// siteTargets is one site's share of a spec's resolved motes.
+type siteTargets struct {
+	site  int // 0 = the coordinator's local window
+	motes []radio.NodeID
+}
+
+// Coordinator runs a deployment across cluster sites: it hosts the
+// first window of domains itself, owns the global virtual clock
+// (advance leases), scatters specs one frame per remote site, and
+// merges the sites' partials with the engine's honest-bounds merge
+// stage. It implements core.SpecSubmitter, so core.Client front-ends a
+// cluster exactly as it does an in-process Network.
+type Coordinator struct {
+	cfg core.Config
+	lay core.Layout
+	opt Options
+	// domainSite maps each global domain to its hosting site, indexed
+	// by domain — the scatter router's O(1) lookup.
+	domainSite []int
+	local      *core.Network
+	lis        Listener
+	sites      []*siteLink // remote sites; index i serves site i+1
+
+	seq atomic.Uint64
+
+	runMu sync.Mutex // serializes Run (one lease-issuer at a time)
+
+	mu     sync.Mutex // guards vnow, conts, closed
+	vnow   simtime.Time
+	conts  []*contStream
+	closed bool
+
+	closeOnce sync.Once
+}
+
+// Listen creates a cluster coordinator: it validates the global config,
+// builds the coordinator's own domain window, and binds the transport
+// listener — but does not accept joiners yet. Read Addr for the bound
+// address (":0" TCP listens pick a port), then call AcceptSites to
+// block until every site has joined and been assigned its window.
+func Listen(t Transport, addr string, cfg core.Config, opt Options) (*Coordinator, error) {
+	if cfg.SiteShards != 0 || cfg.FirstShard != 0 {
+		return nil, errors.New("cluster: the coordinator assigns shard windows; leave them zero")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lay := core.NewLayout(cfg)
+	if opt.Sites < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 site, got %d", opt.Sites)
+	}
+	if opt.Sites > lay.Shards {
+		return nil, fmt.Errorf("cluster: %d sites for %d domains (each site hosts at least one)",
+			opt.Sites, lay.Shards)
+	}
+	if opt.Quantum <= 0 {
+		opt.Quantum = DefaultQuantum
+	}
+
+	first, count := siteWindow(lay.Shards, opt.Sites, 0)
+	cfg0 := cfg
+	cfg0.FirstShard, cfg0.SiteShards = first, count
+	local, err := core.Build(cfg0)
+	if err != nil {
+		return nil, err
+	}
+	lis, err := t.Listen(addr)
+	if err != nil {
+		local.Close()
+		return nil, err
+	}
+	domainSite := make([]int, lay.Shards)
+	for s := 0; s < opt.Sites; s++ {
+		lo, n := siteWindow(lay.Shards, opt.Sites, s)
+		for d := lo; d < lo+n; d++ {
+			domainSite[d] = s
+		}
+	}
+	return &Coordinator{cfg: cfg, lay: lay, opt: opt, domainSite: domainSite, local: local, lis: lis}, nil
+}
+
+// siteWindow splits nShards contiguously across nSites, remainder to the
+// first sites; returns site's [first, first+count) window.
+func siteWindow(nShards, nSites, site int) (first, count int) {
+	base, rem := nShards/nSites, nShards%nSites
+	for i := 0; i < site; i++ {
+		first += base
+		if i < rem {
+			first++
+		}
+	}
+	count = base
+	if site < rem {
+		count++
+	}
+	return first, count
+}
+
+// Addr returns the listener's bound address for joiners to Dial.
+func (co *Coordinator) Addr() string { return co.lis.Addr() }
+
+// AcceptSites blocks until every remote site has joined: each joiner's
+// hello is checked against the coordinator's protocol version and config
+// fingerprint, answered with its window assignment (in join order), and
+// its connection handed to a demultiplexer. Cancel ctx to abort.
+func (co *Coordinator) AcceptSites(ctx context.Context) error {
+	type accepted struct {
+		conn Conn
+		err  error
+	}
+	hash := configHash(co.cfg)
+	for site := 1; site < co.opt.Sites; site++ {
+		ch := make(chan accepted, 1)
+		go func() {
+			c, err := co.lis.Accept()
+			ch <- accepted{c, err}
+		}()
+		var conn Conn
+		select {
+		case a := <-ch:
+			if a.err != nil {
+				return a.err
+			}
+			conn = a.conn
+		case <-ctx.Done():
+			co.lis.Close()
+			return ctx.Err()
+		}
+		f, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: site %d hello: %w", site, err)
+		}
+		hello, err := wire.DecodeHello(f.Payload)
+		if f.Kind != wire.FrameHello || err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: site %d: bad hello", site)
+		}
+		if hello.Version != wire.ProtoVersion {
+			conn.Close()
+			return fmt.Errorf("cluster: site %d speaks protocol %d, want %d", site, hello.Version, wire.ProtoVersion)
+		}
+		if hello.ConfigHash != hash {
+			conn.Close()
+			return fmt.Errorf("cluster: site %d runs a different deployment (config hash mismatch)", site)
+		}
+		first, count := siteWindow(co.lay.Shards, co.opt.Sites, site)
+		if err := conn.Send(wire.Frame{Kind: wire.FrameAssign, Payload: wire.EncodeAssign(wire.Assign{
+			Site: site, Sites: co.opt.Sites, FirstShard: first, Shards: count, ConfigHash: hash,
+		})}); err != nil {
+			conn.Close()
+			return err
+		}
+		l := &siteLink{idx: site, first: first, count: count, conn: conn,
+			waiters: make(map[uint64]chan wire.Frame), dead: make(chan struct{})}
+		for d := first; d < first+count; d++ {
+			l.motes = append(l.motes, co.lay.DomainMotes(d)...)
+		}
+		co.sites = append(co.sites, l)
+		go l.demux(co)
+	}
+	return nil
+}
+
+// Network returns the coordinator's locally-hosted domain window (for
+// introspection: energy meters, store stats, truth lookups of local
+// motes).
+func (co *Coordinator) Network() *core.Network { return co.local }
+
+// Client wraps the coordinator in the standard query facade.
+func (co *Coordinator) Client() *core.Client { return core.NewClient(co) }
+
+// SiteStats returns per-remote-site frame counters, indexed by site-1.
+// The one-frame-per-site property reads straight off SentKind.
+func (co *Coordinator) SiteStats() []ConnStats {
+	out := make([]ConnStats, len(co.sites))
+	for i, l := range co.sites {
+		out[i] = l.conn.Stats()
+	}
+	return out
+}
+
+// Now returns the coordinator's virtual clock: the latest advance-lease
+// floor every site has converged on.
+func (co *Coordinator) Now() simtime.Time {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.vnow
+}
+
+// Close tears the cluster down: sites see their connection close and
+// exit Serve cleanly; the local window shuts its workers down. Standing
+// streams close.
+func (co *Coordinator) Close() {
+	co.closeOnce.Do(func() {
+		co.mu.Lock()
+		co.closed = true
+		conts := co.conts
+		co.conts = nil
+		co.mu.Unlock()
+		for _, st := range conts {
+			st.close()
+		}
+		for _, l := range co.sites {
+			l.conn.Close()
+		}
+		co.lis.Close()
+		co.local.Close()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-wide operations
+
+// Bootstrap runs the two-phase startup on every site concurrently and
+// waits for all of them; the coordinator's clock then starts at the
+// common post-bootstrap instant.
+func (co *Coordinator) Bootstrap(ctx context.Context, trainFor time.Duration, bins int, delta float64) error {
+	payload := wire.EncodeBootstrap(wire.Bootstrap{TrainFor: simtime.Time(trainFor), Bins: bins, Delta: delta})
+	errs := make(chan error, len(co.sites))
+	for _, l := range co.sites {
+		l := l
+		go func() {
+			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameBootstrap, payload)
+			if err == nil {
+				_, err = decodeReply(f)
+			}
+			if err != nil {
+				err = fmt.Errorf("cluster: site %d bootstrap: %w", l.idx, err)
+			}
+			errs <- err
+		}()
+	}
+	_, lerr := co.local.Bootstrap(trainFor, bins, delta)
+	for range co.sites {
+		if err := <-errs; err != nil && lerr == nil {
+			lerr = err
+		}
+	}
+	co.mu.Lock()
+	co.vnow = co.local.Now()
+	co.mu.Unlock()
+	return lerr
+}
+
+// Start begins sampling on every site's motes without the two-phase
+// bootstrap (raw-push workloads; Bootstrap implies it).
+func (co *Coordinator) Start(ctx context.Context) error {
+	errs := make(chan error, len(co.sites))
+	for _, l := range co.sites {
+		l := l
+		go func() {
+			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameStart, nil)
+			if err == nil {
+				_, err = decodeReply(f)
+			}
+			if err != nil {
+				err = fmt.Errorf("cluster: site %d start: %w", l.idx, err)
+			}
+			errs <- err
+		}()
+	}
+	co.local.Start()
+	var first error
+	for range co.sites {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Run advances the whole cluster by d of virtual time, in lease-sized
+// steps: every site (and the local window) converges on each absolute
+// lease target before the next is issued, so no domain runs more than
+// one quantum ahead of another — the distributed analogue of the
+// in-process bridge-drain chunking. Continuous rounds fire exactly at
+// their instants: lease targets are clamped to the next round boundary,
+// every site reaches it, then the round scatters with all clocks equal.
+func (co *Coordinator) Run(ctx context.Context, d time.Duration) error {
+	co.runMu.Lock()
+	defer co.runMu.Unlock()
+	co.mu.Lock()
+	target := co.vnow + simtime.Time(d)
+	co.mu.Unlock()
+	for {
+		co.mu.Lock()
+		now := co.vnow
+		next := now + simtime.Time(co.opt.Quantum)
+		if next > target {
+			next = target
+		}
+		for _, st := range co.conts {
+			if st.next > now && st.next < next {
+				next = st.next
+			}
+		}
+		co.mu.Unlock()
+		if now >= target {
+			return nil
+		}
+		co.advanceAll(ctx, next)
+		co.mu.Lock()
+		co.vnow = next
+		co.mu.Unlock()
+		co.fireDue(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// advanceAll issues one absolute lease to every site and the local
+// window and waits for convergence. Dead sites are skipped — their
+// absence is reported per-round via SiteErrs, not by wedging the clock.
+func (co *Coordinator) advanceAll(ctx context.Context, target simtime.Time) {
+	payload := wire.EncodeAdvance(target)
+	var wg sync.WaitGroup
+	for _, l := range co.sites {
+		l := l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if f, err := l.rpc(ctx, co.nextSeq(), wire.FrameAdvance, payload); err == nil {
+				// Acked time >= target always holds (RunUntilTime
+				// converges or overshoots settling queries); a lagging ack
+				// would mean a diverged site — treat as dead.
+				if at, err := advanceAckTime(f); err != nil || at < target {
+					l.fail(fmt.Errorf("cluster: site %d acked %v for lease %v", l.idx, at, target))
+				}
+			}
+		}()
+	}
+	co.local.RunUntilTime(target)
+	wg.Wait()
+}
+
+// fireDue scatters every continuous round whose instant has been
+// reached. Rounds fire at exact instants with all clocks converged —
+// the same guarantee the in-process anchor-kernel wakeup gives.
+func (co *Coordinator) fireDue(ctx context.Context) {
+	co.mu.Lock()
+	now := co.vnow
+	var due []*contStream
+	live := co.conts[:0]
+	for _, st := range co.conts {
+		switch {
+		case st.ctx.Err() != nil:
+			st.close()
+		case st.next <= now:
+			due = append(due, st)
+			live = append(live, st)
+		default:
+			live = append(live, st)
+		}
+	}
+	co.conts = live
+	co.mu.Unlock()
+
+	for _, st := range due {
+		// A full buffer skips the round (no scatter) rather than stalling
+		// the cluster clock — sequence numbers stay dense, as in-process.
+		if len(st.out) < cap(st.out) {
+			res := co.scatterRound(st.ctx, st.spec, st.groups, st.seq, now)
+			st.seq++
+			// Deliver under the lock: the ctx watcher may close the
+			// stream while the round was in flight.
+			co.mu.Lock()
+			if !st.closed && len(st.out) < cap(st.out) {
+				st.out <- res
+			}
+			co.mu.Unlock()
+		}
+		st.next += st.every
+		if st.until > 0 && st.next > st.until {
+			co.removeStream(st)
+		}
+	}
+}
+
+func (co *Coordinator) removeStream(st *contStream) {
+	co.mu.Lock()
+	for i, s := range co.conts {
+		if s == st {
+			co.conts = append(co.conts[:i], co.conts[i+1:]...)
+			break
+		}
+	}
+	st.close()
+	co.mu.Unlock()
+}
+
+func (co *Coordinator) nextSeq() uint64 { return co.seq.Add(1) }
+
+// ---------------------------------------------------------------------------
+// Scatter-gather
+
+// resolveTargets applies a spec's selector to the global mote list and
+// groups the targets by hosting site. Predicates are evaluated here,
+// once — only explicit mote lists cross the wire.
+func (co *Coordinator) resolveTargets(spec query.Spec) ([]siteTargets, error) {
+	targets := spec.Select.Resolve(co.lay.AllMotes())
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: %w", query.ErrNoMotes)
+	}
+	bySite := make(map[int][]radio.NodeID)
+	for _, m := range targets {
+		d, ok := co.lay.DomainOfMote(m)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown mote %d", m)
+		}
+		bySite[co.domainSite[d]] = append(bySite[co.domainSite[d]], m)
+	}
+	groups := make([]siteTargets, 0, len(bySite))
+	for s, motes := range bySite {
+		groups = append(groups, siteTargets{site: s, motes: motes})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].site < groups[j].site })
+	return groups, nil
+}
+
+// scatterRound executes one round: the spec is bound at the round
+// instant, sent as exactly one frame to each remote site holding
+// targets, gathered locally for the coordinator's own window, and the
+// per-domain partials merged in global domain order. Sites that fail
+// mid-round contribute an explicit SiteError and their motes count as
+// Failed — a partial answer, never a hang.
+func (co *Coordinator) scatterRound(ctx context.Context, spec query.Spec, groups []siteTargets, seq int, at simtime.Time) query.SetResult {
+	bound := spec.BindWindow(at)
+	bound.Continuous = nil
+	type siteReply struct {
+		site  int
+		parts []query.RoundPartial
+		motes int
+		err   error
+	}
+	replies := make(chan siteReply, len(groups))
+	for _, g := range groups {
+		g := g
+		if g.site == 0 {
+			go func() {
+				parts, err := co.local.GatherLocal(bound, g.motes)
+				replies <- siteReply{site: 0, parts: parts, motes: len(g.motes), err: err}
+			}()
+			continue
+		}
+		l := co.sites[g.site-1]
+		payload := query.EncodeScatter(bound, g.motes)
+		go func() {
+			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameScatter, payload)
+			var parts []query.RoundPartial
+			if err == nil {
+				var body []byte
+				if body, err = decodeReply(f); err == nil {
+					parts, err = query.DecodeRoundPartials(bound, body)
+				}
+			}
+			replies <- siteReply{site: g.site, parts: parts, motes: len(g.motes), err: err}
+		}()
+	}
+
+	var parts []query.RoundPartial
+	var siteErrs []query.SiteError
+	failed := 0
+	for range groups {
+		r := <-replies
+		if r.err != nil {
+			siteErrs = append(siteErrs, query.SiteError{Site: r.site, Err: r.err})
+			failed += r.motes
+			continue
+		}
+		parts = append(parts, r.parts...)
+	}
+	res := query.MergeRounds(bound, seq, at, parts)
+	res.Failed += failed
+	sort.Slice(siteErrs, func(i, j int) bool { return siteErrs[i].Site < siteErrs[j].Site })
+	res.SiteErrs = siteErrs
+	return res
+}
+
+// SubmitSpec implements core.SpecSubmitter over the cluster: one-shot
+// specs scatter immediately (sites settle their own kernels, so no Run
+// needs to be in flight); continuous specs register with the lease loop
+// and fire at exact instants during Run, one scatter frame per site per
+// round. The trailing-window form re-binds [now-d, now] at each round's
+// instant, coordinator-side, so every site evaluates the same window.
+func (co *Coordinator) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query.SetResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	groups, err := co.resolveTargets(spec)
+	if err != nil {
+		return nil, err
+	}
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, core.ErrClosed
+	}
+	now := co.vnow
+	co.mu.Unlock()
+
+	if spec.Continuous == nil {
+		out := make(chan query.SetResult, 1)
+		go func() {
+			defer close(out)
+			res := co.scatterRound(ctx, spec, groups, 0, now)
+			select {
+			case out <- res:
+			case <-ctx.Done():
+			}
+		}()
+		return out, nil
+	}
+
+	cont := *spec.Continuous
+	st := &contStream{
+		spec: spec, groups: groups,
+		every: simtime.Time(cont.Every),
+		next:  now + simtime.Time(cont.Every),
+		out:   make(chan query.SetResult, 256),
+		ctx:   ctx,
+		done:  make(chan struct{}),
+	}
+	if cont.Until > 0 {
+		st.until = now + simtime.Time(cont.Until)
+		if st.next > st.until {
+			st.close()
+			return st.out, nil
+		}
+	}
+	co.mu.Lock()
+	co.conts = append(co.conts, st)
+	co.mu.Unlock()
+	// Prompt leak-free cancellation even if Run is never called again.
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.removeStream(st)
+		case <-st.done:
+		}
+	}()
+	return st.out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Site links
+
+// siteLink is the coordinator's handle on one remote site: a connection,
+// a demultiplexer routing responses to waiting RPCs by seq, and a dead
+// latch that fails everything outstanding when the site drops.
+type siteLink struct {
+	idx          int
+	first, count int
+	motes        []radio.NodeID
+	conn         Conn
+
+	mu      sync.Mutex
+	waiters map[uint64]chan wire.Frame
+	err     error
+	dead    chan struct{}
+}
+
+// demux reads the site's frames: responses route to their RPC by seq;
+// bridge frames inject into the coordinator's local bridge (replica
+// traffic converges on the wired proxy's domain, hosted here). A read
+// error fails the link and every outstanding RPC — this is what turns a
+// site crash mid-scatter into an explicit per-site error instead of a
+// hang.
+func (l *siteLink) demux(co *Coordinator) {
+	for {
+		f, err := l.conn.Recv()
+		if err != nil {
+			l.fail(fmt.Errorf("cluster: site %d connection: %w", l.idx, err))
+			return
+		}
+		if f.Kind == wire.FrameBridge {
+			if m, err := wire.DecodeBridgeMsg(f.Payload); err == nil {
+				if b := co.local.Bridge(); b != nil {
+					b.Send(m)
+				}
+			}
+			continue
+		}
+		l.mu.Lock()
+		ch, ok := l.waiters[f.Seq]
+		delete(l.waiters, f.Seq)
+		l.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail latches the link dead.
+func (l *siteLink) fail(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = err
+		close(l.dead)
+	}
+}
+
+// rpc sends one request frame and blocks for the response with the same
+// seq, the link dying, or ctx ending.
+func (l *siteLink) rpc(ctx context.Context, seq uint64, kind wire.FrameKind, payload []byte) (wire.Frame, error) {
+	ch := make(chan wire.Frame, 1)
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	l.waiters[seq] = ch
+	l.mu.Unlock()
+	unregister := func() {
+		l.mu.Lock()
+		delete(l.waiters, seq)
+		l.mu.Unlock()
+	}
+	if err := l.conn.Send(wire.Frame{Kind: kind, Seq: seq, Payload: payload}); err != nil {
+		unregister()
+		l.fail(err)
+		return wire.Frame{}, err
+	}
+	select {
+	case f := <-ch:
+		return f, nil
+	case <-l.dead:
+		unregister()
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return wire.Frame{}, err
+	case <-ctx.Done():
+		unregister()
+		return wire.Frame{}, ctx.Err()
+	}
+}

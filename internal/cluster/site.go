@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/query"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// configHash fingerprints the deployment-defining parts of a Config.
+// Coordinator and every site must be launched with the same deployment
+// (same seed, partition, radio, store, traces) or none of the cluster's
+// determinism guarantees hold; the hash turns a silent divergence into a
+// join-time refusal. Window fields are deliberately excluded — they are
+// what the coordinator assigns. Trace contents are folded in (shape and
+// every sample), since two processes with equally-long but different
+// traces would otherwise join cleanly and diverge silently.
+func configHash(cfg core.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%v|%v|%v|%v|%g|%q|%q|%v|%+v|%+v|%t|%d",
+		cfg.Seed, cfg.Proxies, cfg.MotesPerProxy, cfg.Shards,
+		cfg.SampleInterval, cfg.LPLInterval, cfg.BridgeLatency, cfg.Flash,
+		cfg.Delta, cfg.StoreBackend, cfg.StoreAging, cfg.StoreFlash,
+		cfg.Radio, cfg.Energy, cfg.WiredFirstProxy, len(cfg.Traces))
+	var buf [8]byte
+	for _, tr := range cfg.Traces {
+		fmt.Fprintf(h, "|%d|%v|%d|%d", tr.Start, tr.Interval, len(tr.Values), len(tr.Events))
+		for _, v := range tr.Values {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// Serve joins a cluster as one site: dial the coordinator at addr,
+// handshake (protocol version + config fingerprint), build the assigned
+// window of the deployment's domains in this process, and serve frames
+// until the coordinator closes the connection (a clean shutdown,
+// returning nil) or ctx is cancelled.
+//
+// cfg must be the same global deployment config the coordinator was
+// launched with; Serve applies the assigned FirstShard/SiteShards window
+// itself. If the window excludes domain 0 and wired replication is on,
+// the site's bridge uplink carries its proxies' replica traffic to the
+// coordinator, which hosts the replica.
+func Serve(ctx context.Context, t Transport, addr string, cfg core.Config) error {
+	if cfg.SiteShards != 0 || cfg.FirstShard != 0 {
+		return fmt.Errorf("cluster: Serve assigns the shard window itself (got [%d, +%d))",
+			cfg.FirstShard, cfg.SiteShards)
+	}
+	conn, err := t.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	hash := configHash(cfg)
+	if err := conn.Send(wire.Frame{
+		Kind:    wire.FrameHello,
+		Payload: wire.EncodeHello(wire.Hello{Version: wire.ProtoVersion, ConfigHash: hash}),
+	}); err != nil {
+		return err
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: waiting for assignment: %w", err)
+	}
+	if f.Kind != wire.FrameAssign {
+		return fmt.Errorf("cluster: expected assignment, got %v", f.Kind)
+	}
+	assign, err := wire.DecodeAssign(f.Payload)
+	if err != nil {
+		return err
+	}
+	if assign.ConfigHash != hash {
+		return fmt.Errorf("cluster: coordinator runs a different deployment (config hash %x != %x)",
+			assign.ConfigHash, hash)
+	}
+
+	cfg.FirstShard, cfg.SiteShards = assign.FirstShard, assign.Shards
+	n, err := core.Build(cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	if b := n.Bridge(); b != nil && assign.FirstShard > 0 {
+		// Replica traffic for domains hosted elsewhere (the wired proxy's
+		// domain 0 lives at the coordinator) leaves over the transport.
+		// The uplink runs on a domain worker, and Conn.Send is
+		// concurrency-safe and does not touch the serve loop.
+		b.SetUplink(func(m radio.BridgeMsg) {
+			_ = conn.Send(wire.Frame{Kind: wire.FrameBridge, Payload: wire.EncodeBridgeMsg(m)})
+		})
+	}
+
+	// Unblock the serve loop's Recv when ctx ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	site := &site{n: n, conn: conn}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// The coordinator hanging up is how a cluster run ends.
+			return nil
+		}
+		if err := site.handle(f); err != nil {
+			return err
+		}
+	}
+}
+
+// site is the serving side of one joined process.
+type site struct {
+	n    *core.Network
+	conn Conn
+}
+
+// handle executes one coordinator frame. Requests are answered with the
+// frame's seq echoed; frames are handled strictly in order, which is
+// what makes an advance lease a barrier — a scatter behind it executes
+// at (or after) the leased instant, exactly like a command drained by an
+// in-process worker mid-advance.
+func (s *site) handle(f wire.Frame) error {
+	switch f.Kind {
+	case wire.FrameBootstrap:
+		b, err := wire.DecodeBootstrap(f.Payload)
+		if err != nil {
+			return err
+		}
+		_, berr := s.n.Bootstrap(time.Duration(b.TrainFor), b.Bins, b.Delta)
+		return s.reply(wire.FrameBootstrapAck, f.Seq, nil, berr)
+	case wire.FrameAdvance:
+		target, err := wire.DecodeAdvance(f.Payload)
+		if err != nil {
+			return err
+		}
+		s.n.RunUntilTime(target)
+		return s.conn.Send(wire.Frame{
+			Kind: wire.FrameAdvanceAck, Seq: f.Seq, Payload: wire.EncodeAdvance(s.n.Now()),
+		})
+	case wire.FrameScatter:
+		spec, motes, err := query.DecodeScatter(f.Payload)
+		if err != nil {
+			return err
+		}
+		parts, gerr := s.n.GatherLocal(spec, motes)
+		var payload []byte
+		if gerr == nil {
+			payload = query.EncodeRoundPartials(parts)
+		}
+		return s.reply(wire.FramePartials, f.Seq, payload, gerr)
+	case wire.FrameStart:
+		s.n.Start()
+		return s.reply(wire.FrameStartAck, f.Seq, nil, nil)
+	case wire.FrameBridge:
+		// Not routed to sites in the current topology (replica traffic
+		// converges on the coordinator), but deliverable: absorb into the
+		// local bridge if the destination domain lives here.
+		m, err := wire.DecodeBridgeMsg(f.Payload)
+		if err != nil {
+			return err
+		}
+		if b := s.n.Bridge(); b != nil {
+			b.Send(m)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: unexpected frame %v from coordinator", f.Kind)
+	}
+}
+
+// reply sends a response frame whose payload starts with an ok byte:
+// 1 + payload on success, 0 + error string on failure.
+func (s *site) reply(kind wire.FrameKind, seq uint64, payload []byte, err error) error {
+	var body []byte
+	if err != nil {
+		body = append([]byte{0}, wire.EncodeErrString(err.Error())...)
+	} else {
+		body = append([]byte{1}, payload...)
+	}
+	return s.conn.Send(wire.Frame{Kind: kind, Seq: seq, Payload: body})
+}
+
+// decodeReply splits an ok-prefixed response back into payload or error.
+func decodeReply(f wire.Frame) ([]byte, error) {
+	if len(f.Payload) < 1 {
+		return nil, wire.ErrShort
+	}
+	if f.Payload[0] == 1 {
+		return f.Payload[1:], nil
+	}
+	msg, err := wire.DecodeErrString(f.Payload[1:])
+	if err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("cluster: site error: %s", msg)
+}
+
+// advanceAckTime is used by the coordinator to sanity-check a lease ack.
+func advanceAckTime(f wire.Frame) (simtime.Time, error) {
+	return wire.DecodeAdvance(f.Payload)
+}

@@ -21,6 +21,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"presto/internal/query"
@@ -28,20 +29,13 @@ import (
 	"presto/internal/simtime"
 )
 
-// shardPartial is one domain's contribution to a spec round.
-type shardPartial struct {
-	partial query.Partial  // Agg specs
-	results []query.Result // Now/Past specs (completed motes only)
-	failed  int            // motes whose execution could not complete
-}
-
 // specTargets resolves a spec's selector against the deployment and
 // groups the target motes by owning shard, preserving global mote order
 // within each group.
 func (n *Network) specTargets(spec query.Spec) (map[*shard][]radio.NodeID, error) {
 	targets := spec.Select.Resolve(n.MoteIDs())
 	if len(targets) == 0 {
-		return nil, errors.New("core: spec selects no motes")
+		return nil, fmt.Errorf("core: %w", query.ErrNoMotes)
 	}
 	groups := make(map[*shard][]radio.NodeID)
 	for _, m := range targets {
@@ -56,23 +50,23 @@ func (n *Network) specTargets(spec query.Spec) (map[*shard][]radio.NodeID, error
 
 // gatherSpec runs on a shard worker: it issues every target mote's query
 // against the domain's unified store and folds the answers into one
-// shardPartial, delivered on parts when the last answer lands. Answers
+// RoundPartial, delivered on parts when the last answer lands. Answers
 // that need a mote rendezvous resolve while the worker settles (or
 // during the remaining chunks of an in-progress advance); the per-domain
 // pull coalescing applies across the motes of the round as usual.
-func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- shardPartial) {
+func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- query.RoundPartial) {
 	agg := spec.Type == query.Agg
-	sp := &shardPartial{partial: query.NewPartial(spec.Precision)}
+	sp := &query.RoundPartial{Domain: sh.domain, Partial: query.NewPartial(spec.Precision)}
 	remaining := len(motes)
 	for _, m := range motes {
 		sh.submitCB(spec.QueryFor(m), func(r query.Result, ok bool) {
 			switch {
 			case !ok:
-				sp.failed++
+				sp.Failed++
 			case agg:
-				sp.partial.ObserveResult(r)
+				sp.Partial.ObserveResult(r)
 			default:
-				sp.results = append(sp.results, r)
+				sp.Results = append(sp.Results, r)
 			}
 			remaining--
 			if remaining == 0 {
@@ -82,13 +76,61 @@ func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- s
 	}
 }
 
+// GatherLocal executes one bound round against the local domains owning
+// the given motes and blocks for their folded partials, tagged by global
+// domain index. It is how a cluster site serves a scatter frame: the
+// per-mote answers are folded here, in the process that owns the data
+// (push-down), and only what this returns crosses the transport. The
+// spec must already be concrete (BindWindow applied — a trailing window
+// must resolve against the coordinator's clock, not each site's); motes
+// not hosted by this process are an error, since the coordinator's
+// layout and the site's must agree.
+func (n *Network) GatherLocal(spec query.Spec, motes []radio.NodeID) ([]query.RoundPartial, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Trailing > 0 {
+		return nil, errors.New("core: GatherLocal needs a concrete window (apply Spec.BindWindow at the coordinator)")
+	}
+	if len(motes) == 0 {
+		return nil, fmt.Errorf("core: %w", query.ErrNoMotes)
+	}
+	groups := make(map[*shard][]radio.NodeID)
+	for _, m := range motes {
+		s, err := n.shardFor(m)
+		if err != nil {
+			return nil, err
+		}
+		groups[s] = append(groups[s], m)
+	}
+	n.queriesSubmitted.Add(1)
+	parts := make(chan query.RoundPartial, len(groups))
+	for s, ms := range groups {
+		s, ms := s, ms
+		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, ms, parts) }}) {
+			parts <- query.RoundPartial{
+				Domain: s.domain, Partial: query.NewPartial(spec.Precision), Failed: len(ms),
+			}
+		}
+	}
+	out := make([]query.RoundPartial, 0, len(groups))
+	for i := 0; i < len(groups); i++ {
+		out = append(out, <-parts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out, nil
+}
+
 // specRound is one in-flight round of a spec: its sequence number, the
-// virtual instant it fired at, and the channel its per-domain partials
-// arrive on (buffered to the domain count, so workers never block).
+// virtual instant it fired at, the spec as bound for this round (a
+// trailing window resolves to a fresh [at-d, at] each round), and the
+// channel its per-domain partials arrive on (buffered to the domain
+// count, so workers never block).
 type specRound struct {
 	seq    int
 	at     simtime.Time
-	parts  chan shardPartial
+	spec   query.Spec
+	parts  chan query.RoundPartial
 	expect int
 }
 
@@ -99,7 +141,8 @@ type specRound struct {
 // (engine closed) contribute a failed partial immediately.
 func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID, seq int, at simtime.Time, self *shard) *specRound {
 	n.queriesSubmitted.Add(1)
-	rs := &specRound{seq: seq, at: at, parts: make(chan shardPartial, len(groups)), expect: len(groups)}
+	spec = spec.BindWindow(at)
+	rs := &specRound{seq: seq, at: at, spec: spec, parts: make(chan query.RoundPartial, len(groups)), expect: len(groups)}
 	for s, motes := range groups {
 		if s == self {
 			gatherSpec(s, spec, motes, rs.parts)
@@ -107,36 +150,25 @@ func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID
 		}
 		s, motes := s, motes
 		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, motes, rs.parts) }}) {
-			rs.parts <- shardPartial{partial: query.NewPartial(spec.Precision), failed: len(motes)}
+			rs.parts <- query.RoundPartial{
+				Domain: s.domain, Partial: query.NewPartial(spec.Precision), Failed: len(motes),
+			}
 		}
 	}
 	return rs
 }
 
-// mergeRound blocks for every domain's partial and combines them into
-// the round's SetResult. Workers always deliver — queries that can never
-// complete fail their callbacks instead of wedging — so this terminates.
-func mergeRound(spec query.Spec, rs *specRound) query.SetResult {
-	merged := query.NewPartial(spec.Precision)
-	var results []query.Result
-	failed := 0
+// mergeRound blocks for every domain's partial and hands them to the
+// query package's merge stage (domain-ascending, so the fold is
+// bit-identical to a cluster's two-level merge of the same domains).
+// Workers always deliver — queries that can never complete fail their
+// callbacks instead of wedging — so this terminates.
+func mergeRound(rs *specRound) query.SetResult {
+	parts := make([]query.RoundPartial, 0, rs.expect)
 	for i := 0; i < rs.expect; i++ {
-		sp := <-rs.parts
-		merged.Merge(sp.partial)
-		results = append(results, sp.results...)
-		failed += sp.failed
+		parts = append(parts, <-rs.parts)
 	}
-	res := query.SetResult{Seq: rs.seq, At: rs.at, Failed: failed}
-	if spec.Type == query.Agg {
-		res.Count = merged.Count
-		res.Value, res.ErrBound, res.Err = merged.Final(spec.Agg)
-		return res
-	}
-	// Per-mote results in global mote order (shard gather order is
-	// per-domain; the merge restores a deterministic presentation).
-	sort.Slice(results, func(i, j int) bool { return results[i].Query.Mote < results[j].Query.Mote })
-	res.Results = results
-	return res
+	return query.MergeRounds(rs.spec, rs.seq, rs.at, parts)
 }
 
 // SubmitSpec posts a declarative set query to the engine. The returned
@@ -198,7 +230,7 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 		}
 		go func() {
 			defer close(out)
-			res := mergeRound(spec, n.newSpecRound(spec, groups, 0, n.Now(), nil))
+			res := mergeRound(n.newSpecRound(spec, groups, 0, n.Now(), nil))
 			select {
 			case out <- res:
 			case <-ctx.Done():
@@ -274,7 +306,7 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 					return // bounded stream: horizon passed, all rounds merged
 				}
 			}
-			res := mergeRound(spec, rs)
+			res := mergeRound(rs)
 			select {
 			case out <- res:
 			case <-ctx.Done():
@@ -301,16 +333,29 @@ func (n *Network) anchorShard(groups map[*shard][]radio.NodeID) *shard {
 // ---------------------------------------------------------------------------
 // Client facade
 
+// SpecSubmitter is the engine seam the Client facade sits on: anything
+// that can scatter a declarative spec and stream back merged rounds. The
+// in-process Network implements it directly; cluster.Coordinator
+// implements it over a transport — the same Client (and therefore the
+// same application code) front-ends both.
+type SpecSubmitter interface {
+	SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query.SetResult, error)
+}
+
 // Client is the user-facing query interface over a deployment: pose a
 // declarative query.Spec, receive a ResultStream. It replaces the bare
 // single-mote callback/channel APIs (Execute, Submit, ExecuteWait),
 // which remain as deprecated shims.
 type Client struct {
-	n *Network
+	e SpecSubmitter
 }
 
+// NewClient wraps any spec engine — an in-process Network or a cluster
+// Coordinator — in the query facade.
+func NewClient(e SpecSubmitter) *Client { return &Client{e: e} }
+
 // Client returns the deployment's query facade.
-func (n *Network) Client() *Client { return &Client{n: n} }
+func (n *Network) Client() *Client { return NewClient(n) }
 
 // ResultStream delivers the results of one Spec. One-shot specs deliver
 // a single SetResult and close; Continuous specs deliver one per period
@@ -347,7 +392,7 @@ func (s *ResultStream) Close() { s.cancel() }
 // the stream) to tear down a standing query.
 func (c *Client) Query(ctx context.Context, spec query.Spec) (*ResultStream, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	ch, err := c.n.SubmitSpec(ctx, spec)
+	ch, err := c.e.SubmitSpec(ctx, spec)
 	if err != nil {
 		cancel()
 		return nil, err

@@ -329,6 +329,85 @@ func TestContinuousCancelLeaksNothing(t *testing.T) {
 	}
 }
 
+// TestTrailingWindowOneShot: a trailing spec binds [now-d, now] at the
+// execution instant — identical to posing the fixed window by hand.
+func TestTrailingWindowOneShot(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, nil)
+	n.Start()
+	n.Run(3 * time.Hour)
+	c := n.Client()
+	now := n.Now()
+
+	trailing, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5, Trailing: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := c.QueryOne(context.Background(), query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5, T0: now - simtime.Hour, T1: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trailing.Err != nil || trailing.Count == 0 {
+		t.Fatalf("trailing aggregate unusable: %+v", trailing)
+	}
+	if trailing.Value != fixed.Value || trailing.Count != fixed.Count {
+		t.Fatalf("trailing (%v, n=%d) != fixed [now-1h, now] (%v, n=%d)",
+			trailing.Value, trailing.Count, fixed.Value, fixed.Count)
+	}
+}
+
+// TestTrailingContinuousReEvaluates: each round of a continuous trailing
+// spec re-resolves the window at its own instant — per-round counts stay
+// near one window's worth instead of growing with total history.
+func TestTrailingContinuousReEvaluates(t *testing.T) {
+	n := buildSharded(t, 2, 2, 2, nil)
+	n.Start()
+	n.Run(2 * time.Hour)
+
+	st, err := n.Client().Query(context.Background(), query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5, Trailing: time.Hour,
+		Continuous: &query.Continuous{Every: time.Hour, Until: 4 * time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run(5 * time.Hour)
+	var rounds []query.SetResult
+	for res := range st.Results() {
+		rounds = append(rounds, res)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("delivered %d rounds, want 4", len(rounds))
+	}
+	for i, r := range rounds {
+		if r.Err != nil || r.Count == 0 {
+			t.Fatalf("round %d unusable: %+v", i, r)
+		}
+		// 4 motes x 1-minute sampling over a 1h trailing window ≈ 240
+		// observations; a window anchored at zero would hold 2h+ of
+		// history by round 0 and keep growing.
+		if r.Count > 300 {
+			t.Fatalf("round %d: %d observations — window not trailing", i, r.Count)
+		}
+	}
+}
+
+// TestSpecErrNoMotes: an empty selection surfaces the typed error.
+func TestSpecErrNoMotes(t *testing.T) {
+	n := buildSharded(t, 1, 2, 1, nil)
+	n.Start()
+	_, err := n.Client().Query(context.Background(), query.Spec{
+		Type: query.Now, Precision: 1,
+		Select: query.SelectWhere(func(radio.NodeID) bool { return false }),
+	})
+	if !errors.Is(err, query.ErrNoMotes) {
+		t.Fatalf("got %v, want query.ErrNoMotes", err)
+	}
+}
+
 // TestQueryOneOnClosedNetwork: submission after Close fails cleanly.
 func TestSpecAfterClose(t *testing.T) {
 	n := buildSharded(t, 1, 1, 1, nil)

@@ -56,6 +56,17 @@ type Config struct {
 	// motes and advances on its own worker goroutine.
 	Shards int
 
+	// FirstShard/SiteShards restrict Build to a contiguous window of the
+	// global domains — cluster mode, where each OS process hosts one
+	// window of the same deployment (internal/cluster assigns them).
+	// SiteShards == 0 means host every domain (the ordinary
+	// single-process build). Windowing changes nothing about the global
+	// partition: domain seeds, proxy ranges and mote ids are derived from
+	// the full config, so a windowed build is bit-identical to the
+	// corresponding domains of a full build.
+	FirstShard int
+	SiteShards int
+
 	Radio  radio.Config
 	Energy energy.Params
 
@@ -130,7 +141,97 @@ func (c Config) Validate() error {
 	if _, err := store.ParseAgingPolicy(c.StoreAging); err != nil {
 		return err
 	}
+	if c.FirstShard < 0 || c.SiteShards < 0 {
+		return fmt.Errorf("core: negative shard window [%d, +%d)", c.FirstShard, c.SiteShards)
+	}
+	if c.SiteShards == 0 && c.FirstShard != 0 {
+		return fmt.Errorf("core: FirstShard %d without SiteShards", c.FirstShard)
+	}
+	if total := NewLayout(c).Shards; c.SiteShards > 0 && c.FirstShard+c.SiteShards > total {
+		return fmt.Errorf("core: shard window [%d, %d) exceeds the %d global domains",
+			c.FirstShard, c.FirstShard+c.SiteShards, total)
+	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Global layout
+
+// Layout is the deterministic global partition of a deployment into
+// simulation domains: which contiguous proxy block (and therefore which
+// motes) each domain owns. It is pure arithmetic over the Config — no
+// domain needs to be built — so a cluster coordinator uses it to route
+// motes to the sites hosting their domains, and windowed builds use it
+// to place their window inside the global plan.
+type Layout struct {
+	// Shards is the effective global domain count (Config.Shards clamped
+	// to [1, Proxies]).
+	Shards        int
+	MotesPerProxy int
+	proxyLo       []int // per domain: first global proxy index
+	proxyHi       []int // per domain: one past the last global proxy index
+}
+
+// NewLayout computes the partition for a config (Proxies and
+// MotesPerProxy must be positive, as Validate enforces).
+func NewLayout(cfg Config) Layout {
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 1
+	}
+	if nShards > cfg.Proxies {
+		nShards = cfg.Proxies
+	}
+	l := Layout{Shards: nShards, MotesPerProxy: cfg.MotesPerProxy}
+	base, rem := cfg.Proxies/nShards, cfg.Proxies%nShards
+	pi := 0
+	for si := 0; si < nShards; si++ {
+		count := base
+		if si < rem {
+			count++
+		}
+		l.proxyLo = append(l.proxyLo, pi)
+		l.proxyHi = append(l.proxyHi, pi+count)
+		pi += count
+	}
+	return l
+}
+
+// ProxyRange returns the global proxy index range [lo, hi) domain d owns.
+func (l Layout) ProxyRange(d int) (lo, hi int) { return l.proxyLo[d], l.proxyHi[d] }
+
+// DomainOfMote maps a mote id to its owning global domain.
+func (l Layout) DomainOfMote(m radio.NodeID) (int, bool) {
+	mi := int(m) - 1
+	if mi < 0 || l.MotesPerProxy <= 0 {
+		return 0, false
+	}
+	pi := mi / l.MotesPerProxy
+	for d := 0; d < l.Shards; d++ {
+		if pi >= l.proxyLo[d] && pi < l.proxyHi[d] {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// DomainMotes lists the mote ids domain d owns, ascending.
+func (l Layout) DomainMotes(d int) []radio.NodeID {
+	lo, hi := l.ProxyRange(d)
+	out := make([]radio.NodeID, 0, (hi-lo)*l.MotesPerProxy)
+	for mi := lo * l.MotesPerProxy; mi < hi*l.MotesPerProxy; mi++ {
+		out = append(out, radio.NodeID(1+mi))
+	}
+	return out
+}
+
+// AllMotes lists every mote id in the deployment, ascending.
+func (l Layout) AllMotes() []radio.NodeID {
+	var out []radio.NodeID
+	for d := 0; d < l.Shards; d++ {
+		out = append(out, l.DomainMotes(d)...)
+	}
+	return out
 }
 
 // Network is a running PRESTO deployment: one or more concurrent
@@ -143,15 +244,20 @@ func (c Config) Validate() error {
 // elements) directly is only safe while the engine is quiescent — no
 // Run, Submit or ExecuteWait concurrently in flight.
 type Network struct {
-	cfg    Config
-	shards []*shard
+	cfg Config
+	lay Layout
+	// firstShard is the global index of shards[0] — non-zero only for
+	// windowed (cluster-site) builds.
+	firstShard int
+	shards     []*shard
 
-	// moteShard / moteHome route a mote id to its owning shard and
-	// simulated node; proxyShard maps global proxy index to shard.
-	// Immutable after Build.
+	// moteShard / moteHome route a locally-hosted mote id to its owning
+	// shard (index into shards) and simulated node; proxyShard maps
+	// locally-hosted global proxy indexes the same way. Immutable after
+	// Build.
 	moteShard  map[radio.NodeID]int
 	moteHome   map[radio.NodeID]*mote.Mote
-	proxyShard []int
+	proxyShard map[int]int
 
 	bridge       *radio.Bridge
 	replicaFirst bool // multi-domain wired replica serving enabled
@@ -180,45 +286,49 @@ func Build(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	nShards := cfg.Shards
-	if nShards <= 0 {
-		nShards = 1
-	}
-	if nShards > cfg.Proxies {
-		nShards = cfg.Proxies
+	lay := NewLayout(cfg)
+	first, count := 0, lay.Shards
+	if cfg.SiteShards > 0 {
+		first, count = cfg.FirstShard, cfg.SiteShards
 	}
 	n := &Network{
-		cfg:       cfg,
-		moteShard: make(map[radio.NodeID]int),
-		moteHome:  make(map[radio.NodeID]*mote.Mote),
+		cfg:        cfg,
+		lay:        lay,
+		firstShard: first,
+		moteShard:  make(map[radio.NodeID]int),
+		moteHome:   make(map[radio.NodeID]*mote.Mote),
+		proxyShard: make(map[int]int),
 	}
-	if nShards > 1 {
+	// The bridge exists whenever the *global* deployment is multi-domain:
+	// a windowed build hosting a single domain still replicates over it —
+	// traffic for domains in other processes leaves through its uplink
+	// (cluster.Site installs one; without an uplink such traffic drops,
+	// like radio loss).
+	if lay.Shards > 1 {
 		lat := cfg.BridgeLatency
 		if lat <= 0 {
 			lat = 2 * time.Millisecond
 		}
 		n.bridge = radio.NewBridge(lat)
-		n.replicaFirst = cfg.WiredFirstProxy
+		// The replica NOW fast path runs where domain 0 (the wired proxy)
+		// is hosted.
+		n.replicaFirst = cfg.WiredFirstProxy && first == 0
 	}
 
-	// Contiguous proxy partition: shard si owns proxies [pi0, pi0+count).
-	base, rem := cfg.Proxies/nShards, cfg.Proxies%nShards
-	pi0 := 0
-	for si := 0; si < nShards; si++ {
-		count := base
-		if si < rem {
-			count++
-		}
-		s, err := n.buildShard(si, pi0, count)
+	// Build this process's window of the global partition: shard si owns
+	// proxies [ProxyRange(si)) whether or not neighbouring domains are
+	// hosted here.
+	for si := first; si < first+count; si++ {
+		lo, hi := lay.ProxyRange(si)
+		s, err := n.buildShard(si, lo, hi-lo)
 		if err != nil {
 			n.Close()
 			return nil, err
 		}
 		n.shards = append(n.shards, s)
-		for i := 0; i < count; i++ {
-			n.proxyShard = append(n.proxyShard, si)
+		for pi := lo; pi < hi; pi++ {
+			n.proxyShard[pi] = len(n.shards) - 1
 		}
-		pi0 += count
 	}
 
 	// Wired replication: proxy 0 mirrors every wireless proxy. Same-
@@ -227,6 +337,10 @@ func Build(cfg Config) (*Network, error) {
 	// mode so it can absorb and serve their data.
 	if cfg.WiredFirstProxy && cfg.Proxies > 1 {
 		n.wireReplication()
+	}
+
+	if len(n.shards) == 0 {
+		return nil, fmt.Errorf("core: empty shard window [%d, %d)", first, first+count)
 	}
 
 	n.Sim = n.shards[0].sim
@@ -246,8 +360,11 @@ func Build(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// buildShard assembles one simulation domain holding count proxies
-// starting at global proxy index pi0, plus their motes.
+// buildShard assembles one simulation domain (global index si) holding
+// count proxies starting at global proxy index pi0, plus their motes.
+// Everything about the domain — kernel and index seeds, node ids, trace
+// assignment — derives from the global indexes, so the same domain built
+// in any process behaves bit-for-bit identically.
 func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 	cfg := n.cfg
 	sim := simtime.New(cfg.Seed + int64(si))
@@ -314,7 +431,7 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 			st.AdoptMote(mid, index.ProxyID(pi), mc.SampleInterval)
 			s.motes = append(s.motes, m)
 			s.moteProxy[mid] = p
-			n.moteShard[mid] = si
+			n.moteShard[mid] = si - n.firstShard
 			n.moteHome[mid] = m
 		}
 	}
@@ -324,34 +441,45 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 // wireReplication connects every wireless proxy's replica tap to proxy 0
 // and registers their motes on it in replica-only mode. Within shard 0
 // the tap is a direct call (same domain, same kernel); across shards it
-// rides the bridge, whose handler on shard 0 absorbs the traffic.
+// rides the bridge, whose handler on shard 0 absorbs the traffic. In a
+// windowed build only the locally-hosted side of each link exists: the
+// process hosting domain 0 registers *every* wireless proxy's motes on
+// the replica (their traffic arrives over the bridge, locally or through
+// the cluster transport), and other processes install taps whose
+// bridge sends leave through the uplink.
 func (n *Network) wireReplication() {
-	s0 := n.shards[0]
-	wiredProxy := s0.proxies[0]
-	s0.wired = wiredProxy
-
-	if n.bridge != nil {
-		n.bridge.AttachDomain(0, s0.sim, func(msg radio.BridgeMsg) {
-			wiredProxy.AbsorbReplica(msg.Mote, msg.Kind, msg.Payload)
-		})
+	cfg := n.cfg
+	var wiredProxy *proxy.Proxy
+	if s0, ok := n.localShard(0); ok {
+		wiredProxy = s0.proxies[0]
+		s0.wired = wiredProxy
+		if n.bridge != nil {
+			n.bridge.AttachDomain(0, s0.sim, func(msg radio.BridgeMsg) {
+				wiredProxy.AbsorbReplica(msg.Mote, msg.Kind, msg.Payload)
+			})
+		}
+		// Register every wireless proxy's motes — hosted here or not —
+		// so the replica can absorb and serve whatever the bridge
+		// delivers.
+		for pi := 1; pi < cfg.Proxies; pi++ {
+			for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
+				wiredProxy.RegisterReplica(radio.NodeID(1+mi), cfg.SampleInterval, cfg.Delta)
+			}
+		}
 	}
 
-	cfg := n.cfg
-	globalPi := 0
-	for si, s := range n.shards {
+	for _, s := range n.shards {
+		si := s.domain
 		if n.bridge != nil && si != 0 {
 			// Non-replica domains still need an attachment so future
 			// bidirectional traffic has an inbox; handler drops.
 			n.bridge.AttachDomain(radio.DomainID(si), s.sim, func(radio.BridgeMsg) {})
 		}
+		lo, _ := n.lay.ProxyRange(si)
 		for lpi, p := range s.proxies {
-			pi := globalPi + lpi
+			pi := lo + lpi
 			if pi == 0 {
 				continue // the wired proxy does not replicate itself
-			}
-			// Replica registrations for this proxy's motes.
-			for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
-				wiredProxy.RegisterReplica(radio.NodeID(1+mi), cfg.SampleInterval, cfg.Delta)
 			}
 			if si == 0 {
 				// Same domain: direct tap, and the domain-local store
@@ -373,9 +501,26 @@ func (n *Network) wireReplication() {
 				})
 			}
 		}
-		globalPi += len(s.proxies)
 	}
 }
+
+// localShard returns the shard hosting global domain d, if this process
+// hosts it.
+func (n *Network) localShard(d int) (*shard, bool) {
+	li := d - n.firstShard
+	if li < 0 || li >= len(n.shards) {
+		return nil, false
+	}
+	return n.shards[li], true
+}
+
+// Layout returns the deployment's global domain partition.
+func (n *Network) Layout() Layout { return n.lay }
+
+// Bridge returns the inter-domain wired-replica bridge (nil for
+// single-domain deployments). Cluster sites hang their transport uplink
+// off it; tests inspect its counters.
+func (n *Network) Bridge() *radio.Bridge { return n.bridge }
 
 // Start begins sampling on every mote.
 func (n *Network) Start() {
@@ -425,7 +570,7 @@ func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (ma
 		// Phase 1: stream-all.
 		for _, m := range s.motes {
 			if err := s.moteProxy[m.ID()].Configure(m.ID(), wire.Config{StreamAll: 1}); err != nil {
-				errs[s.domain] = err
+				errs[s.domain-n.firstShard] = err
 				return
 			}
 		}
@@ -435,18 +580,18 @@ func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (ma
 			p := s.moteProxy[m.ID()]
 			mdl, err := p.TrainAndShip(m.ID(), 0, s.sim.Now(), bins, delta)
 			if err != nil {
-				errs[s.domain] = fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
+				errs[s.domain-n.firstShard] = fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
 				return
 			}
 			if err := p.Configure(m.ID(), wire.Config{StreamAll: 2}); err != nil {
-				errs[s.domain] = err
+				errs[s.domain-n.firstShard] = err
 				return
 			}
 			local[m.ID()] = mdl
 		}
 		// Let the model updates and config changes propagate.
 		s.advance(time.Minute)
-		models[s.domain] = local
+		models[s.domain-n.firstShard] = local
 	})
 	merged := make(map[radio.NodeID]model.Model, len(n.moteShard))
 	for si, local := range models {
@@ -475,7 +620,7 @@ func (n *Network) Retrain(policy predict.RetrainPolicy, delta float64) error {
 		}
 		for _, m := range s.motes {
 			if _, err := s.moteProxy[m.ID()].TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
-				errs[s.domain] = fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
+				errs[s.domain-n.firstShard] = fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
 				return
 			}
 		}
@@ -529,7 +674,7 @@ func (n *Network) AutoRetrain(policy predict.RetrainPolicy, delta float64) (*Ret
 	}
 	rt := &RetrainTicker{n: n, tickers: make([]*simtime.Ticker, len(n.shards))}
 	n.eachShard(func(s *shard) {
-		rt.tickers[s.domain] = s.sim.Every(policy.Every, func() {
+		rt.tickers[s.domain-n.firstShard] = s.sim.Every(policy.Every, func() {
 			now := s.sim.Now()
 			t0 := now - simtime.Time(policy.Window)
 			if t0 < 0 {
@@ -597,7 +742,7 @@ func (n *Network) TotalMoteEnergy() energy.Meter {
 	totals := make([]energy.Meter, len(n.shards))
 	n.eachShard(func(s *shard) {
 		for _, m := range s.motes {
-			totals[s.domain].AddFrom(m.Meter())
+			totals[s.domain-n.firstShard].AddFrom(m.Meter())
 		}
 	})
 	var total energy.Meter
@@ -666,7 +811,7 @@ func (n *Network) MoteIDs() []radio.NodeID {
 // [t0, t1] merged across every domain's index.
 func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
 	per := make([][]index.Detection, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain] = s.st.Detections(t0, t1) })
+	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.Detections(t0, t1) })
 	var out []index.Detection
 	for _, ds := range per {
 		out = append(out, ds...)
@@ -680,7 +825,7 @@ func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
 // range queries served whole from the archive backend.
 func (n *Network) StoreStats() store.RoutingStats {
 	per := make([]store.RoutingStats, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain] = s.st.RoutingStats() })
+	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.RoutingStats() })
 	var total store.RoutingStats
 	for _, r := range per {
 		total.Routed += r.Routed
@@ -696,7 +841,7 @@ func (n *Network) StoreStats() store.RoutingStats {
 // so callers can report archive hit ratios and flash read amplification.
 func (n *Network) StoreBackendStats() store.BackendStats {
 	per := make([]store.BackendStats, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain] = s.st.BackendStats() })
+	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.BackendStats() })
 	var total store.BackendStats
 	for _, b := range per {
 		total.Appends += b.Appends
@@ -720,10 +865,11 @@ func (n *Network) StoreBackendStats() store.BackendStats {
 // publishing proxy.
 func (n *Network) Publish(d index.Detection) error {
 	pi := int(d.Proxy)
-	if pi < 0 || pi >= len(n.proxyShard) {
-		return fmt.Errorf("core: unknown proxy %d", d.Proxy)
+	li, ok := n.proxyShard[pi]
+	if !ok {
+		return fmt.Errorf("core: proxy %d not hosted by this process", d.Proxy)
 	}
-	s := n.shards[n.proxyShard[pi]]
+	s := n.shards[li]
 	var err error
 	if !s.call(func(s *shard) { err = s.st.Publish(d) }) {
 		return ErrClosed

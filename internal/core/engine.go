@@ -224,12 +224,23 @@ func (s *shard) submitCB(q query.Query, fn func(query.Result, bool)) {
 // (a continuous spec's rounds fire as kernel events on this very
 // domain), and chunking costs ~30% on long simulations.
 func (s *shard) advance(d time.Duration) {
-	target := s.sim.Now() + simtime.Time(d)
+	s.advanceTo(s.sim.Now() + simtime.Time(d))
+}
+
+// advanceTo runs the domain forward to absolute virtual time target
+// (no-op for a domain already at or past it — e.g. one that ran ahead
+// settling queries). Cluster advance leases use the absolute form so
+// every domain in every process converges on the same clock regardless
+// of where each one currently stands.
+func (s *shard) advanceTo(target simtime.Time) {
 	for {
 		if s.bridge != nil {
 			s.bridge.Drain(radio.DomainID(s.domain))
 		}
 		s.drainCmds()
+		if s.sim.Now() >= target {
+			return
+		}
 		next := s.sim.Now() + simtime.Time(bridgeDrainQuantum)
 		if s.bridge == nil || next > target {
 			next = target
@@ -449,6 +460,15 @@ func (n *Network) Execute(q query.Query, cb func(query.Result)) error {
 // Run advances every shard's virtual time by d, concurrently.
 func (n *Network) Run(d time.Duration) {
 	n.eachShard(func(s *shard) { s.advance(d) })
+}
+
+// RunUntilTime advances every shard to absolute virtual time t; domains
+// already at or past t (having run ahead settling queries) are left
+// where they are. Cluster advance leases are issued in this form — every
+// site converges on the coordinator's lease target, which is what keeps
+// the distributed clocks within one lease quantum of each other.
+func (n *Network) RunUntilTime(t simtime.Time) {
+	n.eachShard(func(s *shard) { s.advanceTo(t) })
 }
 
 // eachShard runs fn on every shard's worker in parallel and waits for

@@ -24,6 +24,7 @@ func All() []Experiment {
 		{"E12", "Store backends: archive hit ratio, flash costs", E12StoreBackends},
 		{"E13", "Flash archive aging: uniform vs wavelet tiers", E13WaveletAging},
 		{"E14", "Scatter-gather set queries vs per-mote loop", E14ScatterGather},
+		{"E15", "Multi-process cluster vs one process (loopback transport)", E15Cluster},
 		{"A1", "Ablation: model family", AblationModels},
 		{"A2", "Ablation: batch codec", AblationCompression},
 		{"A3", "Ablation: retraining period", AblationRetrain},

@@ -391,8 +391,8 @@ func TestE14Shape(t *testing.T) {
 
 func TestAllRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

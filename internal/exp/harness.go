@@ -34,6 +34,11 @@ type Scale struct {
 	// "wavelet" for age-tiered wavelet summarization, "uniform" for
 	// legacy widened-mean coarsening.
 	Aging string
+	// Sites is the cluster-mode process count for E15
+	// (cmd/presto-bench -cluster): the deployment's domains split across
+	// this many cooperating sites over the loopback transport. 0 means
+	// the experiment's default of 2.
+	Sites int
 }
 
 // PaperScale reproduces the published parameters (Figure 2 uses a

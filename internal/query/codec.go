@@ -1,0 +1,367 @@
+package query
+
+// Binary codecs for the cluster wire format: resolved mote lists,
+// bound specs, partial aggregates and per-mote results — the payloads of
+// scatter and partial frames between a cluster coordinator and its
+// sites. They follow internal/wire's tight-encoding discipline (varint
+// deltas for ids and timestamps, no self-describing framing) with one
+// deliberate exception: values and error bounds are float64, not the
+// radio path's float32. Partial sums feed the merge stage's bound
+// arithmetic, and a cluster run must answer bit-identically to the same
+// deployment in one process — a few extra bytes per frame are irrelevant
+// on the wired backbone next to a radio rendezvous.
+//
+// Selectors never cross the wire. A predicate is a closure and cannot be
+// serialized; the coordinator resolves every selector to an explicit
+// mote list before scattering, which also pins the target set — every
+// site sees exactly the motes the coordinator chose, not its own
+// re-evaluation of the predicate.
+//
+// Like every decoder that parses bytes from another process, these must
+// error on arbitrary input, never panic (covered by the wire package's
+// garbage-robustness suite).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// errCodec is the shared malformed-buffer error for the cluster codecs.
+var errCodec = errors.New("query: truncated or malformed codec buffer")
+
+// Decode-side sanity bounds: a frame claiming more elements than these is
+// garbage (or hostile), not a deployment we run.
+const (
+	maxCodecMotes   = 1 << 20
+	maxCodecParts   = 1 << 16
+	maxCodecResults = 1 << 20
+	maxCodecEntries = 1 << 26
+	maxCodecBins    = 1 << 22
+)
+
+// creader is a bounds-checked cursor over a codec buffer: every read
+// reports underflow through err instead of slicing past the end.
+type creader struct {
+	b   []byte
+	err error
+}
+
+func (r *creader) fail() {
+	if r.err == nil {
+		r.err = errCodec
+	}
+}
+
+func (r *creader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *creader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *creader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *creader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// count reads a length prefix and validates it against max.
+func (r *creader) count(max uint64) int {
+	n := r.uvarint()
+	if n > max {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+// ---------------------------------------------------------------------------
+// Mote lists
+
+// EncodeMotes appends a resolved mote list as a count plus varint deltas
+// between consecutive ids (ascending lists — the resolver's output —
+// encode in ~1 byte per mote).
+func EncodeMotes(buf []byte, ids []radio.NodeID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := int64(0)
+	for _, id := range ids {
+		buf = binary.AppendVarint(buf, int64(id)-prev)
+		prev = int64(id)
+	}
+	return buf
+}
+
+// decodeMotes reads a mote list from the cursor.
+func decodeMotes(r *creader) []radio.NodeID {
+	n := r.count(maxCodecMotes)
+	ids := make([]radio.NodeID, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += r.varint()
+		ids = append(ids, radio.NodeID(prev))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Specs
+
+// EncodeScatter packs a bound spec (Trailing already resolved — see
+// Spec.BindWindow) and its resolved target motes: the payload of one
+// cluster scatter frame. Continuous scheduling stays at the coordinator;
+// a site only ever sees one concrete round.
+func EncodeScatter(spec Spec, motes []radio.NodeID) []byte {
+	buf := make([]byte, 0, 64+2*len(motes))
+	buf = append(buf, byte(spec.Type), byte(spec.Agg))
+	buf = binary.AppendVarint(buf, int64(spec.T0))
+	buf = binary.AppendVarint(buf, int64(spec.T1))
+	buf = appendF64(buf, spec.Precision)
+	buf = binary.AppendVarint(buf, int64(spec.Deadline))
+	buf = binary.AppendVarint(buf, int64(spec.MaxStaleness))
+	return EncodeMotes(buf, motes)
+}
+
+// DecodeScatter unpacks a scatter payload. The spec is re-validated: a
+// frame from another process is untrusted input.
+func DecodeScatter(buf []byte) (Spec, []radio.NodeID, error) {
+	r := &creader{b: buf}
+	spec := Spec{
+		Type:         Type(r.byte()),
+		Agg:          AggKind(r.byte()),
+		T0:           simtime.Time(r.varint()),
+		T1:           simtime.Time(r.varint()),
+		Precision:    r.f64(),
+		Deadline:     time.Duration(r.varint()),
+		MaxStaleness: time.Duration(r.varint()),
+	}
+	motes := decodeMotes(r)
+	if r.err != nil {
+		return Spec{}, nil, r.err
+	}
+	if len(r.b) != 0 {
+		return Spec{}, nil, fmt.Errorf("query: %d trailing bytes after scatter payload", len(r.b))
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, nil, err
+	}
+	if len(motes) == 0 {
+		return Spec{}, nil, ErrNoMotes
+	}
+	return spec, motes, nil
+}
+
+// ---------------------------------------------------------------------------
+// Partials
+
+// appendPartial encodes one partial aggregate. Histogram bins are walked
+// in ascending order (delta-encoded), so equal partials encode equally.
+func appendPartial(buf []byte, p Partial) []byte {
+	buf = binary.AppendUvarint(buf, uint64(p.Count))
+	buf = appendF64(buf, p.Sum)
+	buf = appendF64(buf, p.Min)
+	buf = appendF64(buf, p.Max)
+	buf = appendF64(buf, p.SumErr)
+	buf = appendF64(buf, p.MaxErr)
+	buf = appendF64(buf, p.BinWidth)
+	bins := make([]int64, 0, len(p.Hist))
+	for b := range p.Hist {
+		bins = append(bins, b)
+	}
+	for i := 1; i < len(bins); i++ { // insertion sort: bin counts are small
+		for j := i; j > 0 && bins[j] < bins[j-1]; j-- {
+			bins[j], bins[j-1] = bins[j-1], bins[j]
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(bins)))
+	prev := int64(0)
+	for _, b := range bins {
+		buf = binary.AppendVarint(buf, b-prev)
+		prev = b
+		buf = binary.AppendUvarint(buf, uint64(p.Hist[b]))
+	}
+	return buf
+}
+
+func decodePartial(r *creader) Partial {
+	p := Partial{
+		Count:  int(r.uvarint()),
+		Sum:    r.f64(),
+		Min:    r.f64(),
+		Max:    r.f64(),
+		SumErr: r.f64(),
+		MaxErr: r.f64(),
+	}
+	p.BinWidth = r.f64()
+	n := r.count(maxCodecBins)
+	p.Hist = make(map[int64]int, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += r.varint()
+		c := r.uvarint()
+		if c > maxCodecEntries {
+			r.fail()
+			return Partial{}
+		}
+		p.Hist[prev] = int(c)
+	}
+	if p.Count < 0 || p.Count > maxCodecEntries {
+		r.fail()
+	}
+	return p
+}
+
+// appendResult encodes one completed per-mote result. Only what the
+// merge presents survives: the mote, provenance, issue/done instants and
+// the entries. The receiving side rebuilds Result.Query from the round's
+// spec — it is the same per-mote materialization QueryFor produces.
+func appendResult(buf []byte, res Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(res.Query.Mote))
+	buf = append(buf, byte(res.Answer.Source))
+	buf = binary.AppendVarint(buf, int64(res.Answer.IssuedAt))
+	buf = binary.AppendVarint(buf, int64(res.Answer.DoneAt))
+	buf = binary.AppendUvarint(buf, uint64(len(res.Answer.Entries)))
+	prev := simtime.Time(0)
+	for _, e := range res.Answer.Entries {
+		buf = binary.AppendVarint(buf, int64(e.T-prev))
+		prev = e.T
+		buf = appendF64(buf, e.V)
+		buf = appendF64(buf, e.ErrBound)
+		buf = append(buf, byte(e.Source))
+	}
+	return buf
+}
+
+func decodeResult(r *creader, spec Spec) Result {
+	mote := radio.NodeID(r.uvarint())
+	res := Result{Query: spec.QueryFor(mote)}
+	res.Answer = proxy.Answer{
+		Mote:     mote,
+		Source:   proxy.Source(r.byte()),
+		IssuedAt: simtime.Time(r.varint()),
+		DoneAt:   simtime.Time(r.varint()),
+	}
+	n := r.count(maxCodecEntries)
+	prev := simtime.Time(0)
+	for i := 0; i < n; i++ {
+		prev += simtime.Time(r.varint())
+		e := cache.Entry{T: prev, V: r.f64(), ErrBound: r.f64(), Source: cache.Source(r.byte())}
+		if r.err != nil {
+			return Result{}
+		}
+		res.Answer.Entries = append(res.Answer.Entries, e)
+	}
+	return res
+}
+
+// EncodeRoundPartials packs one site's contribution to a round: its
+// domains' RoundPartials, in the order given — the payload of one
+// partials frame. Push-down in byte form: however many motes and entries
+// a site's domains folded, what crosses the wire is a handful of
+// partials (plus per-mote results for Now/Past specs, which have no
+// smaller honest representation).
+func EncodeRoundPartials(parts []RoundPartial) []byte {
+	buf := make([]byte, 0, 96*len(parts))
+	buf = binary.AppendUvarint(buf, uint64(len(parts)))
+	for _, p := range parts {
+		buf = binary.AppendUvarint(buf, uint64(p.Domain))
+		buf = appendPartial(buf, p.Partial)
+		buf = binary.AppendUvarint(buf, uint64(p.Failed))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Results)))
+		for _, res := range p.Results {
+			buf = appendResult(buf, res)
+		}
+	}
+	return buf
+}
+
+// DecodeRoundPartials unpacks a partials payload. Each Result.Query is
+// rebuilt from spec (the round the coordinator scattered), so the caller
+// must pass the same bound spec it encoded into the scatter frame.
+func DecodeRoundPartials(spec Spec, buf []byte) ([]RoundPartial, error) {
+	r := &creader{b: buf}
+	n := r.count(maxCodecParts)
+	parts := make([]RoundPartial, 0, n)
+	for i := 0; i < n; i++ {
+		p := RoundPartial{Domain: int(r.uvarint())}
+		p.Partial = decodePartial(r)
+		p.Failed = int(r.uvarint())
+		nr := r.count(maxCodecResults)
+		for j := 0; j < nr; j++ {
+			res := decodeResult(r, spec)
+			if r.err != nil {
+				return nil, r.err
+			}
+			p.Results = append(p.Results, res)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if p.Failed < 0 || p.Failed > maxCodecMotes || p.Domain > maxCodecParts {
+			return nil, errCodec
+		}
+		parts = append(parts, p)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("query: %d trailing bytes after partials payload", len(r.b))
+	}
+	return parts, nil
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"presto/internal/radio"
@@ -81,6 +82,13 @@ type Spec struct {
 	Type   Type
 	Select Selector
 	T0, T1 simtime.Time // Past/Agg window
+	// Trailing, when positive, makes the Past/Agg window relative: each
+	// execution — every round of a continuous spec — re-resolves it to
+	// [now-Trailing, now] at the instant the round fires, so "the mean
+	// over the last hour, every hour" tracks the clock instead of
+	// re-reading a fixed [T0, T1] forever. Mutually exclusive with an
+	// explicit T0/T1.
+	Trailing time.Duration
 	// Agg is the aggregate operator for Agg specs; partial aggregates are
 	// computed per domain and merged.
 	Agg AggKind
@@ -103,6 +111,17 @@ func (s Spec) Validate() error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
+	if s.Trailing < 0 {
+		return fmt.Errorf("query: negative trailing window %v", s.Trailing)
+	}
+	if s.Trailing > 0 {
+		if s.Type == Now {
+			return errors.New("query: trailing window on a NOW spec (windows apply to PAST/AGG)")
+		}
+		if s.T0 != 0 || s.T1 != 0 {
+			return fmt.Errorf("query: both a trailing window (%v) and a fixed [%v, %v]", s.Trailing, s.T0, s.T1)
+		}
+	}
 	if c := s.Continuous; c != nil {
 		if c.Every <= 0 {
 			return fmt.Errorf("query: non-positive continuous period %v", c.Every)
@@ -112,6 +131,26 @@ func (s Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// BindWindow resolves a trailing window against the execution instant:
+// the returned spec carries the concrete [now-Trailing, now] (clamped at
+// the simulation start) and no trailing marker, so it can execute — or
+// cross a cluster transport — as a fixed-window spec. The engine calls it
+// once per round, which is what makes continuous trailing specs
+// re-evaluate "the last hour" each round. Specs without a trailing window
+// are returned unchanged.
+func (s Spec) BindWindow(now simtime.Time) Spec {
+	if s.Trailing <= 0 {
+		return s
+	}
+	s.T1 = now
+	s.T0 = now - simtime.Time(s.Trailing)
+	if s.T0 < 0 {
+		s.T0 = 0
+	}
+	s.Trailing = 0
+	return s
 }
 
 // QueryFor is the per-mote execution of a spec: the Query a domain worker
@@ -130,6 +169,13 @@ func (s Spec) QueryFor(m radio.NodeID) Query {
 // observations in its window: there is no value to report, and the old
 // behaviour of answering a bare NaN hid the condition from callers.
 var ErrEmptyAggregate = errors.New("query: aggregate over empty window")
+
+// ErrNoMotes reports a spec whose selector matched zero motes in the
+// deployment it was posed against. It is a submission-time error — the
+// alternative, an empty stream that looks just like a deployment-wide
+// outage, hid typoed mote lists and over-narrow predicates from callers.
+// Test with errors.Is: engines wrap it with deployment context.
+var ErrNoMotes = errors.New("query: selector matches no motes")
 
 // histBinWidth fixes the Mode histogram granularity for a spec: the
 // requested precision when positive (the caller's own indifference
@@ -255,6 +301,62 @@ func (p Partial) Final(kind AggKind) (value, errBound float64, err error) {
 }
 
 // ---------------------------------------------------------------------------
+// Round partials and the merge stage
+
+// RoundPartial is one simulation domain's folded contribution to a
+// scattered round, tagged by its global domain index: the partial
+// aggregate for Agg specs, completed per-mote results for Now/Past
+// specs, and the count of target motes whose execution could never
+// complete. It is the unit of push-down in a cluster — per-mote answers
+// fold into RoundPartials at the site that owns the domain, and only the
+// partials cross the transport.
+type RoundPartial struct {
+	Domain  int
+	Partial Partial
+	Results []Result
+	Failed  int
+}
+
+// MergeRounds combines a round's per-domain partials into its SetResult.
+// Partials are merged in ascending global-domain order regardless of the
+// order they arrived or how domains were grouped into processes, so the
+// floating-point fold — and therefore the merged value and its honest
+// combined bound — is bit-identical whether the round was gathered in
+// one process or scattered across cluster sites. Both the in-process
+// engine and the cluster coordinator terminate their merge stages here.
+func MergeRounds(spec Spec, seq int, at simtime.Time, parts []RoundPartial) SetResult {
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Domain < parts[j].Domain })
+	merged := NewPartial(spec.Precision)
+	var results []Result
+	failed := 0
+	for _, p := range parts {
+		merged.Merge(p.Partial)
+		results = append(results, p.Results...)
+		failed += p.Failed
+	}
+	res := SetResult{Seq: seq, At: at, Failed: failed}
+	if spec.Type == Agg {
+		res.Count = merged.Count
+		res.Value, res.ErrBound, res.Err = merged.Final(spec.Agg)
+		return res
+	}
+	// Per-mote results in global mote order (gather order is per-domain;
+	// the merge restores a deterministic presentation).
+	sort.Slice(results, func(i, j int) bool { return results[i].Query.Mote < results[j].Query.Mote })
+	res.Results = results
+	return res
+}
+
+// SiteError reports one cluster site that could not contribute to a
+// round — connection lost, site crashed, response malformed. The round's
+// other sites still answer: a SetResult carrying SiteErrs is an explicit
+// partial answer, never a silent one.
+type SiteError struct {
+	Site int // site index in the cluster (0 is the coordinator)
+	Err  error
+}
+
+// ---------------------------------------------------------------------------
 // Set-valued results
 
 // SetResult is one delivery from a Spec: the merged aggregate for Agg
@@ -281,6 +383,10 @@ type SetResult struct {
 	Count    int
 	// Failed counts target motes that could not complete this round.
 	Failed int
+	// SiteErrs names the cluster sites (if any) that could not contribute
+	// to this round, each with the error that took it out; their motes are
+	// included in Failed. Always nil for single-process deployments.
+	SiteErrs []SiteError
 	// Err flags a round without a usable answer — ErrEmptyAggregate when
 	// an Agg window held no observations.
 	Err error

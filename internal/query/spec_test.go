@@ -209,3 +209,58 @@ func TestSpecQueryFor(t *testing.T) {
 		t.Fatalf("QueryFor mapped %+v", q)
 	}
 }
+
+func TestTrailingValidation(t *testing.T) {
+	ok := Spec{Type: Agg, Agg: Mean, Trailing: time.Hour}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid trailing spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Type: Agg, Agg: Mean, Trailing: -time.Hour},
+		{Type: Now, Trailing: time.Hour},
+		{Type: Agg, Agg: Mean, Trailing: time.Hour, T1: simtime.Hour},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad trailing spec %d accepted", i)
+		}
+	}
+}
+
+func TestBindWindow(t *testing.T) {
+	s := Spec{Type: Agg, Agg: Mean, Trailing: time.Hour}
+	b := s.BindWindow(3 * simtime.Hour)
+	if b.T0 != 2*simtime.Hour || b.T1 != 3*simtime.Hour || b.Trailing != 0 {
+		t.Fatalf("bound window [%v, %v] trailing=%v", b.T0, b.T1, b.Trailing)
+	}
+	// Clamped at the simulation start.
+	b = s.BindWindow(30 * simtime.Minute)
+	if b.T0 != 0 || b.T1 != 30*simtime.Minute {
+		t.Fatalf("clamped window [%v, %v]", b.T0, b.T1)
+	}
+	// Fixed windows pass through untouched.
+	f := Spec{Type: Past, T0: 1, T1: 2}
+	if g := f.BindWindow(simtime.Hour); g.T0 != 1 || g.T1 != 2 {
+		t.Fatalf("fixed window rebound to [%v, %v]", g.T0, g.T1)
+	}
+}
+
+// TestMergeRoundsOrderInsensitive: the merge fold is by global domain
+// order, so the result is identical however partials arrive.
+func TestMergeRoundsOrderInsensitive(t *testing.T) {
+	spec := Spec{Type: Agg, Agg: Mean, Precision: 0.5}
+	mk := func(domain int, vals ...float64) RoundPartial {
+		p := NewPartial(0.5)
+		for _, v := range vals {
+			p.Observe(v, 0.1)
+		}
+		return RoundPartial{Domain: domain, Partial: p}
+	}
+	a := []RoundPartial{mk(0, 1.1, 2.2), mk(1, 3.3), mk(2, 4.4, 5.5)}
+	b := []RoundPartial{a[2], a[0], a[1]}
+	ra := MergeRounds(spec, 0, 0, a)
+	rb := MergeRounds(spec, 0, 0, b)
+	if ra.Value != rb.Value || ra.ErrBound != rb.ErrBound || ra.Count != rb.Count {
+		t.Fatalf("merge depends on arrival order: %+v vs %+v", ra, rb)
+	}
+}

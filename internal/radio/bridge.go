@@ -53,6 +53,7 @@ type Bridge struct {
 
 	mu      sync.Mutex
 	domains map[DomainID]*bridgeDomain
+	uplink  func(BridgeMsg)
 
 	sent, delivered atomic.Uint64
 }
@@ -79,18 +80,38 @@ func (b *Bridge) AttachDomain(d DomainID, sim *simtime.Simulator, h func(BridgeM
 	b.domains[d] = &bridgeDomain{sim: sim, handler: h}
 }
 
-// Send enqueues a message for the destination domain. Unknown
-// destinations drop the message (a detached domain, mirroring radio's
-// silent link-layer loss).
+// SetUplink installs a forwarder for messages addressed to domains not
+// attached to this bridge: in a multi-process cluster each process hosts
+// a window of the domains, and replica traffic for a domain hosted
+// elsewhere leaves through the uplink (cluster.Site wires it to the
+// coordinator connection). Without an uplink such messages drop, as
+// before. The uplink runs on the sender's goroutine — a domain worker —
+// so it must not block on the receiving domain.
+func (b *Bridge) SetUplink(fn func(BridgeMsg)) {
+	b.mu.Lock()
+	b.uplink = fn
+	b.mu.Unlock()
+}
+
+// Send enqueues a message for the destination domain. Messages for
+// domains not attached locally go to the uplink when one is installed
+// (cross-process delivery); with no uplink they drop (a detached domain,
+// mirroring radio's silent link-layer loss).
 func (b *Bridge) Send(msg BridgeMsg) {
 	b.mu.Lock()
 	dom, ok := b.domains[msg.Dst]
+	uplink := b.uplink
 	if ok {
 		dom.inbox = append(dom.inbox, msg)
 	}
 	b.mu.Unlock()
 	if ok {
 		b.sent.Add(1)
+		return
+	}
+	if uplink != nil {
+		b.sent.Add(1)
+		uplink(msg)
 	}
 }
 

@@ -48,6 +48,32 @@ func TestBridgeDropsUnknownDomain(t *testing.T) {
 	}
 }
 
+func TestBridgeUplinkForwardsUnhostedDomains(t *testing.T) {
+	// A windowed (cluster-site) process hosts only some domains; traffic
+	// for the rest leaves through the uplink instead of dropping.
+	b := NewBridge(time.Millisecond)
+	sim := simtime.New(1)
+	b.AttachDomain(1, sim, func(BridgeMsg) {})
+	var up []BridgeMsg
+	b.SetUplink(func(m BridgeMsg) { up = append(up, m) })
+
+	b.Send(BridgeMsg{Src: 1, Dst: 0, Mote: 9, Kind: 2, Payload: []byte{5}})
+	if len(up) != 1 || up[0].Mote != 9 {
+		t.Fatalf("uplink got %+v", up)
+	}
+	if sent, _ := b.Stats(); sent != 1 {
+		t.Fatalf("uplinked message not counted: sent=%d", sent)
+	}
+	// Locally-attached destinations still use the inbox, not the uplink.
+	b.Send(BridgeMsg{Src: 0, Dst: 1, Mote: 3})
+	if len(up) != 1 {
+		t.Fatal("local traffic leaked to the uplink")
+	}
+	if n := b.Drain(1); n != 1 {
+		t.Fatalf("drained %d local messages, want 1", n)
+	}
+}
+
 func TestBridgeConcurrentSenders(t *testing.T) {
 	// Senders race from many goroutines (the cross-domain case); the
 	// receiving domain drains serially.

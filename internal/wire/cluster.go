@@ -1,0 +1,368 @@
+package wire
+
+// Cluster frame protocol: the coordinator ↔ site messages that let one
+// deployment run as N cooperating OS processes (internal/cluster). The
+// same tight-encoding discipline as the radio protocol applies — varint
+// deltas, no reflection, and decoders that error (never panic) on
+// arbitrary bytes, since a frame arrives from another process over a
+// network we may not control. Frame payloads whose types live above this
+// package (specs, partial aggregates) are encoded by internal/query and
+// carried here opaquely.
+//
+// Wire format of one frame, as carried by ReadFrame/WriteFrame:
+//
+//	[4-byte LE length of the rest][kind byte][uvarint seq][payload]
+//
+// Seq correlates requests with responses: a site answers a frame by
+// echoing its seq, so the coordinator can demultiplex concurrent
+// scatters, advances and bootstraps over one connection.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+// FrameKind discriminates cluster frames.
+type FrameKind uint8
+
+// Cluster frame kinds.
+const (
+	// FrameHello opens a site's connection: protocol version + config
+	// hash, site → coordinator.
+	FrameHello FrameKind = iota + 1
+	// FrameAssign answers a hello with the site's index and domain
+	// window, coordinator → site.
+	FrameAssign
+	// FrameBootstrap starts the two-phase bootstrap on a site's domains.
+	FrameBootstrap
+	// FrameBootstrapAck reports bootstrap completion (or failure).
+	FrameBootstrapAck
+	// FrameAdvance leases the site's domains forward to an absolute
+	// virtual instant.
+	FrameAdvance
+	// FrameAdvanceAck confirms the lease target was reached.
+	FrameAdvanceAck
+	// FrameScatter carries one round of a spec: bound spec + resolved
+	// mote list (query.EncodeScatter payload), coordinator → site.
+	FrameScatter
+	// FramePartials answers a scatter with the site's folded
+	// RoundPartials (query.EncodeRoundPartials payload) or an error.
+	FramePartials
+	// FrameBridge carries one wired-replica bridge message between
+	// processes (EncodeBridgeMsg payload).
+	FrameBridge
+	// FrameStart begins sampling on a site's motes without the full
+	// bootstrap (raw-push workloads and tests).
+	FrameStart
+	// FrameStartAck confirms sampling started.
+	FrameStartAck
+)
+
+// FrameKindMax is the highest defined frame kind (transport counters
+// index by kind).
+const FrameKindMax = FrameStartAck
+
+// String names the kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "hello"
+	case FrameAssign:
+		return "assign"
+	case FrameBootstrap:
+		return "bootstrap"
+	case FrameBootstrapAck:
+		return "bootstrap-ack"
+	case FrameAdvance:
+		return "advance"
+	case FrameAdvanceAck:
+		return "advance-ack"
+	case FrameScatter:
+		return "scatter"
+	case FramePartials:
+		return "partials"
+	case FrameBridge:
+		return "bridge"
+	case FrameStart:
+		return "start"
+	case FrameStartAck:
+		return "start-ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one cluster message.
+type Frame struct {
+	Kind    FrameKind
+	Seq     uint64
+	Payload []byte
+}
+
+// maxFrameLen bounds a frame body: a length prefix beyond this is
+// garbage (or hostile), not a frame we would ever send.
+const maxFrameLen = 16 << 20
+
+// EncodeFrame serializes a frame body (everything after the length
+// prefix).
+func EncodeFrame(f Frame) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(f.Payload))
+	buf = append(buf, byte(f.Kind))
+	buf = binary.AppendUvarint(buf, f.Seq)
+	return append(buf, f.Payload...)
+}
+
+// DecodeFrame deserializes a frame body.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < 1 {
+		return Frame{}, ErrShort
+	}
+	f := Frame{Kind: FrameKind(buf[0])}
+	if f.Kind == 0 || f.Kind > FrameKindMax {
+		return Frame{}, fmt.Errorf("wire: unknown frame kind %d", buf[0])
+	}
+	seq, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return Frame{}, ErrShort
+	}
+	f.Seq = seq
+	f.Payload = append([]byte(nil), buf[1+n:]...)
+	return f, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	body := EncodeFrame(f)
+	if len(body) > maxFrameLen {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameLen {
+		return Frame{}, fmt.Errorf("wire: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(body)
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+
+// ProtoVersion is the cluster protocol version; a hello carrying any
+// other value is refused, so mixed builds fail fast at join time instead
+// of corrupting each other mid-run.
+const ProtoVersion = 1
+
+// Hello opens a site's connection.
+type Hello struct {
+	Version uint32
+	// ConfigHash fingerprints the site's deployment config: coordinator
+	// and sites must be launched with identical deployments (same seed,
+	// same partition), or every determinism guarantee is off.
+	ConfigHash uint64
+}
+
+// EncodeHello serializes a hello (12 bytes).
+func EncodeHello(h Hello) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, h.Version)
+	binary.LittleEndian.PutUint64(buf[4:], h.ConfigHash)
+	return buf
+}
+
+// DecodeHello deserializes a hello.
+func DecodeHello(buf []byte) (Hello, error) {
+	if len(buf) < 12 {
+		return Hello{}, ErrShort
+	}
+	return Hello{
+		Version:    binary.LittleEndian.Uint32(buf),
+		ConfigHash: binary.LittleEndian.Uint64(buf[4:]),
+	}, nil
+}
+
+// Assign answers a hello: the joining process is site Site of Sites and
+// hosts global domains [FirstShard, FirstShard+Shards).
+type Assign struct {
+	Site       int
+	Sites      int
+	FirstShard int
+	Shards     int
+	ConfigHash uint64 // echo of the coordinator's own hash
+}
+
+// EncodeAssign serializes an assignment.
+func EncodeAssign(a Assign) []byte {
+	buf := make([]byte, 0, 4*binary.MaxVarintLen64+8)
+	buf = binary.AppendUvarint(buf, uint64(a.Site))
+	buf = binary.AppendUvarint(buf, uint64(a.Sites))
+	buf = binary.AppendUvarint(buf, uint64(a.FirstShard))
+	buf = binary.AppendUvarint(buf, uint64(a.Shards))
+	var h [8]byte
+	binary.LittleEndian.PutUint64(h[:], a.ConfigHash)
+	return append(buf, h[:]...)
+}
+
+// DecodeAssign deserializes an assignment.
+func DecodeAssign(buf []byte) (Assign, error) {
+	var a Assign
+	fields := []*int{&a.Site, &a.Sites, &a.FirstShard, &a.Shards}
+	for _, f := range fields {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 || v > 1<<20 {
+			return Assign{}, ErrShort
+		}
+		*f = int(v)
+		buf = buf[n:]
+	}
+	if len(buf) < 8 {
+		return Assign{}, ErrShort
+	}
+	a.ConfigHash = binary.LittleEndian.Uint64(buf)
+	return a, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap and advance leases
+
+// Bootstrap asks a site to run the two-phase startup on its domains.
+type Bootstrap struct {
+	TrainFor simtime.Time
+	Bins     int
+	Delta    float64
+}
+
+// EncodeBootstrap serializes a bootstrap command.
+func EncodeBootstrap(b Bootstrap) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+8)
+	buf = binary.AppendVarint(buf, int64(b.TrainFor))
+	buf = binary.AppendVarint(buf, int64(b.Bins))
+	var d [8]byte
+	binary.LittleEndian.PutUint64(d[:], math.Float64bits(b.Delta))
+	return append(buf, d[:]...)
+}
+
+// DecodeBootstrap deserializes a bootstrap command.
+func DecodeBootstrap(buf []byte) (Bootstrap, error) {
+	t, n := binary.Varint(buf)
+	if n <= 0 {
+		return Bootstrap{}, ErrShort
+	}
+	buf = buf[n:]
+	bins, n := binary.Varint(buf)
+	if n <= 0 || bins < 0 || bins > 1<<20 {
+		return Bootstrap{}, ErrShort
+	}
+	buf = buf[n:]
+	if len(buf) < 8 {
+		return Bootstrap{}, ErrShort
+	}
+	return Bootstrap{
+		TrainFor: simtime.Time(t),
+		Bins:     int(bins),
+		Delta:    math.Float64frombits(binary.LittleEndian.Uint64(buf)),
+	}, nil
+}
+
+// EncodeAdvance serializes an advance lease (or its ack): the absolute
+// virtual instant the site's domains must converge on.
+func EncodeAdvance(target simtime.Time) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(target))
+	return buf
+}
+
+// DecodeAdvance deserializes an advance lease.
+func DecodeAdvance(buf []byte) (simtime.Time, error) {
+	if len(buf) < 8 {
+		return 0, ErrShort
+	}
+	return simtime.Time(binary.LittleEndian.Uint64(buf)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Errors-as-payload
+
+// EncodeErrString packs an error message (FrameBootstrapAck and
+// FramePartials prefix their payload with ok/err).
+func EncodeErrString(msg string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(msg)))
+	return append(buf, msg...)
+}
+
+// DecodeErrString unpacks an error message.
+func DecodeErrString(buf []byte) (string, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n > 1<<16 || int(n) > len(buf[w:]) {
+		return "", ErrShort
+	}
+	return string(buf[w : w+int(n)]), nil
+}
+
+// ---------------------------------------------------------------------------
+// Bridge messages
+
+// EncodeBridgeMsg serializes one wired-replica bridge message for
+// cross-process delivery. The payload is the same wire-level encoding
+// the in-process bridge carries.
+func EncodeBridgeMsg(m radio.BridgeMsg) []byte {
+	buf := make([]byte, 0, 4*binary.MaxVarintLen64+len(m.Payload))
+	buf = binary.AppendVarint(buf, int64(m.Src))
+	buf = binary.AppendVarint(buf, int64(m.Dst))
+	buf = binary.AppendUvarint(buf, uint64(m.Mote))
+	buf = binary.AppendUvarint(buf, uint64(m.Kind))
+	return append(buf, m.Payload...)
+}
+
+// DecodeBridgeMsg deserializes a bridge message.
+func DecodeBridgeMsg(buf []byte) (radio.BridgeMsg, error) {
+	var m radio.BridgeMsg
+	src, n := binary.Varint(buf)
+	if n <= 0 {
+		return radio.BridgeMsg{}, ErrShort
+	}
+	buf = buf[n:]
+	dst, n := binary.Varint(buf)
+	if n <= 0 {
+		return radio.BridgeMsg{}, ErrShort
+	}
+	buf = buf[n:]
+	mote, n := binary.Uvarint(buf)
+	if n <= 0 || mote > 1<<32 {
+		return radio.BridgeMsg{}, ErrShort
+	}
+	buf = buf[n:]
+	kind, n := binary.Uvarint(buf)
+	if n <= 0 || kind > 1<<16 {
+		return radio.BridgeMsg{}, ErrShort
+	}
+	buf = buf[n:]
+	m.Src = radio.DomainID(src)
+	m.Dst = radio.DomainID(dst)
+	m.Mote = radio.NodeID(mote)
+	m.Kind = radio.Kind(kind)
+	m.Payload = append([]byte(nil), buf...)
+	return m, nil
+}
