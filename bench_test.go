@@ -577,8 +577,17 @@ func BenchmarkClusterScatterGather(b *testing.B) {
 		{"inproc", n.Client()},
 		{"cluster-2site-loopback", co.Client()},
 	}
+	wireBytes := func() uint64 {
+		var total uint64
+		for _, s := range co.SiteStats() {
+			total += s.SentBytes + s.RecvBytes
+		}
+		return total
+	}
 	for _, c := range clients {
+		cluster := c.cl != clients[0].cl
 		b.Run(c.name, func(b *testing.B) {
+			before := wireBytes()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -592,6 +601,11 @@ func BenchmarkClusterScatterGather(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			if cluster {
+				// Frames in both directions across all site links, via the
+				// transport's per-kind byte counters.
+				b.ReportMetric(float64(wireBytes()-before)/float64(b.N), "wire-B/op")
+			}
 		})
 	}
 }

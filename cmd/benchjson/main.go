@@ -20,6 +20,14 @@
 // both files: new benchmarks pass freely, and a benchmark that disappears
 // from the current run is an error (a silently-deleted benchmark must not
 // disable its own gate).
+//
+// A second, independent gate watches a cost metric for growth instead of
+// a rate for shrinkage: -cost-metric allocs/op -max-growth 0.20 fails any
+// benchmark whose allocations per op grew more than 20% over baseline.
+// Cost metrics are machine-independent, so this gate holds across runner
+// hardware changes. -cost-filter restricts it to a name regexp (e.g. the
+// scatter-path benchmarks) so incidental allocation churn in unrelated
+// experiment tables does not block a push.
 package main
 
 import (
@@ -61,6 +69,9 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
 	metric := flag.String("metric", "queries/s", "metric the gate compares")
 	maxRegress := flag.Float64("max-regress", 0.20, "max tolerated fractional drop of -metric vs baseline")
+	costMetric := flag.String("cost-metric", "", "cost metric gated on growth, e.g. allocs/op (empty = off)")
+	maxGrowth := flag.Float64("max-growth", 0.20, "max tolerated fractional growth of -cost-metric vs baseline")
+	costFilter := flag.String("cost-filter", "", "regexp of benchmark names the cost gate applies to (empty = all)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -99,8 +110,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if failed := gate(base, cur, *metric, *maxRegress); failed > 0 {
+	failed := gate(base, cur, *metric, *maxRegress, false, nil)
+	if failed > 0 {
 		log.Fatalf("%d benchmark(s) regressed more than %.0f%% on %s", failed, *maxRegress*100, *metric)
+	}
+	if *costMetric != "" {
+		var filter *regexp.Regexp
+		if *costFilter != "" {
+			var err error
+			if filter, err = regexp.Compile(*costFilter); err != nil {
+				log.Fatalf("-cost-filter: %v", err)
+			}
+		}
+		if failed := gate(base, cur, *costMetric, *maxGrowth, true, filter); failed > 0 {
+			log.Fatalf("%d benchmark(s) grew more than %.0f%% on %s", failed, *maxGrowth*100, *costMetric)
+		}
 	}
 }
 
@@ -167,10 +191,15 @@ func readFile(path string) (File, error) {
 }
 
 // gate compares the tracked metric benchmark-by-benchmark and returns how
-// many regressed beyond the allowance (missing benchmarks count).
-func gate(base, cur File, metric string, maxRegress float64) int {
+// many moved beyond the allowance (missing benchmarks count). Rate gates
+// (cost=false) fail on drops; cost gates fail on growth. A non-nil filter
+// restricts the gate to matching benchmark names.
+func gate(base, cur File, metric string, tolerance float64, cost bool, filter *regexp.Regexp) int {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name, b := range base.Benchmarks {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
 		if _, tracked := b.Metrics[metric]; tracked {
 			names = append(names, name)
 		}
@@ -192,8 +221,12 @@ func gate(base, cur File, metric string, maxRegress float64) int {
 			continue
 		}
 		change := cv/want - 1
+		bad := cv < want*(1-tolerance)
+		if cost {
+			bad = cv > want*(1+tolerance)
+		}
 		status := "ok  "
-		if cv < want*(1-maxRegress) {
+		if bad {
 			status = "FAIL"
 			failed++
 		}

@@ -29,31 +29,95 @@ type Options struct {
 	// wired replica). Must be >= 1 and <= the deployment's domain count.
 	Sites int
 	// Quantum is the advance-lease size in virtual time (default
-	// DefaultQuantum). Continuous-round instants always land on a lease
-	// boundary, so smaller quanta tighten clock coherence at the price
-	// of more advance round-trips.
+	// DefaultQuantum). Continuous rounds fire at the first lease
+	// boundary at or after their nominal instant, with the query window
+	// still bound at the instant itself — cadences that divide the
+	// quantum (the usual case) fire exactly on time. A cadence faster
+	// than the quantum gets each step's due rounds batched into one
+	// scatter/partials frame pair per site.
 	Quantum time.Duration
 }
 
-// contStream is one standing query's coordinator-side state.
+// contStream is one standing query's coordinator-side state. next/seq
+// and the finished/aborted latches are guarded by Coordinator.mu; the
+// delivery goroutine owns out.
 type contStream struct {
 	spec   query.Spec
 	groups []siteTargets
-	every  simtime.Time
-	until  simtime.Time // absolute horizon; 0 = unbounded
-	next   simtime.Time // next fire instant
-	seq    int
-	out    chan query.SetResult
-	ctx    context.Context
-	done   chan struct{}
-	closed bool
+	// heads caches each remote group's encoded scatter head (spec sans
+	// window, plus resolved motes) so a standing spec's rounds resend
+	// only window bounds. Site-0 entries stay nil.
+	heads [][]byte
+	every simtime.Time
+	until simtime.Time // absolute horizon; 0 = unbounded
+	next  simtime.Time // next fire instant
+	seq   int
+	out   chan query.SetResult
+
+	// inflight hands each sealed batch's pending results — a 1-buffered
+	// channel its collector fills — to the delivery goroutine in fire
+	// order, so rounds reach out in sequence no matter how collectors
+	// finish. Its capacity bounds how far collection may lag the lease
+	// clock: when full, rounds are skipped (seqs stay dense) rather
+	// than stalling the cluster.
+	inflight chan chan []query.SetResult
+	stop     chan struct{} // closed by abort: cancellation or Close
+	ctx      context.Context
+	done     chan struct{} // closed when the delivery goroutine exits
+
+	finished bool // horizon reached; inflight closed
+	aborted  bool // stop closed
 }
 
-func (st *contStream) close() {
-	if !st.closed {
-		st.closed = true
-		close(st.out)
-		close(st.done)
+// finish seals the stream at its horizon: in-flight batches still
+// deliver, then out closes. Caller holds Coordinator.mu.
+func (st *contStream) finish() {
+	if !st.finished {
+		st.finished = true
+		close(st.inflight)
+	}
+}
+
+// abort tears the stream down without draining. Caller holds
+// Coordinator.mu.
+func (st *contStream) abort() {
+	if !st.aborted {
+		st.aborted = true
+		close(st.stop)
+	}
+}
+
+// deliver is the stream's delivery goroutine: it receives each batch's
+// pending-results channel in fire order and pushes the rounds to out,
+// so consumers see rounds in sequence even when collectors finish out
+// of order.
+func (st *contStream) deliver() {
+	defer close(st.done)
+	defer close(st.out)
+	for {
+		var pending chan []query.SetResult
+		select {
+		case p, ok := <-st.inflight:
+			if !ok {
+				return
+			}
+			pending = p
+		case <-st.stop:
+			return
+		}
+		var rounds []query.SetResult
+		select {
+		case rounds = <-pending:
+		case <-st.stop:
+			return
+		}
+		for _, res := range rounds {
+			select {
+			case st.out <- res:
+			case <-st.stop:
+				return
+			}
+		}
 	}
 }
 
@@ -76,15 +140,19 @@ type Coordinator struct {
 	// domainSite maps each global domain to its hosting site, indexed
 	// by domain — the scatter router's O(1) lookup.
 	domainSite []int
-	local      *core.Network
-	lis        Listener
-	sites      []*siteLink // remote sites; index i serves site i+1
+	// allGroups is the all-motes selector's site grouping, computed
+	// once at Listen and reused read-only by every resolveTargets call
+	// with a zero selector.
+	allGroups []siteTargets
+	local     *core.Network
+	lis       Listener
+	sites     []*siteLink // remote sites; index i serves site i+1
 
 	seq atomic.Uint64
 
 	runMu sync.Mutex // serializes Run (one lease-issuer at a time)
 
-	mu     sync.Mutex // guards vnow, conts, closed
+	mu     sync.Mutex // guards vnow, conts, closed, stream latches
 	vnow   simtime.Time
 	conts  []*contStream
 	closed bool
@@ -135,7 +203,14 @@ func Listen(t Transport, addr string, cfg core.Config, opt Options) (*Coordinato
 			domainSite[d] = s
 		}
 	}
-	return &Coordinator{cfg: cfg, lay: lay, opt: opt, domainSite: domainSite, local: local, lis: lis}, nil
+	co := &Coordinator{cfg: cfg, lay: lay, opt: opt, domainSite: domainSite, local: local, lis: lis}
+	co.allGroups, err = co.groupBySite(lay.AllMotes())
+	if err != nil {
+		local.Close()
+		lis.Close()
+		return nil, err
+	}
+	return co, nil
 }
 
 // siteWindow splits nShards contiguously across nSites, remainder to the
@@ -249,17 +324,17 @@ func (co *Coordinator) Now() simtime.Time {
 
 // Close tears the cluster down: sites see their connection close and
 // exit Serve cleanly; the local window shuts its workers down. Standing
-// streams close.
+// streams abort.
 func (co *Coordinator) Close() {
 	co.closeOnce.Do(func() {
 		co.mu.Lock()
 		co.closed = true
 		conts := co.conts
 		co.conts = nil
-		co.mu.Unlock()
 		for _, st := range conts {
-			st.close()
+			st.abort()
 		}
+		co.mu.Unlock()
 		for _, l := range co.sites {
 			l.conn.Close()
 		}
@@ -333,9 +408,14 @@ func (co *Coordinator) Start(ctx context.Context) error {
 // steps: every site (and the local window) converges on each absolute
 // lease target before the next is issued, so no domain runs more than
 // one quantum ahead of another — the distributed analogue of the
-// in-process bridge-drain chunking. Continuous rounds fire exactly at
-// their instants: lease targets are clamped to the next round boundary,
-// every site reaches it, then the round scatters with all clocks equal.
+// in-process bridge-drain chunking.
+//
+// Continuous rounds are pipelined: the scatters for rounds sealed by a
+// lease step are issued right after it converges, and the next lease
+// goes out while those rounds are still being computed and collected.
+// The per-connection frame FIFO keeps this correct without quiescing —
+// a site enqueues a scatter's gathers before it acts on any later
+// advance frame, which pins the round to the clock it was sealed at.
 func (co *Coordinator) Run(ctx context.Context, d time.Duration) error {
 	co.runMu.Lock()
 	defer co.runMu.Unlock()
@@ -345,24 +425,19 @@ func (co *Coordinator) Run(ctx context.Context, d time.Duration) error {
 	for {
 		co.mu.Lock()
 		now := co.vnow
-		next := now + simtime.Time(co.opt.Quantum)
-		if next > target {
-			next = target
-		}
-		for _, st := range co.conts {
-			if st.next > now && st.next < next {
-				next = st.next
-			}
-		}
 		co.mu.Unlock()
 		if now >= target {
 			return nil
+		}
+		next := now + simtime.Time(co.opt.Quantum)
+		if next > target {
+			next = target
 		}
 		co.advanceAll(ctx, next)
 		co.mu.Lock()
 		co.vnow = next
 		co.mu.Unlock()
-		co.fireDue(ctx)
+		co.fireDue()
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -394,46 +469,54 @@ func (co *Coordinator) advanceAll(ctx context.Context, target simtime.Time) {
 	wg.Wait()
 }
 
-// fireDue scatters every continuous round whose instant has been
-// reached. Rounds fire at exact instants with all clocks converged —
-// the same guarantee the in-process anchor-kernel wakeup gives.
-func (co *Coordinator) fireDue(ctx context.Context) {
+// roundBatch is one stream's set of rounds sealed by a single lease
+// step, bound for one scatter frame per site.
+type roundBatch struct {
+	st   *contStream
+	seq0 int
+	ats  []simtime.Time
+	res  chan []query.SetResult
+}
+
+// fireDue seals every continuous round whose instant has been reached
+// and launches its scatter without waiting for the answers: the local
+// gathers are enqueued and the remote frames sent before fireDue
+// returns (so they land ahead of the next lease on each connection),
+// while collection and merge run on a per-batch collector goroutine.
+func (co *Coordinator) fireDue() {
 	co.mu.Lock()
 	now := co.vnow
-	var due []*contStream
+	var batches []roundBatch
 	live := co.conts[:0]
 	for _, st := range co.conts {
-		switch {
-		case st.ctx.Err() != nil:
-			st.close()
-		case st.next <= now:
-			due = append(due, st)
-			live = append(live, st)
-		default:
-			live = append(live, st)
+		if st.ctx.Err() != nil {
+			st.abort()
+			continue
 		}
+		var ats []simtime.Time
+		for st.next <= now && (st.until == 0 || st.next <= st.until) {
+			ats = append(ats, st.next)
+			st.next += st.every
+		}
+		if len(ats) > 0 && len(st.inflight) < cap(st.inflight) {
+			res := make(chan []query.SetResult, 1)
+			st.inflight <- res
+			batches = append(batches, roundBatch{st: st, seq0: st.seq, ats: ats, res: res})
+			st.seq += len(ats)
+		}
+		// A full inflight buffer skipped the step's rounds (no scatter,
+		// no seq advance) — sequence numbers stay dense, as in-process.
+		if st.until > 0 && st.next > st.until {
+			st.finish()
+			continue
+		}
+		live = append(live, st)
 	}
 	co.conts = live
 	co.mu.Unlock()
 
-	for _, st := range due {
-		// A full buffer skips the round (no scatter) rather than stalling
-		// the cluster clock — sequence numbers stay dense, as in-process.
-		if len(st.out) < cap(st.out) {
-			res := co.scatterRound(st.ctx, st.spec, st.groups, st.seq, now)
-			st.seq++
-			// Deliver under the lock: the ctx watcher may close the
-			// stream while the round was in flight.
-			co.mu.Lock()
-			if !st.closed && len(st.out) < cap(st.out) {
-				st.out <- res
-			}
-			co.mu.Unlock()
-		}
-		st.next += st.every
-		if st.until > 0 && st.next > st.until {
-			co.removeStream(st)
-		}
+	for _, b := range batches {
+		co.launchBatch(b.st, b.seq0, b.ats, b.res)
 	}
 }
 
@@ -445,7 +528,7 @@ func (co *Coordinator) removeStream(st *contStream) {
 			break
 		}
 	}
-	st.close()
+	st.abort()
 	co.mu.Unlock()
 }
 
@@ -454,14 +537,8 @@ func (co *Coordinator) nextSeq() uint64 { return co.seq.Add(1) }
 // ---------------------------------------------------------------------------
 // Scatter-gather
 
-// resolveTargets applies a spec's selector to the global mote list and
-// groups the targets by hosting site. Predicates are evaluated here,
-// once — only explicit mote lists cross the wire.
-func (co *Coordinator) resolveTargets(spec query.Spec) ([]siteTargets, error) {
-	targets := spec.Select.Resolve(co.lay.AllMotes())
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("cluster: %w", query.ErrNoMotes)
-	}
+// groupBySite groups resolved target motes by hosting site.
+func (co *Coordinator) groupBySite(targets []radio.NodeID) ([]siteTargets, error) {
 	bySite := make(map[int][]radio.NodeID)
 	for _, m := range targets {
 		d, ok := co.lay.DomainOfMote(m)
@@ -478,71 +555,219 @@ func (co *Coordinator) resolveTargets(spec query.Spec) ([]siteTargets, error) {
 	return groups, nil
 }
 
-// scatterRound executes one round: the spec is bound at the round
-// instant, sent as exactly one frame to each remote site holding
-// targets, gathered locally for the coordinator's own window, and the
-// per-domain partials merged in global domain order. Sites that fail
-// mid-round contribute an explicit SiteError and their motes count as
-// Failed — a partial answer, never a hang.
+// resolveTargets applies a spec's selector to the global mote list and
+// groups the targets by hosting site. Predicates are evaluated here,
+// once — only explicit mote lists cross the wire. The all-motes
+// selector reuses the grouping computed at Listen.
+func (co *Coordinator) resolveTargets(spec query.Spec) ([]siteTargets, error) {
+	if spec.Select.Motes == nil && spec.Select.Where == nil {
+		return co.allGroups, nil
+	}
+	targets := spec.Select.Resolve(co.lay.AllMotes())
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: %w", query.ErrNoMotes)
+	}
+	return co.groupBySite(targets)
+}
+
+// localGather is the coordinator window's share of a batch: one pending
+// partials channel per round, enqueued on the shard queues before the
+// next lease can be issued.
+type localGather struct {
+	has    bool
+	motes  int
+	chans  []<-chan query.RoundPartial
+	expect []int
+	err    error
+}
+
+// gatherLocalRounds enqueues every round of a batch on the local
+// window. Gathers already enqueued when a later round fails keep
+// running into their own buffered channels and are dropped.
+func (co *Coordinator) gatherLocalRounds(bounds []query.Spec, motes []radio.NodeID) localGather {
+	lg := localGather{has: true, motes: len(motes),
+		chans: make([]<-chan query.RoundPartial, len(bounds)), expect: make([]int, len(bounds))}
+	for k := range bounds {
+		parts, expect, err := co.local.GatherStart(bounds[k], motes, 0)
+		if err != nil {
+			lg.err = err
+			return lg
+		}
+		lg.chans[k], lg.expect[k] = parts, expect
+	}
+	return lg
+}
+
+// pendingSite is one remote site's in-flight share of a round batch.
+type pendingSite struct {
+	l     *siteLink
+	site  int
+	motes int
+	seq   uint64
+	batch bool
+	ch    chan wire.Frame
+	err   error
+}
+
+// sendScatter issues one site's scatter frame for a batch: the spec's
+// cached head plus this step's window(s). A single due round keeps the
+// plain one-round scatter frame; two or more pack into a batch frame.
+func (co *Coordinator) sendScatter(g siteTargets, head []byte, wins []query.RoundWindow) pendingSite {
+	buf := make([]byte, 0, len(head)+4+16*len(wins))
+	buf = append(buf, head...)
+	kind := wire.FrameScatter
+	batch := false
+	if len(wins) == 1 {
+		buf = query.AppendScatterWindow(buf, wins[0].T0, wins[0].T1)
+	} else {
+		kind = wire.FrameScatterBatch
+		batch = true
+		buf = query.AppendScatterRounds(buf, wins)
+	}
+	l := co.sites[g.site-1]
+	p := pendingSite{l: l, site: g.site, motes: len(g.motes), seq: co.nextSeq(), batch: batch}
+	p.ch, p.err = l.rpcSend(p.seq, kind, buf)
+	return p
+}
+
+// launchBatch binds a batch's rounds, enqueues the local gathers, sends
+// one scatter frame per remote site, and leaves a collector goroutine
+// to assemble the answers. Everything that must order before the next
+// advance lease — local enqueue, remote sends — happens before return.
+func (co *Coordinator) launchBatch(st *contStream, seq0 int, ats []simtime.Time, res chan []query.SetResult) {
+	n := len(ats)
+	bounds := make([]query.Spec, n)
+	wins := make([]query.RoundWindow, n)
+	for k, at := range ats {
+		b := st.spec.BindWindow(at)
+		b.Continuous = nil
+		bounds[k] = b
+		wins[k] = query.RoundWindow{T0: b.T0, T1: b.T1}
+	}
+	var local localGather
+	pend := make([]pendingSite, 0, len(st.groups))
+	for gi, g := range st.groups {
+		if g.site == 0 {
+			local = co.gatherLocalRounds(bounds, g.motes)
+			continue
+		}
+		pend = append(pend, co.sendScatter(g, st.heads[gi], wins))
+	}
+	go func() {
+		res <- co.collectBatch(st.ctx, bounds, ats, seq0, local, pend)
+	}()
+}
+
+// collectBatch waits for every site's share of a batch, merges each
+// round's partials in global domain order, and returns the rounds in
+// fire order. Sites that fail mid-batch contribute an explicit
+// SiteError and their motes count as Failed on every round — a partial
+// answer, never a hang.
+func (co *Coordinator) collectBatch(ctx context.Context, bounds []query.Spec, ats []simtime.Time, seq0 int, local localGather, pend []pendingSite) []query.SetResult {
+	n := len(bounds)
+	parts := make([][]query.RoundPartial, n)
+	var siteErrs []query.SiteError
+	failed := 0
+	if local.has {
+		if local.err != nil {
+			siteErrs = append(siteErrs, query.SiteError{Site: 0, Err: local.err})
+			failed += local.motes
+		} else {
+			for k := range parts {
+				for i := 0; i < local.expect[k]; i++ {
+					parts[k] = append(parts[k], <-local.chans[k])
+				}
+			}
+		}
+	}
+	for _, p := range pend {
+		rounds, err := co.awaitScatter(ctx, bounds, p)
+		if err != nil {
+			siteErrs = append(siteErrs, query.SiteError{Site: p.site, Err: err})
+			failed += p.motes
+			continue
+		}
+		for k := range rounds {
+			parts[k] = append(parts[k], rounds[k]...)
+		}
+	}
+	sortSiteErrs(siteErrs)
+	results := make([]query.SetResult, n)
+	for k := range results {
+		r := query.MergeRounds(bounds[k], seq0+k, ats[k], parts[k])
+		r.Failed += failed
+		r.SiteErrs = siteErrs
+		results[k] = r
+	}
+	return results
+}
+
+// awaitScatter blocks for one site's reply to a batch and decodes it
+// back into per-round partials.
+func (co *Coordinator) awaitScatter(ctx context.Context, bounds []query.Spec, p pendingSite) ([][]query.RoundPartial, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	f, err := p.l.rpcAwait(ctx, p.seq, p.ch)
+	if err != nil {
+		return nil, err
+	}
+	body, err := decodeReply(f)
+	if err != nil {
+		return nil, err
+	}
+	if !p.batch {
+		parts, err := query.DecodeRoundPartials(bounds[0], body)
+		if err != nil {
+			return nil, err
+		}
+		return [][]query.RoundPartial{parts}, nil
+	}
+	wins := make([]query.RoundWindow, len(bounds))
+	for k, b := range bounds {
+		wins[k] = query.RoundWindow{T0: b.T0, T1: b.T1}
+	}
+	return query.DecodeRoundPartialsBatch(bounds[0], wins, body)
+}
+
+// sortSiteErrs orders site errors by site index (tiny, allocation-free).
+func sortSiteErrs(errs []query.SiteError) {
+	for i := 1; i < len(errs); i++ {
+		for j := i; j > 0 && errs[j].Site < errs[j-1].Site; j-- {
+			errs[j], errs[j-1] = errs[j-1], errs[j]
+		}
+	}
+}
+
+// scatterRound executes one one-shot round inline on the calling
+// goroutine: the spec is bound at the round instant, sent as exactly
+// one frame to each remote site holding targets, gathered locally for
+// the coordinator's own window, and the per-domain partials merged in
+// global domain order.
 func (co *Coordinator) scatterRound(ctx context.Context, spec query.Spec, groups []siteTargets, seq int, at simtime.Time) query.SetResult {
 	bound := spec.BindWindow(at)
 	bound.Continuous = nil
-	type siteReply struct {
-		site  int
-		parts []query.RoundPartial
-		motes int
-		err   error
-	}
-	replies := make(chan siteReply, len(groups))
+	bounds := []query.Spec{bound}
+	wins := []query.RoundWindow{{T0: bound.T0, T1: bound.T1}}
+	var local localGather
+	pend := make([]pendingSite, 0, len(groups))
 	for _, g := range groups {
-		g := g
 		if g.site == 0 {
-			go func() {
-				parts, err := co.local.GatherLocal(bound, g.motes)
-				replies <- siteReply{site: 0, parts: parts, motes: len(g.motes), err: err}
-			}()
+			local = co.gatherLocalRounds(bounds, g.motes)
 			continue
 		}
-		l := co.sites[g.site-1]
-		payload := query.EncodeScatter(bound, g.motes)
-		go func() {
-			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameScatter, payload)
-			var parts []query.RoundPartial
-			if err == nil {
-				var body []byte
-				if body, err = decodeReply(f); err == nil {
-					parts, err = query.DecodeRoundPartials(bound, body)
-				}
-			}
-			replies <- siteReply{site: g.site, parts: parts, motes: len(g.motes), err: err}
-		}()
+		head := query.AppendScatterHead(make([]byte, 0, 48+2*len(g.motes)), bound, g.motes)
+		pend = append(pend, co.sendScatter(g, head, wins))
 	}
-
-	var parts []query.RoundPartial
-	var siteErrs []query.SiteError
-	failed := 0
-	for range groups {
-		r := <-replies
-		if r.err != nil {
-			siteErrs = append(siteErrs, query.SiteError{Site: r.site, Err: r.err})
-			failed += r.motes
-			continue
-		}
-		parts = append(parts, r.parts...)
-	}
-	res := query.MergeRounds(bound, seq, at, parts)
-	res.Failed += failed
-	sort.Slice(siteErrs, func(i, j int) bool { return siteErrs[i].Site < siteErrs[j].Site })
-	res.SiteErrs = siteErrs
-	return res
+	return co.collectBatch(ctx, bounds, []simtime.Time{at}, seq, local, pend)[0]
 }
 
 // SubmitSpec implements core.SpecSubmitter over the cluster: one-shot
 // specs scatter immediately (sites settle their own kernels, so no Run
 // needs to be in flight); continuous specs register with the lease loop
-// and fire at exact instants during Run, one scatter frame per site per
-// round. The trailing-window form re-binds [now-d, now] at each round's
-// instant, coordinator-side, so every site evaluates the same window.
+// and fire during Run, one scatter frame per site per lease step. The
+// trailing-window form re-binds [now-d, now] at each round's instant,
+// coordinator-side, so every site evaluates the same window.
 func (co *Coordinator) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query.SetResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -575,19 +800,29 @@ func (co *Coordinator) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan 
 	cont := *spec.Continuous
 	st := &contStream{
 		spec: spec, groups: groups,
-		every: simtime.Time(cont.Every),
-		next:  now + simtime.Time(cont.Every),
-		out:   make(chan query.SetResult, 256),
-		ctx:   ctx,
-		done:  make(chan struct{}),
+		every:    simtime.Time(cont.Every),
+		next:     now + simtime.Time(cont.Every),
+		out:      make(chan query.SetResult, 256),
+		inflight: make(chan chan []query.SetResult, 16),
+		stop:     make(chan struct{}),
+		ctx:      ctx,
+		done:     make(chan struct{}),
 	}
 	if cont.Until > 0 {
 		st.until = now + simtime.Time(cont.Until)
 		if st.next > st.until {
-			st.close()
+			close(st.out)
+			close(st.done)
 			return st.out, nil
 		}
 	}
+	st.heads = make([][]byte, len(groups))
+	for gi, g := range groups {
+		if g.site != 0 {
+			st.heads[gi] = query.AppendScatterHead(make([]byte, 0, 48+2*len(g.motes)), spec, g.motes)
+		}
+	}
+	go st.deliver()
 	co.mu.Lock()
 	co.conts = append(co.conts, st)
 	co.mu.Unlock()
@@ -661,39 +896,58 @@ func (l *siteLink) fail(err error) {
 	}
 }
 
-// rpc sends one request frame and blocks for the response with the same
-// seq, the link dying, or ctx ending.
-func (l *siteLink) rpc(ctx context.Context, seq uint64, kind wire.FrameKind, payload []byte) (wire.Frame, error) {
+// rpcSend registers a response waiter for seq and sends the request
+// frame; pair with rpcAwait. Splitting send from await is what lets the
+// coordinator put many requests on the wire before blocking on any —
+// the pipelined-scatter primitive.
+func (l *siteLink) rpcSend(seq uint64, kind wire.FrameKind, payload []byte) (chan wire.Frame, error) {
 	ch := make(chan wire.Frame, 1)
 	l.mu.Lock()
 	if l.err != nil {
 		err := l.err
 		l.mu.Unlock()
-		return wire.Frame{}, err
+		return nil, err
 	}
 	l.waiters[seq] = ch
 	l.mu.Unlock()
-	unregister := func() {
-		l.mu.Lock()
-		delete(l.waiters, seq)
-		l.mu.Unlock()
-	}
 	if err := l.conn.Send(wire.Frame{Kind: kind, Seq: seq, Payload: payload}); err != nil {
-		unregister()
+		l.unregister(seq)
 		l.fail(err)
-		return wire.Frame{}, err
+		return nil, err
 	}
+	return ch, nil
+}
+
+// rpcAwait blocks for the response registered by rpcSend, the link
+// dying, or ctx ending.
+func (l *siteLink) rpcAwait(ctx context.Context, seq uint64, ch chan wire.Frame) (wire.Frame, error) {
 	select {
 	case f := <-ch:
 		return f, nil
 	case <-l.dead:
-		unregister()
+		l.unregister(seq)
 		l.mu.Lock()
 		err := l.err
 		l.mu.Unlock()
 		return wire.Frame{}, err
 	case <-ctx.Done():
-		unregister()
+		l.unregister(seq)
 		return wire.Frame{}, ctx.Err()
 	}
+}
+
+func (l *siteLink) unregister(seq uint64) {
+	l.mu.Lock()
+	delete(l.waiters, seq)
+	l.mu.Unlock()
+}
+
+// rpc sends one request frame and blocks for the response with the same
+// seq, the link dying, or ctx ending.
+func (l *siteLink) rpc(ctx context.Context, seq uint64, kind wire.FrameKind, payload []byte) (wire.Frame, error) {
+	ch, err := l.rpcSend(seq, kind, payload)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return l.rpcAwait(ctx, seq, ch)
 }

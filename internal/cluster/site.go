@@ -114,6 +114,14 @@ func Serve(ctx context.Context, t Transport, addr string, cfg core.Config) error
 	}()
 
 	site := &site{n: n, conn: conn}
+	if sc, ok := conn.(SendCopier); ok {
+		site.copies = sc.SendIsCopy()
+	}
+	if r, ok := conn.(RecvBufReuser); ok {
+		// The serve loop decodes each frame before the next Recv (handle
+		// copies what outlives it), so a persistent read buffer is safe.
+		r.ReuseRecvBuffer()
+	}
 	for {
 		f, err := conn.Recv()
 		if err != nil {
@@ -133,6 +141,9 @@ func Serve(ctx context.Context, t Transport, addr string, cfg core.Config) error
 type site struct {
 	n    *core.Network
 	conn Conn
+	// copies records whether conn.Send copies payloads out (SendCopier):
+	// only then may pooled reply arenas be recycled after Send.
+	copies bool
 }
 
 // handle executes one coordinator frame. Requests are answered with the
@@ -163,12 +174,37 @@ func (s *site) handle(f wire.Frame) error {
 		if err != nil {
 			return err
 		}
-		parts, gerr := s.n.GatherLocal(spec, motes)
-		var payload []byte
-		if gerr == nil {
-			payload = query.EncodeRoundPartials(parts)
+		// Enqueue the round's gathers synchronously — they must hit the
+		// shard queues before a later advance frame's commands, which is
+		// what pins the round to the leased clock — then collect, encode
+		// and reply off the serve loop, so the loop can take the next
+		// lease while the round executes (lease pipelining's site half).
+		parts, expect, gerr := s.n.GatherStart(spec, motes, 0)
+		if gerr != nil {
+			return s.reply(wire.FramePartials, f.Seq, nil, gerr)
 		}
-		return s.reply(wire.FramePartials, f.Seq, payload, gerr)
+		go s.replyRound(f.Seq, parts, expect)
+		return nil
+	case wire.FrameScatterBatch:
+		base, motes, wins, err := query.DecodeScatterBatch(f.Payload)
+		if err != nil {
+			return err
+		}
+		chans := make([]<-chan query.RoundPartial, len(wins))
+		expects := make([]int, len(wins))
+		for i, w := range wins {
+			spec := base
+			spec.T0, spec.T1 = w.T0, w.T1
+			parts, expect, gerr := s.n.GatherStart(spec, motes, 0)
+			if gerr != nil {
+				// Gathers already enqueued keep running into their own
+				// buffered channels; the whole batch answers with the error.
+				return s.reply(wire.FramePartialsBatch, f.Seq, nil, gerr)
+			}
+			chans[i], expects[i] = parts, expect
+		}
+		go s.replyRoundBatch(f.Seq, chans, expects)
+		return nil
 	case wire.FrameStart:
 		s.n.Start()
 		return s.reply(wire.FrameStartAck, f.Seq, nil, nil)
@@ -199,6 +235,46 @@ func (s *site) reply(kind wire.FrameKind, seq uint64, payload []byte, err error)
 		body = append([]byte{1}, payload...)
 	}
 	return s.conn.Send(wire.Frame{Kind: kind, Seq: seq, Payload: body})
+}
+
+// replyRound collects one scattered round's local partials and answers
+// with a pooled-arena encode. Runs off the serve loop.
+func (s *site) replyRound(seq uint64, parts <-chan query.RoundPartial, expect int) {
+	out := make([]query.RoundPartial, 0, expect)
+	for i := 0; i < expect; i++ {
+		out = append(out, <-parts)
+	}
+	query.SortRoundPartials(out)
+	arena := query.GetArena()
+	body := append((*arena)[:0], 1)
+	body = query.AppendRoundPartials(body, out)
+	_ = s.conn.Send(wire.Frame{Kind: wire.FramePartials, Seq: seq, Payload: body})
+	*arena = body
+	if s.copies {
+		query.PutArena(arena)
+	}
+}
+
+// replyRoundBatch collects each batched round's partials in scatter
+// order and answers them all in one frame.
+func (s *site) replyRoundBatch(seq uint64, chans []<-chan query.RoundPartial, expects []int) {
+	rounds := make([][]query.RoundPartial, len(chans))
+	for i, ch := range chans {
+		out := make([]query.RoundPartial, 0, expects[i])
+		for k := 0; k < expects[i]; k++ {
+			out = append(out, <-ch)
+		}
+		query.SortRoundPartials(out)
+		rounds[i] = out
+	}
+	arena := query.GetArena()
+	body := append((*arena)[:0], 1)
+	body = query.EncodeRoundPartialsBatch(body, rounds)
+	_ = s.conn.Send(wire.Frame{Kind: wire.FramePartialsBatch, Seq: seq, Payload: body})
+	*arena = body
+	if s.copies {
+		query.PutArena(arena)
+	}
 }
 
 // decodeReply splits an ok-prefixed response back into payload or error.

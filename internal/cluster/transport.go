@@ -38,14 +38,20 @@ import (
 // ErrClosed is returned by transport operations on closed endpoints.
 var ErrClosed = errors.New("cluster: connection closed")
 
-// ConnStats counts frames through a connection, by direction and kind.
-// The scatter counters are what the one-frame-per-site property is
-// asserted against: an N-mote aggregate must cost exactly one
-// FrameScatter per site however many motes or domains it spans.
+// ConnStats counts frames and bytes through a connection, by direction
+// and kind. The scatter counters are what the one-frame-per-site
+// property is asserted against: an N-mote aggregate must cost exactly
+// one FrameScatter per site however many motes or domains it spans. The
+// byte counters (wire.FrameSize per frame: length prefix + header +
+// payload, computed identically for loopback and TCP) make the
+// bytes-on-wire cost of the protocol visible in benchmarks.
 type ConnStats struct {
-	Sent, Recv uint64
-	SentKind   [wire.FrameKindMax + 1]uint64
-	RecvKind   [wire.FrameKindMax + 1]uint64
+	Sent, Recv           uint64
+	SentBytes, RecvBytes uint64
+	SentKind             [wire.FrameKindMax + 1]uint64
+	RecvKind             [wire.FrameKindMax + 1]uint64
+	SentKindBytes        [wire.FrameKindMax + 1]uint64
+	RecvKindBytes        [wire.FrameKindMax + 1]uint64
 }
 
 // Conn is one reliable, ordered frame pipe between cluster peers. Send
@@ -77,31 +83,41 @@ type Transport interface {
 
 // connCounter implements the shared frame accounting.
 type connCounter struct {
-	sent, recv atomic.Uint64
-	sentKind   [wire.FrameKindMax + 1]atomic.Uint64
-	recvKind   [wire.FrameKindMax + 1]atomic.Uint64
+	sent, recv           atomic.Uint64
+	sentBytes, recvBytes atomic.Uint64
+	sentKind             [wire.FrameKindMax + 1]atomic.Uint64
+	recvKind             [wire.FrameKindMax + 1]atomic.Uint64
+	sentKindBytes        [wire.FrameKindMax + 1]atomic.Uint64
+	recvKindBytes        [wire.FrameKindMax + 1]atomic.Uint64
 }
 
-func (c *connCounter) countSend(k wire.FrameKind) {
+func (c *connCounter) countSend(k wire.FrameKind, n int) {
 	c.sent.Add(1)
+	c.sentBytes.Add(uint64(n))
 	if int(k) < len(c.sentKind) {
 		c.sentKind[k].Add(1)
+		c.sentKindBytes[k].Add(uint64(n))
 	}
 }
 
-func (c *connCounter) countRecv(k wire.FrameKind) {
+func (c *connCounter) countRecv(k wire.FrameKind, n int) {
 	c.recv.Add(1)
+	c.recvBytes.Add(uint64(n))
 	if int(k) < len(c.recvKind) {
 		c.recvKind[k].Add(1)
+		c.recvKindBytes[k].Add(uint64(n))
 	}
 }
 
 func (c *connCounter) stats() ConnStats {
 	var s ConnStats
 	s.Sent, s.Recv = c.sent.Load(), c.recv.Load()
+	s.SentBytes, s.RecvBytes = c.sentBytes.Load(), c.recvBytes.Load()
 	for i := range c.sentKind {
 		s.SentKind[i] = c.sentKind[i].Load()
 		s.RecvKind[i] = c.recvKind[i].Load()
+		s.SentKindBytes[i] = c.sentKindBytes[i].Load()
+		s.RecvKindBytes[i] = c.recvKindBytes[i].Load()
 	}
 	return s
 }
@@ -213,7 +229,7 @@ func (c *loopConn) Send(f wire.Frame) error {
 	}
 	select {
 	case c.out <- f:
-		c.countSend(f.Kind)
+		c.countSend(f.Kind, wire.FrameSize(f))
 		return nil
 	case <-c.st.done:
 		return ErrClosed
@@ -225,13 +241,13 @@ func (c *loopConn) Recv() (wire.Frame, error) {
 	// what was written before the FIN.
 	select {
 	case f := <-c.in:
-		c.countRecv(f.Kind)
+		c.countRecv(f.Kind, wire.FrameSize(f))
 		return f, nil
 	default:
 	}
 	select {
 	case f := <-c.in:
-		c.countRecv(f.Kind)
+		c.countRecv(f.Kind, wire.FrameSize(f))
 		return f, nil
 	case <-c.st.done:
 		return wire.Frame{}, io.EOF
@@ -244,6 +260,11 @@ func (c *loopConn) Close() error {
 }
 
 func (c *loopConn) Stats() ConnStats { return c.stats() }
+
+// SendIsCopy reports false: a loopback frame passes by reference, so
+// the payload is retained for the life of the frame — senders must not
+// recycle payload buffers.
+func (c *loopConn) SendIsCopy() bool { return false }
 
 // ---------------------------------------------------------------------------
 // TCP transport
@@ -285,9 +306,33 @@ func (l *tcpListener) Accept() (Conn, error) {
 func (l *tcpListener) Close() error { return l.nl.Close() }
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 
+// SendCopier is implemented by conns that declare whether Send copies
+// the frame's payload out before returning. When it does (TCP writes the
+// bytes to the socket), the sender may recycle a pooled payload buffer
+// as soon as Send returns; when it does not (loopback passes the frame
+// by reference), the buffer must never be recycled. Conns that don't
+// implement the interface must be treated as not copying.
+type SendCopier interface {
+	SendIsCopy() bool
+}
+
+// RecvBufReuser is implemented by conns that can read frames into one
+// reused buffer instead of allocating per frame. Only a single-goroutine
+// consumer that fully decodes each frame before the next Recv may enable
+// it (a site's serve loop does; the coordinator's demux hands frames to
+// other goroutines and must not).
+type RecvBufReuser interface {
+	ReuseRecvBuffer()
+}
+
 type tcpConn struct {
 	c      net.Conn
 	sendMu sync.Mutex
+	// readBuf/reuseBuf belong to the Recv goroutine (Conn.Recv is
+	// single-goroutine by contract; call ReuseRecvBuffer from it, before
+	// the first Recv).
+	readBuf  []byte
+	reuseBuf bool
 	connCounter
 }
 
@@ -306,18 +351,33 @@ func (c *tcpConn) Send(f wire.Frame) error {
 	if err := wire.WriteFrame(c.c, f); err != nil {
 		return err
 	}
-	c.countSend(f.Kind)
+	c.countSend(f.Kind, wire.FrameSize(f))
 	return nil
 }
 
 func (c *tcpConn) Recv() (wire.Frame, error) {
-	f, err := wire.ReadFrame(c.c)
+	var f wire.Frame
+	var err error
+	if c.reuseBuf {
+		f, c.readBuf, err = wire.ReadFrameBuf(c.c, c.readBuf)
+	} else {
+		f, err = wire.ReadFrame(c.c)
+	}
 	if err != nil {
 		return wire.Frame{}, err
 	}
-	c.countRecv(f.Kind)
+	c.countRecv(f.Kind, wire.FrameSize(f))
 	return f, nil
 }
 
 func (c *tcpConn) Close() error     { return c.c.Close() }
 func (c *tcpConn) Stats() ConnStats { return c.stats() }
+
+// SendIsCopy reports true: WriteFrame copies the payload into the
+// socket before Send returns, so pooled payload buffers may be recycled
+// immediately after.
+func (c *tcpConn) SendIsCopy() bool { return true }
+
+// ReuseRecvBuffer switches Recv to a persistent read buffer. See
+// RecvBufReuser for the aliasing contract.
+func (c *tcpConn) ReuseRecvBuffer() { c.reuseBuf = true }

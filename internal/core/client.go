@@ -22,7 +22,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"presto/internal/query"
 	"presto/internal/radio"
@@ -56,23 +55,51 @@ func (n *Network) specTargets(spec query.Spec) (map[*shard][]radio.NodeID, error
 // pull coalescing applies across the motes of the round as usual.
 func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- query.RoundPartial) {
 	agg := spec.Type == query.Agg
-	sp := &query.RoundPartial{Domain: sh.domain, Partial: query.NewPartial(spec.Precision)}
-	remaining := len(motes)
-	for _, m := range motes {
-		sh.submitCB(spec.QueryFor(m), func(r query.Result, ok bool) {
+	sp := &query.RoundPartial{Domain: sh.domain, Partial: query.NewPartialFor(spec)}
+	// Aggregate push-down: motes whose spans the archive covers within
+	// precision fold straight into the partial (store.ExecuteFold) — no
+	// Answer materialization, no Result, no pending-query bookkeeping.
+	// Only the leftovers pay the proxy path below.
+	var fallback []radio.NodeID
+	if agg {
+		for _, m := range motes {
+			done, err := sh.st.ExecuteFold(spec.QueryFor(m), &sp.Partial)
 			switch {
-			case !ok:
+			case err != nil:
 				sp.Failed++
-			case agg:
-				sp.Partial.ObserveResult(r)
+			case done:
 			default:
-				sp.Results = append(sp.Results, r)
+				fallback = append(fallback, m)
 			}
-			remaining--
-			if remaining == 0 {
-				parts <- *sp
-			}
-		})
+		}
+	} else {
+		fallback = motes
+	}
+	if len(fallback) == 0 {
+		parts <- *sp
+		return
+	}
+	remaining := len(fallback)
+	onDone := func(r query.Result, ok bool) {
+		switch {
+		case !ok:
+			sp.Failed++
+		case agg:
+			sp.Partial.ObserveResult(r)
+		default:
+			sp.Results = append(sp.Results, r)
+		}
+		remaining--
+		if remaining == 0 {
+			parts <- *sp
+		}
+	}
+	// One shared callback and a pendingQuery slab instead of a closure +
+	// allocation per mote.
+	pqs := make([]pendingQuery, len(fallback))
+	for i, m := range fallback {
+		pqs[i].fn = onDone
+		sh.submit(spec.QueryFor(m), &pqs[i])
 	}
 }
 
@@ -86,39 +113,130 @@ func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- q
 // not hosted by this process are an error, since the coordinator's
 // layout and the site's must agree.
 func (n *Network) GatherLocal(spec query.Spec, motes []radio.NodeID) ([]query.RoundPartial, error) {
-	if err := spec.Validate(); err != nil {
+	parts, expect, err := n.GatherStart(spec, motes, 0)
+	if err != nil {
 		return nil, err
 	}
+	out := make([]query.RoundPartial, 0, expect)
+	for i := 0; i < expect; i++ {
+		out = append(out, <-parts)
+	}
+	query.SortRoundPartials(out)
+	return out, nil
+}
+
+// GatherStart enqueues one concrete round against the local domains
+// owning motes and returns the channel their folded partials arrive on,
+// plus how many to expect (one per owning domain, in arrival order —
+// sort by Domain before merging). It is GatherLocal's non-blocking half:
+// the cluster coordinator uses it to enqueue a round's local gathers
+// before issuing the next advance lease, so the round executes while the
+// window advances instead of quiescing the engine.
+//
+// When at is ahead of a domain's clock, that domain's fold runs as a
+// kernel event at exactly that instant — a round scheduled mid-advance
+// executes at its nominal time, not wherever the worker happens to be.
+// at <= the domain clock (or zero) folds at the current clock, which is
+// the converged floor after an advance.
+func (n *Network) GatherStart(spec query.Spec, motes []radio.NodeID, at simtime.Time) (<-chan query.RoundPartial, int, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
 	if spec.Trailing > 0 {
-		return nil, errors.New("core: GatherLocal needs a concrete window (apply Spec.BindWindow at the coordinator)")
+		return nil, 0, errors.New("core: GatherLocal needs a concrete window (apply Spec.BindWindow at the coordinator)")
 	}
 	if len(motes) == 0 {
-		return nil, fmt.Errorf("core: %w", query.ErrNoMotes)
+		return nil, 0, fmt.Errorf("core: %w", query.ErrNoMotes)
 	}
+	runs, err := n.groupRuns(motes)
+	if err != nil {
+		return nil, 0, err
+	}
+	n.queriesSubmitted.Add(1)
+	parts := make(chan query.RoundPartial, len(runs))
+	for _, g := range runs {
+		s, ms := g.s, g.motes
+		fn := func(sh *shard) { gatherSpec(sh, spec, ms, parts) }
+		if at > 0 {
+			gather := fn
+			fn = func(sh *shard) {
+				if at > sh.sim.Now() {
+					sh.sim.ScheduleAt(at, func() { gather(sh) })
+					return
+				}
+				gather(sh)
+			}
+		}
+		if !s.enqueue(shardCmd{fn: fn}) {
+			parts <- query.RoundPartial{
+				Domain: s.domain, Partial: query.NewPartialFor(spec), Failed: len(ms),
+			}
+		}
+	}
+	return parts, len(runs), nil
+}
+
+// shardRun is one owning domain's slice of a round's target motes.
+type shardRun struct {
+	s     *shard
+	motes []radio.NodeID
+}
+
+// groupRuns groups target motes by owning shard. Resolved mote lists are
+// ascending and domains partition the id space contiguously, so a
+// single pass over the list finds each domain's run without a map — and
+// the runs alias the input, so the common case allocates only the run
+// slice. An out-of-order list (an explicit selector like Motes(9, 2))
+// falls back to map grouping, preserving selector order within groups.
+func (n *Network) groupRuns(motes []radio.NodeID) ([]shardRun, error) {
+	runs := make([]shardRun, 0, 4)
+	start := 0
+	cur, err := n.shardFor(motes[0])
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(motes); i++ {
+		if motes[i] < motes[i-1] {
+			return n.groupRunsUnsorted(motes)
+		}
+		s, err := n.shardFor(motes[i])
+		if err != nil {
+			return nil, err
+		}
+		if s != cur {
+			for _, g := range runs {
+				if g.s == s {
+					// Non-contiguous partition: a shard's motes must land
+					// in one group (one partial per domain), so runs can't
+					// represent this list.
+					return n.groupRunsUnsorted(motes)
+				}
+			}
+			runs = append(runs, shardRun{s: cur, motes: motes[start:i]})
+			cur, start = s, i
+		}
+	}
+	return append(runs, shardRun{s: cur, motes: motes[start:]}), nil
+}
+
+func (n *Network) groupRunsUnsorted(motes []radio.NodeID) ([]shardRun, error) {
 	groups := make(map[*shard][]radio.NodeID)
+	order := make([]*shard, 0, 4)
 	for _, m := range motes {
 		s, err := n.shardFor(m)
 		if err != nil {
 			return nil, err
 		}
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
 		groups[s] = append(groups[s], m)
 	}
-	n.queriesSubmitted.Add(1)
-	parts := make(chan query.RoundPartial, len(groups))
-	for s, ms := range groups {
-		s, ms := s, ms
-		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, ms, parts) }}) {
-			parts <- query.RoundPartial{
-				Domain: s.domain, Partial: query.NewPartial(spec.Precision), Failed: len(ms),
-			}
-		}
+	runs := make([]shardRun, 0, len(order))
+	for _, s := range order {
+		runs = append(runs, shardRun{s: s, motes: groups[s]})
 	}
-	out := make([]query.RoundPartial, 0, len(groups))
-	for i := 0; i < len(groups); i++ {
-		out = append(out, <-parts)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
-	return out, nil
+	return runs, nil
 }
 
 // specRound is one in-flight round of a spec: its sequence number, the
@@ -151,7 +269,7 @@ func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID
 		s, motes := s, motes
 		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, motes, rs.parts) }}) {
 			rs.parts <- query.RoundPartial{
-				Domain: s.domain, Partial: query.NewPartial(spec.Precision), Failed: len(motes),
+				Domain: s.domain, Partial: query.NewPartialFor(spec), Failed: len(motes),
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"presto/internal/cache"
@@ -45,6 +46,7 @@ const (
 	maxCodecResults = 1 << 20
 	maxCodecEntries = 1 << 26
 	maxCodecBins    = 1 << 22
+	maxCodecRounds  = 1 << 12
 )
 
 // creader is a bounds-checked cursor over a codec buffer: every read
@@ -162,35 +164,55 @@ func decodeMotes(r *creader) []radio.NodeID {
 // ---------------------------------------------------------------------------
 // Specs
 
-// EncodeScatter packs a bound spec (Trailing already resolved — see
-// Spec.BindWindow) and its resolved target motes: the payload of one
-// cluster scatter frame. Continuous scheduling stays at the coordinator;
-// a site only ever sees one concrete round.
-func EncodeScatter(spec Spec, motes []radio.NodeID) []byte {
-	buf := make([]byte, 0, 64+2*len(motes))
+// AppendScatterHead packs the window-independent part of a scatter
+// payload: the spec fields minus the concrete [T0, T1] window, plus the
+// resolved target motes. The window goes last (AppendScatterWindow) so a
+// standing spec's head + motes encode once and get reused across every
+// round — per round the coordinator appends only two varints.
+func AppendScatterHead(buf []byte, spec Spec, motes []radio.NodeID) []byte {
 	buf = append(buf, byte(spec.Type), byte(spec.Agg))
-	buf = binary.AppendVarint(buf, int64(spec.T0))
-	buf = binary.AppendVarint(buf, int64(spec.T1))
 	buf = appendF64(buf, spec.Precision)
 	buf = binary.AppendVarint(buf, int64(spec.Deadline))
 	buf = binary.AppendVarint(buf, int64(spec.MaxStaleness))
 	return EncodeMotes(buf, motes)
 }
 
+// AppendScatterWindow appends one round's concrete window (delta-encoded
+// span), completing a single-round scatter payload.
+func AppendScatterWindow(buf []byte, t0, t1 simtime.Time) []byte {
+	buf = binary.AppendVarint(buf, int64(t0))
+	return binary.AppendVarint(buf, int64(t1-t0))
+}
+
+// EncodeScatter packs a bound spec (Trailing already resolved — see
+// Spec.BindWindow) and its resolved target motes: the payload of one
+// cluster scatter frame. Continuous scheduling stays at the coordinator;
+// a site only ever sees concrete rounds.
+func EncodeScatter(spec Spec, motes []radio.NodeID) []byte {
+	buf := make([]byte, 0, 64+2*len(motes))
+	buf = AppendScatterHead(buf, spec, motes)
+	return AppendScatterWindow(buf, spec.T0, spec.T1)
+}
+
+// decodeScatterHead reads the shared head: spec sans window, plus motes.
+func decodeScatterHead(r *creader) (Spec, []radio.NodeID) {
+	spec := Spec{
+		Type:      Type(r.byte()),
+		Agg:       AggKind(r.byte()),
+		Precision: r.f64(),
+	}
+	spec.Deadline = time.Duration(r.varint())
+	spec.MaxStaleness = time.Duration(r.varint())
+	return spec, decodeMotes(r)
+}
+
 // DecodeScatter unpacks a scatter payload. The spec is re-validated: a
 // frame from another process is untrusted input.
 func DecodeScatter(buf []byte) (Spec, []radio.NodeID, error) {
 	r := &creader{b: buf}
-	spec := Spec{
-		Type:         Type(r.byte()),
-		Agg:          AggKind(r.byte()),
-		T0:           simtime.Time(r.varint()),
-		T1:           simtime.Time(r.varint()),
-		Precision:    r.f64(),
-		Deadline:     time.Duration(r.varint()),
-		MaxStaleness: time.Duration(r.varint()),
-	}
-	motes := decodeMotes(r)
+	spec, motes := decodeScatterHead(r)
+	spec.T0 = simtime.Time(r.varint())
+	spec.T1 = spec.T0 + simtime.Time(r.varint())
 	if r.err != nil {
 		return Spec{}, nil, r.err
 	}
@@ -204,6 +226,77 @@ func DecodeScatter(buf []byte) (Spec, []radio.NodeID, error) {
 		return Spec{}, nil, ErrNoMotes
 	}
 	return spec, motes, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batched rounds
+
+// RoundWindow is one concrete round's [T0, T1] window inside a batched
+// scatter: several sealed rounds of the same standing spec packed into a
+// single frame pair, amortizing the per-frame length prefix and syscall
+// when a spec's cadence outruns the lease quantum.
+type RoundWindow struct {
+	T0, T1 simtime.Time
+}
+
+// EncodeScatterBatch packs several rounds of one continuous spec into a
+// single scatter payload: the shared head + motes, then each round's
+// window with T0 delta-encoded against the previous round's T0.
+func EncodeScatterBatch(buf []byte, spec Spec, motes []radio.NodeID, wins []RoundWindow) []byte {
+	buf = AppendScatterHead(buf, spec, motes)
+	return AppendScatterRounds(buf, wins)
+}
+
+// AppendScatterRounds appends a batch's round count and delta-encoded
+// windows after a (possibly cached) scatter head, completing a batched
+// scatter payload.
+func AppendScatterRounds(buf []byte, wins []RoundWindow) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(wins)))
+	prev := int64(0)
+	for _, w := range wins {
+		buf = binary.AppendVarint(buf, int64(w.T0)-prev)
+		buf = binary.AppendVarint(buf, int64(w.T1-w.T0))
+		prev = int64(w.T0)
+	}
+	return buf
+}
+
+// DecodeScatterBatch unpacks a batched scatter payload. Every round's
+// window is validated against the shared spec — one malformed round
+// poisons the whole frame, which is the right failure mode for bytes
+// from another process.
+func DecodeScatterBatch(buf []byte) (Spec, []radio.NodeID, []RoundWindow, error) {
+	r := &creader{b: buf}
+	spec, motes := decodeScatterHead(r)
+	n := r.count(maxCodecRounds)
+	wins := make([]RoundWindow, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		t0 := prev + r.varint()
+		t1 := t0 + r.varint()
+		wins = append(wins, RoundWindow{T0: simtime.Time(t0), T1: simtime.Time(t1)})
+		prev = t0
+	}
+	if r.err != nil {
+		return Spec{}, nil, nil, r.err
+	}
+	if len(r.b) != 0 {
+		return Spec{}, nil, nil, fmt.Errorf("query: %d trailing bytes after scatter batch payload", len(r.b))
+	}
+	if len(wins) == 0 {
+		return Spec{}, nil, nil, errCodec
+	}
+	for _, w := range wins {
+		round := spec
+		round.T0, round.T1 = w.T0, w.T1
+		if err := round.Validate(); err != nil {
+			return Spec{}, nil, nil, err
+		}
+	}
+	if len(motes) == 0 {
+		return Spec{}, nil, nil, ErrNoMotes
+	}
+	return spec, motes, wins, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -249,7 +342,11 @@ func decodePartial(r *creader) Partial {
 	}
 	p.BinWidth = r.f64()
 	n := r.count(maxCodecBins)
-	p.Hist = make(map[int64]int, n)
+	if n > 0 {
+		// Lazy histogram: only Mode partials carry bins, so the common
+		// aggregates decode without the map allocation.
+		p.Hist = make(map[int64]int, n)
+	}
 	prev := int64(0)
 	for i := 0; i < n; i++ {
 		prev += r.varint()
@@ -316,7 +413,12 @@ func decodeResult(r *creader, spec Spec) Result {
 // partials (plus per-mote results for Now/Past specs, which have no
 // smaller honest representation).
 func EncodeRoundPartials(parts []RoundPartial) []byte {
-	buf := make([]byte, 0, 96*len(parts))
+	return AppendRoundPartials(make([]byte, 0, 96*len(parts)), parts)
+}
+
+// AppendRoundPartials is EncodeRoundPartials into a caller-supplied
+// buffer — the pooled-arena encode path.
+func AppendRoundPartials(buf []byte, parts []RoundPartial) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(parts)))
 	for _, p := range parts {
 		buf = binary.AppendUvarint(buf, uint64(p.Domain))
@@ -330,11 +432,9 @@ func EncodeRoundPartials(parts []RoundPartial) []byte {
 	return buf
 }
 
-// DecodeRoundPartials unpacks a partials payload. Each Result.Query is
-// rebuilt from spec (the round the coordinator scattered), so the caller
-// must pass the same bound spec it encoded into the scatter frame.
-func DecodeRoundPartials(spec Spec, buf []byte) ([]RoundPartial, error) {
-	r := &creader{b: buf}
+// decodeRoundPartialsFrom reads one round's partials section from the
+// cursor (no trailing-bytes check — batch payloads continue after it).
+func decodeRoundPartialsFrom(r *creader, spec Spec) ([]RoundPartial, error) {
 	n := r.count(maxCodecParts)
 	parts := make([]RoundPartial, 0, n)
 	for i := 0; i < n; i++ {
@@ -360,8 +460,91 @@ func DecodeRoundPartials(spec Spec, buf []byte) ([]RoundPartial, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	return parts, nil
+}
+
+// DecodeRoundPartials unpacks a partials payload. Each Result.Query is
+// rebuilt from spec (the round the coordinator scattered), so the caller
+// must pass the same bound spec it encoded into the scatter frame.
+func DecodeRoundPartials(spec Spec, buf []byte) ([]RoundPartial, error) {
+	r := &creader{b: buf}
+	parts, err := decodeRoundPartialsFrom(r, spec)
+	if err != nil {
+		return nil, err
+	}
 	if len(r.b) != 0 {
 		return nil, fmt.Errorf("query: %d trailing bytes after partials payload", len(r.b))
 	}
 	return parts, nil
+}
+
+// EncodeRoundPartialsBatch packs one site's answer to a batched scatter:
+// a round count followed by each round's partials section, in the same
+// order as the scatter's windows.
+func EncodeRoundPartialsBatch(buf []byte, rounds [][]RoundPartial) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rounds)))
+	for _, parts := range rounds {
+		buf = AppendRoundPartials(buf, parts)
+	}
+	return buf
+}
+
+// DecodeRoundPartialsBatch unpacks a batched partials payload. The round
+// count must match the windows the coordinator scattered (wins), since
+// each round's Results rebuild their Query from the spec bound to that
+// round's window.
+func DecodeRoundPartialsBatch(base Spec, wins []RoundWindow, buf []byte) ([][]RoundPartial, error) {
+	r := &creader{b: buf}
+	n := r.count(maxCodecRounds)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n != len(wins) {
+		return nil, fmt.Errorf("query: partials batch has %d rounds, scatter had %d", n, len(wins))
+	}
+	out := make([][]RoundPartial, 0, n)
+	for i := 0; i < n; i++ {
+		spec := base
+		spec.T0, spec.T1 = wins[i].T0, wins[i].T1
+		parts, err := decodeRoundPartialsFrom(r, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parts)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("query: %d trailing bytes after partials batch payload", len(r.b))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encode arenas
+
+// maxPooledArena bounds the capacity an arena may retain in the pool —
+// a one-off giant frame must not pin megabytes.
+const maxPooledArena = 1 << 16
+
+// arenaPool recycles encode buffers for frame payloads across queries
+// and rounds.
+var arenaPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
+// GetArena returns a pooled length-zero encode buffer. Hand it back with
+// PutArena only once nothing can still reference its bytes: a TCP conn
+// copies the payload out during Send, but a loopback frame retains the
+// payload by reference for the life of the frame — loopback senders must
+// simply never recycle (see cluster.SendCopier).
+func GetArena() *[]byte {
+	return arenaPool.Get().(*[]byte)
+}
+
+// PutArena recycles an encode buffer obtained from GetArena.
+func PutArena(b *[]byte) {
+	if cap(*b) > maxPooledArena {
+		return
+	}
+	*b = (*b)[:0]
+	arenaPool.Put(b)
 }

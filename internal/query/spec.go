@@ -215,6 +215,22 @@ func NewPartial(precision float64) Partial {
 	}
 }
 
+// NewPartialFor returns an empty partial shaped for a spec: only Mode
+// reads the histogram, so every other aggregate skips the map — the
+// scatter path's hottest allocation — and Observe skips the binning.
+// Merging a histogram-carrying partial into one of these re-grows the
+// map on demand, so the two constructors mix safely.
+func NewPartialFor(spec Spec) Partial {
+	p := Partial{
+		Min: math.Inf(1), Max: math.Inf(-1),
+		BinWidth: histBinWidth(spec.Precision),
+	}
+	if spec.Type == Agg && spec.Agg == Mode {
+		p.Hist = make(map[int64]int)
+	}
+	return p
+}
+
 // Observe folds one entry (value + guaranteed error bound) into the
 // partial.
 func (p *Partial) Observe(v, errBound float64) {
@@ -230,7 +246,9 @@ func (p *Partial) Observe(v, errBound float64) {
 	if errBound > p.MaxErr {
 		p.MaxErr = errBound
 	}
-	p.Hist[int64(math.Floor(v/p.BinWidth))]++
+	if p.Hist != nil {
+		p.Hist[int64(math.Floor(v/p.BinWidth))]++
+	}
 }
 
 // ObserveResult folds a completed per-mote query result into the partial.
@@ -255,8 +273,13 @@ func (p *Partial) Merge(q Partial) {
 	if q.MaxErr > p.MaxErr {
 		p.MaxErr = q.MaxErr
 	}
-	for bin, n := range q.Hist {
-		p.Hist[bin] += n
+	if len(q.Hist) > 0 {
+		if p.Hist == nil {
+			p.Hist = make(map[int64]int, len(q.Hist))
+		}
+		for bin, n := range q.Hist {
+			p.Hist[bin] += n
+		}
 	}
 }
 
@@ -325,8 +348,8 @@ type RoundPartial struct {
 // one process or scattered across cluster sites. Both the in-process
 // engine and the cluster coordinator terminate their merge stages here.
 func MergeRounds(spec Spec, seq int, at simtime.Time, parts []RoundPartial) SetResult {
-	sort.Slice(parts, func(i, j int) bool { return parts[i].Domain < parts[j].Domain })
-	merged := NewPartial(spec.Precision)
+	SortRoundPartials(parts)
+	merged := NewPartialFor(spec)
 	var results []Result
 	failed := 0
 	for _, p := range parts {
@@ -345,6 +368,18 @@ func MergeRounds(spec Spec, seq int, at simtime.Time, parts []RoundPartial) SetR
 	sort.Slice(results, func(i, j int) bool { return results[i].Query.Mote < results[j].Query.Mote })
 	res.Results = results
 	return res
+}
+
+// SortRoundPartials orders partials by ascending global domain — the
+// canonical merge order. Insertion sort: round fan-out is a handful of
+// domains, and unlike sort.Slice this allocates nothing, which matters
+// on the per-query scatter path.
+func SortRoundPartials(parts []RoundPartial) {
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j].Domain < parts[j-1].Domain; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
 }
 
 // SiteError reports one cluster site that could not contribute to a

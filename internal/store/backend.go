@@ -99,6 +99,15 @@ type Backend interface {
 	Stats() BackendStats
 }
 
+// RangeScanner is an optional Backend fast path: visit the records in
+// [t0, t1] in time order without materializing a fresh slice per query.
+// The store's aggregate push-down uses it to fill a reusable scratch
+// buffer. MemBackend implements it; the log-structured flash backend
+// decodes into fresh slices anyway and sticks to QueryRange.
+type RangeScanner interface {
+	ScanRange(m radio.NodeID, t0, t1 simtime.Time, visit func(Record)) error
+}
+
 // MemBackend archives records in per-mote time-sorted slices.
 type MemBackend struct {
 	series map[radio.NodeID][]Record
@@ -141,6 +150,21 @@ func (b *MemBackend) QueryRange(m radio.NodeID, t0, t1 simtime.Time) ([]Record, 
 	b.stats.RecordsScanned += uint64(len(out))
 	b.stats.RecordsMatched += uint64(len(out))
 	return out, nil
+}
+
+// ScanRange visits the archived records in [t0, t1] in time order,
+// without allocating. Accounted identically to QueryRange.
+func (b *MemBackend) ScanRange(m radio.NodeID, t0, t1 simtime.Time, visit func(Record)) error {
+	b.stats.QueryRanges++
+	s := b.series[m]
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= t0 })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].T > t1 })
+	for i := lo; i < hi; i++ {
+		visit(s[i])
+	}
+	b.stats.RecordsScanned += uint64(hi - lo)
+	b.stats.RecordsMatched += uint64(hi - lo)
+	return nil
 }
 
 // Latest returns the newest record for a mote.

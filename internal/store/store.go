@@ -20,7 +20,6 @@ package store
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"presto/internal/cache"
@@ -51,17 +50,26 @@ type Store struct {
 	backend   Backend
 	intervals map[radio.NodeID]simtime.Time // per-mote sample interval
 
+	// scratch is the reusable record buffer for the aggregate push-down
+	// path (ExecuteFold); scratchVisit is the append closure bound once so
+	// the per-query ScanRange call allocates nothing. Stores are confined
+	// to their shard worker, so a single buffer suffices.
+	scratch      []Record
+	scratchVisit func(Record)
+
 	rstats RoutingStats
 }
 
 // New creates a store over an index with an in-memory archive backend.
 func New(ix *index.Index) *Store {
-	return &Store{
+	s := &Store{
 		ix:        ix,
 		proxies:   make(map[index.ProxyID]*proxy.Proxy),
 		backend:   NewMemBackend(),
 		intervals: make(map[radio.NodeID]simtime.Time),
 	}
+	s.scratchVisit = func(r Record) { s.scratch = append(s.scratch, r) }
+	return s
 }
 
 // SetBackend swaps the archive backend (per-domain configuration; see
@@ -179,17 +187,19 @@ func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 	return query.Execute(p, q, cb)
 }
 
-// archiveAnswer tries to satisfy a range query wholly from the archive
-// backend: it succeeds when every sample slot in [T0, T1] has an archived
-// record within half a sample interval whose error bound meets the
-// precision.
-func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, bool) {
+// archiveRecords runs the archive-serving gates for a range query and,
+// when they pass, fetches the candidate records around [T0-step, T1+step]
+// — into the store's reusable scratch when the backend can scan, else
+// through the allocating QueryRange. Returns ok=false when the archive
+// must decline (no backend, unknown interval, stale tail, uncoverable
+// span, or nothing archived).
+func (s *Store) archiveRecords(q query.Query, pid index.ProxyID) ([]Record, simtime.Time, bool) {
 	if s.backend == nil {
-		return proxy.Answer{}, false
+		return nil, 0, false
 	}
 	step := s.intervals[q.Mote]
 	if step <= 0 {
-		return proxy.Answer{}, false
+		return nil, 0, false
 	}
 	// A freshness-bounded query whose window tail overlaps "now" (the tail
 	// sits within MaxStaleness of the present) must not be answered from a
@@ -204,7 +214,7 @@ func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, b
 			if q.T1+simtime.Time(q.MaxStaleness) >= now {
 				if last, ok := s.backend.Latest(q.Mote); !ok || now-last.T > simtime.Time(q.MaxStaleness) {
 					s.rstats.ArchiveStale++
-					return proxy.Answer{}, false
+					return nil, 0, false
 				}
 			}
 		}
@@ -215,38 +225,93 @@ func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, b
 	// entirely.
 	lastSlot := q.T0 + (q.T1-q.T0)/step*step
 	if last, ok := s.backend.Latest(q.Mote); !ok || last.T+step/2 < lastSlot {
-		return proxy.Answer{}, false
+		return nil, 0, false
 	}
 	lo := q.T0 - step
 	if lo < 0 {
 		lo = 0
 	}
-	recs, err := s.backend.QueryRange(q.Mote, lo, q.T1+step)
-	if err != nil || len(recs) == 0 {
-		return proxy.Answer{}, false
-	}
-	var entries []cache.Entry
-	for t := q.T0; t <= q.T1; t += step {
-		i := sort.Search(len(recs), func(i int) bool { return recs[i].T >= t })
-		best := -1
-		if i < len(recs) {
-			best = i
+	var recs []Record
+	if sc, ok := s.backend.(RangeScanner); ok {
+		s.scratch = s.scratch[:0]
+		if err := sc.ScanRange(q.Mote, lo, q.T1+step, s.scratchVisit); err != nil {
+			return nil, 0, false
 		}
-		if i > 0 && (best == -1 || t-recs[i-1].T <= recs[i].T-t) {
-			best = i - 1
+		recs = s.scratch
+	} else {
+		var err error
+		recs, err = s.backend.QueryRange(q.Mote, lo, q.T1+step)
+		if err != nil {
+			return nil, 0, false
+		}
+	}
+	if len(recs) == 0 {
+		return nil, 0, false
+	}
+	return recs, step, true
+}
+
+// slotCover walks the T0-based sample-slot grid over time-sorted recs,
+// calling emit (when non-nil) for each slot's accepted record, skipping
+// records shared by adjacent slots. Returns false as soon as any slot
+// has no record within half a step meeting the precision. Shared by the
+// materializing and folding archive paths so both accept identical
+// records in identical order — the fold's float accumulation is
+// bit-identical to folding the materialized entries.
+func slotCover(recs []Record, t0, t1, step simtime.Time, precision float64, emit func(Record)) bool {
+	j := 0
+	prevT := simtime.Time(-1)
+	emitted := false
+	for t := t0; t <= t1; t += step {
+		// recs is time-sorted and t is increasing, so the first candidate
+		// at or after t only ever moves forward (no per-slot binary search).
+		for j < len(recs) && recs[j].T < t {
+			j++
+		}
+		best := -1
+		if j < len(recs) {
+			best = j
+		}
+		if j > 0 && (best == -1 || t-recs[j-1].T <= recs[j].T-t) {
+			best = j - 1
+		}
+		if best < 0 {
+			return false
 		}
 		r := recs[best]
 		gap := r.T - t
 		if gap < 0 {
 			gap = -gap
 		}
-		if gap > step/2 || r.ErrBound > q.Precision {
-			return proxy.Answer{}, false // slot uncovered: proxy path decides
+		if gap > step/2 || r.ErrBound > precision {
+			return false // slot uncovered: proxy path decides
 		}
-		if n := len(entries); n > 0 && entries[n-1].T == r.T {
+		if emitted && r.T == prevT {
 			continue // off-grid T0: two adjacent slots share one record
 		}
+		emitted, prevT = true, r.T
+		if emit != nil {
+			emit(r)
+		}
+	}
+	return true
+}
+
+// archiveAnswer tries to satisfy a range query wholly from the archive
+// backend: it succeeds when every sample slot in [T0, T1] has an archived
+// record within half a sample interval whose error bound meets the
+// precision.
+func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, bool) {
+	recs, step, ok := s.archiveRecords(q, pid)
+	if !ok {
+		return proxy.Answer{}, false
+	}
+	var entries []cache.Entry
+	covered := slotCover(recs, q.T0, q.T1, step, q.Precision, func(r Record) {
 		entries = append(entries, cache.Entry{T: r.T, V: r.V, Source: cache.Pulled, ErrBound: r.ErrBound})
+	})
+	if !covered {
+		return proxy.Answer{}, false
 	}
 	now := simtime.Time(0)
 	if p, ok := s.proxies[pid]; ok {
@@ -259,6 +324,44 @@ func (s *Store) archiveAnswer(q query.Query, pid index.ProxyID) (proxy.Answer, b
 		IssuedAt: now,
 		DoneAt:   now,
 	}, true
+}
+
+// ExecuteFold is the aggregate push-down fast path: when the archive can
+// serve an AGG query's whole span within precision, the slot records
+// fold straight into p — in exactly the order Execute's entry
+// materialization plus ObserveResult would have produced, so the float
+// accumulation is bit-identical — without building an Answer, a Result,
+// or a per-mote callback. done=false with a nil error means the archive
+// declined (and p is untouched): the caller must route the query through
+// Execute and pay the proxy path. A non-nil error is the same routing or
+// validation failure Execute would have returned.
+func (s *Store) ExecuteFold(q query.Query, p *query.Partial) (done bool, err error) {
+	pid, err := s.ix.ProxyFor(q.Mote)
+	if err != nil {
+		return false, err
+	}
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	if q.Type != query.Agg {
+		return false, nil
+	}
+	recs, step, ok := s.archiveRecords(q, pid)
+	if !ok {
+		return false, nil
+	}
+	// Two passes: p must stay untouched unless the whole span is covered,
+	// and a fold into a temporary merged after the fact would change the
+	// float accumulation order. The records are already in scratch, so the
+	// second walk is cache-hot.
+	if !slotCover(recs, q.T0, q.T1, step, q.Precision, nil) {
+		return false, nil
+	}
+	slotCover(recs, q.T0, q.T1, step, q.Precision, func(r Record) {
+		p.Observe(r.V, r.ErrBound)
+	})
+	s.rstats.ArchiveServed++
+	return true, nil
 }
 
 // Detections returns the globally time-ordered detection stream in

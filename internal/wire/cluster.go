@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"presto/internal/radio"
 	"presto/internal/simtime"
@@ -61,11 +62,20 @@ const (
 	FrameStart
 	// FrameStartAck confirms sampling started.
 	FrameStartAck
+	// FrameScatterBatch carries several sealed rounds of one standing
+	// spec in a single frame (query.EncodeScatterBatch payload): shared
+	// spec head + mote list, then each round's window. Coordinator →
+	// site, only when more than one round is due inside a lease step.
+	FrameScatterBatch
+	// FramePartialsBatch answers a scatter batch with each round's folded
+	// RoundPartials in scatter order (query.EncodeRoundPartialsBatch
+	// payload) or an error.
+	FramePartialsBatch
 )
 
 // FrameKindMax is the highest defined frame kind (transport counters
 // index by kind).
-const FrameKindMax = FrameStartAck
+const FrameKindMax = FramePartialsBatch
 
 // String names the kind.
 func (k FrameKind) String() string {
@@ -92,6 +102,10 @@ func (k FrameKind) String() string {
 		return "start"
 	case FrameStartAck:
 		return "start-ack"
+	case FrameScatterBatch:
+		return "scatter-batch"
+	case FramePartialsBatch:
+		return "partials-batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -117,7 +131,8 @@ func EncodeFrame(f Frame) []byte {
 	return append(buf, f.Payload...)
 }
 
-// DecodeFrame deserializes a frame body.
+// DecodeFrame deserializes a frame body. The returned frame's payload
+// aliases buf — callers that outlive buf must copy.
 func DecodeFrame(buf []byte) (Frame, error) {
 	if len(buf) < 1 {
 		return Frame{}, ErrShort
@@ -131,13 +146,46 @@ func DecodeFrame(buf []byte) (Frame, error) {
 		return Frame{}, ErrShort
 	}
 	f.Seq = seq
-	f.Payload = append([]byte(nil), buf[1+n:]...)
+	f.Payload = buf[1+n:]
 	return f, nil
 }
 
+// FrameSize is a frame's on-the-wire size: length prefix + kind byte +
+// seq varint + payload. Transports use it for byte accounting (loopback
+// never serializes, so it reports what TCP would have carried).
+func FrameSize(f Frame) int {
+	n := 4 + 1 + 1 + len(f.Payload)
+	for s := f.Seq; s >= 0x80; s >>= 7 {
+		n++
+	}
+	return n
+}
+
+// frameBodyPool recycles WriteFrame's serialization buffer: the body is
+// fully written out before WriteFrame returns, so the buffer is never
+// referenced after the call.
+var frameBodyPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// maxPooledBody bounds the capacity a pooled body buffer may retain.
+const maxPooledBody = 1 << 16
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, f Frame) error {
-	body := EncodeFrame(f)
+	bp := frameBodyPool.Get().(*[]byte)
+	body := append((*bp)[:0], byte(f.Kind))
+	body = binary.AppendUvarint(body, f.Seq)
+	body = append(body, f.Payload...)
+	err := writeBody(w, body)
+	if cap(body) <= maxPooledBody {
+		*bp = body[:0]
+		frameBodyPool.Put(bp)
+	}
+	return err
+}
+
+func writeBody(w io.Writer, body []byte) error {
 	if len(body) > maxFrameLen {
 		return fmt.Errorf("wire: frame body %d bytes exceeds limit", len(body))
 	}
@@ -150,21 +198,37 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame into a fresh buffer.
 func ReadFrame(r io.Reader) (Frame, error) {
+	f, _, err := ReadFrameBuf(r, nil)
+	return f, err
+}
+
+// ReadFrameBuf reads one length-prefixed frame into buf (grown as
+// needed) and returns the frame plus the possibly-regrown buffer for the
+// next call. The frame's payload aliases the buffer, so it is valid only
+// until the buffer's next reuse: pass a persistent buffer only from a
+// single-goroutine consumer that finishes decoding each frame before
+// reading the next (a site's serve loop); anything that hands frames to
+// other goroutines must use ReadFrame.
+func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
+		return Frame{}, buf, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameLen {
-		return Frame{}, fmt.Errorf("wire: implausible frame length %d", n)
+		return Frame{}, buf, fmt.Errorf("wire: implausible frame length %d", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, err
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
 	}
-	return DecodeFrame(body)
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, err
+	}
+	f, err := DecodeFrame(buf)
+	return f, buf, err
 }
 
 // ---------------------------------------------------------------------------
@@ -172,8 +236,10 @@ func ReadFrame(r io.Reader) (Frame, error) {
 
 // ProtoVersion is the cluster protocol version; a hello carrying any
 // other value is refused, so mixed builds fail fast at join time instead
-// of corrupting each other mid-run.
-const ProtoVersion = 1
+// of corrupting each other mid-run. Version 2: the scatter payload moved
+// its window behind the mote list (standing-spec payload caching) and
+// added the batched-round frame pair.
+const ProtoVersion = 2
 
 // Hello opens a site's connection.
 type Hello struct {

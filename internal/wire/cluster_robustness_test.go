@@ -26,6 +26,7 @@ func clusterDecoders() []struct {
 	fn   func([]byte)
 } {
 	spec := query.Spec{Type: query.Agg, T1: simtime.Hour, Agg: query.Mean, Precision: 0.5}
+	wins := []query.RoundWindow{{T0: 0, T1: simtime.Hour}, {T0: simtime.Hour, T1: 2 * simtime.Hour}}
 	return []struct {
 		name string
 		fn   func([]byte)
@@ -38,7 +39,9 @@ func clusterDecoders() []struct {
 		{"DecodeErrString", func(b []byte) { _, _ = wire.DecodeErrString(b) }},
 		{"DecodeBridgeMsg", func(b []byte) { _, _ = wire.DecodeBridgeMsg(b) }},
 		{"query.DecodeScatter", func(b []byte) { _, _, _ = query.DecodeScatter(b) }},
+		{"query.DecodeScatterBatch", func(b []byte) { _, _, _, _ = query.DecodeScatterBatch(b) }},
 		{"query.DecodeRoundPartials", func(b []byte) { _, _ = query.DecodeRoundPartials(spec, b) }},
+		{"query.DecodeRoundPartialsBatch", func(b []byte) { _, _ = query.DecodeRoundPartialsBatch(spec, wins, b) }},
 	}
 }
 
@@ -70,7 +73,11 @@ func validClusterFrames(t *testing.T) [][]byte {
 		wire.EncodeErrString("site lost"),
 		wire.EncodeBridgeMsg(radio.BridgeMsg{Src: 1, Dst: 0, Mote: 5, Kind: 2, Payload: []byte{9, 9}}),
 		query.EncodeScatter(spec, []radio.NodeID{1, 2, 5}),
+		query.EncodeScatterBatch(nil, spec, []radio.NodeID{1, 2, 5}, []query.RoundWindow{
+			{T0: 0, T1: simtime.Hour}, {T0: simtime.Hour, T1: 2 * simtime.Hour},
+		}),
 		query.EncodeRoundPartials(parts),
+		query.EncodeRoundPartialsBatch(nil, [][]query.RoundPartial{parts, parts[:1]}),
 	}
 }
 
@@ -193,5 +200,68 @@ func TestClusterCodecRoundTrips(t *testing.T) {
 	b := query.MergeRounds(spec, 0, 0, got)
 	if a.Value != b.Value || a.ErrBound != b.ErrBound || a.Count != b.Count {
 		t.Fatalf("merged decoded partials differ: %+v vs %+v", b, a)
+	}
+
+	// Batched rounds: a cached head plus per-round windows decodes back
+	// to the same spec with each round's window restored, and a batched
+	// partials frame splits back into per-round partial sets that merge
+	// identically to their single-round encodings.
+	wins := []query.RoundWindow{
+		{T0: spec.T0, T1: spec.T1},
+		{T0: spec.T0 + simtime.Hour, T1: spec.T1 + simtime.Hour},
+		{T0: spec.T0 + 2*simtime.Hour, T1: spec.T1 + 2*simtime.Hour},
+	}
+	bSpec, bMotes, bWins, err := query.DecodeScatterBatch(query.EncodeScatterBatch(nil, spec, motes, wins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bSpec.Type != spec.Type || bSpec.Agg != spec.Agg || bSpec.Precision != spec.Precision ||
+		bSpec.Deadline != spec.Deadline || bSpec.MaxStaleness != spec.MaxStaleness {
+		t.Fatalf("scatter batch spec round-trip: %+v != %+v", bSpec, spec)
+	}
+	if len(bMotes) != len(motes) || len(bWins) != len(wins) {
+		t.Fatalf("scatter batch shape: %d motes, %d wins", len(bMotes), len(bWins))
+	}
+	for i := range wins {
+		if bWins[i] != wins[i] {
+			t.Fatalf("scatter batch window %d: %+v != %+v", i, bWins[i], wins[i])
+		}
+	}
+	// The cached-head path (AppendScatterHead + AppendScatterRounds)
+	// produces byte-identical frames to the one-call encoder.
+	head := query.AppendScatterHead(nil, spec, motes)
+	split := query.AppendScatterRounds(head, wins)
+	whole := query.EncodeScatterBatch(nil, spec, motes, wins)
+	if string(split) != string(whole) {
+		t.Fatalf("cached-head batch encode differs from whole encode")
+	}
+
+	rounds := [][]query.RoundPartial{parts, parts[:1], nil}
+	gotRounds, err := query.DecodeRoundPartialsBatch(spec, wins, query.EncodeRoundPartialsBatch(nil, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRounds) != len(rounds) {
+		t.Fatalf("partials batch round count: %d != %d", len(gotRounds), len(rounds))
+	}
+	for k := range rounds {
+		if len(gotRounds[k]) != len(rounds[k]) {
+			t.Fatalf("partials batch round %d: %d partials != %d", k, len(gotRounds[k]), len(rounds[k]))
+		}
+		roundSpec := spec
+		roundSpec.T0, roundSpec.T1 = wins[k].T0, wins[k].T1
+		for _, p := range gotRounds[k] {
+			for _, r := range p.Results {
+				if r.Query.T0 != wins[k].T0 || r.Query.T1 != wins[k].T1 {
+					t.Fatalf("partials batch round %d window not rebound: %+v", k, r.Query)
+				}
+			}
+		}
+		ma := query.MergeRounds(roundSpec, k, wins[k].T1, rounds[k])
+		mb := query.MergeRounds(roundSpec, k, wins[k].T1, gotRounds[k])
+		sameVal := ma.Value == mb.Value || (math.IsNaN(ma.Value) && math.IsNaN(mb.Value))
+		if !sameVal || ma.ErrBound != mb.ErrBound || ma.Count != mb.Count || ma.At != mb.At {
+			t.Fatalf("batched round %d merged differently: %+v vs %+v", k, mb, ma)
+		}
 	}
 }
