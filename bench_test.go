@@ -13,6 +13,10 @@ package presto_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,6 +27,7 @@ import (
 	"presto/internal/gen"
 	"presto/internal/query"
 	"presto/internal/radio"
+	"presto/internal/serve"
 	"presto/internal/simtime"
 	"presto/internal/store"
 )
@@ -622,4 +627,80 @@ func BenchmarkAllExperiments(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(exp.All())), "experiments")
+}
+
+// BenchmarkHTTPServe prices the serving tier end to end: HTTP/JSON specs
+// posed against a live deployment through internal/serve, with the
+// semantic answer cache in front. Each iteration POSTs a rotation of
+// aggregate questions at two precisions — the tight ask plants the
+// answer, the loose repeat is served from cache — so steady state mixes
+// engine rounds with cache hits. Reports answered queries/s and the
+// server's cache hit ratio.
+func BenchmarkHTTPServe(b *testing.B) {
+	const proxies, motesPer = 2, 2
+	c := gen.DefaultTempConfig()
+	c.Sensors = proxies * motesPer
+	c.Days = 2
+	c.Seed = 1
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Proxies = proxies
+	cfg.MotesPerProxy = motesPer
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	n, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(6 * time.Hour)
+
+	srv := serve.New(n, serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two precisions per question: with the clock parked, only the first
+	// iteration's tight asks miss; everything after answers from cache.
+	bodies := []string{
+		`{"type":"agg","agg":"mean","t0":"1h","t1":"4h","precision":0.5,"max_staleness":"6h"}`,
+		`{"type":"agg","agg":"mean","t0":"1h","t1":"4h","precision":2.0,"max_staleness":"6h"}`,
+		`{"type":"agg","agg":"max","t0":"2h","t1":"5h","precision":0.5,"max_staleness":"6h"}`,
+		`{"type":"agg","agg":"max","t0":"2h","t1":"5h","precision":2.0,"max_staleness":"6h"}`,
+		`{"type":"now","precision":1.0,"max_staleness":"6h"}`,
+		`{"type":"now","precision":2.0,"max_staleness":"6h"}`,
+	}
+	client := ts.Client()
+	post := func(body string) {
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("POST %s: status %d err %v: %s", body, resp.StatusCode, err, buf)
+		}
+		res, err := query.DecodeSetResultJSON(buf)
+		if err != nil || res.Err != nil {
+			b.Fatalf("POST %s: bad answer: %v %v", body, err, res.Err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			post(body)
+		}
+	}
+	b.StopTimer()
+	st := srv.Snapshot()
+	b.ReportMetric(float64(st.Queries)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(st.CacheHitRatio, "hit-ratio")
 }

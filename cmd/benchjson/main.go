@@ -28,6 +28,13 @@
 // hardware changes. -cost-filter restricts it to a name regexp (e.g. the
 // scatter-path benchmarks) so incidental allocation churn in unrelated
 // experiment tables does not block a push.
+//
+// A third gate needs no baseline at all: -min-metric name=floor fails
+// any current-run benchmark reporting that metric below the absolute
+// floor (e.g. -min-metric hit-ratio=0.30 keeps the serving tier's
+// semantic cache honest). -min-filter restricts it by name regexp; a
+// filtered benchmark that stops reporting the metric fails rather than
+// silently escaping its gate.
 package main
 
 import (
@@ -72,6 +79,8 @@ func main() {
 	costMetric := flag.String("cost-metric", "", "cost metric gated on growth, e.g. allocs/op (empty = off)")
 	maxGrowth := flag.Float64("max-growth", 0.20, "max tolerated fractional growth of -cost-metric vs baseline")
 	costFilter := flag.String("cost-filter", "", "regexp of benchmark names the cost gate applies to (empty = all)")
+	minMetric := flag.String("min-metric", "", "absolute floor on a current-run metric as name=value, e.g. hit-ratio=0.30 (empty = off; no baseline needed)")
+	minFilter := flag.String("min-filter", "", "regexp of benchmark names the floor applies to (empty = all reporting the metric)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -101,6 +110,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+
+	if *minMetric != "" {
+		name, val, ok := strings.Cut(*minMetric, "=")
+		if !ok {
+			log.Fatalf("-min-metric wants name=value, got %q", *minMetric)
+		}
+		floor, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			log.Fatalf("-min-metric %q: %v", *minMetric, err)
+		}
+		var filter *regexp.Regexp
+		if *minFilter != "" {
+			if filter, err = regexp.Compile(*minFilter); err != nil {
+				log.Fatalf("-min-filter: %v", err)
+			}
+		}
+		if failed := floorGate(cur, name, floor, filter); failed > 0 {
+			log.Fatalf("%d benchmark(s) under the %s floor of %g", failed, name, floor)
+		}
 	}
 
 	if *baseline == "" {
@@ -176,6 +205,45 @@ func better(unit string, v, prev float64) bool {
 		return v > prev
 	}
 	return v < prev
+}
+
+// floorGate fails every current-run benchmark whose metric sits below an
+// absolute floor. Benchmarks not reporting the metric are skipped —
+// unless a filter names them, in which case the missing metric is
+// itself a failure (a benchmark must not escape its gate by dropping
+// the metric).
+func floorGate(cur File, metric string, floor float64, filter *regexp.Regexp) int {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name, b := range cur.Benchmarks {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		if _, ok := b.Metrics[metric]; !ok && filter == nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if filter != nil && len(names) == 0 {
+		fmt.Printf("FAIL no benchmark matches -min-filter %q\n", filter)
+		return 1
+	}
+	failed := 0
+	for _, name := range names {
+		v, ok := cur.Benchmarks[name].Metrics[metric]
+		if !ok {
+			fmt.Printf("FAIL %-45s no %s metric in current run (floor %g)\n", name, metric, floor)
+			failed++
+			continue
+		}
+		status := "ok  "
+		if v < floor {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-45s %s: %g (floor %g)\n", status, name, metric, v, floor)
+	}
+	return failed
 }
 
 func readFile(path string) (File, error) {

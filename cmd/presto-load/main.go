@@ -1,0 +1,149 @@
+// Command presto-load drives a prestod -http serving tier with a mixed
+// query workload and reports client-side throughput and latency next to
+// the server's own cache statistics.
+//
+// Usage:
+//
+//	presto-load [-addr URL] [-duration D] [-concurrency N] [-tenant S]
+//
+// The workload rotates through fleet NOW snapshots, trailing and
+// fixed-window aggregates at a few precisions, so repeated questions
+// exercise the semantic answer cache: a looser-precision repeat of an
+// answered aggregate should be served from cache, and the final report
+// prints the server's hit ratio from /statsz so a burst can assert it.
+// Exits non-zero if any request fails outright (429 throttling is
+// counted separately, not a failure).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"presto/internal/query"
+	"presto/internal/stats"
+)
+
+// workload is the rotating spec mix. Each pair of neighbouring entries
+// asks the same question at a different precision, so a full rotation
+// plants answers and the next one harvests cache hits.
+var workload = []string{
+	`{"type":"now","precision":1.0,"max_staleness":"6h"}`,
+	`{"type":"now","precision":2.0,"max_staleness":"6h"}`,
+	`{"type":"agg","agg":"mean","trailing":"2h","precision":0.5,"max_staleness":"6h"}`,
+	`{"type":"agg","agg":"mean","trailing":"2h","precision":1.5,"max_staleness":"6h"}`,
+	`{"type":"agg","agg":"max","t0":"1h","t1":"4h","precision":0.5,"max_staleness":"6h"}`,
+	`{"type":"agg","agg":"max","t0":"1h","t1":"4h","precision":2.0,"max_staleness":"6h"}`,
+	`{"type":"past","t0":"2h","t1":"2h","precision":1.0,"max_staleness":"6h"}`,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presto-load: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the prestod -http tier")
+	duration := flag.Duration("duration", 5*time.Second, "wall-clock length of the burst")
+	concurrency := flag.Int("concurrency", 4, "concurrent client workers")
+	tenant := flag.String("tenant", "presto-load", "X-Presto-Tenant header value")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		sent      atomic.Uint64
+		hits      atomic.Uint64
+		throttled atomic.Uint64
+		failed    atomic.Uint64
+		mu        sync.Mutex
+		latencies []float64
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				body := workload[i%len(workload)]
+				start := time.Now()
+				req, err := http.NewRequest("POST", base+"/v1/query", strings.NewReader(body))
+				if err != nil {
+					log.Fatal(err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Presto-Tenant", *tenant)
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "presto-load: %v\n", err)
+					continue
+				}
+				buf, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				sent.Add(1)
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					if res, err := query.DecodeSetResultJSON(buf); err != nil || res.Err != nil {
+						failed.Add(1)
+						fmt.Fprintf(os.Stderr, "presto-load: bad answer for %s: %v / %v\n", body, err, res.Err)
+						continue
+					}
+					if resp.Header.Get("X-Presto-Cache") == "hit" {
+						hits.Add(1)
+					}
+					mu.Lock()
+					latencies = append(latencies, time.Since(start).Seconds()*1000)
+					mu.Unlock()
+				case resp.StatusCode == http.StatusTooManyRequests:
+					throttled.Add(1)
+				default:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "presto-load: %s -> %d: %s\n", body, resp.StatusCode, buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	n := sent.Load()
+	elapsed := *duration
+	fmt.Printf("burst: %d requests over %v from %d workers (%.0f queries/s)\n",
+		n, elapsed, *concurrency, float64(len(latencies))/elapsed.Seconds())
+	if len(latencies) > 0 {
+		p50, _ := stats.Median(latencies)
+		p95, _ := stats.Quantile(latencies, 0.95)
+		fmt.Printf("latency: p50=%.2f ms p95=%.2f ms\n", p50, p95)
+	}
+	fmt.Printf("client-observed cache hits: %d/%d, throttled: %d, failed: %d\n",
+		hits.Load(), n, throttled.Load(), failed.Load())
+
+	// The server's own view: cache ratio and admission counters.
+	if resp, err := client.Get(base + "/statsz"); err == nil {
+		var st struct {
+			Queries       uint64  `json:"queries"`
+			CacheHitRatio float64 `json:"cache_hit_ratio"`
+			Cache         struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+			} `json:"cache"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err == nil {
+			fmt.Printf("server: %d queries answered, cache %d/%d hit (ratio %.2f)\n",
+				st.Queries, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.CacheHitRatio)
+		}
+		resp.Body.Close()
+	}
+
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}

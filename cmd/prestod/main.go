@@ -9,8 +9,18 @@
 //	prestod [-proxies N] [-motes N] [-shards N] [-days N] [-delta F]
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
 //	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
-//	        [-max-staleness D] [-every D]
+//	        [-max-staleness D] [-every D] [-http addr [-http-qps F]]
 //	        [-listen addr -sites N [-wired] | -join addr [-wired]]
+//
+// With -http the process becomes a serving tier instead of running the
+// built-in query mix: after bootstrap it mounts the internal/serve
+// HTTP/JSON API (POST /v1/query, /healthz, /statsz) on the address,
+// advances the virtual clock to the -days horizon in the background,
+// then keeps serving with the clock frozen until SIGINT/SIGTERM.
+// Shutdown is graceful in every mode: streams end with an SSE shutdown
+// event, in-flight queries drain, cluster sites are stopped — no
+// kill -9 required. -http works in cluster mode too (give it to the
+// coordinator; sites need only -join).
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
@@ -54,10 +64,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"presto/internal/cluster"
@@ -66,6 +81,7 @@ import (
 	"presto/internal/gen"
 	"presto/internal/proxy"
 	"presto/internal/query"
+	"presto/internal/serve"
 	"presto/internal/simtime"
 	"presto/internal/stats"
 	"presto/internal/wire"
@@ -93,8 +109,16 @@ func main() {
 	sites := flag.Int("sites", 2, "cluster total process count for -listen, coordinator included")
 	quantum := flag.Duration("quantum", cluster.DefaultQuantum, "cluster advance-lease quantum of virtual time")
 	wired := flag.Bool("wired", false, "cluster mode: mirror remote sites onto proxy 0 over the transport (wired replica)")
+	httpAddr := flag.String("http", "", "serve the HTTP/JSON query API on this address after bootstrap (e.g. :8080) instead of the built-in query mix")
+	httpQPS := flag.Float64("http-qps", 0, "per-tenant admission rate for the HTTP tier in queries/sec (0 = unlimited)")
+	httpPace := flag.Duration("http-pace", 0, "virtual time advanced per wall second in -http mode (0 = as fast as possible, then freeze at the horizon); standing queries need an advancing clock")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
+
+	// One signal context for every mode: SIGINT/SIGTERM begin a graceful
+	// drain instead of killing the process mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	genCfg := gen.DefaultTempConfig()
 	genCfg.Sensors = *proxies * *motes
@@ -126,10 +150,10 @@ func main() {
 		// bit-diffable against single-process runs of the same seed.
 		cfg.WiredFirstProxy = *wired
 		if *join != "" {
-			runClusterSite(*join, cfg)
+			runClusterSite(ctx, *join, cfg)
 			return
 		}
-		runClusterCoordinator(*listen, cfg, *sites, *quantum, *days, *delta, *precision, *every)
+		runClusterCoordinator(ctx, *listen, cfg, *sites, *quantum, *days, *delta, *precision, *every, *httpAddr, *httpQPS, *httpPace)
 		return
 	}
 
@@ -154,11 +178,24 @@ func main() {
 	}
 	fmt.Printf("bootstrap: %d models trained and shipped\n", len(models))
 
+	remaining := time.Duration(*days)*24*time.Hour - trainFor
+
+	// Serve mode: front the deployment with the HTTP tier and block until
+	// a signal, advancing the virtual clock to the horizon in the
+	// background.
+	if *httpAddr != "" {
+		err := serveHTTP(ctx, n, *httpAddr, *httpQPS, *httpPace, remaining,
+			func(_ context.Context, d time.Duration) error { n.Run(d); return nil })
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployment: done after %v of virtual time\n", n.Now())
+		return
+	}
+
 	// Run the remaining time with a query mix sprinkled in, posed through
 	// the declarative client facade.
 	c := n.Client()
-	ctx := context.Background()
-	remaining := time.Duration(*days)*24*time.Hour - trainFor
 	perQuery := remaining / time.Duration(*queries+1)
 
 	// Standing query: a bounded continuous NOW spec over every mote
@@ -166,14 +203,16 @@ func main() {
 	// closes itself after the run's horizon.
 	var snapshots int
 	var contDone chan struct{}
+	var contStream *core.ResultStream
 	if *every > 0 {
-		stream, err := c.Query(ctx, query.Spec{
+		stream, err := c.Query(context.Background(), query.Spec{
 			Type: query.Now, Precision: *precision, MaxStaleness: *maxStale,
 			Continuous: &query.Continuous{Every: *every, Until: remaining},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		contStream = stream
 		contDone = make(chan struct{})
 		go func() {
 			defer close(contDone)
@@ -190,7 +229,14 @@ func main() {
 	bySource := map[proxy.Source]int{}
 	rng := n.Sim.Rand()
 	ids := n.MoteIDs()
+	interrupted := false
 	for i := 0; i < *queries; i++ {
+		if ctx.Err() != nil {
+			// Signal: stop issuing new queries; everything already posed
+			// drains below (the in-flight QueryOne runs on its own ctx).
+			interrupted = true
+			break
+		}
 		n.Run(perQuery)
 		id := ids[rng.Intn(len(ids))]
 		spec := query.Spec{Type: query.Now, Select: query.SelectMotes(id), Precision: *precision, MaxStaleness: *maxStale}
@@ -204,7 +250,7 @@ func main() {
 			// window tail overlaps the staleness horizon.
 			spec = query.Spec{Type: query.Past, Select: query.SelectMotes(id), T0: at, T1: at, Precision: *precision, MaxStaleness: *maxStale}
 		}
-		set, err := c.QueryOne(ctx, spec)
+		set, err := c.QueryOne(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -222,7 +268,14 @@ func main() {
 			}
 		}
 	}
-	n.Run(remaining - perQuery*time.Duration(*queries))
+	if interrupted {
+		fmt.Println("\nsignal received: draining and reporting early")
+		if contStream != nil {
+			contStream.Close() // tear the standing query down cleanly
+		}
+	} else {
+		n.Run(remaining - perQuery*time.Duration(*queries))
+	}
 	if contDone != nil {
 		<-contDone
 	}
@@ -247,7 +300,7 @@ func main() {
 	if *every > 0 {
 		fmt.Printf("standing query: %d fleet snapshots delivered (one per %v of virtual time, 1 submission each)\n",
 			snapshots, *every)
-		if snapshots == 0 {
+		if snapshots == 0 && !interrupted {
 			fmt.Fprintln(os.Stderr, "prestod: standing query delivered no snapshots")
 			os.Exit(1)
 		}
@@ -301,10 +354,14 @@ func main() {
 }
 
 // runClusterSite joins a cluster and serves its assigned domain window
-// until the coordinator hangs up.
-func runClusterSite(addr string, cfg core.Config) {
+// until the coordinator hangs up — or a signal asks the site to leave.
+func runClusterSite(ctx context.Context, addr string, cfg core.Config) {
 	fmt.Printf("cluster: joining coordinator at %s\n", addr)
-	if err := cluster.Serve(context.Background(), cluster.TCP{}, addr, cfg); err != nil {
+	if err := cluster.Serve(ctx, cluster.TCP{}, addr, cfg); err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("cluster: signal received; site shut down")
+			return
+		}
 		log.Fatal(err)
 	}
 	fmt.Println("cluster: coordinator closed the session; site done")
@@ -317,8 +374,7 @@ func runClusterSite(addr string, cfg core.Config) {
 // deterministic in the flags: train for min(36h, days/2), run half the
 // remaining time quietly, query, then run the other half (under the
 // standing query when -every is set).
-func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time.Duration, days int, delta, precision float64, every time.Duration) {
-	ctx := context.Background()
+func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, sites int, quantum time.Duration, days int, delta, precision float64, every time.Duration, httpAddr string, httpQPS float64, httpPace time.Duration) {
 	co, err := cluster.Listen(cluster.TCP{}, addr, cfg, cluster.Options{Sites: sites, Quantum: quantum})
 	if err != nil {
 		log.Fatal(err)
@@ -341,8 +397,24 @@ func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time
 		log.Fatal(err)
 	}
 	remaining := time.Duration(days)*24*time.Hour - trainFor
+
+	// Serve mode: the coordinator itself is the engine behind the HTTP
+	// tier (it implements SubmitSpec and the cluster clock); the deferred
+	// Close stops the sites once the drain finishes.
+	if httpAddr != "" {
+		if err := serveHTTP(ctx, co, httpAddr, httpQPS, httpPace, remaining, co.Run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cluster: done after %v of virtual time\n", co.Now())
+		return
+	}
+
 	quiet := remaining / 2
 	if err := co.Run(ctx, quiet); err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("cluster: signal received; shutting the sites down")
+			return
+		}
 		log.Fatal(err)
 	}
 
@@ -367,8 +439,10 @@ func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time
 	fmt.Printf("cluster agg: mean=%.17g bound=%.17g count=%d at=%v\n",
 		res.Value, res.ErrBound, res.Count, res.At)
 
-	// Standing query over the back half of the run.
+	// Standing query over the back half of the run. A signal mid-run
+	// closes the stream (it rides ctx) and falls through to the report.
 	snapshots := 0
+	interrupted := false
 	if every > 0 {
 		stream, err := co.Client().Query(ctx, query.Spec{
 			Type: query.Now, Precision: precision,
@@ -388,12 +462,19 @@ func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time
 			done <- n
 		}()
 		if err := co.Run(ctx, remaining-quiet); err != nil {
-			log.Fatal(err)
+			if ctx.Err() == nil {
+				log.Fatal(err)
+			}
+			interrupted = true
+			stream.Close()
 		}
 		snapshots = <-done
 	} else {
 		if err := co.Run(ctx, remaining-quiet); err != nil {
-			log.Fatal(err)
+			if ctx.Err() == nil {
+				log.Fatal(err)
+			}
+			interrupted = true
 		}
 	}
 
@@ -404,12 +485,107 @@ func runClusterCoordinator(addr string, cfg core.Config, sites int, quantum time
 	}
 	if every > 0 {
 		fmt.Printf("cluster standing query: %d fleet snapshots (one per %v of virtual time)\n", snapshots, every)
-		if snapshots == 0 {
+		if snapshots == 0 && !interrupted {
 			fmt.Fprintln(os.Stderr, "prestod: cluster standing query delivered no snapshots")
 			os.Exit(1)
 		}
 	}
 	fmt.Printf("cluster: done after %v of virtual time\n", co.Now())
+}
+
+// serveHTTP fronts an engine with the internal/serve HTTP tier and
+// blocks until the signal context fires, then drains gracefully: SSE
+// streams end with a shutdown event, in-flight one-shot queries finish
+// through http.Server.Shutdown, and only then does the caller tear the
+// engine down. advance drives the engine's virtual clock; it is called
+// in small chunks until the horizon so standing queries keep firing
+// while requests land, then the clock freezes and the tier keeps
+// serving (deterministically, for cache demos) until a signal.
+func serveHTTP(ctx context.Context, eng serve.Engine, addr string, qps float64, pace, horizon time.Duration, advance func(context.Context, time.Duration) error) error {
+	srv := serve.New(eng, serve.Config{Admit: serve.AdmitConfig{QPS: qps}})
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("http: serving on %s (virtual clock at %v, advancing %v)\n", lis.Addr(), eng.Now(), horizon)
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(lis) }()
+
+	drvCtx, drvCancel := context.WithCancel(ctx)
+	defer drvCancel()
+	drvDone := make(chan error, 1)
+	go func() {
+		const chunk = 10 * time.Minute // virtual time per advance slice
+		var tick <-chan time.Time
+		if pace > 0 {
+			// Real-time pacing: one chunk of virtual time per
+			// chunk/pace of wall time, so standing queries fire at a
+			// human-watchable rate instead of the horizon flashing by.
+			t := time.NewTicker(time.Duration(float64(chunk) / float64(pace) * float64(time.Second)))
+			defer t.Stop()
+			tick = t.C
+		}
+		left := horizon
+		for left > 0 && drvCtx.Err() == nil {
+			d := chunk
+			if d > left {
+				d = left
+			}
+			if err := advance(drvCtx, d); err != nil {
+				drvDone <- err
+				return
+			}
+			left -= d
+			if tick != nil {
+				select {
+				case <-tick:
+				case <-drvCtx.Done():
+				}
+			}
+		}
+		drvDone <- nil
+	}()
+
+	var bail error
+	select {
+	case <-ctx.Done():
+		fmt.Println("http: signal received; draining")
+	case err := <-httpErr:
+		bail = fmt.Errorf("http: serve: %w", err)
+	case err := <-drvDone:
+		if err != nil && drvCtx.Err() == nil {
+			bail = fmt.Errorf("http: advancing virtual time: %w", err)
+			drvDone <- nil // the final drain below re-reads this channel
+		} else {
+			// Horizon reached: keep serving with the clock frozen until a
+			// signal arrives.
+			drvDone <- nil
+			select {
+			case <-ctx.Done():
+				fmt.Println("http: signal received; draining")
+			case err := <-httpErr:
+				bail = fmt.Errorf("http: serve: %w", err)
+			}
+		}
+	}
+
+	srv.Close() // end SSE streams first so Shutdown cannot hang on them
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && bail == nil {
+		bail = fmt.Errorf("http: shutdown: %w", err)
+	}
+	drvCancel()
+	if err := <-drvDone; err != nil && bail == nil && !errors.Is(err, context.Canceled) {
+		bail = err
+	}
+
+	st := srv.Snapshot()
+	fmt.Printf("http: served %d queries (%d errors), cache %d/%d hit (ratio %.2f), %d SSE streams / %d rounds, %d throttled\n",
+		st.Queries, st.Errors, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.CacheHitRatio,
+		st.SSE.Streams, st.SSE.Rounds, st.Admit.Throttled)
+	return bail
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,163 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"presto/internal/cache"
+	"presto/internal/proxy"
+	"presto/internal/radio"
+	"presto/internal/simtime"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Type: Now, Precision: 0.5, MaxStaleness: 30 * time.Minute},
+		{Type: Now, Select: SelectMotes(3, 1, 7)},
+		{Type: Past, T0: 2 * simtime.Hour, T1: 8 * simtime.Hour, Precision: 1.5,
+			Deadline: 5 * time.Second, Select: SelectMotes(2)},
+		{Type: Agg, Agg: Mean, Trailing: 90 * time.Minute, Precision: 0.25},
+		{Type: Agg, Agg: Mode, T0: simtime.Hour, T1: 3 * simtime.Hour, Precision: 2},
+		{Type: Now, Precision: 1,
+			Continuous: &Continuous{Every: 30 * time.Minute, Until: 6 * time.Hour}},
+	}
+	for i, s := range specs {
+		buf, err := EncodeSpecJSON(s)
+		if err != nil {
+			t.Fatalf("spec %d: encode: %v", i, err)
+		}
+		got, err := DecodeSpecJSON(buf)
+		if err != nil {
+			t.Fatalf("spec %d: decode %s: %v", i, buf, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("spec %d: round trip\n got %+v\nwant %+v\nwire %s", i, got, s, buf)
+		}
+	}
+}
+
+func TestSpecJSONHumanForms(t *testing.T) {
+	// The curl-facing forms the README documents: duration strings,
+	// omitted motes = all, numeric nanoseconds accepted too.
+	s, err := DecodeSpecJSON([]byte(`{"type":"agg","agg":"mean","trailing":"2h","precision":0.5,"max_staleness":"30m"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trailing != 2*time.Hour || s.MaxStaleness != 30*time.Minute || s.Agg != Mean {
+		t.Fatalf("decoded %+v", s)
+	}
+	if len(s.Select.Motes) != 0 {
+		t.Fatalf("omitted motes should mean all, got %v", s.Select.Motes)
+	}
+	s, err = DecodeSpecJSON([]byte(`{"type":"past","motes":[2],"t0":3600000000000,"t1":"2h"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T0 != simtime.Hour || s.T1 != 2*simtime.Hour {
+		t.Fatalf("decoded window [%v, %v]", s.T0, s.T1)
+	}
+}
+
+func TestSpecJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"type":"sum"}`,                          // unknown type
+		`{"type":"agg"}`,                          // agg without operator
+		`{"type":"agg","agg":"median"}`,           // unknown operator
+		`{"type":"now","agg":"mean"}`,             // operator on a NOW spec
+		`{"type":"now","staleness":"1h"}`,         // typoed field
+		`{"type":"past","t0":"2h","t1":"1h"}`,     // inverted window
+		`{"type":"past","t0":"bogus"}`,            // unparsable duration
+		`{"type":"now","trailing":"1h"}`,          // trailing on NOW
+		`{"type":"now","continuous":{"every":0}}`, // non-positive period
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeSpecJSON([]byte(c)); err == nil {
+			t.Errorf("DecodeSpecJSON(%s) accepted", c)
+		}
+	}
+	if _, err := EncodeSpecJSON(Spec{Type: Now, Select: SelectWhere(func(radio.NodeID) bool { return true })}); err == nil {
+		t.Error("EncodeSpecJSON accepted a selector predicate")
+	}
+}
+
+func TestSetResultJSONRoundTrip(t *testing.T) {
+	results := []SetResult{
+		// Merged aggregate.
+		{Seq: 3, At: 48 * simtime.Hour, Value: 21.25, ErrBound: 0.5, Count: 16},
+		// Per-mote NOW snapshot with provenance and entries.
+		{At: 2 * simtime.Hour, Failed: 1, Results: []Result{{
+			Query: Query{Mote: 4},
+			Answer: proxy.Answer{
+				Mote: 4, Source: proxy.FromModel,
+				IssuedAt: 2 * simtime.Hour, DoneAt: 2*simtime.Hour + simtime.Millisecond,
+				Entries: []cache.Entry{
+					{T: 2 * simtime.Hour, V: 20.5, ErrBound: 1, Source: cache.Predicted},
+					{T: 2*simtime.Hour - simtime.Minute, V: 20.1, Source: cache.Pushed},
+				},
+			},
+		}}},
+		// Empty aggregate: NaN value must survive as its code.
+		{Value: math.NaN(), Err: ErrEmptyAggregate},
+		// Partial cluster round.
+		{Value: 3, Count: 2, Failed: 4,
+			SiteErrs: []SiteError{{Site: 2, Err: errors.New("conn reset")}}},
+	}
+	for i, r := range results {
+		buf, err := EncodeSetResultJSON(r)
+		if err != nil {
+			t.Fatalf("result %d: encode: %v", i, err)
+		}
+		got, err := DecodeSetResultJSON(buf)
+		if err != nil {
+			t.Fatalf("result %d: decode %s: %v", i, buf, err)
+		}
+		if math.IsNaN(r.Value) != math.IsNaN(got.Value) {
+			t.Fatalf("result %d: NaN-ness diverged: %v vs %v", i, got.Value, r.Value)
+		}
+		if !math.IsNaN(r.Value) && got.Value != r.Value {
+			t.Errorf("result %d: value %v != %v", i, got.Value, r.Value)
+		}
+		if got.Seq != r.Seq || got.At != r.At || got.ErrBound != r.ErrBound ||
+			got.Count != r.Count || got.Failed != r.Failed {
+			t.Errorf("result %d: scalars diverged\n got %+v\nwant %+v", i, got, r)
+		}
+		if !errors.Is(got.Err, r.Err) && (r.Err == nil) == (got.Err == nil) && r.Err != nil && got.Err.Error() != r.Err.Error() {
+			t.Errorf("result %d: err %v != %v", i, got.Err, r.Err)
+		}
+		if len(got.Results) != len(r.Results) || len(got.SiteErrs) != len(r.SiteErrs) {
+			t.Fatalf("result %d: shape diverged: %+v", i, got)
+		}
+		for j := range r.Results {
+			want, have := r.Results[j], got.Results[j]
+			if have.Query.Mote != want.Query.Mote || have.Answer.Source != want.Answer.Source ||
+				have.Answer.IssuedAt != want.Answer.IssuedAt || have.Answer.DoneAt != want.Answer.DoneAt ||
+				!reflect.DeepEqual(have.Answer.Entries, want.Answer.Entries) {
+				t.Errorf("result %d mote %d: round trip\n got %+v\nwant %+v", i, want.Query.Mote, have, want)
+			}
+		}
+	}
+}
+
+func TestSetResultJSONTypedErrors(t *testing.T) {
+	buf, err := EncodeSetResultJSON(SetResult{Value: math.NaN(), Err: ErrEmptyAggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSetResultJSON(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got.Err, ErrEmptyAggregate) {
+		t.Fatalf("decoded err %v, want ErrEmptyAggregate", got.Err)
+	}
+	if ErrCode(ErrNoMotes) != CodeNoMotes || ErrCode(nil) != "" {
+		t.Fatal("ErrCode mapping broken")
+	}
+	if !errors.Is(codeErr(CodeNoMotes, "whatever"), ErrNoMotes) {
+		t.Fatal("codeErr(no_motes) lost the sentinel")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+// Per-tenant token-bucket admission control. The front door refuses work
+// it cannot absorb before the engine sees it: each tenant (an opaque
+// string from the X-Presto-Tenant header, or "default") owns a bucket
+// that refills at QPS tokens per wall second up to Burst; a query that
+// finds the bucket empty is throttled with 429 instead of queueing.
+
+import (
+	"sync"
+	"time"
+)
+
+// AdmitConfig shapes per-tenant admission.
+type AdmitConfig struct {
+	// QPS is the per-tenant refill rate in queries per wall second.
+	// 0 means unlimited (admission control off); negative rejects all.
+	QPS float64
+	// Burst is the bucket capacity; 0 defaults to max(1, 2*QPS).
+	Burst float64
+	// MaxTenants bounds the bucket map (an unauthenticated header must
+	// not grow server memory without bound). Beyond it, the longest-idle
+	// bucket is recycled. 0 means DefaultMaxTenants.
+	MaxTenants int
+}
+
+// DefaultMaxTenants bounds the tenant-bucket map.
+const DefaultMaxTenants = 4096
+
+// AdmitStats is a snapshot of admission behaviour.
+type AdmitStats struct {
+	Allowed   uint64 `json:"allowed"`
+	Throttled uint64 `json:"throttled"`
+	Tenants   int    `json:"tenants"`
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type admitter struct {
+	mu      sync.Mutex
+	cfg     AdmitConfig
+	buckets map[string]*bucket
+	stats   AdmitStats
+}
+
+func newAdmitter(cfg AdmitConfig) *admitter {
+	if cfg.Burst == 0 {
+		cfg.Burst = 2 * cfg.QPS
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	return &admitter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from the tenant's bucket at wall time now.
+func (a *admitter) allow(tenant string, now time.Time) bool {
+	if a.cfg.QPS == 0 {
+		a.mu.Lock()
+		a.stats.Allowed++
+		a.mu.Unlock()
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.QPS < 0 {
+		a.stats.Throttled++
+		return false
+	}
+	b, ok := a.buckets[tenant]
+	if !ok {
+		if len(a.buckets) >= a.cfg.MaxTenants {
+			a.evictIdlest()
+		}
+		b = &bucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.QPS
+	if b.tokens > a.cfg.Burst {
+		b.tokens = a.cfg.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		a.stats.Throttled++
+		return false
+	}
+	b.tokens--
+	a.stats.Allowed++
+	return true
+}
+
+// evictIdlest drops the bucket that refilled least recently (callers
+// hold a.mu). A recycled tenant simply starts from a full bucket again.
+func (a *admitter) evictIdlest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for t, b := range a.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = t, b.last, false
+		}
+	}
+	if !first {
+		delete(a.buckets, victim)
+	}
+}
+
+func (a *admitter) snapshot() AdmitStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.Tenants = len(a.buckets)
+	return s
+}

@@ -1,0 +1,314 @@
+// Package serve is PRESTO's network-facing user tier: an HTTP/JSON front
+// door over the declarative query engine. POST /v1/query accepts a
+// JSON-encoded query.Spec and answers with the round's JSON form;
+// Continuous specs stream their rounds as server-sent events; /healthz
+// and /statsz expose liveness and counters.
+//
+// In front of the engine sits a semantic answer cache: answers carry
+// explicit (precision, staleness) contracts, so a cached answer serves
+// any later query whose precision is looser than the cached bound and
+// whose staleness allowance covers the answer's age — the paper's whole
+// premise, applied at the serving tier so repeated questions never touch
+// a mote. Per-tenant token buckets shed load before it reaches the
+// engine.
+//
+// The same server fronts an in-process core.Network and a
+// cluster.Coordinator: anything implementing Engine (SubmitSpec + Now)
+// plugs in.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/query"
+	"presto/internal/simtime"
+)
+
+// Engine is the query engine seam the server fronts: an in-process
+// core.Network or a cluster.Coordinator — both submit declarative specs
+// and report the deployment's virtual clock (which the semantic cache
+// ages answers against).
+type Engine interface {
+	core.SpecSubmitter
+	Now() simtime.Time
+}
+
+// Config shapes the server.
+type Config struct {
+	Cache CacheConfig
+	Admit AdmitConfig
+	// QueryTimeout bounds one-shot query execution; 0 means
+	// DefaultQueryTimeout.
+	QueryTimeout time.Duration
+}
+
+// DefaultQueryTimeout bounds a one-shot query's wall-clock execution.
+const DefaultQueryTimeout = 30 * time.Second
+
+// Server is the HTTP front door. Create with New, mount Handler, Close
+// on shutdown to end streaming requests.
+type Server struct {
+	eng   Engine
+	cl    *core.Client
+	cfg   Config
+	cache *AnswerCache
+	admit *admitter
+
+	ctx    context.Context // done => streams drain and exit
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // live SSE streams
+	start  time.Time
+
+	queries   atomic.Uint64 // one-shot queries answered (cache or engine)
+	errored   atomic.Uint64 // requests answered with a non-2xx status
+	streams   atomic.Uint64 // SSE streams opened
+	sseRounds atomic.Uint64 // SSE rounds delivered
+	inflight  atomic.Int64  // one-shot queries executing in the engine
+	sseActive atomic.Int64  // SSE streams currently open
+}
+
+// New builds a server over an engine.
+func New(eng Engine, cfg Config) *Server {
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = DefaultQueryTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		eng:    eng,
+		cl:     core.NewClient(eng),
+		cfg:    cfg,
+		cache:  NewAnswerCache(cfg.Cache),
+		admit:  newAdmitter(cfg.Admit),
+		ctx:    ctx,
+		cancel: cancel,
+		start:  time.Now(),
+	}
+}
+
+// Handler returns the route table. Mount it on an http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// Close ends every streaming request and refuses new rounds, then waits
+// for the stream handlers to return — call it before http.Server
+// Shutdown so graceful shutdown does not hang on open SSE connections.
+// One-shot queries in flight drain through Shutdown as usual.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Cache exposes the answer cache (prestod reports its stats at exit).
+func (s *Server) Cache() *AnswerCache { return s.cache }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
+	s.errored.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
+}
+
+// handleQuery answers POST /v1/query: decode the spec, admit the tenant,
+// and either serve from the semantic cache, execute one round, or stream
+// continuous rounds over SSE.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("reading body: %w", err))
+		return
+	}
+	spec, err := query.DecodeSpecJSON(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_spec", err)
+		return
+	}
+	tenant := r.Header.Get("X-Presto-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if !s.admit.allow(tenant, time.Now()) {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "throttled",
+			fmt.Errorf("tenant %q over its query rate", tenant))
+		return
+	}
+	if spec.Continuous != nil {
+		s.streamRounds(w, r, spec)
+		return
+	}
+
+	if res, ok := s.cache.Lookup(spec, s.eng.Now()); ok {
+		s.queries.Add(1)
+		s.writeResult(w, res, "hit")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	s.inflight.Add(1)
+	res, err := s.cl.QueryOne(ctx, spec)
+	s.inflight.Add(-1)
+	if err != nil {
+		switch {
+		case errors.Is(err, query.ErrNoMotes):
+			s.fail(w, http.StatusUnprocessableEntity, query.CodeNoMotes, err)
+		case errors.Is(err, core.ErrClosed):
+			s.fail(w, http.StatusServiceUnavailable, "shutting_down", err)
+		case ctx.Err() != nil:
+			s.fail(w, http.StatusGatewayTimeout, "timeout", err)
+		default:
+			s.fail(w, http.StatusBadRequest, "bad_spec", err)
+		}
+		return
+	}
+	s.queries.Add(1)
+	s.cache.Insert(spec, res)
+	s.writeResult(w, res, "miss")
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, res query.SetResult, cacheState string) {
+	buf, err := query.EncodeSetResultJSON(res)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encode", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Presto-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(buf, '\n'))
+}
+
+// streamRounds serves a Continuous spec as server-sent events: one
+// "data:" frame per round, an "event: end" frame when a bounded stream's
+// horizon passes. The stream ends early when the client hangs up or the
+// server shuts down.
+func (s *Server) streamRounds(w http.ResponseWriter, r *http.Request, spec query.Spec) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, "no_stream", errors.New("serve: response writer cannot stream"))
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stream, err := s.cl.Query(ctx, spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, query.ErrNoMotes):
+			s.fail(w, http.StatusUnprocessableEntity, query.CodeNoMotes, err)
+		case errors.Is(err, core.ErrClosed):
+			s.fail(w, http.StatusServiceUnavailable, "shutting_down", err)
+		default:
+			s.fail(w, http.StatusBadRequest, "bad_spec", err)
+		}
+		return
+	}
+	defer stream.Close()
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.streams.Add(1)
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-s.ctx.Done(): // server shutting down: end the stream cleanly
+			fmt.Fprint(w, "event: end\ndata: shutdown\n\n")
+			flusher.Flush()
+			return
+		case <-ctx.Done(): // client hung up
+			return
+		case res, ok := <-stream.Results():
+			if !ok { // bounded stream: horizon passed
+				fmt.Fprint(w, "event: end\ndata: done\n\n")
+				flusher.Flush()
+				return
+			}
+			buf, err := query.EncodeSetResultJSON(res)
+			if err != nil {
+				fmt.Fprintf(w, "event: error\ndata: %q\n\n", err.Error())
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", buf)
+			flusher.Flush()
+			s.sseRounds.Add(1)
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the /statsz document.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptime_s"`
+	VirtualNow    string     `json:"virtual_now"`
+	Queries       uint64     `json:"queries"`
+	Errors        uint64     `json:"errors"`
+	Inflight      int64      `json:"inflight"`
+	Cache         CacheStats `json:"cache"`
+	CacheHitRatio float64    `json:"cache_hit_ratio"`
+	Admit         AdmitStats `json:"admission"`
+	SSE           SSEStats   `json:"sse"`
+}
+
+// SSEStats counts continuous-query streaming.
+type SSEStats struct {
+	Streams uint64 `json:"streams"`
+	Active  int64  `json:"active"`
+	Rounds  uint64 `json:"rounds"`
+}
+
+// Snapshot assembles the current counters.
+func (s *Server) Snapshot() Stats {
+	cs := s.cache.Stats()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		VirtualNow:    s.eng.Now().String(),
+		Queries:       s.queries.Load(),
+		Errors:        s.errored.Load(),
+		Inflight:      s.inflight.Load(),
+		Cache:         cs,
+		CacheHitRatio: cs.HitRatio(),
+		Admit:         s.admit.snapshot(),
+		SSE: SSEStats{
+			Streams: s.streams.Load(),
+			Active:  s.sseActive.Load(),
+			Rounds:  s.sseRounds.Load(),
+		},
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Snapshot())
+}
