@@ -615,6 +615,105 @@ func BenchmarkClusterScatterGather(b *testing.B) {
 	}
 }
 
+// BenchmarkDomainSnapshot prices the elasticity seam's unit of work:
+// serializing one quiesced domain (kernel, medium, motes, proxies,
+// index, store) to a checksummed blob. Reports the blob size — the
+// bytes a migration or checkpoint moves per domain.
+func BenchmarkDomainSnapshot(b *testing.B) {
+	c := gen.DefaultTempConfig()
+	c.Sensors = 8
+	c.Days = 3
+	c.Seed = 1
+	traces, err := gen.Temperature(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Proxies = 4
+	cfg.MotesPerProxy = 2
+	cfg.Shards = 4
+	cfg.Radio.LossProb = 0
+	cfg.Radio.JitterMax = 0
+	cfg.Traces = traces
+	n, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(6 * time.Hour)
+
+	var buf strings.Builder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := n.SnapshotDomain(1, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(buf.Len()), "snap-B")
+}
+
+// BenchmarkMigration prices moving a live domain between cluster sites
+// over the loopback transport: quiesce + snapshot at the source, stream,
+// adopt + restore at the target, re-point the scatter router. Each
+// iteration round-trips domain 2 (remote -> coordinator -> remote), so
+// the metric is one full migration each way.
+func BenchmarkMigration(b *testing.B) {
+	mk := func() core.Config {
+		c := gen.DefaultTempConfig()
+		c.Sensors = 8
+		c.Days = 3
+		c.Seed = 1
+		traces, err := gen.Temperature(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Proxies = 4
+		cfg.MotesPerProxy = 2
+		cfg.Shards = 4
+		cfg.Radio.LossProb = 0
+		cfg.Radio.JitterMax = 0
+		cfg.Traces = traces
+		return cfg
+	}
+	ctx := context.Background()
+	tr := cluster.NewLoopback()
+	co, err := cluster.Listen(tr, "", mk(), cluster.Options{Sites: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer co.Close()
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() { _ = cluster.Serve(serveCtx, tr, co.Addr(), mk()) }()
+	if err := co.AcceptSites(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := co.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := co.Run(ctx, 6*time.Hour); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := co.MigrateDomain(ctx, 2, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := co.MigrateDomain(ctx, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "migrations/s")
+}
+
 // BenchmarkAllExperiments runs the full registry once per iteration (the
 // cmd/presto-bench workload at quick scale).
 func BenchmarkAllExperiments(b *testing.B) {

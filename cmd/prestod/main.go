@@ -108,6 +108,7 @@ func main() {
 	join := flag.String("join", "", "cluster site: coordinator address to join")
 	sites := flag.Int("sites", 2, "cluster total process count for -listen, coordinator included")
 	quantum := flag.Duration("quantum", cluster.DefaultQuantum, "cluster advance-lease quantum of virtual time")
+	ckptDir := flag.String("checkpoint", "", "cluster coordinator: write a cluster-wide domain checkpoint to this directory after the mid-run aggregate")
 	wired := flag.Bool("wired", false, "cluster mode: mirror remote sites onto proxy 0 over the transport (wired replica)")
 	httpAddr := flag.String("http", "", "serve the HTTP/JSON query API on this address after bootstrap (e.g. :8080) instead of the built-in query mix")
 	httpQPS := flag.Float64("http-qps", 0, "per-tenant admission rate for the HTTP tier in queries/sec (0 = unlimited)")
@@ -153,7 +154,7 @@ func main() {
 			runClusterSite(ctx, *join, cfg)
 			return
 		}
-		runClusterCoordinator(ctx, *listen, cfg, *sites, *quantum, *days, *delta, *precision, *every, *httpAddr, *httpQPS, *httpPace)
+		runClusterCoordinator(ctx, *listen, cfg, *sites, *quantum, *days, *delta, *precision, *every, *ckptDir, *httpAddr, *httpQPS, *httpPace)
 		return
 	}
 
@@ -374,7 +375,7 @@ func runClusterSite(ctx context.Context, addr string, cfg core.Config) {
 // deterministic in the flags: train for min(36h, days/2), run half the
 // remaining time quietly, query, then run the other half (under the
 // standing query when -every is set).
-func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, sites int, quantum time.Duration, days int, delta, precision float64, every time.Duration, httpAddr string, httpQPS float64, httpPace time.Duration) {
+func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, sites int, quantum time.Duration, days int, delta, precision float64, every time.Duration, ckptDir, httpAddr string, httpQPS float64, httpPace time.Duration) {
 	co, err := cluster.Listen(cluster.TCP{}, addr, cfg, cluster.Options{Sites: sites, Quantum: quantum})
 	if err != nil {
 		log.Fatal(err)
@@ -402,7 +403,7 @@ func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, si
 	// tier (it implements SubmitSpec and the cluster clock); the deferred
 	// Close stops the sites once the drain finishes.
 	if httpAddr != "" {
-		if err := serveHTTP(ctx, co, httpAddr, httpQPS, httpPace, remaining, co.Run); err != nil {
+		if err := serveHTTP(ctx, clusterEngine{co}, httpAddr, httpQPS, httpPace, remaining, co.Run); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("cluster: done after %v of virtual time\n", co.Now())
@@ -438,6 +439,24 @@ func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, si
 	}
 	fmt.Printf("cluster agg: mean=%.17g bound=%.17g count=%d at=%v\n",
 		res.Value, res.ErrBound, res.Count, res.At)
+
+	// -checkpoint: capture every domain at this lease instant (sites are
+	// quiescent between Runs) and persist it for warm failover / re-join.
+	if ckptDir != "" {
+		ck, err := co.CheckpointDomains(ctx)
+		if err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		if err := ck.WriteDir(ckptDir); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		bytes := 0
+		for _, b := range ck.Blobs {
+			bytes += len(b)
+		}
+		fmt.Printf("cluster checkpoint: %d domains (%d bytes) at %v written to %s\n",
+			len(ck.Blobs), bytes, ck.At, ckptDir)
+	}
 
 	// Standing query over the back half of the run. A signal mid-run
 	// closes the stream (it rides ctx) and falls through to the report.
@@ -490,7 +509,42 @@ func runClusterCoordinator(ctx context.Context, addr string, cfg core.Config, si
 			os.Exit(1)
 		}
 	}
+	h := co.Health()
+	alive := 0
+	for _, sh := range h.Sites {
+		if sh.Alive {
+			alive++
+		}
+	}
+	fmt.Printf("cluster health: %d/%d sites alive, %d migration(s), %d re-join(s)\n",
+		alive, len(h.Sites), h.Migrations, h.Rejoins)
 	fmt.Printf("cluster: done after %v of virtual time\n", co.Now())
+}
+
+// clusterEngine fronts the HTTP tier with a cluster coordinator and
+// surfaces its elasticity telemetry as the /statsz cluster section.
+type clusterEngine struct{ *cluster.Coordinator }
+
+func (e clusterEngine) ClusterHealth() serve.ClusterHealth {
+	h := e.Coordinator.Health()
+	ch := serve.ClusterHealth{
+		LeaseInstant: h.Lease.String(),
+		Migrations:   h.Migrations,
+		Rejoins:      h.Rejoins,
+	}
+	if h.LastMigration > 0 {
+		ch.LastMigration = h.LastMigration.String()
+	}
+	if h.LastCheckpoint > 0 {
+		ch.LastCheckpoint = h.LastCheckpoint.String()
+	}
+	for _, sh := range h.Sites {
+		if sh.Alive {
+			ch.SitesAlive++
+		}
+		ch.Sites = append(ch.Sites, serve.ClusterSiteHealth{Site: sh.Site, Domains: sh.Domains, Alive: sh.Alive})
+	}
+	return ch
 }
 
 // serveHTTP fronts an engine with the internal/serve HTTP tier and

@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+
+	"presto/internal/simtime"
+	"presto/internal/snap"
+)
+
+// Snapshot externalizes the series: every entry (already held in time
+// order) plus the insert/refinement counters.
+func (s *Series) Snapshot(w io.Writer) error {
+	var e snap.Enc
+	e.Uvarint(uint64(len(s.entries)))
+	for _, en := range s.entries {
+		e.I64(int64(en.T))
+		e.F64(en.V)
+		e.Uvarint(uint64(en.Source))
+		e.F64(en.ErrBound)
+	}
+	e.U64(s.inserts)
+	e.U64(s.refinements)
+	return snap.WriteBlock(w, snap.TagCache, e.Data())
+}
+
+// Restore overwrites the series with state captured by Snapshot.
+func (s *Series) Restore(r io.Reader) error {
+	body, err := snap.ReadBlock(r, snap.TagCache)
+	if err != nil {
+		return err
+	}
+	d := snap.NewDec(body)
+	s.entries = nil
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		s.entries = append(s.entries, Entry{
+			T:        simtime.Time(d.I64()),
+			V:        d.F64(),
+			Source:   Source(d.Uvarint()),
+			ErrBound: d.F64(),
+		})
+	}
+	s.inserts = d.U64()
+	s.refinements = d.U64()
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

@@ -85,6 +85,10 @@ func clusterAddr(tr Transport) string {
 // AGG query answers bit-identically — value, bound and count — to the
 // same seed run single-process, over both the loopback and TCP
 // transports, and costs exactly one scatter frame per remote site.
+// Halfway through the run two domains migrate live — one off the remote
+// site onto the coordinator, one the other way — so the assertion also
+// proves the snapshot seam moves a domain without perturbing a single
+// sample.
 func TestClusterAggBitIdentical(t *testing.T) {
 	const proxies, motesPer, shards, sites = 4, 2, 4, 2
 	runFor := 4 * time.Hour
@@ -119,8 +123,24 @@ func TestClusterAggBitIdentical(t *testing.T) {
 			if err := co.Start(ctx); err != nil {
 				t.Fatal(err)
 			}
-			if err := co.Run(ctx, runFor); err != nil {
+			if err := co.Run(ctx, runFor/2); err != nil {
 				t.Fatal(err)
+			}
+			// Mid-run elasticity: domain 2 quiesces on the remote site,
+			// streams to the coordinator, and resumes there; domain 1
+			// makes the reverse trip. Neither move may cost a bit.
+			if err := co.MigrateDomain(ctx, 2, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := co.MigrateDomain(ctx, 1, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := co.Run(ctx, runFor/2); err != nil {
+				t.Fatal(err)
+			}
+			h := co.Health()
+			if h.Migrations != 2 || len(h.Sites) != sites || !h.Sites[1].Alive {
+				t.Fatalf("health after migration: %+v", h)
 			}
 			if co.Now() != refNow {
 				t.Fatalf("cluster clock %v != single-process %v", co.Now(), refNow)

@@ -152,12 +152,34 @@ type Coordinator struct {
 
 	runMu sync.Mutex // serializes Run (one lease-issuer at a time)
 
-	mu     sync.Mutex // guards vnow, conts, closed, stream latches
+	mu     sync.Mutex // guards vnow, conts, closed, stream latches, elasticity state
 	vnow   simtime.Time
 	conts  []*contStream
 	closed bool
 
+	// Elasticity state (guarded by mu; structural changes additionally
+	// hold runMu, so they happen only at lease boundaries).
+	migrations    uint64
+	rejoins       uint64
+	lastMigration simtime.Time
+	lastCkpt      *Checkpoint
+
 	closeOnce sync.Once
+}
+
+// siteFor returns the live link for remote site i (1-based). Rejoin
+// replaces links in place, so every post-startup read goes through mu.
+func (co *Coordinator) siteFor(i int) *siteLink {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.sites[i-1]
+}
+
+// remotes snapshots the remote-site link slice under mu.
+func (co *Coordinator) remotes() []*siteLink {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]*siteLink(nil), co.sites...)
 }
 
 // Listen creates a cluster coordinator: it validates the global config,
@@ -285,8 +307,7 @@ func (co *Coordinator) AcceptSites(ctx context.Context) error {
 			conn.Close()
 			return err
 		}
-		l := &siteLink{idx: site, first: first, count: count, conn: conn,
-			waiters: make(map[uint64]chan wire.Frame), dead: make(chan struct{})}
+		l := newSiteLink(site, first, count, conn)
 		for d := first; d < first+count; d++ {
 			l.motes = append(l.motes, co.lay.DomainMotes(d)...)
 		}
@@ -307,8 +328,9 @@ func (co *Coordinator) Client() *core.Client { return core.NewClient(co) }
 // SiteStats returns per-remote-site frame counters, indexed by site-1.
 // The one-frame-per-site property reads straight off SentKind.
 func (co *Coordinator) SiteStats() []ConnStats {
-	out := make([]ConnStats, len(co.sites))
-	for i, l := range co.sites {
+	links := co.remotes()
+	out := make([]ConnStats, len(links))
+	for i, l := range links {
 		out[i] = l.conn.Stats()
 	}
 	return out
@@ -335,7 +357,7 @@ func (co *Coordinator) Close() {
 			st.abort()
 		}
 		co.mu.Unlock()
-		for _, l := range co.sites {
+		for _, l := range co.remotes() {
 			l.conn.Close()
 		}
 		co.lis.Close()
@@ -351,8 +373,9 @@ func (co *Coordinator) Close() {
 // common post-bootstrap instant.
 func (co *Coordinator) Bootstrap(ctx context.Context, trainFor time.Duration, bins int, delta float64) error {
 	payload := wire.EncodeBootstrap(wire.Bootstrap{TrainFor: simtime.Time(trainFor), Bins: bins, Delta: delta})
-	errs := make(chan error, len(co.sites))
-	for _, l := range co.sites {
+	links := co.remotes()
+	errs := make(chan error, len(links))
+	for _, l := range links {
 		l := l
 		go func() {
 			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameBootstrap, payload)
@@ -366,7 +389,7 @@ func (co *Coordinator) Bootstrap(ctx context.Context, trainFor time.Duration, bi
 		}()
 	}
 	_, lerr := co.local.Bootstrap(trainFor, bins, delta)
-	for range co.sites {
+	for range links {
 		if err := <-errs; err != nil && lerr == nil {
 			lerr = err
 		}
@@ -380,8 +403,9 @@ func (co *Coordinator) Bootstrap(ctx context.Context, trainFor time.Duration, bi
 // Start begins sampling on every site's motes without the two-phase
 // bootstrap (raw-push workloads; Bootstrap implies it).
 func (co *Coordinator) Start(ctx context.Context) error {
-	errs := make(chan error, len(co.sites))
-	for _, l := range co.sites {
+	links := co.remotes()
+	errs := make(chan error, len(links))
+	for _, l := range links {
 		l := l
 		go func() {
 			f, err := l.rpc(ctx, co.nextSeq(), wire.FrameStart, nil)
@@ -396,7 +420,7 @@ func (co *Coordinator) Start(ctx context.Context) error {
 	}
 	co.local.Start()
 	var first error
-	for range co.sites {
+	for range links {
 		if err := <-errs; err != nil && first == nil {
 			first = err
 		}
@@ -450,7 +474,7 @@ func (co *Coordinator) Run(ctx context.Context, d time.Duration) error {
 func (co *Coordinator) advanceAll(ctx context.Context, target simtime.Time) {
 	payload := wire.EncodeAdvance(target)
 	var wg sync.WaitGroup
-	for _, l := range co.sites {
+	for _, l := range co.remotes() {
 		l := l
 		wg.Add(1)
 		go func() {
@@ -558,8 +582,11 @@ func (co *Coordinator) groupBySite(targets []radio.NodeID) ([]siteTargets, error
 // resolveTargets applies a spec's selector to the global mote list and
 // groups the targets by hosting site. Predicates are evaluated here,
 // once — only explicit mote lists cross the wire. The all-motes
-// selector reuses the grouping computed at Listen.
+// selector reuses the grouping computed at Listen (and recomputed by
+// every migration); mu orders those reads against regroup's writes.
 func (co *Coordinator) resolveTargets(spec query.Spec) ([]siteTargets, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
 	if spec.Select.Motes == nil && spec.Select.Where == nil {
 		return co.allGroups, nil
 	}
@@ -624,7 +651,7 @@ func (co *Coordinator) sendScatter(g siteTargets, head []byte, wins []query.Roun
 		batch = true
 		buf = query.AppendScatterRounds(buf, wins)
 	}
-	l := co.sites[g.site-1]
+	l := co.siteFor(g.site)
 	p := pendingSite{l: l, site: g.site, motes: len(g.motes), seq: co.nextSeq(), batch: batch}
 	p.ch, p.err = l.rpcSend(p.seq, kind, buf)
 	return p
@@ -851,8 +878,47 @@ type siteLink struct {
 
 	mu      sync.Mutex
 	waiters map[uint64]chan wire.Frame
+	// streams routes multi-frame exchanges (snapshot chunk sequences):
+	// unlike waiters, a stream entry survives every routed frame until
+	// its consumer closes it explicitly.
+	streams map[uint64]chan wire.Frame
 	err     error
 	dead    chan struct{}
+}
+
+// newSiteLink builds a link for remote site idx serving domain window
+// [first, first+count).
+func newSiteLink(idx, first, count int, conn Conn) *siteLink {
+	return &siteLink{idx: idx, first: first, count: count, conn: conn,
+		waiters: make(map[uint64]chan wire.Frame),
+		streams: make(map[uint64]chan wire.Frame),
+		dead:    make(chan struct{})}
+}
+
+// lastErr reports the link's latched failure, if any.
+func (l *siteLink) lastErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// openStream registers a non-consuming route for seq: every frame
+// answering seq is delivered to the returned channel until closeStream.
+func (l *siteLink) openStream(seq uint64) (chan wire.Frame, error) {
+	ch := make(chan wire.Frame, 32)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, l.err
+	}
+	l.streams[seq] = ch
+	return ch, nil
+}
+
+func (l *siteLink) closeStream(seq uint64) {
+	l.mu.Lock()
+	delete(l.streams, seq)
+	l.mu.Unlock()
 }
 
 // demux reads the site's frames: responses route to their RPC by seq;
@@ -877,8 +943,11 @@ func (l *siteLink) demux(co *Coordinator) {
 			continue
 		}
 		l.mu.Lock()
-		ch, ok := l.waiters[f.Seq]
-		delete(l.waiters, f.Seq)
+		ch, ok := l.streams[f.Seq]
+		if !ok {
+			ch, ok = l.waiters[f.Seq]
+			delete(l.waiters, f.Seq)
+		}
 		l.mu.Unlock()
 		if ok {
 			ch <- f

@@ -1,0 +1,606 @@
+package cluster
+
+// Elastic cluster operations on top of the core snapshot seam: domain
+// migration between live sites, cluster-wide domain checkpointing (with
+// optional persistence to disk for warm failover), and re-admission of a
+// restarted site. All three happen at lease boundaries — runMu is held,
+// so no advance lease or continuous round launches mid-operation, which
+// is exactly the engine-quiescence contract core.AdoptDomain /
+// core.DropDomain / core.SnapshotDomain require.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"presto/internal/core"
+	"presto/internal/query"
+	"presto/internal/simtime"
+	"presto/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Snapshot plumbing (coordinator side)
+
+// fetchSnapshot pulls domain d's blob from a remote site as a chunk
+// stream; drop additionally makes the site stop hosting the domain.
+func (co *Coordinator) fetchSnapshot(ctx context.Context, l *siteLink, d int, drop bool) ([]byte, error) {
+	seq := co.nextSeq()
+	ch, err := l.openStream(seq)
+	if err != nil {
+		return nil, err
+	}
+	defer l.closeStream(seq)
+	if err := l.conn.Send(wire.Frame{
+		Kind: wire.FrameSnapshotReq, Seq: seq,
+		Payload: wire.EncodeSnapshotReq(wire.SnapshotReq{Domain: d, Drop: drop}),
+	}); err != nil {
+		l.fail(err)
+		return nil, err
+	}
+	var blob []byte
+	for {
+		var f wire.Frame
+		select {
+		case f = <-ch:
+		case <-l.dead:
+			return nil, l.lastErr()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		switch f.Kind {
+		case wire.FrameSnapshotChunk:
+			c, err := wire.DecodeSnapshotChunk(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if c.Domain != d {
+				return nil, fmt.Errorf("cluster: site %d streamed domain %d, asked for %d", l.idx, c.Domain, d)
+			}
+			blob = append(blob, c.Data...)
+			if c.Final {
+				return blob, nil
+			}
+		case wire.FrameSnapshotAck:
+			// The failure path: a request the site could not serve.
+			if _, err := decodeReply(f); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("cluster: site %d acked a snapshot it never streamed", l.idx)
+		default:
+			return nil, fmt.Errorf("cluster: unexpected %v mid snapshot fetch", f.Kind)
+		}
+	}
+}
+
+// installSnapshot streams a domain blob to a remote site as chunks and
+// waits for the site's adopt+restore ack.
+func (co *Coordinator) installSnapshot(ctx context.Context, l *siteLink, d int, blob []byte) error {
+	seq := co.nextSeq()
+	ch := make(chan wire.Frame, 1)
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.waiters[seq] = ch
+	l.mu.Unlock()
+	for b := blob; ; {
+		n := len(b)
+		if n > wire.SnapshotChunkSize {
+			n = wire.SnapshotChunkSize
+		}
+		chunk := wire.SnapshotChunk{Domain: d, Final: n == len(b), Data: b[:n]}
+		if err := l.conn.Send(wire.Frame{
+			Kind: wire.FrameSnapshotChunk, Seq: seq, Payload: wire.EncodeSnapshotChunk(chunk),
+		}); err != nil {
+			l.unregister(seq)
+			l.fail(err)
+			return err
+		}
+		if chunk.Final {
+			break
+		}
+		b = b[n:]
+	}
+	f, err := l.rpcAwait(ctx, seq, ch)
+	if err != nil {
+		return err
+	}
+	if f.Kind != wire.FrameSnapshotAck {
+		return fmt.Errorf("cluster: expected snapshot ack, got %v", f.Kind)
+	}
+	_, err = decodeReply(f)
+	return err
+}
+
+// snapshotLocal captures one coordinator-hosted domain.
+func (co *Coordinator) snapshotLocal(d int) ([]byte, error) {
+	var b bytes.Buffer
+	if err := co.local.SnapshotDomain(d, &b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Domain migration
+
+// MigrateDomain moves hosted domain d from its current site to toSite
+// (0 = the coordinator's own window) at a lease boundary: the source
+// quiesces and streams the domain's blob, the target adopts and restores
+// it bit-identically, the scatter router and every standing stream's
+// site grouping re-point, and the next advance lease picks the domain up
+// at its new home. Bridge traffic re-points with it — an adopted
+// domain's replica tap rides the target's uplink (or lands directly when
+// the target hosts the replica's domain). Answers before and after are
+// bit-identical: the blob format guarantees the domain resumes exactly
+// where it stopped.
+//
+// Migration must not race rounds that are still settling; call it
+// between Run calls, after in-flight continuous batches have drained.
+// On a mid-migration failure the domain may be left un-hosted (dropped
+// at the source but never installed) — Health reports it and a
+// checkpoint restore is the recovery path.
+func (co *Coordinator) MigrateDomain(ctx context.Context, d, toSite int) error {
+	co.runMu.Lock()
+	defer co.runMu.Unlock()
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return core.ErrClosed
+	}
+	if d < 0 || d >= co.lay.Shards {
+		co.mu.Unlock()
+		return fmt.Errorf("cluster: domain %d outside the %d global domains", d, co.lay.Shards)
+	}
+	if toSite < 0 || toSite >= co.opt.Sites {
+		co.mu.Unlock()
+		return fmt.Errorf("cluster: site %d outside the %d sites", toSite, co.opt.Sites)
+	}
+	from := co.domainSite[d]
+	co.mu.Unlock()
+	if from == toSite {
+		return fmt.Errorf("cluster: domain %d already hosted by site %d", d, toSite)
+	}
+
+	var blob []byte
+	var err error
+	if from == 0 {
+		if blob, err = co.snapshotLocal(d); err != nil {
+			return err
+		}
+		if err = co.local.DropDomain(d); err != nil {
+			return err
+		}
+	} else {
+		if blob, err = co.fetchSnapshot(ctx, co.siteFor(from), d, true); err != nil {
+			return fmt.Errorf("cluster: migrating domain %d off site %d: %w", d, from, err)
+		}
+	}
+	if toSite == 0 {
+		if err := co.local.AdoptDomain(d); err != nil {
+			return err
+		}
+		if err := co.local.RestoreDomain(d, bytes.NewReader(blob)); err != nil {
+			return err
+		}
+	} else {
+		if err := co.installSnapshot(ctx, co.siteFor(toSite), d, blob); err != nil {
+			return fmt.Errorf("cluster: installing domain %d at site %d: %w", d, toSite, err)
+		}
+	}
+	co.mu.Lock()
+	co.domainSite[d] = toSite
+	co.migrations++
+	co.lastMigration = co.vnow
+	co.mu.Unlock()
+	return co.regroup()
+}
+
+// regroup recomputes the all-motes site grouping and every standing
+// stream's groups and cached scatter heads after an assignment change.
+// Caller holds runMu (no batch launch reads st.groups concurrently).
+func (co *Coordinator) regroup() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	groups, err := co.groupBySite(co.lay.AllMotes())
+	if err != nil {
+		return err
+	}
+	co.allGroups = groups
+	for _, st := range co.conts {
+		var g []siteTargets
+		if st.spec.Select.Motes == nil && st.spec.Select.Where == nil {
+			g = groups
+		} else {
+			targets := st.spec.Select.Resolve(co.lay.AllMotes())
+			if g, err = co.groupBySite(targets); err != nil {
+				return err
+			}
+		}
+		heads := make([][]byte, len(g))
+		for gi, grp := range g {
+			if grp.site != 0 {
+				heads[gi] = query.AppendScatterHead(make([]byte, 0, 48+2*len(grp.motes)), st.spec, grp.motes)
+			}
+		}
+		st.groups, st.heads = g, heads
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+// Checkpoint is a consistent cluster-wide capture at one lease instant:
+// every domain's blob, the lease clock, the domain→site assignment, and
+// each standing query's replayable state. It is what a re-joining site
+// restores from, and what WriteDir persists for warm coordinator
+// failover.
+type Checkpoint struct {
+	At         simtime.Time
+	ConfigHash uint64
+	Quantum    time.Duration
+	DomainSite []int
+	Blobs      [][]byte // indexed by global domain
+	Streams    []StreamState
+}
+
+// StreamState is one standing query's checkpointed lease-loop state.
+type StreamState struct {
+	SpecJSON []byte       // query.EncodeSpecJSON form (selector resolved to motes)
+	Every    simtime.Time // fire period
+	Until    simtime.Time // absolute horizon; 0 = unbounded
+	Next     simtime.Time // next fire instant
+	Seq      int          // next round sequence number
+}
+
+// CheckpointDomains captures every domain's state at the current lease
+// instant — local domains directly, remote ones over snapshot-req/chunk
+// streams (without dropping anything) — plus the assignment and
+// standing-stream state. The checkpoint is retained as the re-join
+// restore source. Every site must be alive; checkpoint before expecting
+// failures, not after them.
+func (co *Coordinator) CheckpointDomains(ctx context.Context) (*Checkpoint, error) {
+	co.runMu.Lock()
+	defer co.runMu.Unlock()
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, core.ErrClosed
+	}
+	ck := &Checkpoint{
+		At:         co.vnow,
+		ConfigHash: configHash(co.cfg),
+		Quantum:    co.opt.Quantum,
+		DomainSite: append([]int(nil), co.domainSite...),
+		Blobs:      make([][]byte, co.lay.Shards),
+	}
+	for _, st := range co.conts {
+		spec := st.spec
+		if spec.Select.Where != nil {
+			// Predicates have no serial form; persist the resolved motes.
+			spec.Select = query.SelectMotes(spec.Select.Resolve(co.lay.AllMotes())...)
+		}
+		sj, err := query.EncodeSpecJSON(spec)
+		if err != nil {
+			sj = nil // a spec that cannot serialize is recorded stateless
+		}
+		ck.Streams = append(ck.Streams, StreamState{
+			SpecJSON: sj, Every: st.every, Until: st.until, Next: st.next, Seq: st.seq,
+		})
+	}
+	co.mu.Unlock()
+
+	for d := 0; d < co.lay.Shards; d++ {
+		site := ck.DomainSite[d]
+		if site == 0 {
+			blob, err := co.snapshotLocal(d)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: checkpointing domain %d: %w", d, err)
+			}
+			ck.Blobs[d] = blob
+			continue
+		}
+		blob, err := co.fetchSnapshot(ctx, co.siteFor(site), d, false)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: checkpointing domain %d (site %d): %w", d, site, err)
+		}
+		ck.Blobs[d] = blob
+	}
+	co.mu.Lock()
+	co.lastCkpt = ck
+	co.mu.Unlock()
+	return ck, nil
+}
+
+// ckptMeta is the on-disk JSON shape of a checkpoint's non-blob state.
+type ckptMeta struct {
+	At         int64            `json:"at_ns"`
+	ConfigHash uint64           `json:"config_hash"`
+	Quantum    int64            `json:"quantum_ns"`
+	DomainSite []int            `json:"domain_site"`
+	Streams    []ckptStreamMeta `json:"streams,omitempty"`
+}
+
+type ckptStreamMeta struct {
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Every int64           `json:"every_ns"`
+	Until int64           `json:"until_ns"`
+	Next  int64           `json:"next_ns"`
+	Seq   int             `json:"seq"`
+}
+
+// WriteDir persists the checkpoint: a checkpoint.json with the lease
+// instant, config fingerprint, assignment and standing-stream state,
+// plus one domain-N.snap blob per domain. A warm-failover coordinator
+// (or an operator inspecting a run) reads it back with LoadCheckpoint.
+func (ck *Checkpoint) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := ckptMeta{
+		At: int64(ck.At), ConfigHash: ck.ConfigHash, Quantum: int64(ck.Quantum),
+		DomainSite: ck.DomainSite,
+	}
+	for _, st := range ck.Streams {
+		meta.Streams = append(meta.Streams, ckptStreamMeta{
+			Spec: st.SpecJSON, Every: int64(st.Every), Until: int64(st.Until),
+			Next: int64(st.Next), Seq: st.Seq,
+		})
+	}
+	mj, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), mj, 0o644); err != nil {
+		return err
+	}
+	for d, blob := range ck.Blobs {
+		if blob == nil {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("domain-%d.snap", d)), blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteDir.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	mj, err := os.ReadFile(filepath.Join(dir, "checkpoint.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta ckptMeta
+	if err := json.Unmarshal(mj, &meta); err != nil {
+		return nil, fmt.Errorf("cluster: bad checkpoint meta: %w", err)
+	}
+	ck := &Checkpoint{
+		At: simtime.Time(meta.At), ConfigHash: meta.ConfigHash,
+		Quantum: time.Duration(meta.Quantum), DomainSite: meta.DomainSite,
+		Blobs: make([][]byte, len(meta.DomainSite)),
+	}
+	for _, st := range meta.Streams {
+		ck.Streams = append(ck.Streams, StreamState{
+			SpecJSON: st.Spec, Every: simtime.Time(st.Every), Until: simtime.Time(st.Until),
+			Next: simtime.Time(st.Next), Seq: st.Seq,
+		})
+	}
+	for d := range ck.Blobs {
+		blob, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("domain-%d.snap", d)))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		ck.Blobs[d] = blob
+	}
+	return ck, nil
+}
+
+// ---------------------------------------------------------------------------
+// Site re-join
+
+// Rejoin re-admits one restarted site: it accepts the next joiner on the
+// cluster listener, handshakes it exactly like AcceptSites, assigns it
+// the dead site's current domain window, restores each of those domains
+// from the last checkpoint, and replays the site forward to the current
+// lease instant with one absolute advance lease — domain determinism
+// makes the replay land bit-identically on where an uninterrupted site
+// would be. Requires a prior CheckpointDomains and exactly the same
+// deployment flags on the restarted process.
+func (co *Coordinator) Rejoin(ctx context.Context) error {
+	co.runMu.Lock()
+	defer co.runMu.Unlock()
+	co.mu.Lock()
+	ck := co.lastCkpt
+	vnow := co.vnow
+	closed := co.closed
+	co.mu.Unlock()
+	if closed {
+		return core.ErrClosed
+	}
+	if ck == nil {
+		return errors.New("cluster: no checkpoint to restore a re-joining site from (call CheckpointDomains while all sites are alive)")
+	}
+
+	// Find the dead link; its index is what the joiner inherits.
+	var old *siteLink
+	for _, l := range co.remotes() {
+		if l.lastErr() != nil {
+			old = l
+			break
+		}
+	}
+	if old == nil {
+		return errors.New("cluster: no dead site to re-admit")
+	}
+	old.conn.Close()
+	idx := old.idx
+
+	// The dead site's current domain set; Assign expresses contiguous
+	// windows only, which migrations may have broken.
+	first, count := -1, 0
+	co.mu.Lock()
+	for d, s := range co.domainSite {
+		if s != idx {
+			continue
+		}
+		if first < 0 {
+			first = d
+		} else if d != first+count {
+			co.mu.Unlock()
+			return fmt.Errorf("cluster: site %d's domains are not contiguous; migrate them adjacent before re-joining", idx)
+		}
+		count++
+	}
+	co.mu.Unlock()
+	if count == 0 {
+		return fmt.Errorf("cluster: site %d hosts no domains (all migrated away); nothing to re-join", idx)
+	}
+	for d := first; d < first+count; d++ {
+		if ck.Blobs[d] == nil {
+			return fmt.Errorf("cluster: checkpoint holds no blob for domain %d", d)
+		}
+	}
+
+	conn, err := co.acceptOne(ctx)
+	if err != nil {
+		return err
+	}
+	if err := co.handshake(conn, idx, first, count); err != nil {
+		conn.Close()
+		return err
+	}
+	l := newSiteLink(idx, first, count, conn)
+	for d := first; d < first+count; d++ {
+		l.motes = append(l.motes, co.lay.DomainMotes(d)...)
+	}
+	co.mu.Lock()
+	co.sites[idx-1] = l
+	co.rejoins++
+	co.mu.Unlock()
+	go l.demux(co)
+
+	// Restore the window from the checkpoint, then replay to now. The
+	// freshly built site is at virtual time 0; each install rewinds its
+	// domain to the checkpoint instant (armed tickers, in-flight radio
+	// and models included), and the single absolute lease re-runs the
+	// deterministic path the dead site would have taken.
+	for d := first; d < first+count; d++ {
+		if err := co.installSnapshot(ctx, l, d, ck.Blobs[d]); err != nil {
+			return fmt.Errorf("cluster: restoring domain %d on re-joined site %d: %w", d, idx, err)
+		}
+	}
+	if vnow > ck.At {
+		f, err := l.rpc(ctx, co.nextSeq(), wire.FrameAdvance, wire.EncodeAdvance(vnow))
+		if err != nil {
+			return fmt.Errorf("cluster: replaying re-joined site %d: %w", idx, err)
+		}
+		if at, err := advanceAckTime(f); err != nil || at < vnow {
+			return fmt.Errorf("cluster: re-joined site %d replayed to %v, want %v", idx, at, vnow)
+		}
+	}
+	return nil
+}
+
+// acceptOne accepts a single connection off the cluster listener,
+// aborting on ctx.
+func (co *Coordinator) acceptOne(ctx context.Context) (Conn, error) {
+	type accepted struct {
+		conn Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := co.lis.Accept()
+		ch <- accepted{c, err}
+	}()
+	select {
+	case a := <-ch:
+		return a.conn, a.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handshake validates a joiner's hello and answers with its assignment.
+func (co *Coordinator) handshake(conn Conn, idx, first, count int) error {
+	hash := configHash(co.cfg)
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: site %d hello: %w", idx, err)
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if f.Kind != wire.FrameHello || err != nil {
+		return fmt.Errorf("cluster: site %d: bad hello", idx)
+	}
+	if hello.Version != wire.ProtoVersion {
+		return fmt.Errorf("cluster: site %d speaks protocol %d, want %d", idx, hello.Version, wire.ProtoVersion)
+	}
+	if hello.ConfigHash != hash {
+		return fmt.Errorf("cluster: site %d runs a different deployment (config hash mismatch)", idx)
+	}
+	return conn.Send(wire.Frame{Kind: wire.FrameAssign, Payload: wire.EncodeAssign(wire.Assign{
+		Site: idx, Sites: co.opt.Sites, FirstShard: first, Shards: count, ConfigHash: hash,
+	})})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster health
+
+// SiteHealth is one site's view in the cluster health report.
+type SiteHealth struct {
+	Site    int
+	Domains []int
+	Alive   bool
+}
+
+// Health is the coordinator's elasticity telemetry: which sites are
+// alive and what they host, the lease clock, and the migration /
+// re-join / checkpoint history the serving tier surfaces in /statsz.
+type Health struct {
+	Sites          []SiteHealth
+	Lease          simtime.Time
+	Migrations     uint64
+	Rejoins        uint64
+	LastMigration  simtime.Time
+	LastCheckpoint simtime.Time
+}
+
+// Health reports the current cluster health snapshot.
+func (co *Coordinator) Health() Health {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	h := Health{
+		Lease:         co.vnow,
+		Migrations:    co.migrations,
+		Rejoins:       co.rejoins,
+		LastMigration: co.lastMigration,
+	}
+	if co.lastCkpt != nil {
+		h.LastCheckpoint = co.lastCkpt.At
+	}
+	domains := make(map[int][]int)
+	for d, s := range co.domainSite {
+		domains[s] = append(domains[s], d)
+	}
+	for s := 0; s < co.opt.Sites; s++ {
+		sh := SiteHealth{Site: s, Domains: domains[s], Alive: true}
+		if s > 0 {
+			sh.Alive = co.sites[s-1].lastErr() == nil
+		}
+		h.Sites = append(h.Sites, sh)
+	}
+	return h
+}

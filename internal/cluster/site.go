@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -144,6 +145,10 @@ type site struct {
 	// copies records whether conn.Send copies payloads out (SendCopier):
 	// only then may pooled reply arenas be recycled after Send.
 	copies bool
+	// installs assembles in-flight domain-install blobs by seq: chunks of
+	// one install share their FrameSnapshotChunk seq, and the final chunk
+	// adopts + restores. Touched only by the serve loop.
+	installs map[uint64][]byte
 }
 
 // handle executes one coordinator frame. Requests are answered with the
@@ -220,9 +225,81 @@ func (s *site) handle(f wire.Frame) error {
 			b.Send(m)
 		}
 		return nil
+	case wire.FrameSnapshotReq:
+		req, err := wire.DecodeSnapshotReq(f.Payload)
+		if err != nil {
+			return err
+		}
+		return s.streamSnapshot(f.Seq, req)
+	case wire.FrameSnapshotChunk:
+		c, err := wire.DecodeSnapshotChunk(f.Payload)
+		if err != nil {
+			return err
+		}
+		return s.installChunk(f.Seq, c)
 	default:
 		return fmt.Errorf("cluster: unexpected frame %v from coordinator", f.Kind)
 	}
+}
+
+// streamSnapshot serves a coordinator's snapshot request: capture the
+// domain's blob (it must be quiescent — the serve loop is between
+// frames, so no lease or scatter is executing), drop the domain if the
+// request migrates it away, then stream the blob back as ordered chunks.
+// Failure answers with an err-carrying FrameSnapshotAck instead of
+// chunks. Runs synchronously on the serve loop: a migration is a
+// cluster-wide barrier, nothing else should interleave.
+func (s *site) streamSnapshot(seq uint64, req wire.SnapshotReq) error {
+	var blob bytes.Buffer
+	if err := s.n.SnapshotDomain(req.Domain, &blob); err != nil {
+		return s.reply(wire.FrameSnapshotAck, seq, nil, err)
+	}
+	if req.Drop {
+		if err := s.n.DropDomain(req.Domain); err != nil {
+			return s.reply(wire.FrameSnapshotAck, seq, nil, err)
+		}
+	}
+	b := blob.Bytes()
+	for {
+		n := len(b)
+		if n > wire.SnapshotChunkSize {
+			n = wire.SnapshotChunkSize
+		}
+		chunk := wire.SnapshotChunk{Domain: req.Domain, Final: n == len(b), Data: b[:n]}
+		if err := s.conn.Send(wire.Frame{
+			Kind: wire.FrameSnapshotChunk, Seq: seq, Payload: wire.EncodeSnapshotChunk(chunk),
+		}); err != nil {
+			return err
+		}
+		if chunk.Final {
+			return nil
+		}
+		b = b[n:]
+	}
+}
+
+// installChunk assembles a coordinator-sent domain blob; the final chunk
+// adopts the domain (unless this process already hosts it — a re-joined
+// site restoring its own window) and restores its state, answering with
+// FrameSnapshotAck.
+func (s *site) installChunk(seq uint64, c wire.SnapshotChunk) error {
+	if s.installs == nil {
+		s.installs = make(map[uint64][]byte)
+	}
+	buf := append(s.installs[seq], c.Data...)
+	if !c.Final {
+		s.installs[seq] = buf
+		return nil
+	}
+	delete(s.installs, seq)
+	var err error
+	if !s.n.HostsDomain(c.Domain) {
+		err = s.n.AdoptDomain(c.Domain)
+	}
+	if err == nil {
+		err = s.n.RestoreDomain(c.Domain, bytes.NewReader(buf))
+	}
+	return s.reply(wire.FrameSnapshotAck, seq, nil, err)
 }
 
 // reply sends a response frame whose payload starts with an ok byte:

@@ -320,14 +320,14 @@ func Build(cfg Config) (*Network, error) {
 	// hosted here.
 	for si := first; si < first+count; si++ {
 		lo, hi := lay.ProxyRange(si)
-		s, err := n.buildShard(si, lo, hi-lo)
+		s, err := n.buildShard(si, len(n.shards), lo, hi-lo)
 		if err != nil {
 			n.Close()
 			return nil, err
 		}
 		n.shards = append(n.shards, s)
 		for pi := lo; pi < hi; pi++ {
-			n.proxyShard[pi] = len(n.shards) - 1
+			n.proxyShard[pi] = s.slot
 		}
 	}
 
@@ -361,11 +361,12 @@ func Build(cfg Config) (*Network, error) {
 }
 
 // buildShard assembles one simulation domain (global index si) holding
-// count proxies starting at global proxy index pi0, plus their motes.
-// Everything about the domain — kernel and index seeds, node ids, trace
-// assignment — derives from the global indexes, so the same domain built
-// in any process behaves bit-for-bit identically.
-func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
+// count proxies starting at global proxy index pi0, plus their motes,
+// registered at the given process-local slot. Everything about the
+// domain — kernel and index seeds, node ids, trace assignment — derives
+// from the global indexes, so the same domain built in any process (at
+// build time or adopted later) behaves bit-for-bit identically.
+func (n *Network) buildShard(si, slot, pi0, count int) (*shard, error) {
 	cfg := n.cfg
 	sim := simtime.New(cfg.Seed + int64(si))
 	med, err := radio.NewMedium(sim, cfg.Radio, cfg.Energy)
@@ -387,6 +388,7 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 	}
 	s := &shard{
 		domain:    si,
+		slot:      slot,
 		sim:       sim,
 		medium:    med,
 		ix:        ix,
@@ -431,7 +433,7 @@ func (n *Network) buildShard(si, pi0, count int) (*shard, error) {
 			st.AdoptMote(mid, index.ProxyID(pi), mc.SampleInterval)
 			s.motes = append(s.motes, m)
 			s.moteProxy[mid] = p
-			n.moteShard[mid] = si - n.firstShard
+			n.moteShard[mid] = slot
 			n.moteHome[mid] = m
 		}
 	}
@@ -469,49 +471,60 @@ func (n *Network) wireReplication() {
 	}
 
 	for _, s := range n.shards {
-		si := s.domain
-		if n.bridge != nil && si != 0 {
-			// Non-replica domains still need an attachment so future
-			// bidirectional traffic has an inbox; handler drops.
-			n.bridge.AttachDomain(radio.DomainID(si), s.sim, func(radio.BridgeMsg) {})
+		n.wireShardReplication(s)
+	}
+}
+
+// wireShardReplication installs one shard's side of the replica links:
+// the bridge inbox attachment and, for every wireless proxy it hosts,
+// the replica tap (direct within domain 0, over the bridge elsewhere).
+// Build calls it for every shard; AdoptDomain calls it for the shard it
+// grafts onto a running deployment.
+func (n *Network) wireShardReplication(s *shard) {
+	si := s.domain
+	if n.bridge != nil && si != 0 {
+		// Non-replica domains still need an attachment so future
+		// bidirectional traffic has an inbox; handler drops.
+		n.bridge.AttachDomain(radio.DomainID(si), s.sim, func(radio.BridgeMsg) {})
+	}
+	lo, _ := n.lay.ProxyRange(si)
+	for lpi, p := range s.proxies {
+		pi := lo + lpi
+		if pi == 0 {
+			continue // the wired proxy does not replicate itself
 		}
-		lo, _ := n.lay.ProxyRange(si)
-		for lpi, p := range s.proxies {
-			pi := lo + lpi
-			if pi == 0 {
-				continue // the wired proxy does not replicate itself
-			}
-			if si == 0 {
-				// Same domain: direct tap, and the domain-local store
-				// routes these motes' queries to the replica (seed
-				// behaviour, now with real mirrored data behind it).
-				p.SetReplicaTap(wiredProxy.AbsorbReplica)
-				// Proxy 0 is always wired here, so this cannot fail.
-				_ = s.ix.SetReplica(index.ProxyID(pi), 0)
-			} else {
-				// Capture the bridge, not n: this closure is held by the
-				// shard for its lifetime, and referencing n would keep
-				// abandoned networks finalizer-unreachable.
-				src, bridge := radio.DomainID(si), n.bridge
-				p.SetReplicaTap(func(m radio.NodeID, kind radio.Kind, payload []byte) {
-					bridge.Send(radio.BridgeMsg{
-						Src: src, Dst: 0, Mote: m, Kind: kind,
-						Payload: append([]byte(nil), payload...),
-					})
+		if si == 0 {
+			// Same domain: direct tap, and the domain-local store
+			// routes these motes' queries to the replica (seed
+			// behaviour, now with real mirrored data behind it).
+			p.SetReplicaTap(s.wired.AbsorbReplica)
+			// Proxy 0 is always wired here, so this cannot fail.
+			_ = s.ix.SetReplica(index.ProxyID(pi), 0)
+		} else {
+			// Capture the bridge, not n: this closure is held by the
+			// shard for its lifetime, and referencing n would keep
+			// abandoned networks finalizer-unreachable.
+			src, bridge := radio.DomainID(si), n.bridge
+			p.SetReplicaTap(func(m radio.NodeID, kind radio.Kind, payload []byte) {
+				bridge.Send(radio.BridgeMsg{
+					Src: src, Dst: 0, Mote: m, Kind: kind,
+					Payload: append([]byte(nil), payload...),
 				})
-			}
+			})
 		}
 	}
 }
 
 // localShard returns the shard hosting global domain d, if this process
-// hosts it.
+// hosts it. Hosted windows need not be contiguous once domains have been
+// adopted or dropped, so this scans rather than offsetting by firstShard.
 func (n *Network) localShard(d int) (*shard, bool) {
-	li := d - n.firstShard
-	if li < 0 || li >= len(n.shards) {
-		return nil, false
+	for _, s := range n.shards {
+		if s.domain == d {
+			return s, true
+		}
 	}
-	return n.shards[li], true
+	return nil, false
 }
 
 // Layout returns the deployment's global domain partition.
@@ -570,7 +583,7 @@ func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (ma
 		// Phase 1: stream-all.
 		for _, m := range s.motes {
 			if err := s.moteProxy[m.ID()].Configure(m.ID(), wire.Config{StreamAll: 1}); err != nil {
-				errs[s.domain-n.firstShard] = err
+				errs[s.slot] = err
 				return
 			}
 		}
@@ -580,18 +593,18 @@ func (n *Network) Bootstrap(trainFor time.Duration, bins int, delta float64) (ma
 			p := s.moteProxy[m.ID()]
 			mdl, err := p.TrainAndShip(m.ID(), 0, s.sim.Now(), bins, delta)
 			if err != nil {
-				errs[s.domain-n.firstShard] = fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
+				errs[s.slot] = fmt.Errorf("core: bootstrap mote %d: %w", m.ID(), err)
 				return
 			}
 			if err := p.Configure(m.ID(), wire.Config{StreamAll: 2}); err != nil {
-				errs[s.domain-n.firstShard] = err
+				errs[s.slot] = err
 				return
 			}
 			local[m.ID()] = mdl
 		}
 		// Let the model updates and config changes propagate.
 		s.advance(time.Minute)
-		models[s.domain-n.firstShard] = local
+		models[s.slot] = local
 	})
 	merged := make(map[radio.NodeID]model.Model, len(n.moteShard))
 	for si, local := range models {
@@ -620,7 +633,7 @@ func (n *Network) Retrain(policy predict.RetrainPolicy, delta float64) error {
 		}
 		for _, m := range s.motes {
 			if _, err := s.moteProxy[m.ID()].TrainAndShip(m.ID(), t0, now, policy.Bins, delta); err != nil {
-				errs[s.domain-n.firstShard] = fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
+				errs[s.slot] = fmt.Errorf("core: retrain mote %d: %w", m.ID(), err)
 				return
 			}
 		}
@@ -636,8 +649,8 @@ func (n *Network) Retrain(policy predict.RetrainPolicy, delta float64) error {
 // RetrainTicker aggregates the per-domain retrain tickers installed by
 // AutoRetrain.
 type RetrainTicker struct {
-	n       *Network
-	tickers []*simtime.Ticker // indexed by shard
+	shards  []*shard          // the shards the tickers were installed on
+	tickers []*simtime.Ticker // parallel to shards
 }
 
 // Firings reports the total retrain rounds fired across all domains.
@@ -653,12 +666,12 @@ func (t *RetrainTicker) Firings() uint64 {
 
 // Stop cancels future retrains in every domain.
 func (t *RetrainTicker) Stop() {
-	for si, tk := range t.tickers {
+	for i, tk := range t.tickers {
 		if tk == nil {
 			continue
 		}
 		tk := tk
-		t.n.shards[si].call(func(*shard) { tk.Stop() })
+		t.shards[i].call(func(*shard) { tk.Stop() })
 	}
 }
 
@@ -672,9 +685,12 @@ func (n *Network) AutoRetrain(policy predict.RetrainPolicy, delta float64) (*Ret
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
-	rt := &RetrainTicker{n: n, tickers: make([]*simtime.Ticker, len(n.shards))}
+	rt := &RetrainTicker{
+		shards:  append([]*shard(nil), n.shards...),
+		tickers: make([]*simtime.Ticker, len(n.shards)),
+	}
 	n.eachShard(func(s *shard) {
-		rt.tickers[s.domain-n.firstShard] = s.sim.Every(policy.Every, func() {
+		rt.tickers[s.slot] = s.sim.Every(policy.Every, func() {
 			now := s.sim.Now()
 			t0 := now - simtime.Time(policy.Window)
 			if t0 < 0 {
@@ -742,7 +758,7 @@ func (n *Network) TotalMoteEnergy() energy.Meter {
 	totals := make([]energy.Meter, len(n.shards))
 	n.eachShard(func(s *shard) {
 		for _, m := range s.motes {
-			totals[s.domain-n.firstShard].AddFrom(m.Meter())
+			totals[s.slot].AddFrom(m.Meter())
 		}
 	})
 	var total energy.Meter
@@ -811,7 +827,7 @@ func (n *Network) MoteIDs() []radio.NodeID {
 // [t0, t1] merged across every domain's index.
 func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
 	per := make([][]index.Detection, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.Detections(t0, t1) })
+	n.eachShard(func(s *shard) { per[s.slot] = s.st.Detections(t0, t1) })
 	var out []index.Detection
 	for _, ds := range per {
 		out = append(out, ds...)
@@ -825,7 +841,7 @@ func (n *Network) Detections(t0, t1 simtime.Time) []index.Detection {
 // range queries served whole from the archive backend.
 func (n *Network) StoreStats() store.RoutingStats {
 	per := make([]store.RoutingStats, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.RoutingStats() })
+	n.eachShard(func(s *shard) { per[s.slot] = s.st.RoutingStats() })
 	var total store.RoutingStats
 	for _, r := range per {
 		total.Routed += r.Routed
@@ -841,7 +857,7 @@ func (n *Network) StoreStats() store.RoutingStats {
 // so callers can report archive hit ratios and flash read amplification.
 func (n *Network) StoreBackendStats() store.BackendStats {
 	per := make([]store.BackendStats, len(n.shards))
-	n.eachShard(func(s *shard) { per[s.domain-n.firstShard] = s.st.BackendStats() })
+	n.eachShard(func(s *shard) { per[s.slot] = s.st.BackendStats() })
 	var total store.BackendStats
 	for _, b := range per {
 		total.Appends += b.Appends

@@ -72,7 +72,12 @@ type shardCmd struct {
 
 // shard is one independent simulation domain and its worker state.
 type shard struct {
-	domain  int
+	domain int
+	// slot is this shard's current index in Network.shards. Unlike the
+	// global domain index it is process-local and changes when domains
+	// are adopted or dropped (elastic re-hosting renumbers slots), so
+	// per-shard result arrays index by slot, never by domain arithmetic.
+	slot    int
 	sim     *simtime.Simulator
 	medium  *radio.Medium
 	ix      *index.Index

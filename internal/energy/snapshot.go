@@ -1,0 +1,40 @@
+package energy
+
+import (
+	"fmt"
+	"io"
+
+	"presto/internal/snap"
+)
+
+// Snapshot externalizes the meter's per-category totals and event
+// counts.
+func (m *Meter) Snapshot(w io.Writer) error {
+	var e snap.Enc
+	e.Uvarint(uint64(NumCategories))
+	for i := 0; i < NumCategories; i++ {
+		e.F64(m.joules[i])
+		e.U64(m.events[i])
+	}
+	return snap.WriteBlock(w, snap.TagMeter, e.Data())
+}
+
+// Restore overwrites the meter with state captured by Snapshot.
+func (m *Meter) Restore(r io.Reader) error {
+	body, err := snap.ReadBlock(r, snap.TagMeter)
+	if err != nil {
+		return err
+	}
+	d := snap.NewDec(body)
+	if n := d.Uvarint(); n != uint64(NumCategories) {
+		return fmt.Errorf("energy: snapshot has %d categories, want %d", n, NumCategories)
+	}
+	for i := 0; i < NumCategories; i++ {
+		m.joules[i] = d.F64()
+		m.events[i] = d.U64()
+	}
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("energy: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package mote
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"presto/internal/compress"
+	"presto/internal/model"
+	"presto/internal/simtime"
+	"presto/internal/snap"
+	"presto/internal/wire"
+)
+
+// Snapshot externalizes the mote's full state as four blocks: the mote
+// proper (retunable config, installed model, shared history, batch
+// buffers, ticker schedules, stats), then the energy meter, the flash
+// device and the archive index. Idle-listening energy is deliberately
+// NOT accrued first — accrual is lazy and deterministic on the next
+// radio touch, and charging it here would make a checkpointed domain
+// diverge from one that was never checkpointed.
+//
+// The radio endpoint's state (LPL interval, listen accrual point,
+// counters, detached flag) belongs to the Medium snapshot, not this one.
+func (m *Mote) Snapshot(w io.Writer) error {
+	var e snap.Enc
+	e.I64(int64(m.cfg.SampleInterval))
+	e.I64(int64(m.cfg.LPLInterval))
+	e.Bool(m.cfg.PushAll)
+	e.F64(m.cfg.Delta)
+	e.I64(int64(m.cfg.BatchInterval))
+	e.Uvarint(uint64(m.cfg.BatchMode))
+	e.F64(m.cfg.Quantum)
+	e.F64(m.cfg.Threshold)
+	e.Uvarint(uint64(m.cfg.SharedHistory))
+
+	e.Bytes(m.mdl.Marshal())
+	e.Uvarint(uint64(len(m.shared)))
+	for _, r := range m.shared {
+		e.I64(int64(r.T))
+		e.F64(r.V)
+	}
+
+	e.Uvarint(uint64(len(m.batchVals)))
+	for _, v := range m.batchVals {
+		e.F64(v)
+	}
+	e.I64(int64(m.batchStart))
+	e.Uvarint(uint64(len(m.batchRecs)))
+	for _, r := range m.batchRecs {
+		e.I64(int64(r.T))
+		e.F64(r.V)
+	}
+
+	e.U64(m.stats.Samples)
+	e.U64(m.stats.Checks)
+	e.U64(m.stats.Failures)
+	e.U64(m.stats.Pushes)
+	e.U64(m.stats.Batches)
+	e.U64(m.stats.PullsServed)
+	e.U64(m.stats.Retunes)
+	e.Bool(m.dead)
+
+	encodeTicker(&e, m.sampleTicker)
+	encodeTicker(&e, m.batchTicker)
+
+	if err := snap.WriteBlock(w, snap.TagMote, e.Data()); err != nil {
+		return err
+	}
+	if err := m.meter.Snapshot(w); err != nil {
+		return err
+	}
+	if err := m.dev.Snapshot(w); err != nil {
+		return err
+	}
+	return m.store.Snapshot(w)
+}
+
+// Restore reinstalls state captured by Snapshot onto a freshly built
+// (not yet started) mote. Tickers resume at their exact original next-
+// fire instants, so a restored mote samples on the same schedule the
+// original would have — Start becomes a no-op afterwards. The kernel and
+// medium must already be restored (the ticker re-arm schedules against
+// the restored clock, and the endpoint's LPL state lives in the Medium
+// snapshot).
+func (m *Mote) Restore(r io.Reader) error {
+	body, err := snap.ReadBlock(r, snap.TagMote)
+	if err != nil {
+		return err
+	}
+	d := snap.NewDec(body)
+	m.cfg.SampleInterval = time.Duration(d.I64())
+	m.cfg.LPLInterval = time.Duration(d.I64())
+	m.cfg.PushAll = d.Bool()
+	m.cfg.Delta = d.F64()
+	m.cfg.BatchInterval = time.Duration(d.I64())
+	m.cfg.BatchMode = compress.Mode(d.Uvarint())
+	m.cfg.Quantum = d.F64()
+	m.cfg.Threshold = d.F64()
+	m.cfg.SharedHistory = int(d.Uvarint())
+
+	mdl, mdlErr := model.Unmarshal(d.Bytes())
+	m.shared = nil
+	nShared := d.Uvarint()
+	for i := uint64(0); i < nShared && d.Err() == nil; i++ {
+		m.shared = append(m.shared, model.Record{T: simtime.Time(d.I64()), V: d.F64()})
+	}
+
+	m.batchVals = nil
+	nVals := d.Uvarint()
+	for i := uint64(0); i < nVals && d.Err() == nil; i++ {
+		m.batchVals = append(m.batchVals, d.F64())
+	}
+	m.batchStart = simtime.Time(d.I64())
+	m.batchRecs = nil
+	nRecs := d.Uvarint()
+	for i := uint64(0); i < nRecs && d.Err() == nil; i++ {
+		m.batchRecs = append(m.batchRecs, wire.Rec{T: simtime.Time(d.I64()), V: d.F64()})
+	}
+
+	m.stats.Samples = d.U64()
+	m.stats.Checks = d.U64()
+	m.stats.Failures = d.U64()
+	m.stats.Pushes = d.U64()
+	m.stats.Batches = d.U64()
+	m.stats.PullsServed = d.U64()
+	m.stats.Retunes = d.U64()
+	m.dead = d.Bool()
+
+	sampleTk := decodeTicker(d)
+	batchTk := decodeTicker(d)
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("mote %d: %w", m.cfg.ID, err)
+	}
+	if mdlErr != nil {
+		return fmt.Errorf("mote %d: restore model: %w", m.cfg.ID, mdlErr)
+	}
+	m.mdl = mdl
+
+	// Re-arm tickers on the restored clock, sample before batch — the
+	// same relative order Start uses, so same-instant firings keep their
+	// original ordering.
+	if m.sampleTicker != nil {
+		m.sampleTicker.Stop()
+		m.sampleTicker = nil
+	}
+	if m.batchTicker != nil {
+		m.batchTicker.Stop()
+		m.batchTicker = nil
+	}
+	if sampleTk.present {
+		m.sampleTicker = m.sim.EveryAt(sampleTk.next, sampleTk.period, m.sample)
+		m.sampleTicker.RestoreFirings(sampleTk.firings)
+	}
+	if batchTk.present {
+		m.batchTicker = m.sim.EveryAt(batchTk.next, batchTk.period, m.flushBatch)
+		m.batchTicker.RestoreFirings(batchTk.firings)
+	}
+
+	if err := m.meter.Restore(r); err != nil {
+		return fmt.Errorf("mote %d: %w", m.cfg.ID, err)
+	}
+	if err := m.dev.Restore(r); err != nil {
+		return fmt.Errorf("mote %d: %w", m.cfg.ID, err)
+	}
+	if err := m.store.Restore(r); err != nil {
+		return fmt.Errorf("mote %d: %w", m.cfg.ID, err)
+	}
+	return nil
+}
+
+// tickerState is the serializable schedule of one running ticker.
+type tickerState struct {
+	present bool
+	period  simtime.Time
+	next    simtime.Time
+	firings uint64
+}
+
+func encodeTicker(e *snap.Enc, t *simtime.Ticker) {
+	if t == nil || t.NextFire() < 0 {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.I64(int64(t.Period()))
+	e.I64(int64(t.NextFire()))
+	e.U64(t.Firings())
+}
+
+func decodeTicker(d *snap.Dec) tickerState {
+	var ts tickerState
+	ts.present = d.Bool()
+	if !ts.present {
+		return ts
+	}
+	ts.period = simtime.Time(d.I64())
+	ts.next = simtime.Time(d.I64())
+	ts.firings = d.U64()
+	return ts
+}

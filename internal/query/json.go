@@ -240,7 +240,7 @@ type setResultWire struct {
 	Count    int           `json:"count,omitempty"`
 	Results  []resultWire  `json:"results,omitempty"`
 	Failed   int           `json:"failed,omitempty"`
-	SiteErrs []siteErrWire `json:"site_errs,omitempty"`
+	SiteErrs []siteErrWire `json:"site_errors,omitempty"`
 	Error    string        `json:"error,omitempty"`
 	Code     string        `json:"code,omitempty"`
 }
@@ -262,9 +262,13 @@ type entryWire struct {
 	Source   string  `json:"source"`
 }
 
+// siteErrWire is one per-site failure inside a round: which site, the
+// message, and the typed code — a cluster client must be able to tell
+// "site down" rounds from clean ones without parsing prose.
 type siteErrWire struct {
 	Site  int    `json:"site"`
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // EncodeSetResultJSON renders one round of a spec as JSON. NaN aggregate
@@ -299,7 +303,7 @@ func EncodeSetResultJSON(r SetResult) ([]byte, error) {
 		w.Results = append(w.Results, rw)
 	}
 	for _, se := range r.SiteErrs {
-		w.SiteErrs = append(w.SiteErrs, siteErrWire{Site: se.Site, Error: se.Err.Error()})
+		w.SiteErrs = append(w.SiteErrs, siteErrWire{Site: se.Site, Error: se.Err.Error(), Code: ErrCode(se.Err)})
 	}
 	if r.Err != nil {
 		w.Error, w.Code = r.Err.Error(), ErrCode(r.Err)
@@ -380,7 +384,7 @@ func DecodeSetResultJSON(b []byte) (SetResult, error) {
 		r.Results = append(r.Results, res)
 	}
 	for _, se := range w.SiteErrs {
-		r.SiteErrs = append(r.SiteErrs, SiteError{Site: se.Site, Err: errors.New(se.Error)})
+		r.SiteErrs = append(r.SiteErrs, SiteError{Site: se.Site, Err: codeErr(se.Code, se.Error)})
 	}
 	r.Err = codeErr(w.Code, w.Error)
 	return r, nil

@@ -1,7 +1,9 @@
 package query
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -159,5 +161,49 @@ func TestSetResultJSONTypedErrors(t *testing.T) {
 	}
 	if !errors.Is(codeErr(CodeNoMotes, "whatever"), ErrNoMotes) {
 		t.Fatal("codeErr(no_motes) lost the sentinel")
+	}
+}
+
+// TestSetResultJSONSiteErrors pins the wire shape of per-site failures:
+// the field is "site_errors", each entry carries site, message and — for
+// typed errors — a machine-readable code that decodes back to the
+// sentinel.
+func TestSetResultJSONSiteErrors(t *testing.T) {
+	buf, err := EncodeSetResultJSON(SetResult{Value: 3, Count: 2, Failed: 6, SiteErrs: []SiteError{
+		{Site: 1, Err: errors.New("conn reset")},
+		{Site: 2, Err: fmt.Errorf("scatter: %w", ErrNoMotes)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		SiteErrors []struct {
+			Site  int    `json:"site"`
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		} `json:"site_errors"`
+	}
+	if err := json.Unmarshal(buf, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.SiteErrors) != 2 {
+		t.Fatalf("wire form: %s", buf)
+	}
+	if w := wire.SiteErrors[0]; w.Site != 1 || w.Error != "conn reset" || w.Code != CodeError {
+		t.Fatalf("untyped site error: %+v", w)
+	}
+	if w := wire.SiteErrors[1]; w.Site != 2 || w.Code != CodeNoMotes {
+		t.Fatalf("typed site error: %+v", w)
+	}
+
+	got, err := DecodeSetResultJSON(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SiteErrs) != 2 || got.SiteErrs[0].Err.Error() != "conn reset" {
+		t.Fatalf("round trip: %+v", got.SiteErrs)
+	}
+	if !errors.Is(got.SiteErrs[1].Err, ErrNoMotes) {
+		t.Fatalf("typed site error lost its sentinel: %v", got.SiteErrs[1].Err)
 	}
 }

@@ -43,6 +43,16 @@ type bridgeDomain struct {
 	sim     *simtime.Simulator
 	handler func(BridgeMsg)
 	inbox   []BridgeMsg
+	// flights tracks messages Drain has scheduled onto the kernel but
+	// not yet delivered, in schedule order — the serializable mirror of
+	// the delivery closures, like Medium.flights.
+	flights []*bridgeFlight
+}
+
+// bridgeFlight is one drained message awaiting kernel delivery.
+type bridgeFlight struct {
+	deliverAt simtime.Time
+	msg       BridgeMsg
 }
 
 // Bridge carries wired traffic between partitioned simulation domains.
@@ -129,14 +139,45 @@ func (b *Bridge) Drain(d DomainID) int {
 	dom.inbox = nil
 	b.mu.Unlock()
 
+	at := dom.sim.Now() + simtime.Time(b.latency)
 	for _, msg := range pending {
-		m := msg
-		dom.sim.Schedule(b.latency, func() {
-			b.delivered.Add(1)
-			dom.handler(m)
-		})
+		dom.launch(b, &bridgeFlight{deliverAt: at, msg: msg})
 	}
 	return len(pending)
+}
+
+// launch registers a drained message and schedules its delivery. Only
+// the goroutine driving the domain's simulator touches dom.flights (the
+// same discipline as Drain), so no lock is needed.
+func (dom *bridgeDomain) launch(b *Bridge, fl *bridgeFlight) {
+	dom.flights = append(dom.flights, fl)
+	dom.sim.ScheduleAt(fl.deliverAt, func() {
+		for i, f := range dom.flights {
+			if f == fl {
+				dom.flights = append(dom.flights[:i], dom.flights[i+1:]...)
+				break
+			}
+		}
+		b.delivered.Add(1)
+		dom.handler(fl.msg)
+	})
+}
+
+// Attached reports whether domain d currently has a bridge inbox here.
+func (b *Bridge) Attached(d DomainID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.domains[d]
+	return ok
+}
+
+// DetachDomain removes a domain from the bridge: subsequent sends to it
+// go to the uplink (or drop), like any unhosted domain. Domain migration
+// uses this after streaming a domain's state off the local process.
+func (b *Bridge) DetachDomain(d DomainID) {
+	b.mu.Lock()
+	delete(b.domains, d)
+	b.mu.Unlock()
 }
 
 // PendingFor reports how many undelivered messages queued for domain d

@@ -104,7 +104,18 @@ type Medium struct {
 	params energy.Params
 	nodes  map[NodeID]*Endpoint
 
+	// flights tracks undelivered messages in insertion order. Deliveries
+	// are also kernel events, but closures cannot be serialized — this
+	// list is what Snapshot records and Restore re-schedules.
+	flights []*flight
+
 	sent, delivered, lost, retried uint64
+}
+
+// flight is one in-air message awaiting delivery.
+type flight struct {
+	deliverAt simtime.Time
+	pkt       Packet
 }
 
 // NewMedium creates a medium on the simulator.
@@ -273,20 +284,35 @@ func (e *Endpoint) Send(dst NodeID, kind Kind, payload []byte) error {
 	}
 	delay := m.cfg.PropDelay + rendezvous + serialization + jitter
 	pkt := Packet{Src: e.id, Dst: dst, Kind: kind, Payload: append([]byte(nil), payload...), SentAt: m.sim.Now()}
-	m.sim.Schedule(delay, func() {
-		// Receiver may have detached or retuned while in flight.
-		cur, ok := m.nodes[dst]
-		if !ok {
-			m.lost++
-			return
-		}
-		cur.charge(energy.RadioRx, m.params.RxCost(len(pkt.Payload)))
-		cur.rxMsgs++
-		cur.rxBytes += uint64(len(pkt.Payload))
-		m.delivered++
-		if cur.handler != nil {
-			cur.handler(pkt)
-		}
-	})
+	m.launch(&flight{deliverAt: m.sim.Now() + simtime.Time(delay), pkt: pkt})
 	return nil
+}
+
+// launch registers an in-air message and schedules its delivery.
+func (m *Medium) launch(fl *flight) {
+	m.flights = append(m.flights, fl)
+	m.sim.ScheduleAt(fl.deliverAt, func() { m.deliver(fl) })
+}
+
+// deliver lands one flight: it leaves the in-air list and is handed to
+// the receiver, which may have detached or retuned while in flight.
+func (m *Medium) deliver(fl *flight) {
+	for i, f := range m.flights {
+		if f == fl {
+			m.flights = append(m.flights[:i], m.flights[i+1:]...)
+			break
+		}
+	}
+	cur, ok := m.nodes[fl.pkt.Dst]
+	if !ok {
+		m.lost++
+		return
+	}
+	cur.charge(energy.RadioRx, m.params.RxCost(len(fl.pkt.Payload)))
+	cur.rxMsgs++
+	cur.rxBytes += uint64(len(fl.pkt.Payload))
+	m.delivered++
+	if cur.handler != nil {
+		cur.handler(fl.pkt)
+	}
 }

@@ -268,15 +268,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Stats is the /statsz document.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptime_s"`
-	VirtualNow    string     `json:"virtual_now"`
-	Queries       uint64     `json:"queries"`
-	Errors        uint64     `json:"errors"`
-	Inflight      int64      `json:"inflight"`
-	Cache         CacheStats `json:"cache"`
-	CacheHitRatio float64    `json:"cache_hit_ratio"`
-	Admit         AdmitStats `json:"admission"`
-	SSE           SSEStats   `json:"sse"`
+	UptimeSeconds float64        `json:"uptime_s"`
+	VirtualNow    string         `json:"virtual_now"`
+	Queries       uint64         `json:"queries"`
+	Errors        uint64         `json:"errors"`
+	Inflight      int64          `json:"inflight"`
+	Cache         CacheStats     `json:"cache"`
+	CacheHitRatio float64        `json:"cache_hit_ratio"`
+	Admit         AdmitStats     `json:"admission"`
+	SSE           SSEStats       `json:"sse"`
+	Cluster       *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterSiteHealth is one site's row in the /statsz cluster section.
+type ClusterSiteHealth struct {
+	Site    int   `json:"site"`
+	Domains []int `json:"domains"`
+	Alive   bool  `json:"alive"`
+}
+
+// ClusterHealth is the elasticity telemetry a clustered engine exposes
+// through /statsz: per-site liveness and hosting, the lease clock, and
+// the migration / re-join / checkpoint history.
+type ClusterHealth struct {
+	Sites          []ClusterSiteHealth `json:"sites"`
+	SitesAlive     int                 `json:"sites_alive"`
+	LeaseInstant   string              `json:"lease_instant"`
+	Migrations     uint64              `json:"migrations"`
+	Rejoins        uint64              `json:"rejoins"`
+	LastMigration  string              `json:"last_migration,omitempty"`
+	LastCheckpoint string              `json:"last_checkpoint,omitempty"`
+}
+
+// ClusterHealthSource is the optional Engine extension a multi-site
+// deployment implements; when present, /statsz grows a cluster section.
+type ClusterHealthSource interface {
+	ClusterHealth() ClusterHealth
 }
 
 // SSEStats counts continuous-query streaming.
@@ -289,7 +316,13 @@ type SSEStats struct {
 // Snapshot assembles the current counters.
 func (s *Server) Snapshot() Stats {
 	cs := s.cache.Stats()
+	var cluster *ClusterHealth
+	if src, ok := s.eng.(ClusterHealthSource); ok {
+		ch := src.ClusterHealth()
+		cluster = &ch
+	}
 	return Stats{
+		Cluster:       cluster,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		VirtualNow:    s.eng.Now().String(),
 		Queries:       s.queries.Load(),

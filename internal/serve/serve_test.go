@@ -393,3 +393,57 @@ func TestServeAdmission(t *testing.T) {
 		t.Fatalf("admission stats %+v", st.Admit)
 	}
 }
+
+// clusterFake is a fakeEngine that also reports cluster health, the way
+// a cluster coordinator adapter does.
+type clusterFake struct {
+	fakeEngine
+	health ClusterHealth
+}
+
+func (f *clusterFake) ClusterHealth() ClusterHealth { return f.health }
+
+// TestStatszClusterSection: an engine implementing ClusterHealthSource
+// grows a cluster section in /statsz; a plain engine does not.
+func TestStatszClusterSection(t *testing.T) {
+	eng := &clusterFake{health: ClusterHealth{
+		Sites: []ClusterSiteHealth{
+			{Site: 0, Domains: []int{0, 1}, Alive: true},
+			{Site: 1, Domains: []int{2, 3}, Alive: false},
+		},
+		SitesAlive:   1,
+		LeaseInstant: "4h0m0s",
+		Migrations:   3,
+		Rejoins:      1,
+	}}
+	srv := New(eng, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("statsz has no cluster section for a clustered engine")
+	}
+	c := st.Cluster
+	if c.SitesAlive != 1 || c.Migrations != 3 || c.Rejoins != 1 || c.LeaseInstant != "4h0m0s" {
+		t.Fatalf("cluster section %+v", c)
+	}
+	if len(c.Sites) != 2 || c.Sites[1].Alive || len(c.Sites[1].Domains) != 2 {
+		t.Fatalf("cluster sites %+v", c.Sites)
+	}
+
+	plain := New(&fakeEngine{}, Config{})
+	defer plain.Close()
+	if s := plain.Snapshot(); s.Cluster != nil {
+		t.Fatalf("plain engine grew a cluster section: %+v", s.Cluster)
+	}
+}

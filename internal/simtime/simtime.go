@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"time"
+
+	"presto/internal/snap"
 )
 
 // Time is virtual time measured in nanoseconds since the start of the
@@ -106,6 +108,7 @@ type Simulator struct {
 	events    eventHeap
 	seq       uint64
 	rng       *rand.Rand
+	src       *snap.RNG // the serializable source behind rng
 	processed uint64
 	running   bool
 
@@ -114,9 +117,12 @@ type Simulator struct {
 	nowSnapshot atomic.Int64
 }
 
-// New returns a simulator whose random source is seeded with seed.
+// New returns a simulator whose random source is seeded with seed. The
+// source is a serializable xoshiro256** generator so Snapshot/Restore
+// can externalize and reinstall its exact state.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	src := snap.NewRNG(seed)
+	return &Simulator{rng: rand.New(src), src: src}
 }
 
 // Now returns the current virtual time. It must only be called from the
@@ -266,6 +272,18 @@ func (s *Simulator) EveryFrom(initial, period time.Duration, fn func()) *Ticker 
 	return t
 }
 
+// EveryAt behaves like Every but arms the first firing at absolute
+// virtual time next (clamped to the present). Restore paths use it to
+// resume a snapshotted ticker exactly where it left off.
+func (s *Simulator) EveryAt(next Time, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: EveryAt with non-positive period %v", period))
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.handle = s.ScheduleAt(next, t.tick)
+	return t
+}
+
 func (t *Ticker) arm() {
 	t.handle = t.sim.Schedule(time.Duration(t.period), t.tick)
 }
@@ -294,3 +312,20 @@ func (t *Ticker) Stop() {
 // Firings reports how many times the ticker has fired. Safe for
 // concurrent use.
 func (t *Ticker) Firings() uint64 { return t.fireings.Load() }
+
+// Period returns the ticker's firing period.
+func (t *Ticker) Period() Time { return t.period }
+
+// NextFire returns the absolute virtual time of the next scheduled
+// firing, or -1 if the ticker is stopped (or its event is gone).
+// Snapshot paths record this so a restored ticker resumes on the exact
+// original schedule via EveryAt.
+func (t *Ticker) NextFire() Time {
+	if t.stopped || !t.handle.Pending() {
+		return -1
+	}
+	return t.handle.ev.at
+}
+
+// RestoreFirings reinstalls a snapshotted firing count.
+func (t *Ticker) RestoreFirings(n uint64) { t.fireings.Store(n) }

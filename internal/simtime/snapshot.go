@@ -1,0 +1,56 @@
+package simtime
+
+import (
+	"fmt"
+	"io"
+
+	"presto/internal/snap"
+)
+
+// Snapshot externalizes the kernel state: the clock, the processed-event
+// count, and the exact random-source state. Pending events are NOT
+// serialized — they are closures, so each layer that owns scheduled work
+// (radio flights, mote tickers, bridge deliveries) records its own
+// pending work in its own snapshot and re-registers it on restore. The
+// event sequence counter is likewise excluded: restored layers re-enter
+// the heap in a fixed deterministic order, which preserves the relative
+// firing order of same-instant events without pinning absolute sequence
+// numbers (and keeps snapshot bytes identical across snapshot → restore
+// → snapshot).
+func (s *Simulator) Snapshot(w io.Writer) error {
+	var e snap.Enc
+	e.I64(int64(s.now))
+	e.U64(s.processed)
+	st := s.src.State()
+	for _, v := range st {
+		e.U64(v)
+	}
+	return snap.WriteBlock(w, snap.TagKernel, e.Data())
+}
+
+// Restore reinstalls kernel state captured by Snapshot. Any events in
+// the heap are dropped — the caller restores a freshly built (quiescent)
+// domain and each layer re-registers its own pending work afterwards,
+// scheduling against the restored clock.
+func (s *Simulator) Restore(r io.Reader) error {
+	body, err := snap.ReadBlock(r, snap.TagKernel)
+	if err != nil {
+		return err
+	}
+	d := snap.NewDec(body)
+	now := Time(d.I64())
+	processed := d.U64()
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("simtime: %w", err)
+	}
+	s.events = nil
+	s.seq = 0
+	s.setNow(now)
+	s.processed = processed
+	s.src.SetState(st)
+	return nil
+}

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"presto/internal/snap"
 )
 
 // maxLevels bounds membership vector length (2^64 nodes is plenty).
@@ -42,15 +44,43 @@ func (n *node) levels() int { return len(n.right) }
 // Graph is a skip graph. Not safe for concurrent use.
 type Graph struct {
 	rng  *rand.Rand
+	src  *snap.RNG // the serializable source behind rng
 	size int
 	head *node // leftmost node in level 0 (nil when empty)
 	hops uint64
 	peak int // highest populated level seen
 }
 
-// New creates an empty graph with a seeded RNG.
+// New creates an empty graph with a seeded RNG. The source is
+// serializable so snapshot/restore can externalize the exact membership-
+// vector sequence future inserts will draw.
 func New(seed int64) *Graph {
-	return &Graph{rng: rand.New(rand.NewSource(seed))}
+	src := snap.NewRNG(seed)
+	return &Graph{rng: rand.New(src), src: src}
+}
+
+// RNGState externalizes the membership-vector generator state.
+func (g *Graph) RNGState() [4]uint64 { return g.src.State() }
+
+// SetRNGState reinstalls generator state captured by RNGState. Restore
+// paths call it after re-inserting a snapshot's keys (re-insertion draws
+// fresh membership vectors), so post-restore inserts draw exactly what
+// the original graph would have drawn.
+func (g *Graph) SetRNGState(s [4]uint64) { g.src.SetState(s) }
+
+// RestoreHops reinstalls a snapshotted hop counter (re-inserting the
+// keys on restore accrues link-walking hops that the original run never
+// paid).
+func (g *Graph) RestoreHops(h uint64) { g.hops = h }
+
+// Walk visits every key/value pair in key order WITHOUT accruing hops:
+// unlike RangeScan it models no network traversal. Snapshot paths use it
+// so capturing a checkpoint cannot perturb the hop stats of a domain
+// that keeps running.
+func (g *Graph) Walk(fn func(key uint64, value interface{})) {
+	for n := g.head; n != nil; n = n.right[0] {
+		fn(n.key, n.value)
+	}
 }
 
 // Len returns the number of keys.

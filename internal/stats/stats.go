@@ -256,6 +256,17 @@ func (o *Online) Min() float64 { return o.min }
 // Max returns the largest observation (0 if empty).
 func (o *Online) Max() float64 { return o.max }
 
+// State externalizes the accumulator's full internal state (snapshot
+// support).
+func (o *Online) State() (n uint64, mean, m2, min, max float64) {
+	return o.n, o.mean, o.m2, o.min, o.max
+}
+
+// SetState reinstalls state captured by State.
+func (o *Online) SetState(n uint64, mean, m2, min, max float64) {
+	o.n, o.mean, o.m2, o.min, o.max = n, mean, m2, min, max
+}
+
 // Merge combines another accumulator into o (parallel Welford merge).
 func (o *Online) Merge(p *Online) {
 	if p.n == 0 {

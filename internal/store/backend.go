@@ -15,6 +15,7 @@ package store
 // simulated NAND, the paper's flash-archival proxy design).
 
 import (
+	"io"
 	"sort"
 
 	"presto/internal/radio"
@@ -97,6 +98,12 @@ type Backend interface {
 	Latest(m radio.NodeID) (Record, bool)
 	// Stats returns cumulative counters.
 	Stats() BackendStats
+	// Snapshot externalizes the backend's full state as deterministic
+	// bytes (same state, same bytes). It must not mutate the backend.
+	Snapshot(w io.Writer) error
+	// Restore overwrites the backend with state captured by Snapshot on
+	// a backend of the same kind and geometry.
+	Restore(r io.Reader) error
 }
 
 // RangeScanner is an optional Backend fast path: visit the records in

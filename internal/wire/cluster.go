@@ -71,11 +71,26 @@ const (
 	// RoundPartials in scatter order (query.EncodeRoundPartialsBatch
 	// payload) or an error.
 	FramePartialsBatch
+	// FrameSnapshotReq asks a site to stream one hosted domain's state
+	// blob back as FrameSnapshotChunk frames, coordinator → site. With
+	// Drop set the site stops hosting the domain once the blob is out
+	// (the migration half); clear means checkpoint-in-place.
+	FrameSnapshotReq
+	// FrameSnapshotChunk carries one slice of a domain snapshot blob,
+	// ordered, with the last slice flagged Final. Site → coordinator it
+	// answers a FrameSnapshotReq; coordinator → site it installs a
+	// domain (the site adopts if needed and restores on the final chunk,
+	// then answers with FrameSnapshotAck).
+	FrameSnapshotChunk
+	// FrameSnapshotAck finishes a snapshot exchange: ok byte + optional
+	// error string. A site answers an install with it, and uses it as
+	// the failure path of a FrameSnapshotReq it cannot serve.
+	FrameSnapshotAck
 )
 
 // FrameKindMax is the highest defined frame kind (transport counters
 // index by kind).
-const FrameKindMax = FramePartialsBatch
+const FrameKindMax = FrameSnapshotAck
 
 // String names the kind.
 func (k FrameKind) String() string {
@@ -106,6 +121,12 @@ func (k FrameKind) String() string {
 		return "scatter-batch"
 	case FramePartialsBatch:
 		return "partials-batch"
+	case FrameSnapshotReq:
+		return "snapshot-req"
+	case FrameSnapshotChunk:
+		return "snapshot-chunk"
+	case FrameSnapshotAck:
+		return "snapshot-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -238,8 +259,10 @@ func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
 // other value is refused, so mixed builds fail fast at join time instead
 // of corrupting each other mid-run. Version 2: the scatter payload moved
 // its window behind the mote list (standing-spec payload caching) and
-// added the batched-round frame pair.
-const ProtoVersion = 2
+// added the batched-round frame pair. Version 3: the snapshot frame
+// trio (req/chunk/ack) for domain migration, checkpointing and site
+// re-join.
+const ProtoVersion = 3
 
 // Hello opens a site's connection.
 type Hello struct {
@@ -431,4 +454,82 @@ func DecodeBridgeMsg(buf []byte) (radio.BridgeMsg, error) {
 	m.Kind = radio.Kind(kind)
 	m.Payload = append([]byte(nil), buf...)
 	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Domain snapshots (migration, checkpointing, re-join)
+
+// SnapshotChunkSize is how much of a domain blob one FrameSnapshotChunk
+// carries — well under maxFrameLen, so a multi-megabyte domain streams
+// as several frames instead of one oversized body.
+const SnapshotChunkSize = 256 << 10
+
+// SnapshotReq asks a site for hosted domain Domain's snapshot blob.
+// Drop makes the site stop hosting the domain once the blob is sent.
+type SnapshotReq struct {
+	Domain int
+	Drop   bool
+}
+
+// EncodeSnapshotReq serializes a snapshot request.
+func EncodeSnapshotReq(r SnapshotReq) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+1)
+	buf = binary.AppendUvarint(buf, uint64(r.Domain))
+	drop := byte(0)
+	if r.Drop {
+		drop = 1
+	}
+	return append(buf, drop)
+}
+
+// DecodeSnapshotReq deserializes a snapshot request.
+func DecodeSnapshotReq(buf []byte) (SnapshotReq, error) {
+	d, n := binary.Uvarint(buf)
+	if n <= 0 || d > 1<<20 {
+		return SnapshotReq{}, ErrShort
+	}
+	buf = buf[n:]
+	if len(buf) < 1 || buf[0] > 1 {
+		return SnapshotReq{}, ErrShort
+	}
+	return SnapshotReq{Domain: int(d), Drop: buf[0] == 1}, nil
+}
+
+// SnapshotChunk is one ordered slice of a domain snapshot blob; the last
+// slice carries Final. A one-chunk blob is legal (Final on the first).
+type SnapshotChunk struct {
+	Domain int
+	Final  bool
+	Data   []byte
+}
+
+// EncodeSnapshotChunk serializes a snapshot chunk.
+func EncodeSnapshotChunk(c SnapshotChunk) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+1+len(c.Data))
+	buf = binary.AppendUvarint(buf, uint64(c.Domain))
+	final := byte(0)
+	if c.Final {
+		final = 1
+	}
+	buf = append(buf, final)
+	return append(buf, c.Data...)
+}
+
+// DecodeSnapshotChunk deserializes a snapshot chunk. Data is copied out
+// of buf (receivers assemble chunks across many frames, outliving any
+// reused read buffer).
+func DecodeSnapshotChunk(buf []byte) (SnapshotChunk, error) {
+	d, n := binary.Uvarint(buf)
+	if n <= 0 || d > 1<<20 {
+		return SnapshotChunk{}, ErrShort
+	}
+	buf = buf[n:]
+	if len(buf) < 1 || buf[0] > 1 {
+		return SnapshotChunk{}, ErrShort
+	}
+	return SnapshotChunk{
+		Domain: int(d),
+		Final:  buf[0] == 1,
+		Data:   append([]byte(nil), buf[1:]...),
+	}, nil
 }
