@@ -27,6 +27,7 @@ import (
 	"presto/internal/gen"
 	"presto/internal/query"
 	"presto/internal/radio"
+	"presto/internal/scenario"
 	"presto/internal/serve"
 	"presto/internal/simtime"
 	"presto/internal/store"
@@ -802,4 +803,55 @@ func BenchmarkHTTPServe(b *testing.B) {
 	st := srv.Snapshot()
 	b.ReportMetric(float64(st.Queries)/b.Elapsed().Seconds(), "queries/s")
 	b.ReportMetric(st.CacheHitRatio, "hit-ratio")
+}
+
+// BenchmarkScenarioWorkload prices the scenario pipeline end to end:
+// each iteration regenerates the smoke scenario's seeded arrival
+// schedule (diurnal thinning, bursts, tenant assignment, loose pairing)
+// and replays every scheduled spec against a live in-process build of
+// the same scenario's deployment. Reports answered queries/s so the
+// bench gate catches regressions in either the workload model or the
+// replay path.
+func BenchmarkScenarioWorkload(b *testing.B) {
+	spec, err := scenario.Preset("smoke")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := scenario.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := core.Build(sc.Config)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+	n.Run(12 * time.Hour) // past the horizon: every scheduled window has data
+	cl := n.Client()
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	answered := 0
+	for i := 0; i < b.N; i++ {
+		arrivals, err := scenario.GenerateWorkload(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range arrivals {
+			s, err := query.DecodeSpecJSON(a.SpecJSON)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := cl.QueryOne(ctx, s)
+			if err != nil || res.Err != nil {
+				b.Fatalf("arrival at %v refused: %v / %v", a.At, err, res.Err)
+			}
+			answered++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(answered)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(answered/b.N), "arrivals")
 }

@@ -5,12 +5,23 @@
 // Usage:
 //
 //	presto-load [-addr URL] [-duration D] [-concurrency N] [-tenant S]
+//	            [-scenario file.json|preset]
 //
-// The workload rotates through fleet NOW snapshots, trailing and
-// fixed-window aggregates at a few precisions, so repeated questions
+// By default the workload rotates through fleet NOW snapshots, trailing
+// and fixed-window aggregates at a few precisions, so repeated questions
 // exercise the semantic answer cache: a looser-precision repeat of an
 // answered aggregate should be served from cache, and the final report
 // prints the server's hit ratio from /statsz so a burst can assert it.
+//
+// With -scenario the burst replays a scenario's deterministic workload
+// schedule instead: the spec's seeded arrival process (diurnal rate,
+// bursts, many tenants, tight/loose precision pairs) is regenerated
+// bit-identically to what presto-scenario reports, compressed from the
+// scenario horizon onto -duration of wall time, and each arrival is
+// posed under its own tenant at its scheduled instant. Point the driver
+// at a prestod booted from the same spec and the whole pipeline — data,
+// deployment and load — derives from one seed.
+//
 // Exits non-zero if any request fails outright (429 throttling is
 // counted separately, not a failure).
 package main
@@ -29,12 +40,13 @@ import (
 	"time"
 
 	"presto/internal/query"
+	"presto/internal/scenario"
 	"presto/internal/stats"
 )
 
-// workload is the rotating spec mix. Each pair of neighbouring entries
-// asks the same question at a different precision, so a full rotation
-// plants answers and the next one harvests cache hits.
+// workload is the default rotating spec mix. Each pair of neighbouring
+// entries asks the same question at a different precision, so a full
+// rotation plants answers and the next one harvests cache hits.
 var workload = []string{
 	`{"type":"now","precision":1.0,"max_staleness":"6h"}`,
 	`{"type":"now","precision":2.0,"max_staleness":"6h"}`,
@@ -45,6 +57,22 @@ var workload = []string{
 	`{"type":"past","t0":"2h","t1":"2h","precision":1.0,"max_staleness":"6h"}`,
 }
 
+// job is one request a worker should pose.
+type job struct {
+	body   string
+	tenant string
+}
+
+// counters aggregates the burst's client-side outcome.
+type counters struct {
+	sent      atomic.Uint64
+	hits      atomic.Uint64
+	throttled atomic.Uint64
+	failed    atomic.Uint64
+	mu        sync.Mutex
+	latencies []float64
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presto-load: ")
@@ -52,83 +80,53 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the prestod -http tier")
 	duration := flag.Duration("duration", 5*time.Second, "wall-clock length of the burst")
 	concurrency := flag.Int("concurrency", 4, "concurrent client workers")
-	tenant := flag.String("tenant", "presto-load", "X-Presto-Tenant header value")
+	tenant := flag.String("tenant", "presto-load", "X-Presto-Tenant header value (default mix only; scenario arrivals carry their own)")
+	scenarioFlag := flag.String("scenario", "", "replay this scenario's workload schedule: a spec JSON file from presto-scenario, or a built-in preset name")
 	flag.Parse()
 
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
+	var ct counters
 
-	var (
-		sent      atomic.Uint64
-		hits      atomic.Uint64
-		throttled atomic.Uint64
-		failed    atomic.Uint64
-		mu        sync.Mutex
-		latencies []float64
-	)
-	deadline := time.Now().Add(*duration)
-	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; time.Now().Before(deadline); i++ {
-				body := workload[i%len(workload)]
-				start := time.Now()
-				req, err := http.NewRequest("POST", base+"/v1/query", strings.NewReader(body))
-				if err != nil {
-					log.Fatal(err)
-				}
-				req.Header.Set("Content-Type", "application/json")
-				req.Header.Set("X-Presto-Tenant", *tenant)
-				resp, err := client.Do(req)
-				if err != nil {
-					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "presto-load: %v\n", err)
-					continue
-				}
-				buf, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				sent.Add(1)
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					if res, err := query.DecodeSetResultJSON(buf); err != nil || res.Err != nil {
-						failed.Add(1)
-						fmt.Fprintf(os.Stderr, "presto-load: bad answer for %s: %v / %v\n", body, err, res.Err)
-						continue
-					}
-					if resp.Header.Get("X-Presto-Cache") == "hit" {
-						hits.Add(1)
-					}
-					mu.Lock()
-					latencies = append(latencies, time.Since(start).Seconds()*1000)
-					mu.Unlock()
-				case resp.StatusCode == http.StatusTooManyRequests:
-					throttled.Add(1)
-				default:
-					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "presto-load: %s -> %d: %s\n", body, resp.StatusCode, buf)
-				}
-			}
-		}(w)
+	replayed, scheduled := 0, 0
+	if *scenarioFlag != "" {
+		spec, err := loadSpec(*scenarioFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arrivals, err := scenario.GenerateWorkload(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(arrivals) == 0 {
+			log.Fatalf("scenario %q schedules no arrivals", spec.Name)
+		}
+		scheduled = len(arrivals)
+		fmt.Printf("scenario: replaying %q — %d scheduled arrivals compressed onto %v\n",
+			spec.Name, scheduled, *duration)
+		replayed = replayScenario(client, base, arrivals, *duration, *concurrency, &ct)
+	} else {
+		runMix(client, base, *tenant, *duration, *concurrency, &ct)
 	}
-	wg.Wait()
 
-	n := sent.Load()
-	elapsed := *duration
+	n := ct.sent.Load()
 	fmt.Printf("burst: %d requests over %v from %d workers (%.0f queries/s)\n",
-		n, elapsed, *concurrency, float64(len(latencies))/elapsed.Seconds())
-	if len(latencies) > 0 {
-		p50, _ := stats.Median(latencies)
-		p95, _ := stats.Quantile(latencies, 0.95)
+		n, *duration, *concurrency, float64(len(ct.latencies))/duration.Seconds())
+	if scheduled > 0 && replayed < scheduled {
+		fmt.Printf("schedule: replayed %d of %d arrivals before the deadline\n", replayed, scheduled)
+	}
+	if len(ct.latencies) > 0 {
+		p50, _ := stats.Median(ct.latencies)
+		p95, _ := stats.Quantile(ct.latencies, 0.95)
 		fmt.Printf("latency: p50=%.2f ms p95=%.2f ms\n", p50, p95)
 	}
 	fmt.Printf("client-observed cache hits: %d/%d, throttled: %d, failed: %d\n",
-		hits.Load(), n, throttled.Load(), failed.Load())
+		ct.hits.Load(), n, ct.throttled.Load(), ct.failed.Load())
 
 	// The server's own view: cache ratio and admission counters.
 	if resp, err := client.Get(base + "/statsz"); err == nil {
 		var st struct {
+			Scenario      string  `json:"scenario"`
 			Queries       uint64  `json:"queries"`
 			CacheHitRatio float64 `json:"cache_hit_ratio"`
 			Cache         struct {
@@ -137,13 +135,122 @@ func main() {
 			} `json:"cache"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&st); err == nil {
-			fmt.Printf("server: %d queries answered, cache %d/%d hit (ratio %.2f)\n",
-				st.Queries, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.CacheHitRatio)
+			label := ""
+			if st.Scenario != "" {
+				label = fmt.Sprintf(" (scenario %q)", st.Scenario)
+			}
+			fmt.Printf("server%s: %d queries answered, cache %d/%d hit (ratio %.2f)\n",
+				label, st.Queries, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.CacheHitRatio)
 		}
 		resp.Body.Close()
 	}
 
-	if failed.Load() > 0 {
+	if ct.failed.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// loadSpec resolves -scenario: an existing JSON file wins, otherwise the
+// value names a built-in preset.
+func loadSpec(v string) (scenario.Spec, error) {
+	if _, err := os.Stat(v); err == nil {
+		return scenario.LoadFile(v)
+	}
+	return scenario.Preset(v)
+}
+
+// runMix is the default time-bounded burst: every worker rotates through
+// the workload mix until the deadline.
+func runMix(client *http.Client, base, tenant string, d time.Duration, workers int, ct *counters) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				post(client, base, job{body: workload[i%len(workload)], tenant: tenant}, ct)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// replayScenario feeds the scenario's arrival schedule to the workers,
+// each arrival at its scheduled instant scaled from the scenario horizon
+// onto the burst duration, under the tenant the schedule assigned.
+// Returns how many arrivals were dispatched before the deadline.
+func replayScenario(client *http.Client, base string, arrivals []scenario.Arrival, d time.Duration, workers int, ct *counters) int {
+	span := arrivals[len(arrivals)-1].At
+	if span <= 0 {
+		span = time.Second
+	}
+	scale := float64(d) / float64(span)
+
+	jobs := make(chan job, workers)
+	dispatched := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				post(client, base, j, ct)
+			}
+		}()
+	}
+	start := time.Now()
+	for _, a := range arrivals {
+		at := time.Duration(float64(a.At) * scale)
+		if wait := at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		if time.Since(start) > d {
+			break
+		}
+		jobs <- job{body: string(a.SpecJSON), tenant: a.Tenant}
+		dispatched++
+	}
+	close(jobs)
+	wg.Wait()
+	return dispatched
+}
+
+// post poses one query and books the outcome.
+func post(client *http.Client, base string, j job, ct *counters) {
+	start := time.Now()
+	req, err := http.NewRequest("POST", base+"/v1/query", strings.NewReader(j.body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Presto-Tenant", j.tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		ct.failed.Add(1)
+		fmt.Fprintf(os.Stderr, "presto-load: %v\n", err)
+		return
+	}
+	buf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ct.sent.Add(1)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if res, err := query.DecodeSetResultJSON(buf); err != nil || res.Err != nil {
+			ct.failed.Add(1)
+			fmt.Fprintf(os.Stderr, "presto-load: bad answer for %s: %v / %v\n", j.body, err, res.Err)
+			return
+		}
+		if resp.Header.Get("X-Presto-Cache") == "hit" {
+			ct.hits.Add(1)
+		}
+		ct.mu.Lock()
+		ct.latencies = append(ct.latencies, time.Since(start).Seconds()*1000)
+		ct.mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ct.throttled.Add(1)
+	default:
+		ct.failed.Add(1)
+		fmt.Fprintf(os.Stderr, "presto-load: %s -> %d: %s\n", j.body, resp.StatusCode, buf)
 	}
 }

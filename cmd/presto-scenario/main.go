@@ -1,0 +1,142 @@
+// Command presto-scenario generates and inspects scenario specs: the
+// declarative, seeded descriptions of city-scale deployments, tenant
+// workload arrival schedules and environment churn that the rest of the
+// tooling consumes (prestod -scenario boots one, presto-load -scenario
+// replays its workload against a serving tier).
+//
+// Usage:
+//
+//	presto-scenario -list
+//	presto-scenario -preset city -out city.json     # dump a preset spec
+//	presto-scenario -spec city.json                 # generate + summarize
+//	presto-scenario -spec city.json -verify         # generate twice, compare digests
+//	presto-scenario -preset smoke -arrivals 10      # print the first scheduled queries
+//
+// Generation is bit-reproducible: the same spec always yields the same
+// deployment, the same traces (regional events included) and the same
+// query-arrival schedule, on every machine. -verify proves it by
+// generating twice and comparing the sha256 digests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"presto/internal/scenario"
+)
+
+func main() {
+	preset := flag.String("preset", "", "built-in scenario to use (see -list)")
+	specPath := flag.String("spec", "", "scenario spec JSON file to load")
+	out := flag.String("out", "", "write the spec as JSON to this file and exit (use with -preset to scaffold)")
+	verify := flag.Bool("verify", false, "generate twice and require identical digests")
+	arrivals := flag.Int("arrivals", 0, "print the first N scheduled query arrivals")
+	list := flag.Bool("list", false, "list built-in presets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range scenario.PresetNames() {
+			s, _ := scenario.Preset(n)
+			fmt.Printf("%-8s %5d motes, %d sites, %d days, seed %d\n",
+				n, s.Deployment.Motes(), s.Deployment.Sites, s.Deployment.Days, s.Seed)
+		}
+		return
+	}
+
+	spec, err := loadSpec(*preset, *specPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		b, err := spec.EncodeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (scenario %q, seed %d)\n", *out, spec.Name, spec.Seed)
+		return
+	}
+
+	start := time.Now()
+	sc, err := scenario.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *verify {
+		again, err := scenario.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if sc.Digest() != again.Digest() {
+			fatal(fmt.Errorf("scenario %q NOT reproducible: %s vs %s",
+				spec.Name, sc.Digest(), again.Digest()))
+		}
+		fmt.Printf("reproducible: two independent generations agree\n")
+	}
+
+	d := spec.Deployment
+	samples := 0
+	events := 0
+	for _, tr := range sc.Config.Traces {
+		samples += len(tr.Values)
+		events += len(tr.Events)
+	}
+	loose := 0
+	for _, a := range sc.Arrivals {
+		if a.Loose {
+			loose++
+		}
+	}
+	fmt.Printf("scenario    %s (seed %d)\n", spec.Name, spec.Seed)
+	fmt.Printf("deployment  %d motes (%d proxies x %d), %d domains, %d sites, %d day(s)\n",
+		d.Motes(), d.Proxies, d.MotesPerProxy, d.Shards, d.Sites, d.Days)
+	fmt.Printf("traces      %d samples, %d regional event excursions\n", samples, events)
+	fmt.Printf("workload    %d arrivals over %v (%d tenants, %d loose-paired)\n",
+		len(sc.Arrivals), time.Duration(spec.Workload.Horizon), spec.Workload.Tenants, loose)
+	fmt.Printf("churn       %d scheduled action(s)\n", len(spec.Environment.Churn))
+	fmt.Printf("digest      deployment %s\n", sc.DeploymentDigest())
+	fmt.Printf("            workload   %s\n", sc.WorkloadDigest())
+	fmt.Printf("            combined   %s\n", sc.Digest())
+	fmt.Printf("generated in %v\n", elapsed.Round(time.Millisecond))
+
+	if *arrivals > 0 {
+		fmt.Println()
+		for i, a := range sc.Arrivals {
+			if i == *arrivals {
+				break
+			}
+			kind := "tight"
+			if a.Loose {
+				kind = "loose"
+			}
+			fmt.Printf("%9v  %-10s %-5s %s\n",
+				a.At.Round(time.Second), a.Tenant, kind, a.SpecJSON)
+		}
+	}
+}
+
+// loadSpec resolves the -preset / -spec flags into one scenario spec.
+func loadSpec(preset, path string) (scenario.Spec, error) {
+	switch {
+	case preset != "" && path != "":
+		return scenario.Spec{}, fmt.Errorf("use -preset or -spec, not both")
+	case preset != "":
+		return scenario.Preset(preset)
+	case path != "":
+		return scenario.LoadFile(path)
+	default:
+		return scenario.Spec{}, fmt.Errorf("one of -preset, -spec or -list is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "presto-scenario: %v\n", err)
+	os.Exit(1)
+}

@@ -11,6 +11,15 @@
 //	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
 //	        [-max-staleness D] [-every D] [-http addr [-http-qps F]]
 //	        [-listen addr -sites N [-wired] | -join addr [-wired]]
+//	        [-scenario file.json|preset]
+//
+// With -scenario the deployment comes from a scenario spec (a JSON file
+// written by presto-scenario, or a built-in preset name) instead of the
+// individual flags: the heterogeneous sensor mix, per-mote traces with
+// regional events, radio loss, store backend and day count are all
+// generated bit-reproducibly from the spec's seed. Cluster processes
+// booted from the same spec fingerprint-match automatically, and -sites
+// defaults to the spec's site count.
 //
 // With -http the process becomes a serving tier instead of running the
 // built-in query mix: after bootstrap it mounts the internal/serve
@@ -81,6 +90,7 @@ import (
 	"presto/internal/gen"
 	"presto/internal/proxy"
 	"presto/internal/query"
+	"presto/internal/scenario"
 	"presto/internal/serve"
 	"presto/internal/simtime"
 	"presto/internal/stats"
@@ -110,6 +120,7 @@ func main() {
 	quantum := flag.Duration("quantum", cluster.DefaultQuantum, "cluster advance-lease quantum of virtual time")
 	ckptDir := flag.String("checkpoint", "", "cluster coordinator: write a cluster-wide domain checkpoint to this directory after the mid-run aggregate")
 	wired := flag.Bool("wired", false, "cluster mode: mirror remote sites onto proxy 0 over the transport (wired replica)")
+	scenarioFlag := flag.String("scenario", "", "boot a scenario instead of the flag-built deployment: a spec JSON file from presto-scenario, or a built-in preset name; overrides -proxies/-motes/-shards/-days/-delta/-loss/-seed/-store/-aging/-wired and the trace generator")
 	httpAddr := flag.String("http", "", "serve the HTTP/JSON query API on this address after bootstrap (e.g. :8080) instead of the built-in query mix")
 	httpQPS := flag.Float64("http-qps", 0, "per-tenant admission rate for the HTTP tier in queries/sec (0 = unlimited)")
 	httpPace := flag.Duration("http-pace", 0, "virtual time advanced per wall second in -http mode (0 = as fast as possible, then freeze at the horizon); standing queries need an advancing clock")
@@ -121,26 +132,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	genCfg := gen.DefaultTempConfig()
-	genCfg.Sensors = *proxies * *motes
-	genCfg.Days = *days
-	genCfg.Seed = *seed
-	traces, err := gen.Temperature(genCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	var cfg core.Config
+	if *scenarioFlag != "" {
+		spec, err := loadScenarioSpec(*scenarioFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := scenario.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = sc.Config
+		*days = spec.Deployment.Days
+		scenarioLabel = spec.Name
+		// Every process booting the same spec builds the same universe —
+		// cluster sites fingerprint-match the coordinator by construction.
+		if !flagWasSet("sites") {
+			*sites = spec.Deployment.Sites
+		}
+		fmt.Printf("scenario: %q (seed %d), %d motes, deployment digest %s\n",
+			spec.Name, spec.Seed, spec.Deployment.Motes(), sc.DeploymentDigest()[:12])
+	} else {
+		genCfg := gen.DefaultTempConfig()
+		genCfg.Sensors = *proxies * *motes
+		genCfg.Days = *days
+		genCfg.Seed = *seed
+		traces, err := gen.Temperature(genCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Proxies = *proxies
-	cfg.MotesPerProxy = *motes
-	cfg.Shards = *shards
-	cfg.Delta = *delta
-	cfg.Radio.LossProb = *loss
-	cfg.Traces = traces
-	cfg.WiredFirstProxy = *proxies > 1
-	cfg.StoreBackend = *storeBackend
-	cfg.StoreAging = *aging
+		cfg = core.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Proxies = *proxies
+		cfg.MotesPerProxy = *motes
+		cfg.Shards = *shards
+		cfg.Delta = *delta
+		cfg.Radio.LossProb = *loss
+		cfg.Traces = traces
+		cfg.WiredFirstProxy = *proxies > 1
+		cfg.StoreBackend = *storeBackend
+		cfg.StoreAging = *aging
+	}
 
 	if *listen != "" || *join != "" {
 		if *listen != "" && *join != "" {
@@ -149,12 +182,16 @@ func main() {
 		// Replication in cluster mode is opt-in: its bridge-drain timing
 		// is wall-clock dependent, and the default keeps cluster runs
 		// bit-diffable against single-process runs of the same seed.
-		cfg.WiredFirstProxy = *wired
+		// Scenario specs carry their own wired setting, identically at
+		// every process.
+		if *scenarioFlag == "" {
+			cfg.WiredFirstProxy = *wired
+		}
 		if *join != "" {
 			runClusterSite(ctx, *join, cfg)
 			return
 		}
-		runClusterCoordinator(ctx, *listen, cfg, *sites, *quantum, *days, *delta, *precision, *every, *ckptDir, *httpAddr, *httpQPS, *httpPace)
+		runClusterCoordinator(ctx, *listen, cfg, *sites, *quantum, *days, cfg.Delta, *precision, *every, *ckptDir, *httpAddr, *httpQPS, *httpPace)
 		return
 	}
 
@@ -165,7 +202,7 @@ func main() {
 	defer n.Close()
 
 	fmt.Printf("deployment: %d proxies x %d motes, %d days, delta=%.2f, loss=%.1f%%, %d shard(s), %s store\n",
-		*proxies, *motes, *days, *delta, *loss*100, n.Shards(), *storeBackend)
+		cfg.Proxies, cfg.MotesPerProxy, *days, cfg.Delta, cfg.Radio.LossProb*100, n.Shards(), storeName(cfg))
 
 	// Bootstrap: 36h training stream, then model-driven operation.
 	trainFor := 36 * time.Hour
@@ -173,7 +210,7 @@ func main() {
 		trainFor = d / 2
 	}
 	fmt.Printf("bootstrap: streaming for %v, then training seasonal-anchored models...\n", trainFor)
-	models, err := n.Bootstrap(trainFor, 48, *delta)
+	models, err := n.Bootstrap(trainFor, 48, cfg.Delta)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -312,9 +349,9 @@ func main() {
 		ss.Routed, ss.ReplicaRouted, ss.ReplicaStale, ss.ArchiveServed, ss.ArchiveStale)
 	fmt.Printf("archive backend: %d records (%d appends, %d dropped), %d range reads, read-amp %.2f",
 		bs.Records, bs.Appends, bs.Dropped, bs.QueryRanges, bs.ReadAmp())
-	if *storeBackend == "flash" {
+	if cfg.StoreBackend == "flash" {
 		fmt.Printf(", %d pages written, %d pages read, %d compactions (%s aging, %d wavelet chunks)",
-			bs.PagesWritten, bs.PagesRead, bs.Compactions, *aging, bs.WaveletChunks)
+			bs.PagesWritten, bs.PagesRead, bs.Compactions, cfg.StoreAging, bs.WaveletChunks)
 		if bs.RecordsSkipped > 0 {
 			fmt.Printf(", chunk directory skipped %d records (read-amp %.2f without it)",
 				bs.RecordsSkipped, bs.ReadAmpNoDir())
@@ -344,7 +381,16 @@ func main() {
 	// one extra delta of staleness.
 	slack := *precision + 0.101 // small slack for float32 wire encoding
 	if n.Shards() > 1 {
-		slack += *delta
+		// Cross-domain replica answers can lag by up to the pushing
+		// mote's own threshold; heterogeneous scenarios override it
+		// per mote.
+		maxDelta := cfg.Delta
+		for _, d := range cfg.MoteDeltas {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		slack += maxDelta
 	}
 	for _, e := range errs {
 		if e > slack {
@@ -352,6 +398,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// scenarioLabel names the scenario this process booted (empty when the
+// deployment came from plain flags); it labels the HTTP tier's /statsz.
+var scenarioLabel string
+
+// loadScenarioSpec resolves -scenario: an existing JSON file wins,
+// otherwise the value names a built-in preset.
+func loadScenarioSpec(v string) (scenario.Spec, error) {
+	if _, err := os.Stat(v); err == nil {
+		return scenario.LoadFile(v)
+	}
+	return scenario.Preset(v)
+}
+
+// flagWasSet reports whether the named flag was given on the command
+// line (as opposed to resting at its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// storeName prints a config's archival backend, naming the default.
+func storeName(cfg core.Config) string {
+	if cfg.StoreBackend == "" {
+		return "mem"
+	}
+	return cfg.StoreBackend
 }
 
 // runClusterSite joins a cluster and serves its assigned domain window
@@ -556,7 +635,7 @@ func (e clusterEngine) ClusterHealth() serve.ClusterHealth {
 // while requests land, then the clock freezes and the tier keeps
 // serving (deterministically, for cache demos) until a signal.
 func serveHTTP(ctx context.Context, eng serve.Engine, addr string, qps float64, pace, horizon time.Duration, advance func(context.Context, time.Duration) error) error {
-	srv := serve.New(eng, serve.Config{Admit: serve.AdmitConfig{QPS: qps}})
+	srv := serve.New(eng, serve.Config{Admit: serve.AdmitConfig{QPS: qps}, Scenario: scenarioLabel})
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -31,6 +31,17 @@ func configHash(cfg core.Config) uint64 {
 		cfg.SampleInterval, cfg.LPLInterval, cfg.BridgeLatency, cfg.Flash,
 		cfg.Delta, cfg.StoreBackend, cfg.StoreAging, cfg.StoreFlash,
 		cfg.Radio, cfg.Energy, cfg.WiredFirstProxy, len(cfg.Traces))
+	// Per-mote heterogeneity overrides define the deployment as much as
+	// the global knobs: two sites disagreeing on one mote's cadence would
+	// diverge silently.
+	fmt.Fprintf(h, "|msi%d", len(cfg.MoteSampleIntervals))
+	for _, d := range cfg.MoteSampleIntervals {
+		fmt.Fprintf(h, "|%d", d)
+	}
+	fmt.Fprintf(h, "|md%d", len(cfg.MoteDeltas))
+	for _, d := range cfg.MoteDeltas {
+		fmt.Fprintf(h, "|%x", math.Float64bits(d))
+	}
 	var buf [8]byte
 	for _, tr := range cfg.Traces {
 		fmt.Fprintf(h, "|%d|%v|%d|%d", tr.Start, tr.Interval, len(tr.Values), len(tr.Events))

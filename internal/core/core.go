@@ -75,6 +75,15 @@ type Config struct {
 	Flash          flash.Geometry
 	Delta          float64
 
+	// MoteSampleIntervals optionally overrides SampleInterval per mote,
+	// indexed by global mote index (len 0 or Proxies*MotesPerProxy; a zero
+	// entry keeps the global interval). Heterogeneous deployments set it —
+	// a 5-minute traffic counter lives next to a 1-minute thermometer.
+	MoteSampleIntervals []time.Duration
+	// MoteDeltas optionally overrides Delta per mote the same way (a
+	// vehicle count needs a wider push threshold than a temperature).
+	MoteDeltas []float64
+
 	// StoreBackend selects each domain's archival store backend: "mem"
 	// (default, in-memory) or "flash" (log-structured archive on simulated
 	// NAND — the paper's flash-archival proxy design).
@@ -133,6 +142,22 @@ func (c Config) Validate() error {
 	if len(c.Traces) < c.Proxies*c.MotesPerProxy {
 		return fmt.Errorf("core: %d traces for %d motes", len(c.Traces), c.Proxies*c.MotesPerProxy)
 	}
+	if n := c.Proxies * c.MotesPerProxy; len(c.MoteSampleIntervals) != 0 && len(c.MoteSampleIntervals) != n {
+		return fmt.Errorf("core: %d per-mote sample intervals for %d motes", len(c.MoteSampleIntervals), n)
+	}
+	if n := c.Proxies * c.MotesPerProxy; len(c.MoteDeltas) != 0 && len(c.MoteDeltas) != n {
+		return fmt.Errorf("core: %d per-mote deltas for %d motes", len(c.MoteDeltas), n)
+	}
+	for i, d := range c.MoteSampleIntervals {
+		if d < 0 {
+			return fmt.Errorf("core: negative sample interval %v for mote %d", d, i+1)
+		}
+	}
+	for i, d := range c.MoteDeltas {
+		if d < 0 {
+			return fmt.Errorf("core: negative delta %g for mote %d", d, i+1)
+		}
+	}
 	switch c.StoreBackend {
 	case "", "mem", "flash":
 	default:
@@ -152,6 +177,23 @@ func (c Config) Validate() error {
 			c.FirstShard, c.FirstShard+c.SiteShards, total)
 	}
 	return nil
+}
+
+// moteSampleInterval resolves mote mi's effective sampling period: the
+// per-mote override when one is set, the global interval otherwise.
+func (c Config) moteSampleInterval(mi int) time.Duration {
+	if mi < len(c.MoteSampleIntervals) && c.MoteSampleIntervals[mi] > 0 {
+		return c.MoteSampleIntervals[mi]
+	}
+	return c.SampleInterval
+}
+
+// moteDelta resolves mote mi's effective push threshold the same way.
+func (c Config) moteDelta(mi int) float64 {
+	if mi < len(c.MoteDeltas) && c.MoteDeltas[mi] > 0 {
+		return c.MoteDeltas[mi]
+	}
+	return c.Delta
 }
 
 // ---------------------------------------------------------------------------
@@ -415,10 +457,10 @@ func (n *Network) buildShard(si, slot, pi0, count int) (*shard, error) {
 		for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
 			mid := radio.NodeID(1 + mi)
 			mc := mote.DefaultConfig(mid, radio.NodeID(proxyIDBase+1+pi))
-			mc.SampleInterval = cfg.SampleInterval
+			mc.SampleInterval = cfg.moteSampleInterval(mi)
 			mc.LPLInterval = cfg.LPLInterval
 			mc.Flash = cfg.Flash
-			mc.Delta = cfg.Delta
+			mc.Delta = cfg.moteDelta(mi)
 			if cfg.Preset != nil {
 				cfg.Preset.Apply(&mc)
 			}
@@ -465,7 +507,7 @@ func (n *Network) wireReplication() {
 		// delivers.
 		for pi := 1; pi < cfg.Proxies; pi++ {
 			for mi := pi * cfg.MotesPerProxy; mi < (pi+1)*cfg.MotesPerProxy; mi++ {
-				wiredProxy.RegisterReplica(radio.NodeID(1+mi), cfg.SampleInterval, cfg.Delta)
+				wiredProxy.RegisterReplica(radio.NodeID(1+mi), cfg.moteSampleInterval(mi), cfg.moteDelta(mi))
 			}
 		}
 	}

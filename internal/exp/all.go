@@ -25,6 +25,7 @@ func All() []Experiment {
 		{"E13", "Flash archive aging: uniform vs wavelet tiers", E13WaveletAging},
 		{"E14", "Scatter-gather set queries vs per-mote loop", E14ScatterGather},
 		{"E15", "Multi-process cluster vs one process (loopback transport)", E15Cluster},
+		{"E16", "Named scenarios: seeded deployments, workloads, churn replay", E16Scenarios},
 		{"A1", "Ablation: model family", AblationModels},
 		{"A2", "Ablation: batch codec", AblationCompression},
 		{"A3", "Ablation: retraining period", AblationRetrain},

@@ -389,10 +389,44 @@ func TestE14Shape(t *testing.T) {
 	}
 }
 
+func TestE16Shape(t *testing.T) {
+	tab, err := E16Scenarios(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E16 rows = %d, want 3 (one per preset)", len(tab.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		seen[row[0]] = true
+		var arrivals float64
+		if _, err := fmtSscan(row[5], &arrivals); err != nil || arrivals <= 0 {
+			t.Fatalf("%s: bad arrivals cell %q", row[0], row[5])
+		}
+		if len(row[8]) != 12 || len(row[9]) != 12 {
+			t.Fatalf("%s: digest cells %q / %q", row[0], row[8], row[9])
+		}
+	}
+	if !seen["smoke"] || !seen["campus"] || !seen["city"] {
+		t.Fatalf("missing preset rows: %v", seen)
+	}
+	// The acceptance property at the experiment level: the table is
+	// byte-identical across runs — deployments, schedules and the churn
+	// replay all derive from the scenario seeds alone.
+	again, err := E16Scenarios(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.String() != again.String() {
+		t.Fatalf("E16 not reproducible:\n%s\nvs\n%s", tab.String(), again.String())
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

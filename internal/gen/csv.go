@@ -2,11 +2,19 @@ package gen
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"time"
+
+	"presto/internal/simtime"
 )
+
+// ErrNoSamples is returned by FromCSV when no row in the file yields a
+// parsable value in the requested column — the typed form lets callers
+// distinguish "wrong column" from a malformed file.
+var ErrNoSamples = errors.New("gen: csv contained no parsable samples")
 
 // FromCSV reads a trace from CSV so real-world data (e.g. the Intel Lab
 // trace this repository's generator substitutes for) can drive the
@@ -33,6 +41,7 @@ func FromCSV(r io.Reader, valueCol int, interval time.Duration) (*Trace, error) 
 	tr := &Trace{Interval: interval}
 	last := 0.0
 	have := false
+	skipped := 0
 	for _, row := range rows[1:] {
 		v := last
 		if valueCol < len(row) {
@@ -42,15 +51,21 @@ func FromCSV(r io.Reader, valueCol int, interval time.Duration) (*Trace, error) 
 			}
 		}
 		if !have {
-			// Leading gap before any valid sample: skip the rows entirely
-			// rather than inventing zeros.
+			// Leading gap before any valid sample: skip the rows rather
+			// than inventing zeros, but remember how many were dropped so
+			// the surviving samples keep their row-position timestamps.
+			skipped++
 			continue
 		}
 		tr.Values = append(tr.Values, v)
 		last = v
 	}
 	if len(tr.Values) == 0 {
-		return nil, fmt.Errorf("gen: csv contained no parsable samples in column %d", valueCol)
+		return nil, fmt.Errorf("%w in column %d", ErrNoSamples, valueCol)
 	}
+	// Row i of the file stays at time i*interval even when leading rows
+	// were unparsable; otherwise every sample would silently shift earlier
+	// by the length of the leading gap.
+	tr.Start = simtime.Time(skipped) * simtime.Time(interval)
 	return tr, nil
 }

@@ -1,10 +1,13 @@
 package gen
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"presto/internal/simtime"
 )
 
 func TestFromCSV(t *testing.T) {
@@ -56,8 +59,42 @@ func TestFromCSVErrors(t *testing.T) {
 	if _, err := FromCSV(strings.NewReader("header-only\n"), 0, time.Minute); err == nil {
 		t.Error("header-only csv accepted")
 	}
-	if _, err := FromCSV(strings.NewReader("h\nx\ny\n"), 0, time.Minute); err == nil {
-		t.Error("no parsable samples accepted")
+	if _, err := FromCSV(strings.NewReader("h\nx\ny\n"), 0, time.Minute); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("no parsable samples: got %v, want ErrNoSamples", err)
+	}
+}
+
+// TestFromCSVLeadingBadRowsKeepTimeBase: blank/unparsable rows before the
+// first valid sample are skipped (no invented zeros), but the surviving
+// samples must keep the timestamps their row positions imply — row i of
+// the file lives at i*interval whether or not earlier rows parsed.
+func TestFromCSVLeadingBadRowsKeepTimeBase(t *testing.T) {
+	in := "epoch,temp\n0,\n1,not-a-number\n2,21.0\n3,21.5\n"
+	tr, err := FromCSV(strings.NewReader(in), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != 2 || tr.Values[0] != 21.0 || tr.Values[1] != 21.5 {
+		t.Fatalf("values %v, want [21 21.5]", tr.Values)
+	}
+	if want := 2 * simtime.Minute; tr.Start != want {
+		t.Fatalf("trace starts at %v, want %v (two leading rows skipped)", tr.Start, want)
+	}
+	if got := tr.At(0); got != 2*simtime.Minute {
+		t.Fatalf("first sample at %v, want 2m", got)
+	}
+	// Value() honours the shifted base: asking at the skipped rows' times
+	// clamps to the first real sample instead of reading a phantom zero.
+	if v := tr.Value(3 * simtime.Minute); v != 21.5 {
+		t.Fatalf("Value(3m) = %v, want 21.5", v)
+	}
+	// A file with no leading gap still starts at zero.
+	clean, err := FromCSV(strings.NewReader("epoch,temp\n0,20.0\n"), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Start != 0 {
+		t.Fatalf("clean trace starts at %v, want 0", clean.Start)
 	}
 }
 

@@ -188,6 +188,75 @@ func injectEvents(rng *rand.Rand, tr *Trace, expected, amp float64, durSamples i
 	}
 }
 
+// RegionalConfig parameterizes correlated regional events: excursions
+// that hit every sensor in a region at the same instant (a heat front
+// crossing a neighbourhood, a power cut darkening a block). Per-sensor
+// events model local anomalies; regional events are what make "did
+// something happen over there" aggregates interesting at city scale.
+type RegionalConfig struct {
+	EventsPerDay float64       // Poisson rate of events per region
+	Days         int           // event-window length
+	Amp          float64       // mean peak excursion added to the baseline
+	Dur          time.Duration // mean event duration
+	Seed         int64
+}
+
+// InjectRegionalEvents adds Poisson-arriving half-sine excursions to
+// every trace of each region simultaneously: one event start, length and
+// sign per region-event, shared across the region's members with a small
+// deterministic per-member amplitude spread. Each member trace records
+// the event in its Events ground truth. Traces within a region may have
+// different intervals; the event is placed in time and converted to each
+// member's sample index.
+func InjectRegionalEvents(traces []*Trace, regions [][]int, c RegionalConfig) error {
+	if c.EventsPerDay < 0 || c.Days <= 0 {
+		return fmt.Errorf("gen: invalid regional config %+v", c)
+	}
+	if c.EventsPerDay == 0 || c.Amp == 0 || c.Dur <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	window := time.Duration(c.Days) * 24 * time.Hour
+	for _, region := range regions {
+		count := poisson(rng, c.EventsPerDay*float64(c.Days))
+		for e := 0; e < count; e++ {
+			at := time.Duration(rng.Int63n(int64(window)))
+			dur := c.Dur/2 + time.Duration(rng.Int63n(int64(c.Dur)+1))
+			peak := c.Amp * (0.7 + 0.6*rng.Float64())
+			if rng.Intn(2) == 0 {
+				peak = -peak
+			}
+			for _, ti := range region {
+				if ti < 0 || ti >= len(traces) {
+					return fmt.Errorf("gen: region member %d outside %d traces", ti, len(traces))
+				}
+				tr := traces[ti]
+				if len(tr.Values) == 0 {
+					continue
+				}
+				// Slight per-member spread, deterministic in (member, event).
+				scale := 0.85 + 0.3*rng.Float64()
+				start := int((simtime.Time(at) - tr.Start) / simtime.Time(tr.Interval))
+				length := int(dur / tr.Interval)
+				if length < 1 {
+					length = 1
+				}
+				if start >= len(tr.Values) {
+					continue
+				}
+				if start < 0 {
+					start = 0
+				}
+				for i := 0; i < length && start+i < len(tr.Values); i++ {
+					tr.Values[start+i] += peak * scale * math.Sin(math.Pi*float64(i)/float64(length))
+				}
+				tr.Events = append(tr.Events, EventMark{Index: start, Length: length, Peak: peak * scale})
+			}
+		}
+	}
+	return nil
+}
+
 // poisson draws from Poisson(lambda) via Knuth's method (lambda is small
 // in all our workloads).
 func poisson(rng *rand.Rand, lambda float64) int {

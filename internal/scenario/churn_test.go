@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"presto/internal/query"
+	"presto/internal/simtime"
+)
+
+// TestScenarioChurnConverges is the scenario-driven chaos acceptance: a
+// small scenario whose environment schedules a site kill, a re-join and
+// a live domain migration converges bit-identically to a no-churn
+// control — every clean round of a standing aggregate and a final
+// one-shot over the disturbed window match, while the dark rounds
+// report the outage explicitly.
+func TestScenarioChurnConverges(t *testing.T) {
+	ctx := context.Background()
+	spec, err := Preset("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := spec
+	churned.Environment.Churn = []ChurnAction{
+		{At: dur(time.Hour), Op: "kill", Site: 1},
+		{At: dur(3 * time.Hour), Op: "rejoin", Site: 1},
+		{At: dur(3*time.Hour + 30*time.Minute), Op: "migrate", Domain: 3, To: 0},
+	}
+	if err := churned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	standing := query.Spec{
+		Type: query.Agg, Agg: query.Mean, Precision: 0.5, Trailing: time.Hour,
+		Continuous: &query.Continuous{Every: 30 * time.Minute, Until: 4 * time.Hour},
+	}
+	const rounds = 8
+
+	// Control: the same generated universe, never harmed.
+	ctrlSc, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := ctrlSc.StartCluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	if err := control.Co.Run(ctx, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ctrlStream, err := control.Co.Client().Query(ctx, standing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := control.Co.Run(ctx, 4*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var want []query.SetResult
+	for r := range ctrlStream.Results() {
+		want = append(want, r)
+	}
+	if len(want) != rounds {
+		t.Fatalf("control delivered %d rounds, want %d", len(want), rounds)
+	}
+
+	// Chaos: identical universe, the scenario's churn schedule applied.
+	chaosSc, err := Generate(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaosSc.DeploymentDigest() != ctrlSc.DeploymentDigest() {
+		t.Fatal("churn schedule changed the generated deployment")
+	}
+	chaos, err := chaosSc.StartCluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Close()
+	if err := chaos.Co.Run(ctx, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := chaos.Co.Client().Query(ctx, standing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the rounds due at each churn instant so checkpoints and
+	// migrations never race a settling batch.
+	var got []query.SetResult
+	settle := func(elapsed time.Duration) error {
+		due := int(elapsed / (30 * time.Minute))
+		if due > rounds {
+			due = rounds
+		}
+		for len(got) < due {
+			got = append(got, <-stream.Results())
+		}
+		return nil
+	}
+	if err := chaos.RunChurn(ctx, 4*time.Hour, settle); err != nil {
+		t.Fatal(err)
+	}
+	for r := range stream.Results() {
+		got = append(got, r)
+	}
+	if len(got) != rounds {
+		t.Fatalf("chaos run delivered %d rounds, want %d", len(got), rounds)
+	}
+	h := chaos.Co.Health()
+	if h.Rejoins != 1 || h.Migrations != 1 {
+		t.Fatalf("health after churn: rejoins=%d migrations=%d", h.Rejoins, h.Migrations)
+	}
+	if !h.Sites[1].Alive {
+		t.Fatal("re-joined site not alive in health")
+	}
+
+	// Rounds 0-1 fire before the kill, 2-5 during the outage (the killed
+	// site hosts 2 domains x 2 motes), 6-7 after re-join and around the
+	// migration. Clean rounds must be bit-identical to control.
+	for i, w := range want {
+		g := got[i]
+		if g.At != w.At || g.Seq != w.Seq {
+			t.Fatalf("round %d fired at %v/seq %d, control %v/%d", i, g.At, g.Seq, w.At, w.Seq)
+		}
+		if i >= 2 && i < 6 {
+			if len(g.SiteErrs) != 1 || g.SiteErrs[0].Site != 1 || g.Failed != 4 {
+				t.Fatalf("round %d during outage: %+v", i, g)
+			}
+			continue
+		}
+		if len(g.SiteErrs) != 0 || g.Failed != 0 {
+			t.Fatalf("round %d not clean: %+v", i, g)
+		}
+		if g.Value != w.Value || g.ErrBound != w.ErrBound || g.Count != w.Count {
+			t.Fatalf("round %d diverged: (%v ± %v, n=%d) vs control (%v ± %v, n=%d)",
+				i, g.Value, g.ErrBound, g.Count, w.Value, w.ErrBound, w.Count)
+		}
+	}
+
+	// A final one-shot spanning the outage window: the restored site's
+	// state, not just its round answers, matches the control.
+	now := chaos.Co.Now()
+	one := query.Spec{Type: query.Agg, Agg: query.Mean, Precision: 0.5,
+		T0: now - 4*simtime.Hour, T1: now - simtime.Hour}
+	ref, err := control.Co.Client().QueryOne(ctx, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chaos.Co.Client().QueryOne(ctx, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != ref.Value || res.ErrBound != ref.ErrBound || res.Count != ref.Count || len(res.SiteErrs) != 0 {
+		t.Fatalf("post-churn aggregate (%v ± %v, n=%d) != control (%v ± %v, n=%d)",
+			res.Value, res.ErrBound, res.Count, ref.Value, ref.ErrBound, ref.Count)
+	}
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"presto/internal/query"
+)
+
+// dur shortens the preset literals.
+func dur(d time.Duration) query.Dur { return query.Dur(d) }
+
+// presets are the named scenarios: "smoke" is the CI-sized cluster,
+// "campus" the mid-size heterogeneous deployment, "city" the 10⁴-mote
+// multi-site acceptance target. Each is a plain Spec — dump one with
+// presto-scenario -preset X -out x.json and edit from there.
+func presets() map[string]Spec {
+	stdWorkload := func(tenants int, qps float64) Workload {
+		return Workload{
+			Tenants:      tenants,
+			BaseQPS:      qps,
+			DiurnalAmp:   0.6,
+			PeakHour:     14,
+			BurstsPerDay: 4,
+			BurstFactor:  6,
+			BurstDur:     dur(10 * time.Minute),
+			Horizon:      dur(24 * time.Hour),
+			PairLoose:    0.5,
+			Cohorts:      4,
+			Templates: []QueryTemplate{
+				// The overlapping trailing aggregates many tenants pose.
+				{Weight: 4, Type: "agg", Agg: "mean", Trailing: dur(2 * time.Hour),
+					Precision: 0.5, LoosePrecision: 1.5, MaxStaleness: dur(6 * time.Hour)},
+				{Weight: 2, Type: "agg", Agg: "max", Trailing: dur(time.Hour),
+					Precision: 0.5, LoosePrecision: 2.0, MaxStaleness: dur(6 * time.Hour)},
+				// Fleet and cohort snapshots.
+				{Weight: 2, Type: "now", Precision: 1.0, LoosePrecision: 2.0,
+					MaxStaleness: dur(6 * time.Hour)},
+				{Weight: 1, Type: "now", Precision: 1.0, Motes: 4,
+					MaxStaleness: dur(6 * time.Hour)},
+				// A fixed-window look back at the first morning.
+				{Weight: 1, Type: "agg", Agg: "mean", T0: dur(1 * time.Hour), T1: dur(4 * time.Hour),
+					Precision: 0.5, LoosePrecision: 2.0, MaxStaleness: dur(6 * time.Hour)},
+			},
+		}
+	}
+
+	smoke := Spec{
+		Name: "smoke",
+		Seed: 1,
+		Deployment: Deployment{
+			Proxies:       4,
+			MotesPerProxy: 2,
+			Shards:        4,
+			Sites:         2,
+			Days:          2,
+			Mix: []SensorMix{
+				{Kind: "temp", Weight: 3},
+				{Kind: "traffic", Weight: 1, SampleInterval: dur(5 * time.Minute), Delta: 20},
+			},
+		},
+		Workload: func() Workload {
+			w := stdWorkload(3, 0.002) // ~170 arrivals/day: CI-sized
+			w.Horizon = dur(12 * time.Hour)
+			return w
+		}(),
+		Environment: Environment{
+			Regional: Regional{EventsPerDay: 1, RegionProxies: 2, Amp: 5, Duration: dur(30 * time.Minute)},
+		},
+	}
+
+	campus := Spec{
+		Name: "campus",
+		Seed: 7,
+		Deployment: Deployment{
+			Proxies:       16,
+			MotesPerProxy: 4,
+			Shards:        8,
+			Sites:         2,
+			Days:          2,
+			Mix: []SensorMix{
+				{Kind: "temp", Weight: 2},
+				{Kind: "activity", Weight: 1, SampleInterval: dur(5 * time.Minute), Delta: 10},
+				{Kind: "traffic", Weight: 1, SampleInterval: dur(5 * time.Minute), Delta: 20},
+			},
+		},
+		Workload: stdWorkload(6, 0.01),
+		Environment: Environment{
+			RadioLoss: 0.01,
+			Regional:  Regional{EventsPerDay: 0.5, RegionProxies: 4, Amp: 6, Duration: dur(45 * time.Minute)},
+		},
+	}
+
+	city := Spec{
+		Name: "city",
+		Seed: 42,
+		Deployment: Deployment{
+			Proxies:        2500,
+			MotesPerProxy:  4, // 10,000 motes
+			Shards:         16,
+			Sites:          4,
+			Days:           1,
+			SampleInterval: dur(5 * time.Minute),
+			Mix: []SensorMix{
+				{Kind: "temp", Weight: 2},
+				{Kind: "activity", Weight: 1, Delta: 10},
+				{Kind: "traffic", Weight: 1, Delta: 20},
+			},
+		},
+		Workload: stdWorkload(12, 0.05),
+		Environment: Environment{
+			RadioLoss: 0.02,
+			Regional:  Regional{EventsPerDay: 0.2, RegionProxies: 50, Amp: 8, Duration: dur(time.Hour)},
+			Churn: []ChurnAction{
+				{At: dur(4 * time.Hour), Op: "kill", Site: 3},
+				{At: dur(6 * time.Hour), Op: "rejoin", Site: 3},
+				{At: dur(8 * time.Hour), Op: "migrate", Domain: 15, To: 0},
+			},
+		},
+	}
+
+	return map[string]Spec{"smoke": smoke, "campus": campus, "city": city}
+}
+
+// Preset returns a named built-in scenario spec.
+func Preset(name string) (Spec, error) {
+	s, ok := presets()[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}
+
+// PresetNames lists the built-in scenarios, sorted.
+func PresetNames() []string {
+	var names []string
+	for n := range presets() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"presto/internal/cluster"
+)
+
+// Cluster runs a generated scenario as a multi-site deployment inside
+// one process: the coordinator plus Sites-1 site goroutines over the
+// loopback transport, each a stand-in for an OS process (cancelling its
+// context is the in-process equivalent of kill -9). The churn schedule
+// in the scenario's environment drives the elastic seam: kills,
+// re-joins (restored from an automatic pre-kill checkpoint) and live
+// domain migrations, interleaved with virtual-time advances.
+type Cluster struct {
+	Co *cluster.Coordinator
+
+	sc    *Scenario
+	tr    cluster.Transport
+	sites []*siteProc // handles for site slots 1..Sites-1, in launch order
+}
+
+// siteProc is one simulated site process: its kill switch and exit
+// channel.
+type siteProc struct {
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// StartCluster boots the scenario as a loopback cluster: Listen, launch
+// the site goroutines, accept them and start sampling. Single-site
+// scenarios are an error — build the Config directly with core.Build.
+//
+// With more than two sites, which goroutine lands in which site slot is
+// join-order dependent; churn actions address slots, and every site
+// goroutine is interchangeable (same config), so the schedule still
+// makes sense — but per-slot assertions should count dead sites rather
+// than name them.
+func (s *Scenario) StartCluster(ctx context.Context) (*Cluster, error) {
+	sites := s.Spec.Deployment.Sites
+	if sites < 2 {
+		return nil, fmt.Errorf("scenario %q: %d site(s) is not a cluster", s.Spec.Name, sites)
+	}
+	tr := cluster.NewLoopback()
+	co, err := cluster.Listen(tr, "", s.Config, cluster.Options{Sites: sites})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Co: co, sc: s, tr: tr}
+	for i := 1; i < sites; i++ {
+		c.sites = append(c.sites, c.launchSite(ctx))
+	}
+	if err := co.AcceptSites(ctx); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := co.Start(ctx); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// launchSite starts one site goroutine serving the scenario's config.
+func (c *Cluster) launchSite(ctx context.Context) *siteProc {
+	siteCtx, cancel := context.WithCancel(ctx)
+	p := &siteProc{cancel: cancel, done: make(chan error, 1)}
+	go func() { p.done <- cluster.Serve(siteCtx, c.tr, c.Co.Addr(), c.sc.Config) }()
+	return p
+}
+
+// RunChurn advances the cluster horizon of virtual time, executing the
+// scenario's churn schedule at the scheduled instants (offsets from this
+// call). A kill checkpoints every domain first — the restore source the
+// later re-join is defined to use — then cancels the site process and
+// waits for it to exit. A re-join launches a fresh site process and
+// re-admits it through the coordinator, which restores and replays the
+// dead window. A migrate moves the domain live.
+//
+// Checkpoints and migrations must not race continuous-query rounds that
+// are still settling. settle (may be nil) is called after each advance
+// segment, before the due churn action applies: a caller holding
+// standing streams drains the rounds delivered so far there, which
+// guarantees the collectors are quiescent.
+func (c *Cluster) RunChurn(ctx context.Context, horizon time.Duration, settle func(elapsed time.Duration) error) error {
+	cursor := time.Duration(0)
+	step := func(to time.Duration) error {
+		if to <= cursor {
+			return nil
+		}
+		if err := c.Co.Run(ctx, to-cursor); err != nil {
+			return err
+		}
+		cursor = to
+		if settle != nil {
+			return settle(cursor)
+		}
+		return nil
+	}
+	for i, a := range c.sc.Spec.Environment.Churn {
+		at := time.Duration(a.At)
+		if at > horizon {
+			break
+		}
+		if err := step(at); err != nil {
+			return err
+		}
+		if err := c.apply(ctx, a); err != nil {
+			return fmt.Errorf("scenario %q: churn action %d (%s at %v): %w",
+				c.sc.Spec.Name, i, a.Op, at, err)
+		}
+	}
+	return step(horizon)
+}
+
+// apply executes one churn action.
+func (c *Cluster) apply(ctx context.Context, a ChurnAction) error {
+	switch a.Op {
+	case "kill":
+		p := c.sites[a.Site-1]
+		if p == nil {
+			return fmt.Errorf("site already dead")
+		}
+		// Checkpoint while everyone is alive: what Rejoin restores from.
+		if _, err := c.Co.CheckpointDomains(ctx); err != nil {
+			return err
+		}
+		p.cancel()
+		if err := <-p.done; err != nil && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("killed site exited with %w", err)
+		}
+		c.sites[a.Site-1] = nil
+		return nil
+	case "rejoin":
+		if c.sites[a.Site-1] != nil {
+			return fmt.Errorf("site still alive")
+		}
+		c.sites[a.Site-1] = c.launchSite(ctx)
+		return c.Co.Rejoin(ctx)
+	case "migrate":
+		return c.Co.MigrateDomain(ctx, a.Domain, a.To)
+	default:
+		return fmt.Errorf("unknown op %q", a.Op)
+	}
+}
+
+// Close tears the cluster down: coordinator first (a clean session close
+// for the sites), then any still-running site goroutines.
+func (c *Cluster) Close() {
+	c.Co.Close()
+	for _, p := range c.sites {
+		if p == nil {
+			continue
+		}
+		p.cancel()
+		<-p.done
+	}
+}

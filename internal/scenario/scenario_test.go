@@ -1,0 +1,230 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"presto/internal/query"
+)
+
+// TestPresetsValidate: every built-in scenario passes its own validator
+// and survives an encode/decode round trip unchanged.
+func TestPresetsValidate(t *testing.T) {
+	names := PresetNames()
+	if len(names) == 0 {
+		t.Fatal("no presets")
+	}
+	for _, name := range names {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodeJSON(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		b2, err := back.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("%s: spec changed across a JSON round trip", name)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("unknown preset error: %v", err)
+	}
+}
+
+// TestDecodeJSONStrict: unknown fields and invalid specs are refused.
+func TestDecodeJSONStrict(t *testing.T) {
+	if _, err := DecodeJSON([]byte(`{"name":"x","typo_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeJSON([]byte(`{"name":"x","seed":1,"deployment":{"proxies":0}}`)); err == nil {
+		t.Fatal("invalid deployment accepted")
+	}
+}
+
+// TestGenerateDeterministic is the reproducibility property: the same
+// Spec generates a byte-identical deployment (config, every trace
+// value, every injected event) and an identical query-arrival schedule,
+// across independent Generate calls. Run under -race in CI.
+func TestGenerateDeterministic(t *testing.T) {
+	names := []string{"smoke", "campus"}
+	if !testing.Short() {
+		names = append(names, "city")
+	}
+	digests := make(map[string]string)
+	for _, name := range names {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if da, db := a.DeploymentDigest(), b.DeploymentDigest(); da != db {
+			t.Fatalf("%s: deployment digests differ: %s vs %s", name, da, db)
+		}
+		if wa, wb := a.WorkloadDigest(), b.WorkloadDigest(); wa != wb {
+			t.Fatalf("%s: workload digests differ: %s vs %s", name, wa, wb)
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("%s: combined digests differ", name)
+		}
+		digests[name] = a.Digest()
+
+		// The standalone workload path (what presto-load uses, no trace
+		// synthesis) must produce the identical schedule.
+		arr, err := GenerateWorkload(spec)
+		if err != nil {
+			t.Fatalf("%s: standalone workload: %v", name, err)
+		}
+		if len(arr) != len(a.Arrivals) {
+			t.Fatalf("%s: standalone workload has %d arrivals, embedded %d",
+				name, len(arr), len(a.Arrivals))
+		}
+		for i := range arr {
+			x, y := arr[i], a.Arrivals[i]
+			if x.At != y.At || x.Tenant != y.Tenant || x.Loose != y.Loose ||
+				!bytes.Equal(x.SpecJSON, y.SpecJSON) {
+				t.Fatalf("%s: arrival %d differs: %+v vs %+v", name, i, x, y)
+			}
+		}
+
+		// A different seed must not reproduce the same universe.
+		spec.Seed++
+		c, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: reseed: %v", name, err)
+		}
+		if c.Digest() == a.Digest() {
+			t.Fatalf("%s: seed change did not change the digest", name)
+		}
+	}
+	// Distinct scenarios are distinct universes.
+	if digests["smoke"] == digests["campus"] {
+		t.Fatal("smoke and campus share a digest")
+	}
+}
+
+// TestGenerateShape pins the structural claims: heterogeneous mixes
+// yield per-mote overrides, regional events land as marked excursions,
+// and arrivals follow the workload knobs (tenants, pairing, horizon).
+func TestGenerateShape(t *testing.T) {
+	spec, err := Preset("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motes := spec.Deployment.Motes()
+	if got := len(sc.Config.Traces); got != motes {
+		t.Fatalf("generated %d traces for %d motes", got, motes)
+	}
+	if len(sc.Kinds) != motes {
+		t.Fatalf("kinds slice has %d entries", len(sc.Kinds))
+	}
+	kinds := map[string]int{}
+	for _, k := range sc.Kinds {
+		kinds[k]++
+	}
+	if kinds["temp"] == 0 || kinds["traffic"] == 0 {
+		t.Fatalf("mix not heterogeneous: %v", kinds)
+	}
+	// The traffic motes carry their mix's overrides.
+	if len(sc.Config.MoteSampleIntervals) != motes || len(sc.Config.MoteDeltas) != motes {
+		t.Fatalf("override slices: %d/%d entries",
+			len(sc.Config.MoteSampleIntervals), len(sc.Config.MoteDeltas))
+	}
+	for mi, k := range sc.Kinds {
+		if k == "traffic" {
+			if sc.Config.MoteSampleIntervals[mi] != 5*time.Minute || sc.Config.MoteDeltas[mi] != 20 {
+				t.Fatalf("traffic mote %d overrides: %v / %v",
+					mi, sc.Config.MoteSampleIntervals[mi], sc.Config.MoteDeltas[mi])
+			}
+		} else if sc.Config.MoteSampleIntervals[mi] != 0 || sc.Config.MoteDeltas[mi] != 0 {
+			t.Fatalf("temp mote %d should keep the global defaults", mi)
+		}
+	}
+	// Regional events were injected and marked.
+	events := 0
+	for _, tr := range sc.Config.Traces {
+		events += len(tr.Events)
+	}
+	if events == 0 {
+		t.Fatal("no regional events injected")
+	}
+
+	// Workload: every arrival inside the horizon, tenants within range,
+	// loose arrivals present (PairLoose 0.5) and strictly paired after a
+	// tight ask, all specs decodable.
+	if len(sc.Arrivals) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	horizon := 12 * time.Hour
+	loose := 0
+	for i, a := range sc.Arrivals {
+		if a.At < 0 || a.At > horizon+time.Minute {
+			t.Fatalf("arrival %d at %v outside the %v horizon", i, a.At, horizon)
+		}
+		if !strings.HasPrefix(a.Tenant, "tenant-") {
+			t.Fatalf("arrival %d tenant %q", i, a.Tenant)
+		}
+		if i > 0 && a.At < sc.Arrivals[i-1].At {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if _, err := query.DecodeSpecJSON(a.SpecJSON); err != nil {
+			t.Fatalf("arrival %d spec does not decode: %v", i, err)
+		}
+		if a.Loose {
+			loose++
+			if a.Spec.Precision <= 0 {
+				t.Fatalf("loose arrival %d without a precision", i)
+			}
+		}
+	}
+	if loose == 0 {
+		t.Fatal("no loose-paired arrivals despite PairLoose > 0")
+	}
+}
+
+// TestGenerateCityScale is the acceptance floor: the city preset is a
+// >= 10^4-mote, multi-site deployment. Trace synthesis at that scale is
+// a second or two — skipped in -short.
+func TestGenerateCityScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale generation in -short mode")
+	}
+	spec, err := Preset("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if motes := spec.Deployment.Motes(); motes < 10000 || len(sc.Config.Traces) != motes {
+		t.Fatalf("city fleet: %d motes, %d traces", motes, len(sc.Config.Traces))
+	}
+	if spec.Deployment.Sites < 2 {
+		t.Fatalf("city is not multi-site: %d", spec.Deployment.Sites)
+	}
+	if err := sc.Config.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

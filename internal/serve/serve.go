@@ -49,6 +49,10 @@ type Config struct {
 	// QueryTimeout bounds one-shot query execution; 0 means
 	// DefaultQueryTimeout.
 	QueryTimeout time.Duration
+	// Scenario labels the deployment this tier fronts (the scenario spec
+	// name when booted with prestod -scenario); surfaced on /statsz so
+	// load drivers can confirm they hit the universe they generated.
+	Scenario string
 }
 
 // DefaultQueryTimeout bounds a one-shot query's wall-clock execution.
@@ -268,6 +272,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Stats is the /statsz document.
 type Stats struct {
+	Scenario      string         `json:"scenario,omitempty"`
 	UptimeSeconds float64        `json:"uptime_s"`
 	VirtualNow    string         `json:"virtual_now"`
 	Queries       uint64         `json:"queries"`
@@ -322,6 +327,7 @@ func (s *Server) Snapshot() Stats {
 		cluster = &ch
 	}
 	return Stats{
+		Scenario:      s.cfg.Scenario,
 		Cluster:       cluster,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		VirtualNow:    s.eng.Now().String(),
