@@ -5,7 +5,11 @@
 // Usage:
 //
 //	presto-load [-addr URL] [-duration D] [-concurrency N] [-tenant S]
-//	            [-scenario file.json|preset]
+//	            [-scenario file.json|preset] [-explain N]
+//
+// -explain N poses every Nth request with ?explain=1 and tallies the
+// routing decisions (cache-hit, model-hit, replica-hit, rendezvous, …)
+// the server's trace reports, printing the mix at the end of the burst.
 //
 // By default the workload rotates through fleet NOW snapshots, trailing
 // and fixed-window aggregates at a few precisions, so repeated questions
@@ -34,6 +38,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,8 +64,9 @@ var workload = []string{
 
 // job is one request a worker should pose.
 type job struct {
-	body   string
-	tenant string
+	body    string
+	tenant  string
+	explain bool
 }
 
 // counters aggregates the burst's client-side outcome.
@@ -69,8 +75,10 @@ type counters struct {
 	hits      atomic.Uint64
 	throttled atomic.Uint64
 	failed    atomic.Uint64
+	explained atomic.Uint64
 	mu        sync.Mutex
 	latencies []float64
+	routes    map[string]uint64 // routing decisions from explained requests
 }
 
 func main() {
@@ -82,6 +90,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "concurrent client workers")
 	tenant := flag.String("tenant", "presto-load", "X-Presto-Tenant header value (default mix only; scenario arrivals carry their own)")
 	scenarioFlag := flag.String("scenario", "", "replay this scenario's workload schedule: a spec JSON file from presto-scenario, or a built-in preset name")
+	explainEvery := flag.Int("explain", 0, "pose every Nth request with ?explain=1 and report the server's routing-decision mix (0 = never)")
 	flag.Parse()
 
 	base := strings.TrimRight(*addr, "/")
@@ -104,9 +113,9 @@ func main() {
 		scheduled = len(arrivals)
 		fmt.Printf("scenario: replaying %q — %d scheduled arrivals compressed onto %v\n",
 			spec.Name, scheduled, *duration)
-		replayed = replayScenario(client, base, arrivals, *duration, *concurrency, &ct)
+		replayed = replayScenario(client, base, arrivals, *duration, *concurrency, *explainEvery, &ct)
 	} else {
-		runMix(client, base, *tenant, *duration, *concurrency, &ct)
+		runMix(client, base, *tenant, *duration, *concurrency, *explainEvery, &ct)
 	}
 
 	n := ct.sent.Load()
@@ -122,6 +131,14 @@ func main() {
 	}
 	fmt.Printf("client-observed cache hits: %d/%d, throttled: %d, failed: %d\n",
 		ct.hits.Load(), n, ct.throttled.Load(), ct.failed.Load())
+	if explained := ct.explained.Load(); explained > 0 {
+		parts := make([]string, 0, len(ct.routes))
+		for _, k := range sortedKeys(ct.routes) {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, ct.routes[k]))
+		}
+		fmt.Printf("explain: %d traced requests, routing decisions: %s\n",
+			explained, strings.Join(parts, " "))
+	}
 
 	// The server's own view: cache ratio and admission counters.
 	if resp, err := client.Get(base + "/statsz"); err == nil {
@@ -150,6 +167,16 @@ func main() {
 	}
 }
 
+// sortedKeys returns m's keys in stable order for the report line.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // loadSpec resolves -scenario: an existing JSON file wins, otherwise the
 // value names a built-in preset.
 func loadSpec(v string) (scenario.Spec, error) {
@@ -161,7 +188,7 @@ func loadSpec(v string) (scenario.Spec, error) {
 
 // runMix is the default time-bounded burst: every worker rotates through
 // the workload mix until the deadline.
-func runMix(client *http.Client, base, tenant string, d time.Duration, workers int, ct *counters) {
+func runMix(client *http.Client, base, tenant string, d time.Duration, workers, explainEvery int, ct *counters) {
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -169,7 +196,8 @@ func runMix(client *http.Client, base, tenant string, d time.Duration, workers i
 		go func(w int) {
 			defer wg.Done()
 			for i := w; time.Now().Before(deadline); i++ {
-				post(client, base, job{body: workload[i%len(workload)], tenant: tenant}, ct)
+				explain := explainEvery > 0 && i%explainEvery == 0
+				post(client, base, job{body: workload[i%len(workload)], tenant: tenant, explain: explain}, ct)
 			}
 		}(w)
 	}
@@ -180,7 +208,7 @@ func runMix(client *http.Client, base, tenant string, d time.Duration, workers i
 // each arrival at its scheduled instant scaled from the scenario horizon
 // onto the burst duration, under the tenant the schedule assigned.
 // Returns how many arrivals were dispatched before the deadline.
-func replayScenario(client *http.Client, base string, arrivals []scenario.Arrival, d time.Duration, workers int, ct *counters) int {
+func replayScenario(client *http.Client, base string, arrivals []scenario.Arrival, d time.Duration, workers, explainEvery int, ct *counters) int {
 	span := arrivals[len(arrivals)-1].At
 	if span <= 0 {
 		span = time.Second
@@ -208,7 +236,8 @@ func replayScenario(client *http.Client, base string, arrivals []scenario.Arriva
 		if time.Since(start) > d {
 			break
 		}
-		jobs <- job{body: string(a.SpecJSON), tenant: a.Tenant}
+		explain := explainEvery > 0 && dispatched%explainEvery == 0
+		jobs <- job{body: string(a.SpecJSON), tenant: a.Tenant, explain: explain}
 		dispatched++
 	}
 	close(jobs)
@@ -216,10 +245,16 @@ func replayScenario(client *http.Client, base string, arrivals []scenario.Arriva
 	return dispatched
 }
 
-// post poses one query and books the outcome.
+// post poses one query and books the outcome. Explained requests carry
+// ?explain=1 and unwrap the trace envelope: the inner result is checked
+// like any answer, and the per-mote routing decisions are tallied.
 func post(client *http.Client, base string, j job, ct *counters) {
 	start := time.Now()
-	req, err := http.NewRequest("POST", base+"/v1/query", strings.NewReader(j.body))
+	url := base + "/v1/query"
+	if j.explain {
+		url += "?explain=1"
+	}
+	req, err := http.NewRequest("POST", url, strings.NewReader(j.body))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -236,7 +271,33 @@ func post(client *http.Client, base string, j job, ct *counters) {
 	ct.sent.Add(1)
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if res, err := query.DecodeSetResultJSON(buf); err != nil || res.Err != nil {
+		answer := buf
+		if j.explain {
+			var eb struct {
+				Result json.RawMessage `json:"result"`
+				Trace  struct {
+					Routes []struct {
+						Decision string `json:"decision"`
+					} `json:"routes"`
+				} `json:"trace"`
+			}
+			if err := json.Unmarshal(buf, &eb); err != nil {
+				ct.failed.Add(1)
+				fmt.Fprintf(os.Stderr, "presto-load: bad explain envelope for %s: %v\n", j.body, err)
+				return
+			}
+			answer = eb.Result
+			ct.explained.Add(1)
+			ct.mu.Lock()
+			if ct.routes == nil {
+				ct.routes = make(map[string]uint64)
+			}
+			for _, r := range eb.Trace.Routes {
+				ct.routes[r.Decision]++
+			}
+			ct.mu.Unlock()
+		}
+		if res, err := query.DecodeSetResultJSON(answer); err != nil || res.Err != nil {
 			ct.failed.Add(1)
 			fmt.Fprintf(os.Stderr, "presto-load: bad answer for %s: %v / %v\n", j.body, err, res.Err)
 			return

@@ -10,6 +10,7 @@
 //	        [-queries N] [-precision F] [-loss F] [-seed N] [-v]
 //	        [-store mem|flash] [-aging wavelet[:tiers]|uniform]
 //	        [-max-staleness D] [-every D] [-http addr [-http-qps F]]
+//	        [-pprof] [-slow-query D] [-runtime-trace file]
 //	        [-listen addr -sites N [-wired] | -join addr [-wired]]
 //	        [-scenario file.json|preset]
 //
@@ -30,6 +31,15 @@
 // event, in-flight queries drain, cluster sites are stopped — no
 // kill -9 required. -http works in cluster mode too (give it to the
 // coordinator; sites need only -join).
+//
+// Observability: the HTTP tier always serves Prometheus-text metrics at
+// GET /metricsz, and POST /v1/query?explain=1 returns the per-query
+// trace (spans plus every per-mote routing decision) alongside the
+// result. -slow-query additionally logs any query slower than the
+// given wall time with its trace; -pprof mounts net/http/pprof under
+// /debug/pprof/ on the same address; -runtime-trace captures a Go
+// execution trace of the whole run to a file (any mode, not just
+// -http).
 //
 // With -shards > 1 the deployment is partitioned into that many
 // concurrent simulation domains (one worker per domain) and queries run
@@ -79,8 +89,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	rtrace "runtime/trace"
 	"syscall"
 	"time"
 
@@ -124,8 +136,26 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the HTTP/JSON query API on this address after bootstrap (e.g. :8080) instead of the built-in query mix")
 	httpQPS := flag.Float64("http-qps", 0, "per-tenant admission rate for the HTTP tier in queries/sec (0 = unlimited)")
 	httpPace := flag.Duration("http-pace", 0, "virtual time advanced per wall second in -http mode (0 = as fast as possible, then freeze at the horizon); standing queries need an advancing clock")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
+	rtTrace := flag.String("runtime-trace", "", "write a runtime/trace capture of the run to this file")
+	slowQuery := flag.Duration("slow-query", 0, "-http mode: log queries slower than this wall time with their trace (0 = off)")
 	verbose := flag.Bool("v", false, "print per-mote details")
 	flag.Parse()
+	httpPprof, httpSlowQuery = *pprofFlag, *slowQuery
+
+	if *rtTrace != "" {
+		f, err := os.Create(*rtTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
 
 	// One signal context for every mode: SIGINT/SIGTERM begin a graceful
 	// drain instead of killing the process mid-round.
@@ -404,6 +434,14 @@ func main() {
 // deployment came from plain flags); it labels the HTTP tier's /statsz.
 var scenarioLabel string
 
+// HTTP-tier observability knobs, set once from flags in main and read
+// by serveHTTP — package-level like scenarioLabel so the cluster path
+// need not thread them through runClusterCoordinator.
+var (
+	httpPprof     bool
+	httpSlowQuery time.Duration
+)
+
 // loadScenarioSpec resolves -scenario: an existing JSON file wins,
 // otherwise the value names a built-in preset.
 func loadScenarioSpec(v string) (scenario.Spec, error) {
@@ -617,13 +655,38 @@ func (e clusterEngine) ClusterHealth() serve.ClusterHealth {
 	if h.LastCheckpoint > 0 {
 		ch.LastCheckpoint = h.LastCheckpoint.String()
 	}
+	stats := e.Coordinator.SiteStats() // indexed site-1; site 0 has no connection
 	for _, sh := range h.Sites {
 		if sh.Alive {
 			ch.SitesAlive++
 		}
-		ch.Sites = append(ch.Sites, serve.ClusterSiteHealth{Site: sh.Site, Domains: sh.Domains, Alive: sh.Alive})
+		csh := serve.ClusterSiteHealth{Site: sh.Site, Domains: sh.Domains, Alive: sh.Alive}
+		if sh.Site >= 1 && sh.Site <= len(stats) {
+			st := stats[sh.Site-1]
+			csh.FramesSent, csh.FramesRecv = st.Sent, st.Recv
+			csh.WireSentBytes, csh.WireRecvBytes = st.SentBytes, st.RecvBytes
+			csh.SentKindBytes = kindBytes(st.SentKindBytes)
+			csh.RecvKindBytes = kindBytes(st.RecvKindBytes)
+		}
+		ch.Sites = append(ch.Sites, csh)
 	}
 	return ch
+}
+
+// kindBytes folds a per-frame-kind byte counter array into the JSON
+// map /statsz serves, keyed by kind name and omitting idle kinds.
+func kindBytes(a [wire.FrameKindMax + 1]uint64) map[string]uint64 {
+	var m map[string]uint64
+	for k := wire.FrameKind(1); k <= wire.FrameKindMax; k++ {
+		if a[k] == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]uint64)
+		}
+		m[k.String()] = a[k]
+	}
+	return m
 }
 
 // serveHTTP fronts an engine with the internal/serve HTTP tier and
@@ -635,13 +698,27 @@ func (e clusterEngine) ClusterHealth() serve.ClusterHealth {
 // while requests land, then the clock freezes and the tier keeps
 // serving (deterministically, for cache demos) until a signal.
 func serveHTTP(ctx context.Context, eng serve.Engine, addr string, qps float64, pace, horizon time.Duration, advance func(context.Context, time.Duration) error) error {
-	srv := serve.New(eng, serve.Config{Admit: serve.AdmitConfig{QPS: qps}, Scenario: scenarioLabel})
+	srv := serve.New(eng, serve.Config{Admit: serve.AdmitConfig{QPS: qps}, Scenario: scenarioLabel, SlowQuery: httpSlowQuery})
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("http: serving on %s (virtual clock at %v, advancing %v)\n", lis.Addr(), eng.Now(), horizon)
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if httpPprof {
+		// The serve mux owns everything else; pprof rides the same
+		// listener so one curl target covers metrics and profiles.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("http: pprof mounted at /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(lis) }()
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"presto/internal/core"
+	"presto/internal/obs"
 	"presto/internal/query"
 	"presto/internal/radio"
 	"presto/internal/simtime"
@@ -148,7 +149,8 @@ type Coordinator struct {
 	lis       Listener
 	sites     []*siteLink // remote sites; index i serves site i+1
 
-	seq atomic.Uint64
+	seq    atomic.Uint64
+	leases atomic.Uint64 // advance leases issued (one per quantum step, all sites)
 
 	runMu sync.Mutex // serializes Run (one lease-issuer at a time)
 
@@ -336,6 +338,46 @@ func (co *Coordinator) SiteStats() []ConnStats {
 	return out
 }
 
+// Leases reports how many advance leases the coordinator has issued.
+func (co *Coordinator) Leases() uint64 { return co.leases.Load() }
+
+// RegisterMetrics registers the coordinator's elasticity and transport
+// counters into an obs registry: the lease clock, migration/rejoin
+// history, and each remote site's per-frame-kind wire traffic.
+func (co *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	// The coordinator hosts the first window of domains itself; their
+	// engine/proxy/store series belong in the same registry.
+	co.local.RegisterMetrics(reg)
+	reg.CounterFunc("presto_cluster_leases_total", "Advance leases issued by the coordinator.", nil, co.Leases)
+	reg.CounterFunc("presto_cluster_migrations_total", "Domain migrations performed.", nil, func() uint64 {
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		return co.migrations
+	})
+	reg.CounterFunc("presto_cluster_rejoins_total", "Site re-joins accepted.", nil, func() uint64 {
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		return co.rejoins
+	})
+	for site := 1; site <= len(co.remotes()); site++ {
+		site := site
+		siteLabel := fmt.Sprintf("%d", site)
+		stats := func() ConnStats { return co.siteFor(site).conn.Stats() }
+		reg.CounterFunc("presto_cluster_wire_frames_sent_total", "Frames sent to a site.",
+			obs.L("site", siteLabel), func() uint64 { return stats().Sent })
+		reg.CounterFunc("presto_cluster_wire_frames_recv_total", "Frames received from a site.",
+			obs.L("site", siteLabel), func() uint64 { return stats().Recv })
+		for k := wire.FrameKind(1); k <= wire.FrameKindMax; k++ {
+			k := k
+			kindLabels := obs.Labels{{K: "site", V: siteLabel}, {K: "kind", V: k.String()}}
+			reg.CounterFunc("presto_cluster_wire_sent_bytes_total", "Wire bytes sent to a site by frame kind.",
+				kindLabels, func() uint64 { return stats().SentKindBytes[k] })
+			reg.CounterFunc("presto_cluster_wire_recv_bytes_total", "Wire bytes received from a site by frame kind.",
+				kindLabels, func() uint64 { return stats().RecvKindBytes[k] })
+		}
+	}
+}
+
 // Now returns the coordinator's virtual clock: the latest advance-lease
 // floor every site has converged on.
 func (co *Coordinator) Now() simtime.Time {
@@ -472,6 +514,7 @@ func (co *Coordinator) Run(ctx context.Context, d time.Duration) error {
 // window and waits for convergence. Dead sites are skipped — their
 // absence is reported per-round via SiteErrs, not by wedging the clock.
 func (co *Coordinator) advanceAll(ctx context.Context, target simtime.Time) {
+	co.leases.Add(1)
 	payload := wire.EncodeAdvance(target)
 	var wg sync.WaitGroup
 	for _, l := range co.remotes() {
@@ -611,11 +654,11 @@ type localGather struct {
 // gatherLocalRounds enqueues every round of a batch on the local
 // window. Gathers already enqueued when a later round fails keep
 // running into their own buffered channels and are dropped.
-func (co *Coordinator) gatherLocalRounds(bounds []query.Spec, motes []radio.NodeID) localGather {
+func (co *Coordinator) gatherLocalRounds(bounds []query.Spec, motes []radio.NodeID, tr *obs.Trace) localGather {
 	lg := localGather{has: true, motes: len(motes),
 		chans: make([]<-chan query.RoundPartial, len(bounds)), expect: make([]int, len(bounds))}
 	for k := range bounds {
-		parts, expect, err := co.local.GatherStart(bounds[k], motes, 0)
+		parts, expect, err := co.local.GatherStart(bounds[k], motes, 0, tr)
 		if err != nil {
 			lg.err = err
 			return lg
@@ -632,27 +675,36 @@ type pendingSite struct {
 	motes int
 	seq   uint64
 	batch bool
-	ch    chan wire.Frame
-	err   error
+	// tr is non-nil when the scatter carried trace context: the reply
+	// must append a route section, grafted here at decode.
+	tr  *obs.Trace
+	ch  chan wire.Frame
+	err error
 }
 
 // sendScatter issues one site's scatter frame for a batch: the spec's
 // cached head plus this step's window(s). A single due round keeps the
 // plain one-round scatter frame; two or more pack into a batch frame.
-func (co *Coordinator) sendScatter(g siteTargets, head []byte, wins []query.RoundWindow) pendingSite {
+// A non-nil tr (one-shot rounds only) appends the protocol-v4 trace
+// section, asking the site to return its routing decisions.
+func (co *Coordinator) sendScatter(g siteTargets, head []byte, wins []query.RoundWindow, tr *obs.Trace) pendingSite {
 	buf := make([]byte, 0, len(head)+4+16*len(wins))
 	buf = append(buf, head...)
 	kind := wire.FrameScatter
 	batch := false
 	if len(wins) == 1 {
 		buf = query.AppendScatterWindow(buf, wins[0].T0, wins[0].T1)
+		if tr != nil {
+			buf = query.AppendScatterTrace(buf, tr.ID())
+		}
 	} else {
 		kind = wire.FrameScatterBatch
 		batch = true
+		tr = nil // batched rounds never carry trace context
 		buf = query.AppendScatterRounds(buf, wins)
 	}
 	l := co.siteFor(g.site)
-	p := pendingSite{l: l, site: g.site, motes: len(g.motes), seq: co.nextSeq(), batch: batch}
+	p := pendingSite{l: l, site: g.site, motes: len(g.motes), seq: co.nextSeq(), batch: batch, tr: tr}
 	p.ch, p.err = l.rpcSend(p.seq, kind, buf)
 	return p
 }
@@ -675,10 +727,10 @@ func (co *Coordinator) launchBatch(st *contStream, seq0 int, ats []simtime.Time,
 	pend := make([]pendingSite, 0, len(st.groups))
 	for gi, g := range st.groups {
 		if g.site == 0 {
-			local = co.gatherLocalRounds(bounds, g.motes)
+			local = co.gatherLocalRounds(bounds, g.motes, nil)
 			continue
 		}
-		pend = append(pend, co.sendScatter(g, st.heads[gi], wins))
+		pend = append(pend, co.sendScatter(g, st.heads[gi], wins, nil))
 	}
 	go func() {
 		res <- co.collectBatch(st.ctx, bounds, ats, seq0, local, pend)
@@ -744,6 +796,14 @@ func (co *Coordinator) awaitScatter(ctx context.Context, bounds []query.Spec, p 
 		return nil, err
 	}
 	if !p.batch {
+		if p.tr != nil {
+			parts, routes, err := query.DecodeRoundPartialsTraced(bounds[0], body)
+			if err != nil {
+				return nil, err
+			}
+			p.tr.AddRoutes(p.site, routes)
+			return [][]query.RoundPartial{parts}, nil
+		}
 		parts, err := query.DecodeRoundPartials(bounds[0], body)
 		if err != nil {
 			return nil, err
@@ -772,6 +832,11 @@ func sortSiteErrs(errs []query.SiteError) {
 // the coordinator's own window, and the per-domain partials merged in
 // global domain order.
 func (co *Coordinator) scatterRound(ctx context.Context, spec query.Spec, groups []siteTargets, seq int, at simtime.Time) query.SetResult {
+	// An explain/slow-query trace rides the context. Local-window routing
+	// decisions annotate straight onto it (site 0); each traced remote
+	// scatter carries the trace id across the wire and grafts the site's
+	// route section back at collect.
+	tr := obs.TraceFrom(ctx)
 	bound := spec.BindWindow(at)
 	bound.Continuous = nil
 	bounds := []query.Spec{bound}
@@ -780,13 +845,20 @@ func (co *Coordinator) scatterRound(ctx context.Context, spec query.Spec, groups
 	pend := make([]pendingSite, 0, len(groups))
 	for _, g := range groups {
 		if g.site == 0 {
-			local = co.gatherLocalRounds(bounds, g.motes)
+			local = co.gatherLocalRounds(bounds, g.motes, tr)
 			continue
 		}
 		head := query.AppendScatterHead(make([]byte, 0, 48+2*len(g.motes)), bound, g.motes)
-		pend = append(pend, co.sendScatter(g, head, wins))
+		pend = append(pend, co.sendScatter(g, head, wins, tr))
 	}
-	return co.collectBatch(ctx, bounds, []simtime.Time{at}, seq, local, pend)[0]
+	if tr != nil { // gate the Sprintf, not just the span: untraced rounds must not allocate
+		tr.Span("cluster-scatter", fmt.Sprintf("%d sites, %d remote", len(groups), len(pend)))
+	}
+	res := co.collectBatch(ctx, bounds, []simtime.Time{at}, seq, local, pend)[0]
+	if tr != nil {
+		tr.Span("cluster-merge", fmt.Sprintf("%d results, %d failed", len(res.Results), res.Failed))
+	}
+	return res
 }
 
 // SubmitSpec implements core.SpecSubmitter over the cluster: one-shot

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"presto/internal/core"
+	"presto/internal/obs"
 	"presto/internal/query"
 	"presto/internal/radio"
 	"presto/internal/simtime"
@@ -186,20 +187,27 @@ func (s *site) handle(f wire.Frame) error {
 			Kind: wire.FrameAdvanceAck, Seq: f.Seq, Payload: wire.EncodeAdvance(s.n.Now()),
 		})
 	case wire.FrameScatter:
-		spec, motes, err := query.DecodeScatter(f.Payload)
+		spec, motes, traceID, err := query.DecodeScatter(f.Payload)
 		if err != nil {
 			return err
+		}
+		// A scatter carrying trace context (protocol v4) gathers under a
+		// site-local trace adopting the coordinator's id; the routing
+		// decisions it collects ride back as the reply's route section.
+		var tr *obs.Trace
+		if traceID != 0 {
+			tr = obs.NewTraceID(traceID)
 		}
 		// Enqueue the round's gathers synchronously — they must hit the
 		// shard queues before a later advance frame's commands, which is
 		// what pins the round to the leased clock — then collect, encode
 		// and reply off the serve loop, so the loop can take the next
 		// lease while the round executes (lease pipelining's site half).
-		parts, expect, gerr := s.n.GatherStart(spec, motes, 0)
+		parts, expect, gerr := s.n.GatherStart(spec, motes, 0, tr)
 		if gerr != nil {
 			return s.reply(wire.FramePartials, f.Seq, nil, gerr)
 		}
-		go s.replyRound(f.Seq, parts, expect)
+		go s.replyRound(f.Seq, parts, expect, tr)
 		return nil
 	case wire.FrameScatterBatch:
 		base, motes, wins, err := query.DecodeScatterBatch(f.Payload)
@@ -211,7 +219,7 @@ func (s *site) handle(f wire.Frame) error {
 		for i, w := range wins {
 			spec := base
 			spec.T0, spec.T1 = w.T0, w.T1
-			parts, expect, gerr := s.n.GatherStart(spec, motes, 0)
+			parts, expect, gerr := s.n.GatherStart(spec, motes, 0, nil)
 			if gerr != nil {
 				// Gathers already enqueued keep running into their own
 				// buffered channels; the whole batch answers with the error.
@@ -326,8 +334,11 @@ func (s *site) reply(kind wire.FrameKind, seq uint64, payload []byte, err error)
 }
 
 // replyRound collects one scattered round's local partials and answers
-// with a pooled-arena encode. Runs off the serve loop.
-func (s *site) replyRound(seq uint64, parts <-chan query.RoundPartial, expect int) {
+// with a pooled-arena encode. Runs off the serve loop. A non-nil tr
+// means the scatter was traced: every routing decision has been
+// recorded by the time the last partial lands (decisions precede each
+// partial's delivery), so the route section appends after the partials.
+func (s *site) replyRound(seq uint64, parts <-chan query.RoundPartial, expect int, tr *obs.Trace) {
 	out := make([]query.RoundPartial, 0, expect)
 	for i := 0; i < expect; i++ {
 		out = append(out, <-parts)
@@ -336,6 +347,9 @@ func (s *site) replyRound(seq uint64, parts <-chan query.RoundPartial, expect in
 	arena := query.GetArena()
 	body := append((*arena)[:0], 1)
 	body = query.AppendRoundPartials(body, out)
+	if tr != nil {
+		body = query.AppendTraceRoutes(body, tr.Routes())
+	}
 	_ = s.conn.Send(wire.Frame{Kind: wire.FramePartials, Seq: seq, Payload: body})
 	*arena = body
 	if s.copies {

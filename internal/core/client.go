@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"presto/internal/obs"
 	"presto/internal/query"
 	"presto/internal/radio"
 	"presto/internal/simtime"
@@ -53,8 +54,16 @@ func (n *Network) specTargets(spec query.Spec) (map[*shard][]radio.NodeID, error
 // that need a mote rendezvous resolve while the worker settles (or
 // during the remaining chunks of an in-progress advance); the per-domain
 // pull coalescing applies across the motes of the round as usual.
-func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- query.RoundPartial) {
+// When tr is non-nil the domain's store annotates every routing
+// decision onto it while the round's queries execute on this worker
+// (and, for answers that resolve later via rendezvous, when they land);
+// nil tr — the common case — adds one predictable branch per query.
+func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- query.RoundPartial, tr *obs.Trace) {
 	agg := spec.Type == query.Agg
+	if tr != nil {
+		sh.st.SetTrace(tr, sh.domain)
+		defer sh.st.SetTrace(nil, 0)
+	}
 	sp := &query.RoundPartial{Domain: sh.domain, Partial: query.NewPartialFor(spec)}
 	// Aggregate push-down: motes whose spans the archive covers within
 	// precision fold straight into the partial (store.ExecuteFold) — no
@@ -113,7 +122,7 @@ func gatherSpec(sh *shard, spec query.Spec, motes []radio.NodeID, parts chan<- q
 // not hosted by this process are an error, since the coordinator's
 // layout and the site's must agree.
 func (n *Network) GatherLocal(spec query.Spec, motes []radio.NodeID) ([]query.RoundPartial, error) {
-	parts, expect, err := n.GatherStart(spec, motes, 0)
+	parts, expect, err := n.GatherStart(spec, motes, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +147,11 @@ func (n *Network) GatherLocal(spec query.Spec, motes []radio.NodeID) ([]query.Ro
 // executes at its nominal time, not wherever the worker happens to be.
 // at <= the domain clock (or zero) folds at the current clock, which is
 // the converged floor after an advance.
-func (n *Network) GatherStart(spec query.Spec, motes []radio.NodeID, at simtime.Time) (<-chan query.RoundPartial, int, error) {
+//
+// A non-nil tr collects each target mote's routing decision as the
+// round executes — the cluster site threads the scatter frame's trace
+// context through here so the decisions ride back in the partials.
+func (n *Network) GatherStart(spec query.Spec, motes []radio.NodeID, at simtime.Time, tr *obs.Trace) (<-chan query.RoundPartial, int, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -156,7 +169,7 @@ func (n *Network) GatherStart(spec query.Spec, motes []radio.NodeID, at simtime.
 	parts := make(chan query.RoundPartial, len(runs))
 	for _, g := range runs {
 		s, ms := g.s, g.motes
-		fn := func(sh *shard) { gatherSpec(sh, spec, ms, parts) }
+		fn := func(sh *shard) { gatherSpec(sh, spec, ms, parts, tr) }
 		if at > 0 {
 			gather := fn
 			fn = func(sh *shard) {
@@ -257,17 +270,17 @@ type specRound struct {
 // and snapshots that domain at the exact round instant — and every other
 // owning domain gets one command. Domains that cannot accept work
 // (engine closed) contribute a failed partial immediately.
-func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID, seq int, at simtime.Time, self *shard) *specRound {
+func (n *Network) newSpecRound(spec query.Spec, groups map[*shard][]radio.NodeID, seq int, at simtime.Time, self *shard, tr *obs.Trace) *specRound {
 	n.queriesSubmitted.Add(1)
 	spec = spec.BindWindow(at)
 	rs := &specRound{seq: seq, at: at, spec: spec, parts: make(chan query.RoundPartial, len(groups)), expect: len(groups)}
 	for s, motes := range groups {
 		if s == self {
-			gatherSpec(s, spec, motes, rs.parts)
+			gatherSpec(s, spec, motes, rs.parts, tr)
 			continue
 		}
 		s, motes := s, motes
-		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, motes, rs.parts) }}) {
+		if !s.enqueue(shardCmd{fn: func(sh *shard) { gatherSpec(sh, spec, motes, rs.parts, tr) }}) {
 			rs.parts <- query.RoundPartial{
 				Domain: s.domain, Partial: query.NewPartialFor(spec), Failed: len(motes),
 			}
@@ -312,6 +325,8 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 	if n.shards[0].isClosed() {
 		return nil, ErrClosed
 	}
+	// An explain/slow-query trace rides the context; nil otherwise.
+	tr := obs.TraceFrom(ctx)
 	out := make(chan query.SetResult, 1)
 	if spec.Continuous == nil {
 		// A one-shot NOW spec naming a single mote is exactly a legacy
@@ -320,8 +335,10 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 		// mirror when it meets precision and freshness). Scatter rounds
 		// execute at the owning domains instead: a set snapshot wants
 		// the authoritative data, and its per-domain partials cannot
-		// depend on another domain's replica decision.
-		if spec.Type == query.Now && len(groups) == 1 {
+		// depend on another domain's replica decision. A traced query
+		// skips the bypass: the scatter path is the one that annotates
+		// each routing decision, and one query through it costs little.
+		if tr == nil && spec.Type == query.Now && len(groups) == 1 {
 			for _, motes := range groups {
 				if len(motes) != 1 {
 					break
@@ -348,7 +365,13 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 		}
 		go func() {
 			defer close(out)
-			res := mergeRound(n.newSpecRound(spec, groups, 0, n.Now(), nil))
+			if tr != nil { // gate the Sprintf, not just the span: untraced rounds must not allocate
+				tr.Span("scatter", fmt.Sprintf("%d domains", len(groups)))
+			}
+			res := mergeRound(n.newSpecRound(spec, groups, 0, n.Now(), nil, tr))
+			if tr != nil {
+				tr.Span("merge", fmt.Sprintf("%d results, %d failed", len(res.Results), res.Failed))
+			}
 			select {
 			case out <- res:
 			case <-ctx.Done():
@@ -394,7 +417,7 @@ func (n *Network) SubmitSpec(ctx context.Context, spec query.Spec) (<-chan query
 			return // cancelled: stop re-arming; the merge side is gone
 		}
 		if len(rounds) < cap(rounds) {
-			rounds <- n.newSpecRound(spec, groups, started, s.sim.Now(), s)
+			rounds <- n.newSpecRound(spec, groups, started, s.sim.Now(), s, nil)
 			started++
 		}
 		fired++

@@ -1,0 +1,286 @@
+// Package obs is the observability layer: a typed metrics registry
+// with Prometheus text exposition, and per-query traces that record
+// where an answer came from (replica, archive, model, cache, or a paid
+// rendezvous with the mote) as it crosses domain workers and — in
+// cluster mode — the TCP wire.
+//
+// The package deliberately imports nothing from the rest of the tree so
+// every layer (core, store, cluster, serve) can register into it
+// without cycles. Instrumentation is built to cost ~nothing when
+// disabled: counters are single atomic adds, and every Trace method is
+// nil-safe so a nil *Trace is the off switch on the hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing series. The zero value is
+// ready; Add and Load are single atomic operations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative in
+// exposition but stored per-bucket; Observe is a branch-free scan plus
+// two atomic adds, fine for request-grain events.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits accumulated via CAS
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations recorded so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// WallBuckets are latency bounds in milliseconds suited to request
+// serving: sub-millisecond cache hits out to multi-second stragglers.
+var WallBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// VirtualBuckets are bounds in virtual seconds suited to query window
+// spans: a NOW query spans zero, trailing aggregates span hours.
+var VirtualBuckets = []float64{0, 60, 300, 900, 3600, 4 * 3600, 12 * 3600, 24 * 3600, 7 * 24 * 3600}
+
+// series is one child of a family: a label set plus a value source.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	ctr    *Counter
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind Kind
+	kids []*series
+	seen map[string]bool // rendered label sets, duplicate guard
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is rare (startup); reads are
+// lock-free atomic loads at scrape time.
+type Registry struct {
+	mu  sync.Mutex
+	fam []*family
+	idx map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{idx: make(map[string]*family)}
+}
+
+// Labels is an ordered label set. Order is preserved in exposition so
+// goldens stay stable.
+type Labels []struct{ K, V string }
+
+// L is shorthand for a one-pair label set.
+func L(k, v string) Labels { return Labels{{k, v}} }
+
+func (ls Labels) render() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the family, creating it on first use, and panics on a
+// kind/help mismatch or duplicate label set — misregistration is a
+// programming error worth failing loudly at startup.
+func (r *Registry) lookup(name, help string, kind Kind, labels Labels) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.idx[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, seen: make(map[string]bool)}
+		r.idx[name] = f
+		r.fam = append(r.fam, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q reregistered as %s, was %s", name, kind, f.kind))
+	}
+	key := labels.render()
+	if f.seen[key] {
+		panic(fmt.Sprintf("obs: duplicate series %s%s", name, key))
+	}
+	f.seen[key] = true
+	return f
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	f := r.lookup(name, help, KindCounter, labels)
+	c := &Counter{}
+	r.mu.Lock()
+	f.kids = append(f.kids, &series{labels: labels.render(), ctr: c})
+	r.mu.Unlock()
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for counters that already live elsewhere.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	f := r.lookup(name, help, KindCounter, labels)
+	r.mu.Lock()
+	f.kids = append(f.kids, &series{labels: labels.render(), fn: func() float64 { return float64(fn()) }})
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	f := r.lookup(name, help, KindGauge, labels)
+	r.mu.Lock()
+	f.kids = append(f.kids, &series{labels: labels.render(), fn: fn})
+	r.mu.Unlock()
+}
+
+// Histogram registers and returns a histogram series with the given
+// ascending upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	f := r.lookup(name, help, KindHistogram, labels)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.mu.Lock()
+	f.kids = append(f.kids, &series{labels: labels.render(), hist: h})
+	r.mu.Unlock()
+	return h
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4:
+// one # HELP and # TYPE line per family, then one sample line per
+// series (histograms expand to cumulative _bucket/_sum/_count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fam...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.kids {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.hist != nil:
+		return writeHistogram(w, f.name, s)
+	case s.ctr != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.ctr.Load())
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+		return err
+	}
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.hist
+	// Splice le="..." into the (possibly empty) label set.
+	open, close := "{", "}"
+	if s.labels != "" {
+		open, close = s.labels[:len(s.labels)-1]+",", "}"
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", name, open, formatFloat(ub), close, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, close, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

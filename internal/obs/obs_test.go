@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("presto_frobs_total", "Frobs performed.", nil)
+	c.Add(3)
+	r.CounterFunc("presto_widgets_total", "Widgets by colour.", L("colour", "red"), func() uint64 { return 7 })
+	r.CounterFunc("presto_widgets_total", "Widgets by colour.", L("colour", "blue"), func() uint64 { return 9 })
+	r.GaugeFunc("presto_temp", "Temperature.", nil, func() float64 { return 21.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP presto_frobs_total Frobs performed.\n",
+		"# TYPE presto_frobs_total counter\n",
+		"presto_frobs_total 3\n",
+		`presto_widgets_total{colour="red"} 7` + "\n",
+		`presto_widgets_total{colour="blue"} 9` + "\n",
+		"# TYPE presto_temp gauge\n",
+		"presto_temp 21.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE pair per family even with two children.
+	if n := strings.Count(out, "# TYPE presto_widgets_total counter"); n != 1 {
+		t.Errorf("TYPE line emitted %d times, want 1", n)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("presto_lat_ms", "Latency.", []float64{1, 10}, nil)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`presto_lat_ms_bucket{le="1"} 1`,
+		`presto_lat_ms_bucket{le="10"} 2`,
+		`presto_lat_ms_bucket{le="+Inf"} 3`,
+		"presto_lat_ms_sum 55.5",
+		"presto_lat_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.", L("a", "b"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	r.Counter("x_total", "X.", L("a", "b"))
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "Y.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.GaugeFunc("y_total", "Y.", L("a", "b"), func() float64 { return 0 })
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Span("scatter", "x")
+	tr.Route(3, 1, RouteArchiveHit)
+	tr.AddRoutes(2, []Route{{Mote: 1}})
+	if tr.ID() != 0 || tr.Spans() != nil || tr.Routes() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestTraceRoutesAndContext(t *testing.T) {
+	tr := NewTrace()
+	if tr.ID() == 0 {
+		t.Fatal("trace id should be nonzero")
+	}
+	tr.Route(7, 2, RouteRendezvous)
+	tr.AddRoutes(1, []Route{{Mote: 9, Domain: 3, Kind: RouteArchiveHit}})
+	rs := tr.Routes()
+	if len(rs) != 2 {
+		t.Fatalf("routes = %d, want 2", len(rs))
+	}
+	if rs[1].Site != 1 || rs[1].Kind != RouteArchiveHit {
+		t.Fatalf("grafted route = %+v", rs[1])
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("context round-trip lost the trace")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+}
+
+func TestRouteKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range RouteKinds() {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("bad or duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if !seen["stale-bypass"] || !seen["rendezvous"] {
+		t.Fatal("expected kinds missing")
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouteKind names the routing decision a proxy or store made for one
+// mote's share of a query — the per-query form of PRESTO's central
+// claim that most answers never wake a mote.
+type RouteKind uint8
+
+const (
+	RouteNone        RouteKind = iota
+	RouteCacheHit              // semantic answer cache satisfied the whole query
+	RouteModelHit              // proxy model predicted within precision
+	RouteReplicaHit            // in-memory replica answered a NOW query
+	RouteArchiveHit            // flash archive answered without the mote
+	RouteRendezvous            // paid a rendezvous: the mote itself answered
+	RouteStaleBypass           // replica/archive too stale, fell through
+	RouteSpatial               // spatial interpolation from neighbours
+	RouteTimeout               // query round expired unanswered
+	numRouteKinds
+)
+
+var routeKindNames = [numRouteKinds]string{
+	"none", "cache-hit", "model-hit", "replica-hit", "archive-hit",
+	"rendezvous", "stale-bypass", "spatial", "timeout",
+}
+
+func (k RouteKind) String() string {
+	if int(k) < len(routeKindNames) {
+		return routeKindNames[k]
+	}
+	return "unknown"
+}
+
+// RouteKinds lists every kind with a stable name, for metric
+// registration loops.
+func RouteKinds() []RouteKind {
+	ks := make([]RouteKind, 0, numRouteKinds-1)
+	for k := RouteCacheHit; k < numRouteKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Route is one mote's routing decision. Mote/Domain/Site are wide
+// enough to cross the wire as uvarints.
+type Route struct {
+	Mote   int64     `json:"mote"`
+	Domain int       `json:"domain"`
+	Site   int       `json:"site"`
+	Kind   RouteKind `json:"-"`
+}
+
+// MarshalJSON emits the kind by name so explain output reads
+// "archive-hit", not an enum ordinal.
+func (r Route) MarshalJSON() ([]byte, error) {
+	type alias Route
+	return json.Marshal(struct {
+		alias
+		KindName string `json:"decision"`
+	}{alias(r), r.Kind.String()})
+}
+
+// UnmarshalJSON is the inverse: clients decoding an explain envelope
+// get the kind back from the decision name.
+func (r *Route) UnmarshalJSON(data []byte) error {
+	type alias Route
+	aux := struct {
+		*alias
+		KindName string `json:"decision"`
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	for k, name := range routeKindNames {
+		if name == aux.KindName {
+			r.Kind = RouteKind(k)
+			break
+		}
+	}
+	return nil
+}
+
+// Span is one annotated step of a query's life, in wall-clock order.
+type Span struct {
+	Name   string  `json:"name"`
+	Detail string  `json:"detail,omitempty"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+var traceIDs atomic.Uint64
+
+// Trace accumulates spans and per-mote routing decisions for one query.
+// All methods are safe on a nil receiver — a nil *Trace is the
+// zero-cost "tracing off" path — and safe for concurrent use, since
+// domain workers annotate in parallel.
+type Trace struct {
+	id    uint64
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	routes []Route
+}
+
+// NewTrace starts a trace with a fresh process-local id.
+func NewTrace() *Trace {
+	return &Trace{id: traceIDs.Add(1), start: time.Now()}
+}
+
+// NewTraceID starts a trace adopting an id minted elsewhere — the
+// receiving side of wire propagation.
+func NewTraceID(id uint64) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace id, 0 for nil.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Span appends a named annotation stamped with elapsed wall time.
+func (t *Trace) Span(name, detail string) {
+	if t == nil {
+		return
+	}
+	ms := float64(time.Since(t.start).Microseconds()) / 1000
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Detail: detail, WallMS: ms})
+	t.mu.Unlock()
+}
+
+// Route records one mote's routing decision.
+func (t *Trace) Route(mote int64, domain int, k RouteKind) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.routes = append(t.routes, Route{Mote: mote, Domain: domain, Kind: k})
+	t.mu.Unlock()
+}
+
+// AddRoutes grafts decisions recorded by a remote site's local trace
+// onto this one, stamping their origin.
+func (t *Trace) AddRoutes(site int, rs []Route) {
+	if t == nil || len(rs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, r := range rs {
+		r.Site = site
+		t.routes = append(t.routes, r)
+	}
+	t.mu.Unlock()
+}
+
+// Routes returns a copy of the recorded routing decisions.
+func (t *Trace) Routes() []Route {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Route(nil), t.routes...)
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type ctxKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// TraceFrom extracts the trace from a context, nil when absent.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"presto/internal/cache"
+	"presto/internal/obs"
 	"presto/internal/proxy"
 	"presto/internal/radio"
 	"presto/internal/simtime"
@@ -206,26 +207,49 @@ func decodeScatterHead(r *creader) (Spec, []radio.NodeID) {
 	return spec, decodeMotes(r)
 }
 
+// AppendScatterTrace appends the optional trace-context section to a
+// single-round scatter payload (protocol v4): a marker byte plus the
+// coordinator's trace id. An untraced scatter appends nothing at all —
+// the payload stays byte-identical to protocol v3, so tracing that is
+// off costs zero wire bytes.
+func AppendScatterTrace(buf []byte, traceID uint64) []byte {
+	buf = append(buf, 1)
+	return binary.AppendUvarint(buf, traceID)
+}
+
 // DecodeScatter unpacks a scatter payload. The spec is re-validated: a
-// frame from another process is untrusted input.
-func DecodeScatter(buf []byte) (Spec, []radio.NodeID, error) {
+// frame from another process is untrusted input. traceID is nonzero
+// when the coordinator attached trace context (protocol v4): the site
+// must gather under a local trace and return the route section in its
+// partials reply.
+func DecodeScatter(buf []byte) (Spec, []radio.NodeID, uint64, error) {
 	r := &creader{b: buf}
 	spec, motes := decodeScatterHead(r)
 	spec.T0 = simtime.Time(r.varint())
 	spec.T1 = spec.T0 + simtime.Time(r.varint())
+	var traceID uint64
+	if r.err == nil && len(r.b) != 0 {
+		if r.byte() != 1 {
+			return Spec{}, nil, 0, errCodec
+		}
+		traceID = r.uvarint()
+		if r.err == nil && traceID == 0 {
+			return Spec{}, nil, 0, errCodec
+		}
+	}
 	if r.err != nil {
-		return Spec{}, nil, r.err
+		return Spec{}, nil, 0, r.err
 	}
 	if len(r.b) != 0 {
-		return Spec{}, nil, fmt.Errorf("query: %d trailing bytes after scatter payload", len(r.b))
+		return Spec{}, nil, 0, fmt.Errorf("query: %d trailing bytes after scatter payload", len(r.b))
 	}
 	if err := spec.Validate(); err != nil {
-		return Spec{}, nil, err
+		return Spec{}, nil, 0, err
 	}
 	if len(motes) == 0 {
-		return Spec{}, nil, ErrNoMotes
+		return Spec{}, nil, 0, ErrNoMotes
 	}
-	return spec, motes, nil
+	return spec, motes, traceID, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -476,6 +500,64 @@ func DecodeRoundPartials(spec Spec, buf []byte) ([]RoundPartial, error) {
 		return nil, fmt.Errorf("query: %d trailing bytes after partials payload", len(r.b))
 	}
 	return parts, nil
+}
+
+// AppendTraceRoutes appends a traced round's route section after the
+// partials: each target mote's routing decision (replica, archive,
+// model, cache, rendezvous, stale-bypass …) recorded by the site's
+// local trace, mote delta-encoded like every other id list. Only sent
+// in reply to a scatter carrying trace context — an untraced reply is
+// byte-identical to protocol v3.
+func AppendTraceRoutes(buf []byte, routes []obs.Route) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(routes)))
+	prev := int64(0)
+	for _, rt := range routes {
+		buf = binary.AppendVarint(buf, rt.Mote-prev)
+		prev = rt.Mote
+		buf = binary.AppendUvarint(buf, uint64(rt.Domain))
+		buf = append(buf, byte(rt.Kind))
+	}
+	return buf
+}
+
+// decodeTraceRoutes reads a route section from the cursor.
+func decodeTraceRoutes(r *creader) []obs.Route {
+	n := r.count(maxCodecResults)
+	routes := make([]obs.Route, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += r.varint()
+		d := r.uvarint()
+		k := r.byte()
+		if d > maxCodecParts {
+			r.fail()
+		}
+		if r.err != nil {
+			return nil
+		}
+		routes = append(routes, obs.Route{Mote: prev, Domain: int(d), Kind: obs.RouteKind(k)})
+	}
+	return routes
+}
+
+// DecodeRoundPartialsTraced unpacks a partials payload that answers a
+// traced scatter: the partials, then the mandatory route section. The
+// coordinator knows which replies are traced (it attached the trace
+// context), so there is no in-band flag to spoof.
+func DecodeRoundPartialsTraced(spec Spec, buf []byte) ([]RoundPartial, []obs.Route, error) {
+	r := &creader{b: buf}
+	parts, err := decodeRoundPartialsFrom(r, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	routes := decodeTraceRoutes(r)
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, nil, fmt.Errorf("query: %d trailing bytes after traced partials payload", len(r.b))
+	}
+	return parts, routes, nil
 }
 
 // EncodeRoundPartialsBatch packs one site's answer to a batched scatter:

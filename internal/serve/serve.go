@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"presto/internal/core"
+	"presto/internal/obs"
 	"presto/internal/query"
 	"presto/internal/simtime"
 )
@@ -53,6 +55,11 @@ type Config struct {
 	// name when booted with prestod -scenario); surfaced on /statsz so
 	// load drivers can confirm they hit the universe they generated.
 	Scenario string
+	// SlowQuery, when positive, traces every one-shot query and logs the
+	// ones whose wall time exceeds it — spans and per-mote routing
+	// decisions included, so a slow query explains itself. Zero disables
+	// slow-query tracing entirely (the nil-trace fast path).
+	SlowQuery time.Duration
 }
 
 // DefaultQueryTimeout bounds a one-shot query's wall-clock execution.
@@ -78,6 +85,19 @@ type Server struct {
 	sseRounds atomic.Uint64 // SSE rounds delivered
 	inflight  atomic.Int64  // one-shot queries executing in the engine
 	sseActive atomic.Int64  // SSE streams currently open
+
+	reg      *obs.Registry  // unified metrics, exposed at GET /metricsz
+	wallHist *obs.Histogram // one-shot query wall latency (ms)
+	winHist  *obs.Histogram // one-shot query window span (virtual seconds)
+	slow     atomic.Uint64  // one-shot queries over the SlowQuery threshold
+}
+
+// MetricsSource is the optional Engine extension that registers the
+// engine's own counters into the server's metrics registry. Both
+// core.Network and cluster.Coordinator implement it; wrappers should
+// forward it so /metricsz sees the whole stack.
+type MetricsSource interface {
+	RegisterMetrics(reg *obs.Registry)
 }
 
 // New builds a server over an engine.
@@ -86,7 +106,7 @@ func New(eng Engine, cfg Config) *Server {
 		cfg.QueryTimeout = DefaultQueryTimeout
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		eng:    eng,
 		cl:     core.NewClient(eng),
 		cfg:    cfg,
@@ -95,7 +115,55 @@ func New(eng Engine, cfg Config) *Server {
 		ctx:    ctx,
 		cancel: cancel,
 		start:  time.Now(),
+		reg:    obs.NewRegistry(),
 	}
+	s.registerMetrics()
+	if ms, ok := eng.(MetricsSource); ok {
+		ms.RegisterMetrics(s.reg)
+	}
+	return s
+}
+
+// Registry exposes the unified metrics registry so the daemon can
+// register process-level series next to the engine's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// registerMetrics registers the serving tier's own counters: HTTP
+// traffic, the semantic cache, admission control, SSE streaming, and
+// the wall/virtual-time latency histograms.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.CounterFunc("presto_http_queries_total", "One-shot queries answered (cache or engine).", nil, s.queries.Load)
+	r.CounterFunc("presto_http_errors_total", "Requests answered with a non-2xx status.", nil, s.errored.Load)
+	r.GaugeFunc("presto_http_inflight", "One-shot queries currently executing.", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+	r.CounterFunc("presto_http_slow_queries_total", "One-shot queries over the slow-query threshold.", nil, s.slow.Load)
+	r.CounterFunc("presto_sse_streams_total", "Continuous-query SSE streams opened.", nil, s.streams.Load)
+	r.GaugeFunc("presto_sse_active", "SSE streams currently open.", nil,
+		func() float64 { return float64(s.sseActive.Load()) })
+	r.CounterFunc("presto_sse_rounds_total", "Continuous rounds delivered over SSE.", nil, s.sseRounds.Load)
+	r.CounterFunc("presto_cache_hits_total", "Semantic answer cache hits.", nil,
+		func() uint64 { return s.cache.Stats().Hits })
+	r.CounterFunc("presto_cache_misses_total", "Semantic answer cache misses.", nil,
+		func() uint64 { return s.cache.Stats().Misses })
+	r.CounterFunc("presto_cache_inserts_total", "Answers inserted into the semantic cache.", nil,
+		func() uint64 { return s.cache.Stats().Inserts })
+	r.CounterFunc("presto_cache_evictions_total", "Semantic cache evictions.", nil,
+		func() uint64 { return s.cache.Stats().Evictions })
+	r.GaugeFunc("presto_cache_entries", "Semantic cache resident entries.", nil,
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.CounterFunc("presto_admission_allowed_total", "Requests admitted past the per-tenant buckets.", nil,
+		func() uint64 { return s.admit.snapshot().Allowed })
+	r.CounterFunc("presto_admission_throttled_total", "Requests shed by admission control.", nil,
+		func() uint64 { return s.admit.snapshot().Throttled })
+	r.GaugeFunc("presto_admission_tenants", "Tenants with live admission buckets.", nil,
+		func() float64 { return float64(s.admit.snapshot().Tenants) })
+	r.GaugeFunc("presto_uptime_seconds", "Serving-tier uptime.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.wallHist = r.Histogram("presto_http_query_wall_ms",
+		"One-shot query wall latency in milliseconds.", obs.WallBuckets, nil)
+	s.winHist = r.Histogram("presto_query_window_virtual_seconds",
+		"One-shot query window span in virtual seconds.", obs.VirtualBuckets, nil)
 }
 
 // Handler returns the route table. Mount it on an http.Server.
@@ -104,6 +172,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
 }
 
@@ -161,13 +230,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing: ?explain=1 returns the trace as JSON; a SlowQuery
+	// threshold traces every query and logs the slow ones. Both off —
+	// the common case — keeps tr nil and the whole path allocation-free
+	// (the RawQuery check avoids even parsing the query string).
+	explain := r.URL.RawQuery != "" && r.URL.Query().Get("explain") == "1"
+	var tr *obs.Trace
+	if explain || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTrace()
+	}
+
+	started := time.Now()
 	if res, ok := s.cache.Lookup(spec, s.eng.Now()); ok {
 		s.queries.Add(1)
+		s.observeQuery(spec, started)
+		if explain {
+			tr.Span("cache", "hit")
+			s.writeExplain(w, res, "hit", tr)
+			return
+		}
 		s.writeResult(w, res, "hit")
 		return
 	}
+	tr.Span("cache", "miss")
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
 	s.inflight.Add(1)
 	res, err := s.cl.QueryOne(ctx, spec)
 	s.inflight.Add(-1)
@@ -185,8 +273,120 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	s.observeQuery(spec, started)
 	s.cache.Insert(spec, res)
+	if tr != nil {
+		if wall := time.Since(started); s.cfg.SlowQuery > 0 && wall > s.cfg.SlowQuery {
+			s.slow.Add(1)
+			log.Printf("serve: slow query (%v > %v): %s trace=%d spans=%s routes=%s",
+				wall.Round(time.Millisecond), s.cfg.SlowQuery, specLabel(spec),
+				tr.ID(), spanSummary(tr), routeSummary(tr))
+		}
+		if explain {
+			s.writeExplain(w, res, "miss", tr)
+			return
+		}
+	}
 	s.writeResult(w, res, "miss")
+}
+
+// observeQuery books one answered one-shot query into the latency and
+// window-span histograms.
+func (s *Server) observeQuery(spec query.Spec, started time.Time) {
+	s.wallHist.Observe(float64(time.Since(started).Microseconds()) / 1000)
+	win := spec.T1 - spec.T0
+	if spec.Trailing > 0 {
+		win = simtime.Time(spec.Trailing)
+	}
+	s.winHist.Observe(time.Duration(win).Seconds())
+}
+
+// specLabel compresses a spec for the slow-query log line.
+func specLabel(spec query.Spec) string {
+	if spec.Type == query.Agg {
+		return fmt.Sprintf("agg/%v precision=%g", spec.Agg, spec.Precision)
+	}
+	return fmt.Sprintf("%v precision=%g", spec.Type, spec.Precision)
+}
+
+// spanSummary renders a trace's spans as "name(detail)@ms" hops.
+func spanSummary(tr *obs.Trace) string {
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return "-"
+	}
+	out := ""
+	for i, sp := range spans {
+		if i > 0 {
+			out += " -> "
+		}
+		out += fmt.Sprintf("%s(%s)@%.1fms", sp.Name, sp.Detail, sp.WallMS)
+	}
+	return out
+}
+
+// routeSummary tallies a trace's per-mote decisions by kind.
+func routeSummary(tr *obs.Trace) string {
+	counts := map[obs.RouteKind]int{}
+	for _, rt := range tr.Routes() {
+		counts[rt.Kind]++
+	}
+	if len(counts) == 0 {
+		return "-"
+	}
+	out := ""
+	for _, k := range obs.RouteKinds() {
+		if counts[k] == 0 {
+			continue
+		}
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	return out
+}
+
+// ExplainTrace is the trace half of an ?explain=1 response.
+type ExplainTrace struct {
+	ID     uint64      `json:"id"`
+	Spans  []obs.Span  `json:"spans"`
+	Routes []obs.Route `json:"routes"`
+}
+
+// ExplainBody is the ?explain=1 response envelope: the round's usual
+// JSON plus the trace that produced it.
+type ExplainBody struct {
+	Result json.RawMessage `json:"result"`
+	Cache  string          `json:"cache"`
+	Trace  ExplainTrace    `json:"trace"`
+}
+
+// writeExplain answers an ?explain=1 query: the result wrapped with the
+// trace's spans and every mote's routing decision.
+func (s *Server) writeExplain(w http.ResponseWriter, res query.SetResult, cacheState string, tr *obs.Trace) {
+	buf, err := query.EncodeSetResultJSON(res)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encode", err)
+		return
+	}
+	body := ExplainBody{
+		Result: json.RawMessage(buf),
+		Cache:  cacheState,
+		Trace:  ExplainTrace{ID: tr.ID(), Spans: tr.Spans(), Routes: tr.Routes()},
+	}
+	if body.Trace.Spans == nil {
+		body.Trace.Spans = []obs.Span{}
+	}
+	if body.Trace.Routes == nil {
+		body.Trace.Routes = []obs.Route{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Presto-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }
 
 func (s *Server) writeResult(w http.ResponseWriter, res query.SetResult, cacheState string) {
@@ -286,10 +486,21 @@ type Stats struct {
 }
 
 // ClusterSiteHealth is one site's row in the /statsz cluster section.
+// The wire fields describe the coordinator's connection to the site —
+// total frames and bytes each way, plus bytes broken down by frame kind
+// (scatter, partials, advance, snapshot-chunk, …), so a run's transport
+// cost is attributable per mechanism. Site 0 is the coordinator's own
+// window: no connection, zero wire counters, nil kind maps.
 type ClusterSiteHealth struct {
-	Site    int   `json:"site"`
-	Domains []int `json:"domains"`
-	Alive   bool  `json:"alive"`
+	Site          int               `json:"site"`
+	Domains       []int             `json:"domains"`
+	Alive         bool              `json:"alive"`
+	FramesSent    uint64            `json:"frames_sent,omitempty"`
+	FramesRecv    uint64            `json:"frames_recv,omitempty"`
+	WireSentBytes uint64            `json:"wire_sent_bytes,omitempty"`
+	WireRecvBytes uint64            `json:"wire_recv_bytes,omitempty"`
+	SentKindBytes map[string]uint64 `json:"sent_bytes_by_kind,omitempty"`
+	RecvKindBytes map[string]uint64 `json:"recv_bytes_by_kind,omitempty"`
 }
 
 // ClusterHealth is the elasticity telemetry a clustered engine exposes
@@ -350,4 +561,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.Snapshot())
+}
+
+// handleMetricsz renders the unified registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }

@@ -24,6 +24,7 @@ import (
 
 	"presto/internal/cache"
 	"presto/internal/index"
+	"presto/internal/obs"
 	"presto/internal/proxy"
 	"presto/internal/query"
 	"presto/internal/radio"
@@ -56,6 +57,12 @@ type Store struct {
 	// to their shard worker, so a single buffer suffices.
 	scratch      []Record
 	scratchVisit func(Record)
+
+	// tr is the trace of the query currently executing, set by the owning
+	// worker around Execute/ExecuteFold via SetTrace. Worker-confined like
+	// scratch; nil (the overwhelmingly common case) costs one branch.
+	tr       *obs.Trace
+	trDomain int
 
 	rstats RoutingStats
 }
@@ -119,6 +126,31 @@ func (s *Store) AdoptMote(m radio.NodeID, id index.ProxyID, sampleInterval time.
 // Index exposes the underlying distributed index.
 func (s *Store) Index() *index.Index { return s.ix }
 
+// SetTrace installs (or, with nil, clears) the trace the next
+// Execute/ExecuteFold calls annotate their routing decisions into,
+// tagged with the caller's global domain index. Must be called from the
+// worker that owns this store, bracketing the query it traces.
+func (s *Store) SetTrace(tr *obs.Trace, domain int) { s.tr, s.trDomain = tr, domain }
+
+// routeKindFor maps a proxy answer source onto the trace vocabulary.
+func routeKindFor(src proxy.Source) obs.RouteKind {
+	switch src {
+	case proxy.FromCache:
+		return obs.RouteCacheHit
+	case proxy.FromModel:
+		return obs.RouteModelHit
+	case proxy.FromPull:
+		return obs.RouteRendezvous
+	case proxy.FromTimeout:
+		return obs.RouteTimeout
+	case proxy.FromSpatial:
+		return obs.RouteSpatial
+	case proxy.FromArchive:
+		return obs.RouteArchiveHit
+	}
+	return obs.RouteNone
+}
+
 // replica returns the wired replica proxy for a mote's managing proxy,
 // if one is attached.
 func (s *Store) replica(pid index.ProxyID) (*proxy.Proxy, bool) {
@@ -158,9 +190,11 @@ func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 			s.rstats.ReplicaRouted++ // replica was tried (the routing decision)
 			if q.MaxStaleness > 0 && !rp.FreshWithin(q.Mote, rp.Now(), q.MaxStaleness) {
 				s.rstats.ReplicaStale++
+				s.tr.Route(int64(q.Mote), s.trDomain, obs.RouteStaleBypass)
 				break // snapshot too stale: fall through to the managing proxy
 			}
 			if a, ok := rp.QueryLocal(q.Mote, rp.Now(), q.Precision); ok {
+				s.tr.Route(int64(q.Mote), s.trDomain, obs.RouteReplicaHit)
 				cb(query.Result{Query: q, Answer: a})
 				return nil
 			}
@@ -168,6 +202,7 @@ func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 	case query.Past, query.Agg:
 		if a, ok := s.archiveAnswer(q, pid); ok {
 			s.rstats.ArchiveServed++
+			s.tr.Route(int64(q.Mote), s.trDomain, obs.RouteArchiveHit)
 			res := query.Result{Query: q, Answer: a}
 			if q.Type == query.Agg {
 				res.AggValue = query.Aggregate(q.Agg, a)
@@ -184,6 +219,16 @@ func (s *Store) Execute(q query.Query, cb func(query.Result)) error {
 		return fmt.Errorf("store: proxy %d not attached", pid)
 	}
 	s.rstats.Routed++
+	if s.tr != nil {
+		// The proxy decides cache/model/rendezvous, possibly after a pull
+		// resolves; wrap cb so the decision lands on the trace when it is
+		// actually made. The closure allocates only on the traced path.
+		tr, dom, inner := s.tr, s.trDomain, cb
+		cb = func(r query.Result) {
+			tr.Route(int64(q.Mote), dom, routeKindFor(r.Answer.Source))
+			inner(r)
+		}
+	}
 	return query.Execute(p, q, cb)
 }
 
@@ -214,6 +259,7 @@ func (s *Store) archiveRecords(q query.Query, pid index.ProxyID) ([]Record, simt
 			if q.T1+simtime.Time(q.MaxStaleness) >= now {
 				if last, ok := s.backend.Latest(q.Mote); !ok || now-last.T > simtime.Time(q.MaxStaleness) {
 					s.rstats.ArchiveStale++
+					s.tr.Route(int64(q.Mote), s.trDomain, obs.RouteStaleBypass)
 					return nil, 0, false
 				}
 			}
@@ -361,6 +407,7 @@ func (s *Store) ExecuteFold(q query.Query, p *query.Partial) (done bool, err err
 		p.Observe(r.V, r.ErrBound)
 	})
 	s.rstats.ArchiveServed++
+	s.tr.Route(int64(q.Mote), s.trDomain, obs.RouteArchiveHit)
 	return true, nil
 }
 

@@ -261,8 +261,10 @@ func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
 // its window behind the mote list (standing-spec payload caching) and
 // added the batched-round frame pair. Version 3: the snapshot frame
 // trio (req/chunk/ack) for domain migration, checkpointing and site
-// re-join.
-const ProtoVersion = 3
+// re-join. Version 4: optional trace context — a scatter may carry a
+// trace id after its window, and the partials answering it append a
+// per-mote route section; untraced frames are byte-identical to v3.
+const ProtoVersion = 4
 
 // Hello opens a site's connection.
 type Hello struct {

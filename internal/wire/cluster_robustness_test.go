@@ -40,7 +40,7 @@ func clusterDecoders() []struct {
 		{"DecodeBridgeMsg", func(b []byte) { _, _ = wire.DecodeBridgeMsg(b) }},
 		{"DecodeSnapshotReq", func(b []byte) { _, _ = wire.DecodeSnapshotReq(b) }},
 		{"DecodeSnapshotChunk", func(b []byte) { _, _ = wire.DecodeSnapshotChunk(b) }},
-		{"query.DecodeScatter", func(b []byte) { _, _, _ = query.DecodeScatter(b) }},
+		{"query.DecodeScatter", func(b []byte) { _, _, _, _ = query.DecodeScatter(b) }},
 		{"query.DecodeScatterBatch", func(b []byte) { _, _, _, _ = query.DecodeScatterBatch(b) }},
 		{"query.DecodeRoundPartials", func(b []byte) { _, _ = query.DecodeRoundPartials(spec, b) }},
 		{"query.DecodeRoundPartialsBatch", func(b []byte) { _, _ = query.DecodeRoundPartialsBatch(spec, wins, b) }},
@@ -131,7 +131,7 @@ func TestClusterCodecRoundTrips(t *testing.T) {
 		Precision: 0.5, Deadline: time.Second, MaxStaleness: 30 * time.Minute,
 	}
 	motes := []radio.NodeID{1, 2, 7, 19}
-	gotSpec, gotMotes, err := query.DecodeScatter(query.EncodeScatter(spec, motes))
+	gotSpec, gotMotes, gotTrace, err := query.DecodeScatter(query.EncodeScatter(spec, motes))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,6 +139,9 @@ func TestClusterCodecRoundTrips(t *testing.T) {
 		gotSpec.T1 != spec.T1 || gotSpec.Precision != spec.Precision ||
 		gotSpec.Deadline != spec.Deadline || gotSpec.MaxStaleness != spec.MaxStaleness {
 		t.Fatalf("scatter spec round-trip: %+v != %+v", gotSpec, spec)
+	}
+	if gotTrace != 0 {
+		t.Fatalf("untraced scatter decoded trace id %d, want 0", gotTrace)
 	}
 	if len(gotMotes) != len(motes) {
 		t.Fatalf("mote list round-trip: %v != %v", gotMotes, motes)
